@@ -1,0 +1,319 @@
+use crate::classifier::{BitStoredModel, Classifier};
+use crate::mlp::{argmax, pack_tensors, unpack_tensors};
+use crate::storage::QuantizedTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use synthdata::Sample;
+
+/// Hyperparameters of the AdaBoost baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaBoostConfig {
+    /// Boosting rounds per one-vs-rest classifier.
+    pub rounds: usize,
+    /// Random features examined per round (stump search subsampling).
+    pub feature_samples: usize,
+    /// Candidate thresholds per examined feature (uniform grid on `[0,1]`).
+    pub threshold_grid: usize,
+    /// Feature-subsampling seed.
+    pub seed: u64,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 50,
+            feature_samples: 24,
+            threshold_grid: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// The fixed (non-attacked) part of one decision stump: which feature it
+/// splits and in which direction it votes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct StumpShape {
+    feature: usize,
+    /// `true`: vote +1 when `x[feature] < threshold`.
+    polarity: bool,
+}
+
+/// One-vs-rest AdaBoost over decision stumps, deployed with 8-bit
+/// quantized thresholds and vote weights.
+///
+/// Each stored parameter influences only a single weak learner whose vote
+/// is bounded by its `alpha`, so AdaBoost sits between the fixed-point
+/// linear models and HDC in bit-flip robustness — the ordering Table 3 of
+/// the paper reports.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{accuracy, AdaBoost, AdaBoostConfig};
+/// use synthdata::{DatasetSpec, GeneratorConfig};
+///
+/// let data = GeneratorConfig::new(8).generate(&DatasetSpec::pecan().with_sizes(150, 60));
+/// let model = AdaBoost::fit(&AdaBoostConfig::default(), &data.train);
+/// assert!(accuracy(&model, &data.test) > 0.7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    /// `classes × rounds` stump shapes.
+    shapes: Vec<StumpShape>,
+    /// Quantized split thresholds, one per stump (attackable).
+    thresholds: QuantizedTensor,
+    /// Quantized vote weights, one per stump (attackable).
+    alphas: QuantizedTensor,
+    features: usize,
+    classes: usize,
+    rounds: usize,
+}
+
+impl AdaBoost {
+    /// Trains one-vs-rest boosted stumps and quantizes the deployed
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty, feature counts are inconsistent, or the
+    /// config has zero rounds / feature samples / grid points.
+    pub fn fit(config: &AdaBoostConfig, train: &[Sample]) -> Self {
+        assert!(!train.is_empty(), "training set must not be empty");
+        assert!(config.rounds > 0, "need at least one boosting round");
+        assert!(config.feature_samples > 0, "need at least one feature sample");
+        assert!(config.threshold_grid > 0, "need at least one threshold");
+        let features = train[0].features.len();
+        assert!(
+            train.iter().all(|s| s.features.len() == features),
+            "inconsistent feature counts in training data"
+        );
+        let classes = train.iter().map(|s| s.label).max().expect("nonempty") + 1;
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut shapes = Vec::with_capacity(classes * config.rounds);
+        let mut thresholds = Vec::with_capacity(classes * config.rounds);
+        let mut alphas = Vec::with_capacity(classes * config.rounds);
+
+        for class in 0..classes {
+            let labels: Vec<f64> = train
+                .iter()
+                .map(|s| if s.label == class { 1.0 } else { -1.0 })
+                .collect();
+            let mut weights = vec![1.0 / train.len() as f64; train.len()];
+            for _ in 0..config.rounds {
+                // Stump search over a random feature subset and a uniform
+                // threshold grid.
+                let mut best = (f64::INFINITY, StumpShape { feature: 0, polarity: true }, 0.5);
+                for _ in 0..config.feature_samples.min(features) {
+                    let feature = rng.random_range(0..features);
+                    for g in 0..config.threshold_grid {
+                        let threshold = (g as f64 + 0.5) / config.threshold_grid as f64;
+                        // Weighted error of the polarity-true stump; the
+                        // polarity-false stump has error 1 - err.
+                        let mut err = 0.0;
+                        for (sample, (&y, &w)) in
+                            train.iter().zip(labels.iter().zip(&weights))
+                        {
+                            let vote = if sample.features[feature] < threshold {
+                                1.0
+                            } else {
+                                -1.0
+                            };
+                            if vote != y {
+                                err += w;
+                            }
+                        }
+                        let (e, polarity) = if err <= 0.5 { (err, true) } else { (1.0 - err, false) };
+                        if e < best.0 {
+                            best = (e, StumpShape { feature, polarity }, threshold);
+                        }
+                    }
+                }
+                let (err, shape, threshold) = best;
+                let err = err.clamp(1e-10, 0.5 - 1e-10);
+                let alpha = 0.5 * ((1.0 - err) / err).ln();
+                // Re-weight samples.
+                let mut total = 0.0;
+                for (sample, (&y, w)) in train.iter().zip(labels.iter().zip(weights.iter_mut())) {
+                    let vote = stump_vote(sample.features[shape.feature], threshold, shape.polarity);
+                    *w *= (-alpha * y * vote).exp();
+                    total += *w;
+                }
+                for w in weights.iter_mut() {
+                    *w /= total;
+                }
+                shapes.push(shape);
+                thresholds.push(threshold);
+                alphas.push(alpha);
+            }
+        }
+
+        Self {
+            shapes,
+            thresholds: QuantizedTensor::quantize(&thresholds),
+            alphas: QuantizedTensor::quantize(&alphas),
+            features,
+            classes,
+            rounds: config.rounds,
+        }
+    }
+
+    /// Per-class boosted scores with the deployed quantized parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from training.
+    pub fn scores(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            features.len(),
+            self.features,
+            "expected {} features, got {}",
+            self.features,
+            features.len()
+        );
+        (0..self.classes)
+            .map(|c| {
+                (0..self.rounds)
+                    .map(|t| {
+                        let idx = c * self.rounds + t;
+                        let shape = self.shapes[idx];
+                        let threshold = self.thresholds.get(idx);
+                        let alpha = self.alphas.get(idx);
+                        alpha * stump_vote(features[shape.feature], threshold, shape.polarity)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Number of deployed (attackable) parameters: one threshold and one
+    /// alpha per stump.
+    pub fn parameter_count(&self) -> usize {
+        self.thresholds.len() + self.alphas.len()
+    }
+}
+
+fn stump_vote(value: f64, threshold: f64, polarity: bool) -> f64 {
+    let below = value < threshold;
+    if below == polarity {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn predict(&self, features: &[f64]) -> usize {
+        argmax(&self.scores(features))
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+impl BitStoredModel for AdaBoost {
+    fn to_image(&self) -> Vec<u64> {
+        pack_tensors(&[&self.thresholds, &self.alphas])
+    }
+
+    fn bit_len(&self) -> usize {
+        self.parameter_count() * 8
+    }
+
+    fn load_image(&mut self, image: &[u64]) {
+        unpack_tensors(image, [&mut self.thresholds, &mut self.alphas]);
+    }
+
+    fn field_bits(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::accuracy;
+    use synthdata::{DatasetSpec, GeneratorConfig};
+
+    fn small_data() -> synthdata::Dataset {
+        GeneratorConfig::new(6).generate(&DatasetSpec::pecan().with_sizes(180, 90))
+    }
+
+    fn quick_config() -> AdaBoostConfig {
+        AdaBoostConfig {
+            rounds: 30,
+            ..AdaBoostConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let data = small_data();
+        let model = AdaBoost::fit(&quick_config(), &data.train);
+        let acc = accuracy(&model, &data.test);
+        assert!(acc > 0.75, "AdaBoost accuracy only {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = small_data();
+        let a = AdaBoost::fit(&quick_config(), &data.train);
+        let b = AdaBoost::fit(&quick_config(), &data.train);
+        assert_eq!(a.to_image(), b.to_image());
+        assert_eq!(a.shapes, b.shapes);
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_predictions() {
+        let data = small_data();
+        let mut model = AdaBoost::fit(&quick_config(), &data.train);
+        let image = model.to_image();
+        let before: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        model.load_image(&image);
+        let after: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn single_parameter_corruption_is_bounded() {
+        // Flipping one alpha's MSB changes one weak vote, not the whole
+        // model — accuracy can move, but predictions on clearly-classified
+        // samples mostly survive. This is the mechanism behind AdaBoost's
+        // intermediate robustness in Table 3.
+        let data = small_data();
+        let mut model = AdaBoost::fit(&quick_config(), &data.train);
+        let clean_acc = accuracy(&model, &data.test);
+        let mut image = model.to_image();
+        let alpha0_msb = model.thresholds.len() * 8 + 7;
+        image[alpha0_msb / 64] ^= 1 << (alpha0_msb % 64);
+        model.load_image(&image);
+        let corrupted_acc = accuracy(&model, &data.test);
+        assert!(
+            (clean_acc - corrupted_acc).abs() < 0.25,
+            "single alpha flip moved accuracy {clean_acc} -> {corrupted_acc}"
+        );
+    }
+
+    #[test]
+    fn parameter_count_is_two_per_stump() {
+        let data = small_data();
+        let model = AdaBoost::fit(&quick_config(), &data.train);
+        assert_eq!(model.parameter_count(), 2 * 3 * 30);
+        assert_eq!(model.bit_len(), 2 * 3 * 30 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one boosting round")]
+    fn zero_rounds_panics() {
+        let data = small_data();
+        AdaBoost::fit(
+            &AdaBoostConfig {
+                rounds: 0,
+                ..AdaBoostConfig::default()
+            },
+            &data.train,
+        );
+    }
+}

@@ -1,0 +1,107 @@
+use synthdata::Sample;
+
+/// A trained classifier over raw feature vectors.
+pub trait Classifier {
+    /// Predicts the label of one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the feature count differs from training.
+    fn predict(&self, features: &[f64]) -> usize;
+
+    /// Number of classes the model distinguishes.
+    fn num_classes(&self) -> usize;
+}
+
+/// A model whose deployed weights live in an attackable bit image.
+///
+/// `to_image` serializes the quantized weights to `u64` words;
+/// `load_image` re-deploys (possibly corrupted) words. `field_bits` tells
+/// targeted attacks where each stored field's MSB is.
+pub trait BitStoredModel {
+    /// Serializes the deployed weights into a word image.
+    fn to_image(&self) -> Vec<u64>;
+
+    /// Number of meaningful bits in the image.
+    fn bit_len(&self) -> usize;
+
+    /// Replaces the deployed weights from a (possibly corrupted) image.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the image is shorter than
+    /// [`BitStoredModel::bit_len`] requires.
+    fn load_image(&mut self, image: &[u64]);
+
+    /// Width of each stored field in bits (8 for the fixed-point models).
+    fn field_bits(&self) -> usize;
+}
+
+/// Accuracy of a classifier over labelled samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{accuracy, Classifier};
+///
+/// struct Majority;
+/// impl Classifier for Majority {
+///     fn predict(&self, _: &[f64]) -> usize {
+///         0
+///     }
+///     fn num_classes(&self) -> usize {
+///         2
+///     }
+/// }
+/// let samples = vec![
+///     synthdata::Sample { features: vec![0.0], label: 0 },
+///     synthdata::Sample { features: vec![1.0], label: 1 },
+/// ];
+/// assert_eq!(accuracy(&Majority, &samples), 0.5);
+/// ```
+pub fn accuracy<C: Classifier + ?Sized>(model: &C, samples: &[Sample]) -> f64 {
+    assert!(!samples.is_empty(), "cannot score an empty evaluation set");
+    let correct = samples
+        .iter()
+        .filter(|s| model.predict(&s.features) == s.label)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(usize);
+
+    impl Classifier for Constant {
+        fn predict(&self, _: &[f64]) -> usize {
+            self.0
+        }
+        fn num_classes(&self) -> usize {
+            3
+        }
+    }
+
+    #[test]
+    fn accuracy_scores_constant_model() {
+        let samples: Vec<Sample> = (0..10)
+            .map(|i| Sample {
+                features: vec![0.0],
+                label: i % 3,
+            })
+            .collect();
+        let acc = accuracy(&Constant(0), &samples);
+        assert!((acc - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn empty_set_panics() {
+        accuracy(&Constant(0), &[]);
+    }
+}

@@ -1,0 +1,134 @@
+use serde::{Deserialize, Serialize};
+
+/// Symmetric 8-bit fixed-point codec: real values in `[-scale, scale]` map
+/// linearly to `i8`.
+///
+/// This is the quantization scheme of 8-bit inference accelerators. The
+/// crucial robustness property (Section 2 of the paper): a flip of the
+/// stored sign/MSB bit shifts the decoded value by `(128/127) × scale` —
+/// the entire representable magnitude — which is why fixed-point models
+/// collapse under targeted attacks while binary HDC models do not.
+///
+/// # Example
+///
+/// ```
+/// use baselines::Fixed8Codec;
+///
+/// let codec = Fixed8Codec::from_max_abs(2.0);
+/// let q = codec.encode(1.0);
+/// assert!((codec.decode(q) - 1.0).abs() < 0.02);
+/// // Flipping the sign bit of the stored byte is catastrophic:
+/// let corrupted = codec.decode((q as u8 ^ 0x80) as i8);
+/// // The MSB flip moved the weight by the full representable magnitude.
+/// assert!((corrupted - codec.decode(q)).abs() > 1.9); // 128/127 * scale = 2.016
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fixed8Codec {
+    scale: f64,
+}
+
+impl Fixed8Codec {
+    /// Creates a codec whose representable magnitude is `max_abs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_abs` is not positive and finite.
+    pub fn from_max_abs(max_abs: f64) -> Self {
+        assert!(
+            max_abs.is_finite() && max_abs > 0.0,
+            "scale {max_abs} must be positive and finite"
+        );
+        Self { scale: max_abs }
+    }
+
+    /// Builds a codec sized for a weight slice (scale = max |w|, or 1 for
+    /// an all-zero slice).
+    pub fn fit(values: &[f64]) -> Self {
+        let max_abs = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        Self::from_max_abs(if max_abs > 0.0 { max_abs } else { 1.0 })
+    }
+
+    /// The representable magnitude.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Quantizes a real value (clamping to the representable range).
+    pub fn encode(&self, value: f64) -> i8 {
+        let q = (value / self.scale * 127.0).round();
+        q.clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes a stored byte. Accepts the full `i8` range, including
+    /// `-128` produced only by bit flips.
+    pub fn decode(&self, stored: i8) -> f64 {
+        stored as f64 / 127.0 * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_is_within_half_step() {
+        let codec = Fixed8Codec::from_max_abs(3.0);
+        let step = 3.0 / 127.0;
+        for i in -20..=20 {
+            let v = i as f64 * 0.14;
+            let err = (codec.decode(codec.encode(v)) - v).abs();
+            assert!(err <= step / 2.0 + 1e-12, "value {v} error {err}");
+        }
+    }
+
+    #[test]
+    fn encode_clamps_out_of_range() {
+        let codec = Fixed8Codec::from_max_abs(1.0);
+        assert_eq!(codec.encode(5.0), 127);
+        assert_eq!(codec.encode(-5.0), -127);
+    }
+
+    #[test]
+    fn fit_uses_max_abs() {
+        let codec = Fixed8Codec::fit(&[0.5, -2.5, 1.0]);
+        assert_eq!(codec.scale(), 2.5);
+        assert_eq!(codec.encode(2.5), 127);
+    }
+
+    #[test]
+    fn fit_of_zeros_is_unit_scale() {
+        let codec = Fixed8Codec::fit(&[0.0, 0.0]);
+        assert_eq!(codec.scale(), 1.0);
+    }
+
+    #[test]
+    fn msb_flip_is_catastrophic() {
+        // An MSB flip always shifts the stored byte by 128 steps, i.e. the
+        // decoded value by (128/127) * scale, regardless of the value.
+        let codec = Fixed8Codec::from_max_abs(1.0);
+        for v in [0.1, -0.4, 0.9] {
+            let q = codec.encode(v);
+            let flipped = (q as u8 ^ 0x80) as i8;
+            let delta = (codec.decode(flipped) - codec.decode(q)).abs();
+            assert!(
+                (delta - 128.0 / 127.0).abs() < 1e-9,
+                "MSB flip at {v} moved value by {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn lsb_flip_is_negligible() {
+        let codec = Fixed8Codec::from_max_abs(1.0);
+        let q = codec.encode(0.1);
+        let flipped = (q as u8 ^ 0x01) as i8;
+        let delta = (codec.decode(flipped) - codec.decode(q)).abs();
+        assert!(delta < 0.01, "LSB flip moved value by {delta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_scale_panics() {
+        Fixed8Codec::from_max_abs(0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! From-scratch comparator learners with attackable 8-bit fixed-point
+//! weight storage.
+//!
+//! The RobustHD evaluation (Table 3) compares HDC against a DNN, a linear
+//! SVM, and AdaBoost, all stored in 8-bit fixed point — the representation
+//! used by quantized accelerators such as TPUs, and the one bit-flip
+//! attacks target. This crate implements the three learners from scratch:
+//!
+//! * [`Mlp`] — a one-hidden-layer ReLU network trained with SGD and
+//!   deployed with quantized weights,
+//! * [`LinearSvm`] — one-vs-rest hinge-loss linear classifiers,
+//! * [`AdaBoost`] — one-vs-rest boosted decision stumps,
+//! * [`Knn`] — k-nearest-neighbour over quantized stored exemplars
+//!   (LookNN-flavoured),
+//!
+//! plus the shared quantized-storage layer ([`QuantizedTensor`]) that
+//! exposes every model's weights as a raw bit image. Each model implements
+//! [`Classifier`] for evaluation and [`BitStoredModel`] for fault injection.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{Classifier, Mlp, MlpConfig};
+//! use synthdata::{DatasetSpec, GeneratorConfig};
+//!
+//! let data = GeneratorConfig::new(5).generate(&DatasetSpec::pecan().with_sizes(150, 60));
+//! let model = Mlp::fit(&MlpConfig::default(), &data.train);
+//! let accuracy = baselines::accuracy(&model, &data.test);
+//! assert!(accuracy > 0.7);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adaboost;
+mod classifier;
+mod fixedpoint;
+mod knn;
+mod mlp;
+mod storage;
+mod svm;
+
+pub use adaboost::{AdaBoost, AdaBoostConfig};
+pub use classifier::{accuracy, BitStoredModel, Classifier};
+pub use fixedpoint::Fixed8Codec;
+pub use knn::{Knn, KnnConfig};
+pub use mlp::{Mlp, MlpConfig};
+pub use storage::QuantizedTensor;
+pub use svm::{LinearSvm, SvmConfig};

@@ -1,0 +1,160 @@
+use crate::fixedpoint::Fixed8Codec;
+use serde::{Deserialize, Serialize};
+
+/// A quantized weight tensor: `i8` storage plus its codec.
+///
+/// This is the deployed form of every baseline model's parameters — the
+/// memory image that bit-flip attacks corrupt. Words are packed 8 bytes per
+/// `u64`, little-endian within the word, so byte `i` of the tensor occupies
+/// stored bits `8 i .. 8 i + 8` (bit `8 i + 7` is the sign/MSB a targeted
+/// attack goes for).
+///
+/// # Example
+///
+/// ```
+/// use baselines::QuantizedTensor;
+///
+/// let tensor = QuantizedTensor::quantize(&[0.5, -0.25, 1.0]);
+/// let values = tensor.dequantize();
+/// assert!((values[0] - 0.5).abs() < 0.01);
+/// let mut image = tensor.to_words();
+/// image[0] ^= 1 << 7; // flip the sign bit of weight 0
+/// let mut corrupted = tensor.clone();
+/// corrupted.load_words(&image);
+/// assert!(corrupted.dequantize()[0] < -0.4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    data: Vec<i8>,
+    codec: Fixed8Codec,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a real-valued slice with a max-abs-fitted codec.
+    pub fn quantize(values: &[f64]) -> Self {
+        let codec = Fixed8Codec::fit(values);
+        Self {
+            data: values.iter().map(|&v| codec.encode(v)).collect(),
+            codec,
+        }
+    }
+
+    /// Number of stored weights.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no weights.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The codec used for dequantization.
+    pub fn codec(&self) -> Fixed8Codec {
+        self.codec
+    }
+
+    /// Dequantizes every weight.
+    pub fn dequantize(&self) -> Vec<f64> {
+        self.data.iter().map(|&q| self.codec.decode(q)).collect()
+    }
+
+    /// Dequantizes one weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> f64 {
+        self.codec.decode(self.data[index])
+    }
+
+    /// Number of stored bits (8 per weight).
+    pub fn bit_len(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// Packs the bytes into `u64` words (8 bytes per word, little-endian).
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut words = vec![0u64; self.data.len().div_ceil(8)];
+        for (i, &b) in self.data.iter().enumerate() {
+            words[i / 8] |= (b as u8 as u64) << ((i % 8) * 8);
+        }
+        words
+    }
+
+    /// Reloads the bytes from a (possibly corrupted) word image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than [`QuantizedTensor::to_words`]
+    /// produces.
+    pub fn load_words(&mut self, words: &[u64]) {
+        assert!(
+            words.len() >= self.data.len().div_ceil(8),
+            "image has {} words, need {}",
+            words.len(),
+            self.data.len().div_ceil(8)
+        );
+        for (i, b) in self.data.iter_mut().enumerate() {
+            *b = ((words[i / 8] >> ((i % 8) * 8)) & 0xff) as u8 as i8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_dequantize_roundtrip() {
+        let values = [0.5, -0.25, 1.0, 0.0, -1.0];
+        let tensor = QuantizedTensor::quantize(&values);
+        for (orig, deq) in values.iter().zip(tensor.dequantize()) {
+            assert!((orig - deq).abs() < 0.01, "{orig} vs {deq}");
+        }
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let tensor = QuantizedTensor::quantize(&[0.1, -0.9, 0.33, 0.72, -0.01, 0.5, 0.6, -0.7, 0.8]);
+        let words = tensor.to_words();
+        assert_eq!(words.len(), 2);
+        let mut copy = tensor.clone();
+        copy.load_words(&words);
+        assert_eq!(copy, tensor);
+    }
+
+    #[test]
+    fn bit_len_is_eight_per_weight() {
+        assert_eq!(QuantizedTensor::quantize(&[0.0; 10]).bit_len(), 80);
+    }
+
+    #[test]
+    fn sign_bit_position_matches_layout() {
+        // Weight i's sign bit must be stored bit 8 i + 7.
+        let tensor = QuantizedTensor::quantize(&[0.5, 0.5, 0.5]);
+        for i in 0..3 {
+            let mut words = tensor.to_words();
+            let pos = 8 * i + 7;
+            words[pos / 64] ^= 1 << (pos % 64);
+            let mut corrupted = tensor.clone();
+            corrupted.load_words(&words);
+            assert!(
+                corrupted.get(i) < 0.0,
+                "flipping bit {pos} did not negate weight {i}"
+            );
+            // Other weights untouched.
+            for j in 0..3 {
+                if j != i {
+                    assert_eq!(corrupted.get(j), tensor.get(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn short_image_panics() {
+        QuantizedTensor::quantize(&[0.0; 9]).load_words(&[0u64; 1]);
+    }
+}

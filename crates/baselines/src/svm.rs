@@ -1,0 +1,232 @@
+use crate::classifier::{BitStoredModel, Classifier};
+use crate::mlp::{argmax, pack_tensors, unpack_tensors};
+use crate::storage::QuantizedTensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use synthdata::Sample;
+
+/// Hyperparameters of the linear SVM baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// Training epochs of hinge-loss SGD.
+    pub epochs: usize,
+    /// Initial learning rate (decays as `1 / (1 + t)` per epoch).
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 40,
+            learning_rate: 0.1,
+            lambda: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// One-vs-rest linear SVM trained with hinge-loss SGD, deployed with 8-bit
+/// fixed-point weights.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{accuracy, LinearSvm, SvmConfig};
+/// use synthdata::{DatasetSpec, GeneratorConfig};
+///
+/// let data = GeneratorConfig::new(2).generate(&DatasetSpec::pecan().with_sizes(150, 60));
+/// let model = LinearSvm::fit(&SvmConfig::default(), &data.train);
+/// assert!(accuracy(&model, &data.test) > 0.7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// One weight row per class, laid out `[class][feature]`.
+    weights: QuantizedTensor,
+    biases: QuantizedTensor,
+    features: usize,
+    classes: usize,
+}
+
+impl LinearSvm {
+    /// Trains one-vs-rest hinge-loss classifiers and quantizes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty or feature counts are inconsistent.
+    pub fn fit(config: &SvmConfig, train: &[Sample]) -> Self {
+        assert!(!train.is_empty(), "training set must not be empty");
+        let features = train[0].features.len();
+        assert!(
+            train.iter().all(|s| s.features.len() == features),
+            "inconsistent feature counts in training data"
+        );
+        let classes = train.iter().map(|s| s.label).max().expect("nonempty") + 1;
+
+        let mut weights = vec![0.0f64; classes * features];
+        let mut biases = vec![0.0f64; classes];
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for epoch in 0..config.epochs {
+            let lr = config.learning_rate / (1.0 + epoch as f64);
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let sample = &train[idx];
+                for c in 0..classes {
+                    let y = if sample.label == c { 1.0 } else { -1.0 };
+                    let row = &mut weights[c * features..(c + 1) * features];
+                    let margin = y
+                        * (row
+                            .iter()
+                            .zip(&sample.features)
+                            .map(|(w, x)| w * x)
+                            .sum::<f64>()
+                            + biases[c]);
+                    // L2 shrinkage.
+                    for w in row.iter_mut() {
+                        *w *= 1.0 - lr * config.lambda;
+                    }
+                    if margin < 1.0 {
+                        for (w, &x) in row.iter_mut().zip(&sample.features) {
+                            *w += lr * y * x;
+                        }
+                        biases[c] += lr * y;
+                    }
+                }
+            }
+        }
+
+        Self {
+            weights: QuantizedTensor::quantize(&weights),
+            biases: QuantizedTensor::quantize(&biases),
+            features,
+            classes,
+        }
+    }
+
+    /// Per-class decision scores with the deployed quantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from training.
+    pub fn scores(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            features.len(),
+            self.features,
+            "expected {} features, got {}",
+            self.features,
+            features.len()
+        );
+        let weights = self.weights.dequantize();
+        let biases = self.biases.dequantize();
+        (0..self.classes)
+            .map(|c| {
+                weights[c * self.features..(c + 1) * self.features]
+                    .iter()
+                    .zip(features)
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    + biases[c]
+            })
+            .collect()
+    }
+
+    /// Total number of deployed weights.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.biases.len()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn predict(&self, features: &[f64]) -> usize {
+        argmax(&self.scores(features))
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+impl BitStoredModel for LinearSvm {
+    fn to_image(&self) -> Vec<u64> {
+        pack_tensors(&[&self.weights, &self.biases])
+    }
+
+    fn bit_len(&self) -> usize {
+        self.parameter_count() * 8
+    }
+
+    fn load_image(&mut self, image: &[u64]) {
+        unpack_tensors(image, [&mut self.weights, &mut self.biases]);
+    }
+
+    fn field_bits(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::accuracy;
+    use synthdata::{DatasetSpec, GeneratorConfig};
+
+    fn small_data() -> synthdata::Dataset {
+        GeneratorConfig::new(4).generate(&DatasetSpec::pecan().with_sizes(180, 90))
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let data = small_data();
+        let model = LinearSvm::fit(&SvmConfig::default(), &data.train);
+        let acc = accuracy(&model, &data.test);
+        assert!(acc > 0.8, "SVM accuracy only {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = small_data();
+        let a = LinearSvm::fit(&SvmConfig::default(), &data.train);
+        let b = LinearSvm::fit(&SvmConfig::default(), &data.train);
+        assert_eq!(a.to_image(), b.to_image());
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_predictions() {
+        let data = small_data();
+        let mut model = LinearSvm::fit(&SvmConfig::default(), &data.train);
+        let image = model.to_image();
+        let before: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        model.load_image(&image);
+        let after: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn scores_align_with_predict() {
+        let data = small_data();
+        let model = LinearSvm::fit(&SvmConfig::default(), &data.train);
+        let sample = &data.test[0];
+        let scores = model.scores(&sample.features);
+        assert_eq!(scores.len(), model.num_classes());
+        assert_eq!(model.predict(&sample.features), argmax(&scores));
+    }
+
+    #[test]
+    fn bit_len_counts_weights_and_biases() {
+        let data = small_data();
+        let model = LinearSvm::fit(&SvmConfig::default(), &data.train);
+        assert_eq!(model.bit_len(), (3 * data.spec.features + 3) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_training_panics() {
+        LinearSvm::fit(&SvmConfig::default(), &[]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests of the fixed-point storage layer.
+
+use baselines::{Fixed8Codec, QuantizedTensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantize→dequantize error is bounded by half a step for in-range
+    /// values, at any scale.
+    #[test]
+    fn codec_error_bound(scale in 0.01f64..1e4, frac in -1.0f64..=1.0) {
+        let codec = Fixed8Codec::from_max_abs(scale);
+        let value = frac * scale;
+        let roundtrip = codec.decode(codec.encode(value));
+        prop_assert!((roundtrip - value).abs() <= scale / 127.0 / 2.0 + 1e-9);
+    }
+
+    /// Encode clamps: the decoded magnitude never exceeds the scale (plus
+    /// the -128 fault case, which encode never produces).
+    #[test]
+    fn encode_never_exceeds_scale(scale in 0.01f64..1e4, value in -1e6f64..1e6) {
+        let codec = Fixed8Codec::from_max_abs(scale);
+        let decoded = codec.decode(codec.encode(value));
+        prop_assert!(decoded.abs() <= scale + 1e-9);
+    }
+
+    /// Tensor word images round-trip bit-exactly for any length.
+    #[test]
+    fn tensor_words_roundtrip(values in prop::collection::vec(-5.0f64..5.0, 1..64)) {
+        let tensor = QuantizedTensor::quantize(&values);
+        let mut copy = tensor.clone();
+        copy.load_words(&tensor.to_words());
+        prop_assert_eq!(copy, tensor);
+    }
+
+    /// Flipping stored bit `8 i + 7` (a sign bit) changes weight `i` by the
+    /// full representable magnitude and touches no other weight.
+    #[test]
+    fn sign_flip_locality(values in prop::collection::vec(-1.0f64..1.0, 1..32), pick in any::<usize>()) {
+        let tensor = QuantizedTensor::quantize(&values);
+        let i = pick % values.len();
+        let mut words = tensor.to_words();
+        let pos = 8 * i + 7;
+        words[pos / 64] ^= 1 << (pos % 64);
+        let mut corrupted = tensor.clone();
+        corrupted.load_words(&words);
+        for j in 0..values.len() {
+            if j == i {
+                let delta = (corrupted.get(j) - tensor.get(j)).abs();
+                prop_assert!(delta > tensor.codec().scale() * 0.99, "delta {} too small", delta);
+            } else {
+                prop_assert_eq!(corrupted.get(j), tensor.get(j));
+            }
+        }
+    }
+}

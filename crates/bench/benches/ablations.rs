@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! chunk count, encoder choice, substitution mode, wear leveling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimsim::WearLeveler;
+use robusthd::{
+    Encoder, HdcConfig, RandomProjectionEncoder, RecordEncoder, RecoveryConfig, RecoveryEngine,
+    SubstitutionMode, TrainedModel,
+};
+use std::hint::black_box;
+use synthdata::{DatasetSpec, GeneratorConfig};
+
+fn workload() -> (
+    HdcConfig,
+    Vec<hypervector::BinaryHypervector>,
+    Vec<usize>,
+    TrainedModel,
+) {
+    let spec = DatasetSpec::ucihar().with_sizes(120, 60);
+    let data = GeneratorConfig::new(1).generate(&spec);
+    let config = HdcConfig::builder()
+        .dimension(4096)
+        .seed(1)
+        .build()
+        .expect("valid");
+    let encoder = RecordEncoder::new(&config, spec.features);
+    let encoded: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
+    let model = TrainedModel::train(&encoded, &labels, spec.classes, &config);
+    (config, encoded, labels, model)
+}
+
+/// Chunk-count ablation: recovery observation cost vs `m`.
+fn bench_chunk_count(c: &mut Criterion) {
+    let (config, encoded, _, model) = workload();
+    let mut group = c.benchmark_group("ablation_chunks");
+    for chunks in [5usize, 20, 80] {
+        let rc = RecoveryConfig::builder()
+            .chunks(chunks)
+            .confidence_threshold(0.0)
+            .build()
+            .expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, _| {
+            b.iter_batched(
+                || (model.clone(), RecoveryEngine::new(rc.clone(), config.softmax_beta)),
+                |(mut m, mut engine)| engine.observe(&mut m, black_box(&encoded[0])),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Encoder ablation: record-binding vs random projection.
+fn bench_encoders(c: &mut Criterion) {
+    let config = HdcConfig::builder()
+        .dimension(4096)
+        .seed(1)
+        .build()
+        .expect("valid");
+    let record = RecordEncoder::new(&config, 561);
+    let projection = RandomProjectionEncoder::new(&config, 561, 8);
+    let features = vec![0.37; 561];
+    let mut group = c.benchmark_group("ablation_encoder");
+    group.bench_function("record", |b| b.iter(|| record.encode(black_box(&features))));
+    group.bench_function("projection", |b| {
+        b.iter(|| projection.encode(black_box(&features)))
+    });
+    group.finish();
+}
+
+/// Substitution-mode ablation: overwrite vs majority counters.
+fn bench_substitution_modes(c: &mut Criterion) {
+    let (config, encoded, _, model) = workload();
+    let mut group = c.benchmark_group("ablation_substitution");
+    for (mode, name) in [
+        (SubstitutionMode::Overwrite, "overwrite"),
+        (
+            SubstitutionMode::MajorityCounter { saturation: 3 },
+            "majority",
+        ),
+    ] {
+        let rc = RecoveryConfig::builder()
+            .confidence_threshold(0.0)
+            .substitution(mode)
+            .fault_margin(0.0)
+            .build()
+            .expect("valid");
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (model.clone(), RecoveryEngine::new(rc.clone(), config.softmax_beta)),
+                |(mut m, mut engine)| engine.observe(&mut m, black_box(&encoded[0])),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Wear-leveling ablation: record_write throughput with and without short
+/// rotation periods.
+fn bench_wearlevel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wearlevel");
+    for period in [4usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            b.iter_batched(
+                || WearLeveler::new(256, p),
+                |mut leveler| {
+                    for i in 0..1000 {
+                        leveler.record_write(black_box(i % 256));
+                    }
+                    leveler
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_chunk_count, bench_encoders, bench_substitution_modes, bench_wearlevel
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion wrapper of the Figure 2 cost-model evaluation, plus the raw
+//! gate-level multiplier it rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimsim::{DeviceParams, NorGate};
+use robusthd_bench::fig2::{self, Workload};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_cost_model", |b| {
+        b.iter(|| fig2::run(black_box(&Workload::ucihar())))
+    });
+}
+
+fn bench_gate_level_multiply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_level_multiply");
+    for bits in [8u32, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut gate = NorGate::new(DeviceParams::default());
+                pimsim::logic::multiply(&mut gate, black_box(123), black_box(57), bits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig2, bench_gate_level_multiply
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion wrapper of the Figure 3 parameter sweep at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusthd_bench::{fig3, Scale};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_recovery_sweep_quick", |b| {
+        b.iter(|| fig3::run(Scale::Quick, 2048, black_box(2)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion wrapper of the Figure 4a lifetime simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusthd_bench::{fig4a, Scale};
+use std::hint::black_box;
+
+fn bench_fig4a(c: &mut Criterion) {
+    c.bench_function("fig4a_lifetime_quick", |b| {
+        b.iter(|| fig4a::run(Scale::Quick, black_box(1), 8))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4a
+}
+criterion_main!(benches);

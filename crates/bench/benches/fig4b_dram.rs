@@ -1,0 +1,24 @@
+//! Criterion wrapper of the Figure 4b DRAM sweep (the analytic part; the
+//! measured robustness curves are benchmarked through fig4a).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pimsim::DramModel;
+use robusthd_bench::fig4a::RobustnessCurve;
+use robusthd_bench::fig4b;
+use std::hint::black_box;
+
+fn bench_fig4b_sweep(c: &mut Criterion) {
+    let dram = DramModel::default();
+    let hdc = RobustnessCurve::new(vec![(0.0, 0.96), (0.06, 0.95), (0.3, 0.90)]);
+    let dnn = RobustnessCurve::new(vec![(0.0, 0.96), (0.06, 0.80), (0.3, 0.30)]);
+    c.bench_function("fig4b_dram_sweep", |b| {
+        b.iter(|| fig4b::sweep_with_curves(black_box(&dram), &hdc, &dnn))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig4b_sweep
+}
+criterion_main!(benches);

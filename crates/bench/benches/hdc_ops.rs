@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks of the core HDC kernels: encode, similarity
+//! search, recovery observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robusthd::{Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine, TrainedModel};
+use std::hint::black_box;
+use synthdata::{DatasetSpec, GeneratorConfig};
+
+fn setup(dim: usize) -> (RecordEncoder, TrainedModel, Vec<hypervector::BinaryHypervector>) {
+    let spec = DatasetSpec::ucihar().with_sizes(120, 60);
+    let data = GeneratorConfig::new(1).generate(&spec);
+    let config = HdcConfig::builder()
+        .dimension(dim)
+        .seed(1)
+        .build()
+        .expect("valid");
+    let encoder = RecordEncoder::new(&config, spec.features);
+    let encoded: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
+    let model = TrainedModel::train(&encoded, &labels, spec.classes, &config);
+    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    (encoder, model, queries)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdc_encode");
+    for dim in [4_096usize, 10_000] {
+        let (encoder, _, _) = setup(dim);
+        let features = vec![0.42; 561];
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| encoder.encode(black_box(&features)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdc_predict");
+    for dim in [4_096usize, 10_000] {
+        let (_, model, queries) = setup(dim);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| model.predict(black_box(&queries[0])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery_observe(c: &mut Criterion) {
+    let (_, model, queries) = setup(4_096);
+    let config = RecoveryConfig::builder()
+        .confidence_threshold(0.0)
+        .build()
+        .expect("valid");
+    c.bench_function("recovery_observe", |b| {
+        b.iter_batched(
+            || (model.clone(), RecoveryEngine::new(config.clone(), 128.0)),
+            |(mut m, mut engine)| engine.observe(&mut m, black_box(&queries[0])),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encode, bench_predict, bench_recovery_observe
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion wrapper of the Table 1 experiment (quick scale): times a full
+//! noise-robustness sweep and asserts its row count as a smoke check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusthd_bench::{table1, Scale};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_noise_quick", |b| {
+        b.iter(|| {
+            let rows = table1::run(Scale::Quick, black_box(1), 1);
+            assert_eq!(rows.len(), 5);
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion wrapper of the Table 3 experiment (quick scale): times the
+//! four-model random/targeted attack sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusthd_bench::{table3, Scale};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_attack_quick", |b| {
+        b.iter(|| {
+            let rows = table3::run(Scale::Quick, black_box(1), 1);
+            assert_eq!(rows.len(), 8);
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(benches);

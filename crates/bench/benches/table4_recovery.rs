@@ -1,0 +1,28 @@
+//! Criterion wrapper of the Table 4 experiment: times the with/without
+//! recovery comparison on one dataset at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusthd_bench::{table4, Scale};
+use std::hint::black_box;
+use synthdata::DatasetSpec;
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4_recovery_ucihar_quick", |b| {
+        b.iter(|| {
+            table4::run_dataset(
+                &DatasetSpec::ucihar(),
+                Scale::Quick,
+                4096,
+                black_box(5),
+                1,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4
+}
+criterion_main!(benches);

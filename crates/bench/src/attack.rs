@@ -1,0 +1,117 @@
+//! Attack helpers bridging the fault injector to the two model families.
+
+use baselines::{BitStoredModel, Classifier};
+use faultsim::Attacker;
+use robusthd::{IntModel, TrainedModel};
+use synthdata::Sample;
+
+/// Returns a copy of the HDC binary model with `rate` of its stored bits
+/// flipped. For a 1-bit representation, random and targeted attacks
+/// coincide — every stored bit *is* an MSB.
+pub fn attack_hdc(model: &TrainedModel, rate: f64, seed: u64) -> TrainedModel {
+    let mut image = model.to_memory_image();
+    let bits = image.len();
+    Attacker::seed_from(seed).random_flips(image.words_mut(), bits, rate);
+    image.mask_tail();
+    let mut attacked = model.clone();
+    attacked.load_memory_image(&image);
+    attacked
+}
+
+/// Returns a copy of a multi-bit HDC model with `rate` of its stored bits
+/// flipped randomly, or targeted at per-element MSBs.
+pub fn attack_int_model(model: &IntModel, rate: f64, targeted: bool, seed: u64) -> IntModel {
+    let mut image = model.to_memory_image();
+    let bits = image.len();
+    let field = model.precision().bits() as usize;
+    let mut attacker = Attacker::seed_from(seed);
+    if targeted {
+        attacker.targeted_flips(image.words_mut(), bits, rate, field);
+    } else {
+        attacker.random_flips(image.words_mut(), bits, rate);
+    }
+    image.mask_tail();
+    let mut attacked = model.clone();
+    attacked.load_memory_image(&image);
+    attacked
+}
+
+/// Attacks a fixed-point baseline in place (random or MSB-targeted) and
+/// returns its accuracy on `samples`.
+pub fn attacked_accuracy<M: Classifier + BitStoredModel + Clone>(
+    model: &M,
+    samples: &[Sample],
+    rate: f64,
+    targeted: bool,
+    seed: u64,
+) -> f64 {
+    let mut image = model.to_image();
+    let bits = model.bit_len();
+    let mut attacker = Attacker::seed_from(seed);
+    if targeted {
+        attacker.targeted_flips(&mut image, bits, rate, model.field_bits());
+    } else {
+        attacker.random_flips(&mut image, bits, rate);
+    }
+    let mut attacked = model.clone();
+    attacked.load_image(&image);
+    baselines::accuracy(&attacked, samples)
+}
+
+/// Mean of `runs` repetitions of a seeded experiment.
+pub fn mean_over_seeds<F: FnMut(u64) -> f64>(runs: u64, mut f: F) -> f64 {
+    assert!(runs > 0, "need at least one run");
+    (0..runs).map(|seed| f(seed + 1)).sum::<f64>() / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{EncodedWorkload, Scale};
+    use hypervector::Precision;
+    use robusthd::IntModel;
+    use synthdata::DatasetSpec;
+
+    #[test]
+    fn attack_hdc_flips_requested_fraction() {
+        let w = EncodedWorkload::build(&DatasetSpec::pecan(), Scale::Quick, 2048, 1);
+        let attacked = attack_hdc(&w.model, 0.10, 7);
+        let flipped: usize = (0..w.model.num_classes())
+            .map(|c| w.model.class(c).hamming_distance(attacked.class(c)))
+            .sum();
+        let total = w.model.num_classes() * w.model.dim();
+        let rate = flipped as f64 / total as f64;
+        assert!((rate - 0.10).abs() < 0.005, "achieved rate {rate}");
+    }
+
+    #[test]
+    fn attack_int_model_targeted_hits_msbs() {
+        let w = EncodedWorkload::build(&DatasetSpec::pecan(), Scale::Quick, 1024, 2);
+        let p = Precision::new(2).expect("valid");
+        let int_model = IntModel::train(
+            &w.train_encoded,
+            &w.train_labels,
+            w.data.classes(),
+            &w.config,
+            p,
+        );
+        let attacked = attack_int_model(&int_model, 0.05, true, 3);
+        // Count element changes: targeted MSB flips change values by +-2
+        // (the 2-bit sign position).
+        let mut big_changes = 0;
+        for (a, b) in int_model.classes().iter().zip(attacked.classes()) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                if (x - y).abs() >= 2 {
+                    big_changes += 1;
+                }
+            }
+        }
+        assert!(big_changes > 0, "targeted attack must hit sign bits");
+    }
+
+    #[test]
+    fn mean_over_seeds_averages() {
+        let mean = mean_over_seeds(4, |seed| seed as f64);
+        assert!((mean - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 2: PIM efficiency of DNN and HDC normalized to
+//! DNN-on-GPU.
+//!
+//! Usage: `cargo run --release -p robusthd-bench --bin fig2`
+
+use robusthd_bench::fig2::{self, Workload};
+use robusthd_bench::format::{print_header, print_row};
+
+fn main() {
+    println!("Figure 2: PIM efficiency running DNN and HDC (normalized to DNN on GPU)");
+    println!("(paper: Fig. 2 — speedup and energy-efficiency bars)\n");
+    let bars = fig2::run(&Workload::ucihar());
+    let widths = [10usize, 12, 16];
+    print_header(&["platform", "speedup", "energy-eff"], &widths);
+    for bar in bars {
+        print_row(
+            &[
+                bar.label.clone(),
+                format!("{:.1}x", bar.speedup),
+                format!("{:.1}x", bar.energy_efficiency),
+            ],
+            &widths,
+        );
+    }
+}

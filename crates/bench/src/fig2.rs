@@ -1,0 +1,121 @@
+//! Figure 2 — PIM efficiency of DNN and HDC, normalized to the DNN running
+//! on the GPU reference.
+//!
+//! All four platform/algorithm combinations run the same workload geometry
+//! (the UCI HAR stand-in by default). Speedup is the latency ratio, energy
+//! efficiency the per-inference energy ratio, both normalized to DNN-GPU
+//! exactly as the paper's figure is.
+
+use pimsim::{DpimArchitecture, DpimConfig, GpuModel};
+use synthdata::DatasetSpec;
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Label, e.g. `"HDC-PIM"`.
+    pub label: String,
+    /// Speedup over DNN-on-GPU.
+    pub speedup: f64,
+    /// Energy-efficiency improvement over DNN-on-GPU.
+    pub energy_efficiency: f64,
+}
+
+/// Workload geometry for the figure.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Input feature count.
+    pub features: usize,
+    /// Class count.
+    pub classes: usize,
+    /// DNN hidden width.
+    pub hidden: usize,
+    /// HDC dimensionality.
+    pub dim: usize,
+}
+
+impl Workload {
+    /// The default UCI HAR-shaped workload.
+    pub fn ucihar() -> Self {
+        let spec = DatasetSpec::ucihar();
+        Self {
+            features: spec.features,
+            classes: spec.classes,
+            hidden: 128,
+            dim: 10_000,
+        }
+    }
+}
+
+/// Computes the figure's bars.
+pub fn run(workload: &Workload) -> Vec<Bar> {
+    let dpim = DpimArchitecture::new(DpimConfig::default());
+    let gpu = GpuModel::default();
+    let layers = [workload.features, workload.hidden, workload.classes];
+
+    let dnn_gpu = gpu.dnn_inference_cost(&layers);
+    let hdc_gpu = gpu.hdc_inference_cost(workload.features, workload.dim, workload.classes);
+    let dnn_pim = dpim.dnn_inference_cost(&layers, 8);
+    let hdc_pim = dpim.hdc_inference_cost(workload.features, workload.dim, workload.classes);
+
+    vec![
+        Bar {
+            label: "DNN-GPU".to_owned(),
+            speedup: 1.0,
+            energy_efficiency: 1.0,
+        },
+        Bar {
+            label: "HDC-GPU".to_owned(),
+            speedup: dnn_gpu.latency_s / hdc_gpu.latency_s,
+            energy_efficiency: dnn_gpu.energy_j / hdc_gpu.energy_j,
+        },
+        Bar {
+            label: "DNN-PIM".to_owned(),
+            speedup: dnn_gpu.latency_s / dnn_pim.latency_s,
+            energy_efficiency: dnn_gpu.energy_j / dnn_pim.energy_j,
+        },
+        Bar {
+            label: "HDC-PIM".to_owned(),
+            speedup: dnn_gpu.latency_s / hdc_pim.latency_s,
+            energy_efficiency: dnn_gpu.energy_j / hdc_pim.energy_j,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar<'a>(bars: &'a [Bar], label: &str) -> &'a Bar {
+        bars.iter()
+            .find(|b| b.label == label)
+            .unwrap_or_else(|| panic!("missing bar {label}"))
+    }
+
+    #[test]
+    fn figure2_orderings_hold() {
+        let bars = run(&Workload::ucihar());
+        let dnn_pim = bar(&bars, "DNN-PIM");
+        let hdc_pim = bar(&bars, "HDC-PIM");
+        // PIM accelerates the DNN over the GPU...
+        assert!(dnn_pim.speedup > 1.0);
+        // ...and HDC on PIM beats DNN on PIM on both axes (paper: 2.4x /
+        // 3.7x; our cost model should land within a loose band).
+        let speed_ratio = hdc_pim.speedup / dnn_pim.speedup;
+        let energy_ratio = hdc_pim.energy_efficiency / dnn_pim.energy_efficiency;
+        assert!(
+            speed_ratio > 1.3 && speed_ratio < 12.0,
+            "HDC/DNN PIM speed ratio {speed_ratio}"
+        );
+        assert!(
+            energy_ratio > 1.3 && energy_ratio < 12.0,
+            "HDC/DNN PIM energy ratio {energy_ratio}"
+        );
+        // HDC-PIM vs DNN-GPU is the headline multi-x win.
+        assert!(
+            hdc_pim.speedup > 10.0,
+            "HDC-PIM speedup over GPU only {}",
+            hdc_pim.speedup
+        );
+        assert!(hdc_pim.energy_efficiency > 5.0);
+    }
+}

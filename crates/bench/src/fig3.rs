@@ -1,0 +1,120 @@
+//! Figure 3 — impact of the confidence threshold `T_C` and the
+//! substitution rate `S` on recovery speed and final quality.
+//!
+//! For each parameter setting, the attacked model streams unlabeled
+//! queries; the harness records the quality loss after every pass, the
+//! number of samples needed to recover (loss within a tolerance of
+//! clean), and the accuracy fluctuation — reproducing the paper's
+//! qualitative findings: a large `T_C` trusts too few samples (slow or no
+//! recovery, error accumulates), a small `T_C` or large `S` updates
+//! destructively (fluctuation and possible divergence).
+
+use crate::attack::attack_hdc;
+use crate::workload::{EncodedWorkload, Scale};
+use robusthd::{quality_loss, RecoveryConfig, RecoveryEngine, SubstitutionMode};
+use synthdata::DatasetSpec;
+
+/// Default sweep values for the confidence threshold.
+pub const CONFIDENCE_GRID: [f64; 4] = [0.45, 0.6, 0.8, 0.95];
+/// Default sweep values for the substitution rate.
+pub const SUBSTITUTION_GRID: [f64; 4] = [0.05, 0.15, 0.25, 0.5];
+/// Attack rate the sweep recovers from.
+pub const ATTACK_RATE: f64 = 0.10;
+/// Maximum stream passes before giving up.
+pub const MAX_PASSES: usize = 12;
+/// Recovery declared when loss is within this of zero.
+pub const RECOVERY_TOLERANCE: f64 = 0.01;
+
+/// Result of one parameter setting.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Confidence threshold `T_C`.
+    pub confidence_threshold: f64,
+    /// Substitution rate `S`.
+    pub substitution_rate: f64,
+    /// Unlabeled samples consumed before the loss first dipped below the
+    /// tolerance (`None` if it never did).
+    pub samples_to_recover: Option<usize>,
+    /// Quality loss after the full stream budget.
+    pub final_loss: f64,
+    /// Standard deviation of the per-pass accuracies (the fluctuation the
+    /// paper discusses).
+    pub fluctuation: f64,
+    /// Fraction of queries trusted.
+    pub trust_rate: f64,
+}
+
+/// Runs the T_C × S sweep on the UCI HAR stand-in.
+pub fn run(scale: Scale, dim: usize, seed: u64) -> Vec<SweepPoint> {
+    let w = EncodedWorkload::build(&DatasetSpec::ucihar(), scale, dim, seed);
+    let clean = w.clean_accuracy();
+    let mut points = Vec::new();
+    for &tc in &CONFIDENCE_GRID {
+        for &s in &SUBSTITUTION_GRID {
+            let mut model = attack_hdc(&w.model, ATTACK_RATE, seed ^ 0x77);
+            let config = RecoveryConfig::builder()
+                .confidence_threshold(tc)
+                .substitution_rate(s)
+                .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+                .seed(seed)
+                .build()
+                .expect("valid recovery config");
+            let mut engine = RecoveryEngine::new(config, w.config.softmax_beta);
+            let mut accuracies = Vec::with_capacity(MAX_PASSES);
+            let mut samples_to_recover = None;
+            for pass in 0..MAX_PASSES {
+                engine.run_stream(&mut model, &w.test_encoded);
+                let acc = robusthd::accuracy(&model, &w.test_encoded, &w.test_labels);
+                accuracies.push(acc);
+                if samples_to_recover.is_none()
+                    && quality_loss(clean, acc) <= RECOVERY_TOLERANCE
+                {
+                    samples_to_recover = Some((pass + 1) * w.test_encoded.len());
+                }
+            }
+            let final_acc = *accuracies.last().expect("at least one pass");
+            let mean = accuracies.iter().sum::<f64>() / accuracies.len() as f64;
+            let fluctuation = (accuracies
+                .iter()
+                .map(|a| (a - mean) * (a - mean))
+                .sum::<f64>()
+                / accuracies.len() as f64)
+                .sqrt();
+            points.push(SweepPoint {
+                confidence_threshold: tc,
+                substitution_rate: s,
+                samples_to_recover,
+                final_loss: quality_loss(clean, final_acc),
+                fluctuation,
+                trust_rate: engine.stats().trust_rate(),
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reproduces_the_papers_tradeoffs() {
+        let points = run(Scale::Quick, 4096, 2);
+        assert_eq!(points.len(), CONFIDENCE_GRID.len() * SUBSTITUTION_GRID.len());
+        let p = |tc: f64, s: f64| {
+            points
+                .iter()
+                .find(|p| p.confidence_threshold == tc && p.substitution_rate == s)
+                .expect("point exists")
+        };
+        // Lower T_C trusts more traffic.
+        assert!(p(0.45, 0.25).trust_rate >= p(0.95, 0.25).trust_rate);
+        // The paper's qualitative claim: a moderate threshold with a solid
+        // substitution rate recovers without diverging.
+        assert!(
+            p(0.45, 0.5).final_loss < 0.1,
+            "operating point loss {}",
+            p(0.45, 0.5).final_loss
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Figure 4a — lifetime of the PIM accelerator running DNN (fp32 / 8-bit)
+//! and HDC (D = 4k / 10k) with 10⁹-endurance NVM.
+//!
+//! Two ingredients compose the curves:
+//!
+//! 1. **Wear rate** — switching writes charged per model bit per
+//!    inference, derived from the gate-exact kernel costs of
+//!    [`pimsim::arch`]: the quadratic fixed-point multiply makes DNN
+//!    arithmetic orders of magnitude more write-hungry than HDC's
+//!    XNOR/popcount, and fp32 ~16× worse again than 8-bit.
+//! 2. **Robustness curve** — accuracy vs stored-bit-error-rate, *measured*
+//!    by attacking the actual trained models (not assumed). Dead cells are
+//!    stuck bits, so the endurance-driven dead-cell fraction maps directly
+//!    onto the bit-error axis of those curves.
+//!
+//! The fp32 DNN robustness is proxied by the MSB-targeted attack on the
+//! 8-bit model: flipping a float's exponent bits explodes the weight the
+//! same way flipping the fixed-point MSB saturates it (DESIGN.md §4).
+
+use crate::attack::{attack_hdc, attacked_accuracy};
+use crate::workload::{EncodedWorkload, Scale};
+use baselines::{Mlp, MlpConfig};
+use pimsim::arch::{AVG_WRITES_PER_NOR, FULL_ADDER_NORS, XNOR_NORS};
+use pimsim::{DpimArchitecture, DpimConfig, EnduranceModel, LifetimePoint, LifetimeSimulation};
+use synthdata::DatasetSpec;
+
+/// Scratch rows amortizing each model bit's compute writes (wear-leveled).
+pub const SCRATCH_ROWS_PER_BIT: f64 = 50.0;
+/// Sustained inference rate of the deployed accelerator, inferences/s.
+pub const INFERENCE_RATE: f64 = 10.0;
+/// Accuracy-loss budget defining "lifetime" (the paper uses <1% loss).
+pub const LOSS_BUDGET: f64 = 0.01;
+/// Simulation horizon in years.
+pub const HORIZON_YEARS: f64 = 8.0;
+
+/// An accuracy-vs-bit-error-rate curve measured by fault injection.
+#[derive(Debug, Clone)]
+pub struct RobustnessCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl RobustnessCurve {
+    /// Builds a curve from `(bit_error_rate, accuracy)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two samples are given or rates decrease.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two samples");
+        assert!(
+            points.windows(2).all(|w| w[1].0 > w[0].0),
+            "bit error rates must increase"
+        );
+        Self { points }
+    }
+
+    /// Linearly interpolated accuracy at `ber` (clamped at the ends).
+    pub fn accuracy_at(&self, ber: f64) -> f64 {
+        let first = self.points.first().expect("nonempty");
+        let last = self.points.last().expect("nonempty");
+        if ber <= first.0 {
+            return first.1;
+        }
+        if ber >= last.0 {
+            return last.1;
+        }
+        for w in self.points.windows(2) {
+            if ber <= w[1].0 {
+                let t = (ber - w[0].0) / (w[1].0 - w[0].0);
+                return w[0].1 + t * (w[1].1 - w[0].1);
+            }
+        }
+        last.1
+    }
+
+    /// The sampled points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// One lifetime curve of the figure.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Platform/model label.
+    pub label: String,
+    /// Per-model-bit write rate, writes/cell/second.
+    pub writes_per_cell_per_second: f64,
+    /// Accuracy over time.
+    pub points: Vec<LifetimePoint>,
+    /// Years until the loss budget is exceeded (`None` = beyond horizon).
+    pub lifetime_years: Option<f64>,
+}
+
+/// Bit-error-rate grid for robustness measurement.
+const BER_GRID: [f64; 7] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.22, 0.30];
+
+/// Measures the HDC robustness curve at dimension `dim`.
+pub fn hdc_robustness(scale: Scale, dim: usize, seed: u64) -> RobustnessCurve {
+    let w = EncodedWorkload::build(&DatasetSpec::ucihar(), scale, dim, seed);
+    let points = BER_GRID
+        .iter()
+        .map(|&ber| {
+            let acc = if ber == 0.0 {
+                w.clean_accuracy()
+            } else {
+                let attacked = attack_hdc(&w.model, ber, seed ^ 0x4a);
+                robusthd::accuracy(&attacked, &w.test_encoded, &w.test_labels)
+            };
+            (ber, acc)
+        })
+        .collect();
+    RobustnessCurve::new(points)
+}
+
+/// Measures the DNN robustness curve (random flips for the 8-bit model,
+/// MSB-targeted as the fp32 exponent-flip proxy).
+pub fn dnn_robustness(scale: Scale, targeted: bool, seed: u64) -> RobustnessCurve {
+    let w = EncodedWorkload::build(&DatasetSpec::ucihar(), scale, 2048, seed);
+    let mlp = Mlp::fit(&MlpConfig::default(), &w.data.train);
+    let clean = baselines::accuracy(&mlp, &w.data.test);
+    let points = BER_GRID
+        .iter()
+        .map(|&ber| {
+            let acc = if ber == 0.0 {
+                clean
+            } else {
+                attacked_accuracy(&mlp, &w.data.test, ber, targeted, seed ^ 0x4b)
+            };
+            (ber, acc)
+        })
+        .collect();
+    RobustnessCurve::new(points)
+}
+
+/// Per-model-bit write rate (writes/cell/s) of a kernel whose sequential
+/// NOR count per model bit is `nors_per_bit`.
+pub fn write_rate(nors_per_bit: f64) -> f64 {
+    nors_per_bit * AVG_WRITES_PER_NOR / SCRATCH_ROWS_PER_BIT * INFERENCE_RATE
+}
+
+/// Runs the Figure 4a experiment: four lifetime curves.
+pub fn run(scale: Scale, seed: u64, curve_points: usize) -> Vec<Curve> {
+    let arch = DpimArchitecture::new(DpimConfig::default());
+    let endurance = EnduranceModel::new(1e9, 0.25, seed);
+
+    // NOR evaluations per stored model bit per inference.
+    let dnn8_nors = (arch.multiply_nors(8) + arch.add_nors(24)) as f64 / 8.0;
+    let dnn32_nors = (arch.multiply_nors(32) + arch.add_nors(72)) as f64 / 32.0;
+    let hdc_nors = (XNOR_NORS + FULL_ADDER_NORS) as f64;
+
+    let configs = [
+        ("DNN fp32", dnn32_nors, ModelKind::DnnFp32),
+        ("DNN 8-bit", dnn8_nors, ModelKind::DnnInt8),
+        ("HDC D=4k", hdc_nors, ModelKind::Hdc(4_000)),
+        ("HDC D=10k", hdc_nors, ModelKind::Hdc(10_000)),
+    ];
+
+    configs
+        .iter()
+        .map(|(label, nors, kind)| {
+            let robustness = match kind {
+                ModelKind::DnnFp32 => dnn_robustness(scale, true, seed),
+                ModelKind::DnnInt8 => dnn_robustness(scale, false, seed),
+                ModelKind::Hdc(dim) => hdc_robustness(scale, *dim, seed),
+            };
+            let rate = write_rate(*nors);
+            let sim = LifetimeSimulation::new(endurance, rate);
+            let clean = robustness.accuracy_at(0.0);
+            let points = sim.run(HORIZON_YEARS, curve_points, |ber| {
+                robustness.accuracy_at(ber)
+            });
+            let lifetime_years = sim.lifetime_years(clean, LOSS_BUDGET, HORIZON_YEARS, |ber| {
+                robustness.accuracy_at(ber)
+            });
+            Curve {
+                label: (*label).to_owned(),
+                writes_per_cell_per_second: rate,
+                points,
+                lifetime_years,
+            }
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ModelKind {
+    DnnFp32,
+    DnnInt8,
+    Hdc(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_is_linear_and_clamped() {
+        let c = RobustnessCurve::new(vec![(0.0, 1.0), (0.1, 0.8)]);
+        assert_eq!(c.accuracy_at(-1.0), 1.0);
+        assert_eq!(c.accuracy_at(0.5), 0.8);
+        assert!((c.accuracy_at(0.05) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure4a_orderings_hold() {
+        let curves = run(Scale::Quick, 4, 8);
+        assert_eq!(curves.len(), 4);
+        let lifetime = |label: &str| {
+            curves
+                .iter()
+                .find(|c| c.label == label)
+                .unwrap_or_else(|| panic!("missing {label}"))
+                .lifetime_years
+                .unwrap_or(HORIZON_YEARS + 1.0)
+        };
+        // The paper's shape: DNNs die in a fraction of a year, HDC lives
+        // for years, and fp32 dies before 8-bit.
+        assert!(lifetime("DNN fp32") <= lifetime("DNN 8-bit"));
+        assert!(lifetime("DNN 8-bit") < 1.0, "DNN lives {}", lifetime("DNN 8-bit"));
+        assert!(
+            lifetime("HDC D=10k") > 1.0,
+            "HDC D=10k lives only {}",
+            lifetime("HDC D=10k")
+        );
+        assert!(lifetime("HDC D=10k") >= lifetime("DNN 8-bit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn single_point_curve_panics() {
+        RobustnessCurve::new(vec![(0.0, 1.0)]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Tiny table-printing helpers for the harness binaries.
+
+/// Formats a fraction as a percentage with two decimals, e.g. `3.14%`.
+pub fn pct(value: f64) -> String {
+    format!("{:.2}%", value * 100.0)
+}
+
+/// Prints a header row followed by a separator of matching width.
+pub fn print_header(columns: &[&str], widths: &[usize]) {
+    let row: Vec<String> = columns
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    let line = row.join(" | ");
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Prints one data row with the same widths as the header.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", row.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(0.0314), "3.14%");
+        assert_eq!(pct(0.0), "0.00%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

@@ -1,0 +1,141 @@
+//! Table 1 — HDC quality loss under random hardware noise, for different
+//! dimensionalities and model precisions, against the DNN reference.
+//!
+//! Workload: the UCI HAR stand-in (as in the paper). Models: DNN (8-bit
+//! fixed point), HDC with D ∈ {5k, 10k} × element precision ∈ {1, 2} bits.
+//! Fault model: random flips over each model's stored image at 1–15%.
+
+use crate::attack::{attack_hdc, attack_int_model, attacked_accuracy, mean_over_seeds};
+use crate::workload::{EncodedWorkload, Scale};
+use baselines::{Mlp, MlpConfig};
+use hypervector::{BinaryHypervector, Precision};
+use robusthd::{quality_loss, IntModel};
+use synthdata::DatasetSpec;
+
+/// Error rates of Table 1's columns.
+pub const ERROR_RATES: [f64; 5] = [0.01, 0.02, 0.05, 0.10, 0.15];
+
+/// One table row: a model and its quality loss at each error rate.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model label as printed in the paper's row header.
+    pub label: String,
+    /// Quality loss (fraction) per entry of [`ERROR_RATES`].
+    pub losses: Vec<f64>,
+}
+
+/// Accuracy of a multi-bit HDC model on encoded queries.
+fn int_accuracy(model: &IntModel, queries: &[BinaryHypervector], labels: &[usize]) -> f64 {
+    let correct = queries
+        .iter()
+        .zip(labels)
+        .filter(|(q, &l)| model.predict(q) == l)
+        .count();
+    correct as f64 / queries.len() as f64
+}
+
+/// Runs the Table 1 experiment.
+///
+/// `runs` repetitions of each attack are averaged (the paper reports single
+/// numbers; averaging tightens the estimate).
+pub fn run(scale: Scale, seed: u64, runs: u64) -> Vec<Row> {
+    let spec = DatasetSpec::ucihar();
+    let mut rows = Vec::new();
+
+    // DNN reference row.
+    {
+        let w = EncodedWorkload::build(&spec, scale, 2048, seed);
+        let mlp = Mlp::fit(&MlpConfig::default(), &w.data.train);
+        let clean = baselines::accuracy(&mlp, &w.data.test);
+        let losses = ERROR_RATES
+            .iter()
+            .map(|&rate| {
+                mean_over_seeds(runs, |s| {
+                    let acc = attacked_accuracy(&mlp, &w.data.test, rate, false, seed ^ (s << 8));
+                    quality_loss(clean, acc)
+                })
+            })
+            .collect();
+        rows.push(Row {
+            label: "DNN".to_owned(),
+            losses,
+        });
+    }
+
+    // HDC rows: D x precision.
+    for &dim in &[5_000usize, 10_000] {
+        let w = EncodedWorkload::build(&spec, scale, dim, seed);
+        for bits in [1u8, 2] {
+            let precision = Precision::new(bits).expect("valid precision");
+            let label = format!("D={}k {}-bit", dim / 1000, bits);
+            let losses = if bits == 1 {
+                let clean = w.clean_accuracy();
+                ERROR_RATES
+                    .iter()
+                    .map(|&rate| {
+                        mean_over_seeds(runs, |s| {
+                            let attacked = attack_hdc(&w.model, rate, seed ^ (s << 8));
+                            let acc = robusthd::accuracy(
+                                &attacked,
+                                &w.test_encoded,
+                                &w.test_labels,
+                            );
+                            quality_loss(clean, acc)
+                        })
+                    })
+                    .collect()
+            } else {
+                let int_model = IntModel::train(
+                    &w.train_encoded,
+                    &w.train_labels,
+                    w.data.classes(),
+                    &w.config,
+                    precision,
+                );
+                let clean = int_accuracy(&int_model, &w.test_encoded, &w.test_labels);
+                ERROR_RATES
+                    .iter()
+                    .map(|&rate| {
+                        mean_over_seeds(runs, |s| {
+                            let attacked =
+                                attack_int_model(&int_model, rate, false, seed ^ (s << 8));
+                            let acc =
+                                int_accuracy(&attacked, &w.test_encoded, &w.test_labels);
+                            quality_loss(clean, acc)
+                        })
+                    })
+                    .collect()
+            };
+            rows.push(Row { label, losses });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds_at_quick_scale() {
+        let rows = run(Scale::Quick, 11, 1);
+        assert_eq!(rows.len(), 5);
+        let find = |label: &str| {
+            rows.iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("missing row {label}"))
+        };
+        let dnn = find("DNN");
+        let hdc10k = find("D=10k 1-bit");
+        // The paper's headline: at 10%+ noise the DNN loses far more than
+        // binary HDC at D=10k.
+        assert!(
+            dnn.losses[3] > hdc10k.losses[3] + 0.02,
+            "DNN {:?} vs HDC {:?}",
+            dnn.losses,
+            hdc10k.losses
+        );
+        // HDC at small noise is essentially lossless.
+        assert!(hdc10k.losses[0] < 0.02, "1% noise loss {}", hdc10k.losses[0]);
+    }
+}

@@ -1,0 +1,622 @@
+//! The four subcommands, each a pure function from argv to a text report.
+
+use crate::args::ParsedArgs;
+use baselines::{BitStoredModel, Mlp, MlpConfig};
+use faultsim::Attacker;
+use robusthd::diagnostics::{HealthMonitor, HealthVerdict};
+use robusthd::persist;
+use robusthd::{
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
+    SubstitutionMode, TrainedModel,
+};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::path::Path;
+use synthdata::{csv, DatasetSpec, GeneratorConfig, Sample};
+
+fn load_samples(path: &str) -> Result<Vec<Sample>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let samples = csv::read_samples(file).map_err(|e| format!("{path}: {e}"))?;
+    if samples.is_empty() {
+        return Err(format!("{path}: dataset is empty"));
+    }
+    Ok(samples)
+}
+
+struct TrainedPipeline {
+    model: TrainedModel,
+    queries: Vec<hypervector::BinaryHypervector>,
+    labels: Vec<usize>,
+    config: HdcConfig,
+    clean_accuracy: f64,
+}
+
+fn train_pipeline(
+    train: &[Sample],
+    test: &[Sample],
+    dim: usize,
+    seed: u64,
+) -> Result<TrainedPipeline, String> {
+    let features = train[0].features.len();
+    if test.iter().chain(train).any(|s| s.features.len() != features) {
+        return Err("train and test feature counts disagree".to_owned());
+    }
+    let classes = train
+        .iter()
+        .chain(test)
+        .map(|s| s.label)
+        .max()
+        .expect("non-empty")
+        + 1;
+    let config = HdcConfig::builder()
+        .dimension(dim)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let encoder = RecordEncoder::new(&config, features);
+    let encoded_train: Vec<_> = train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train_labels: Vec<_> = train.iter().map(|s| s.label).collect();
+    let queries: Vec<_> = test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let labels: Vec<_> = test.iter().map(|s| s.label).collect();
+    let model = TrainedModel::train(&encoded_train, &train_labels, classes, &config);
+    let clean_accuracy = accuracy(&model, &queries, &labels);
+    Ok(TrainedPipeline {
+        model,
+        queries,
+        labels,
+        config,
+        clean_accuracy,
+    })
+}
+
+fn attack_model(model: &TrainedModel, rate: f64, seed: u64) -> TrainedModel {
+    let mut image = model.to_memory_image();
+    let bits = image.len();
+    Attacker::seed_from(seed).random_flips(image.words_mut(), bits, rate);
+    image.mask_tail();
+    let mut attacked = model.clone();
+    attacked.load_memory_image(&image);
+    attacked
+}
+
+const GENERATE_HELP: &str = "\
+robusthd generate — write a synthetic stand-in dataset to CSV
+
+OPTIONS:
+    --dataset <NAME>     mnist | ucihar | isolet | face | pamap | pecan (default ucihar)
+    --train <PATH>       output CSV for the training split (required)
+    --test <PATH>        output CSV for the test split (required)
+    --train-size <N>     samples in the training split (default 1200)
+    --test-size <N>      samples in the test split (default 600)
+    --seed <N>           generation seed (default 1)";
+
+/// `robusthd generate` — synthesize a dataset and write both splits as CSV.
+pub fn generate(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["dataset", "train", "test", "train-size", "test-size", "seed", "help"],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(GENERATE_HELP.to_owned());
+    }
+    let name = args.get("dataset").unwrap_or("ucihar").to_lowercase();
+    let spec = match name.as_str() {
+        "mnist" => DatasetSpec::mnist(),
+        "ucihar" | "uci-har" | "har" => DatasetSpec::ucihar(),
+        "isolet" => DatasetSpec::isolet(),
+        "face" => DatasetSpec::face(),
+        "pamap" => DatasetSpec::pamap(),
+        "pecan" => DatasetSpec::pecan(),
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let train_size = args.get_parsed_or("train-size", 1200usize).map_err(|e| e.to_string())?;
+    let test_size = args.get_parsed_or("test-size", 600usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 1u64).map_err(|e| e.to_string())?;
+    let train_path = args.require("train").map_err(|e| e.to_string())?;
+    let test_path = args.require("test").map_err(|e| e.to_string())?;
+
+    let spec = spec.with_sizes(train_size, test_size);
+    let data = GeneratorConfig::new(seed).generate(&spec);
+    let write = |path: &str, samples: &[Sample]| -> Result<(), String> {
+        let file = File::create(Path::new(path)).map_err(|e| format!("cannot create {path}: {e}"))?;
+        csv::write_samples(file, samples).map_err(|e| format!("writing {path}: {e}"))
+    };
+    write(train_path, &data.train)?;
+    write(test_path, &data.test)?;
+    Ok(format!(
+        "wrote {} ({} samples) and {} ({} samples): {} features, {} classes",
+        train_path,
+        data.train.len(),
+        test_path,
+        data.test.len(),
+        spec.features,
+        spec.classes
+    ))
+}
+
+const EVALUATE_HELP: &str = "\
+robusthd evaluate — train an HDC classifier on CSV data and report accuracy
+
+OPTIONS:
+    --train <PATH>   training CSV (features..., integer label) (required)
+    --test <PATH>    test CSV (required)
+    --dim <N>        hypervector dimensionality (default 10000)
+    --seed <N>       pipeline seed (default 0)";
+
+/// `robusthd evaluate` — train on one CSV, score on another.
+pub fn evaluate(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(argv, &["train", "test", "dim", "seed", "help"])
+        .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(EVALUATE_HELP.to_owned());
+    }
+    let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
+    let test = load_samples(args.require("test").map_err(|e| e.to_string())?)?;
+    let dim = args.get_parsed_or("dim", 10_000usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let pipeline = train_pipeline(&train, &test, dim, seed)?;
+    Ok(format!(
+        "trained on {} samples, tested on {}: accuracy {:.2}% (D = {dim})",
+        train.len(),
+        test.len(),
+        pipeline.clean_accuracy * 100.0
+    ))
+}
+
+const ATTACK_HELP: &str = "\
+robusthd attack — compare HDC and an 8-bit DNN under random bit-flip attack
+
+OPTIONS:
+    --train <PATH>   training CSV (required)
+    --test <PATH>    test CSV (required)
+    --rate <F>       fraction of stored model bits to flip (default 0.1)
+    --dim <N>        HDC dimensionality (default 10000)
+    --seed <N>       pipeline/attack seed (default 0)";
+
+/// `robusthd attack` — HDC vs DNN quality loss at one attack rate.
+pub fn attack(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(argv, &["train", "test", "rate", "dim", "seed", "help"])
+        .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(ATTACK_HELP.to_owned());
+    }
+    let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
+    let test = load_samples(args.require("test").map_err(|e| e.to_string())?)?;
+    let rate = args.get_parsed_or("rate", 0.1f64).map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--rate {rate} outside [0, 1]"));
+    }
+    let dim = args.get_parsed_or("dim", 10_000usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+
+    let pipeline = train_pipeline(&train, &test, dim, seed)?;
+    let attacked = attack_model(&pipeline.model, rate, seed ^ 0xa77);
+    let hdc_attacked = accuracy(&attacked, &pipeline.queries, &pipeline.labels);
+
+    let mlp = Mlp::fit(&MlpConfig::default(), &train);
+    let dnn_clean = baselines::accuracy(&mlp, &test);
+    let mut image = mlp.to_image();
+    Attacker::seed_from(seed ^ 0xa77).random_flips(&mut image, mlp.bit_len(), rate);
+    let mut dnn_attacked_model = mlp.clone();
+    dnn_attacked_model.load_image(&image);
+    let dnn_attacked = baselines::accuracy(&dnn_attacked_model, &test);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "attack rate: {:.1}% of stored model bits", rate * 100.0);
+    let _ = writeln!(
+        out,
+        "HDC  (D={dim}): clean {:.2}%  attacked {:.2}%  loss {:.2}%",
+        pipeline.clean_accuracy * 100.0,
+        hdc_attacked * 100.0,
+        (pipeline.clean_accuracy - hdc_attacked).max(0.0) * 100.0
+    );
+    let _ = write!(
+        out,
+        "DNN  (8-bit): clean {:.2}%  attacked {:.2}%  loss {:.2}%",
+        dnn_clean * 100.0,
+        dnn_attacked * 100.0,
+        (dnn_clean - dnn_attacked).max(0.0) * 100.0
+    );
+    Ok(out)
+}
+
+const RECOVER_HELP: &str = "\
+robusthd recover — attack an HDC model, then repair it from unlabeled traffic
+
+OPTIONS:
+    --train <PATH>     training CSV (required)
+    --test <PATH>      test CSV; also serves as the unlabeled traffic (required)
+    --rate <F>         fraction of stored model bits to flip (default 0.1)
+    --dim <N>          HDC dimensionality (default 4096)
+    --passes <N>       recovery passes over the traffic (default 16)
+    --seed <N>         pipeline/attack seed (default 0)";
+
+/// `robusthd recover` — the full attack → unsupervised-repair loop.
+pub fn recover(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["train", "test", "rate", "dim", "passes", "seed", "help"],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(RECOVER_HELP.to_owned());
+    }
+    let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
+    let test = load_samples(args.require("test").map_err(|e| e.to_string())?)?;
+    let rate = args.get_parsed_or("rate", 0.1f64).map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--rate {rate} outside [0, 1]"));
+    }
+    let dim = args.get_parsed_or("dim", 4096usize).map_err(|e| e.to_string())?;
+    let passes = args.get_parsed_or("passes", 16usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+
+    let pipeline = train_pipeline(&train, &test, dim, seed)?;
+    let mut model = attack_model(&pipeline.model, rate, seed ^ 0xa77);
+    let attacked = accuracy(&model, &pipeline.queries, &pipeline.labels);
+
+    let recovery = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut engine = RecoveryEngine::new(recovery, pipeline.config.softmax_beta);
+    for _ in 0..passes {
+        engine.run_stream(&mut model, &pipeline.queries);
+    }
+    let recovered = accuracy(&model, &pipeline.queries, &pipeline.labels);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "clean accuracy:     {:.2}%", pipeline.clean_accuracy * 100.0);
+    let _ = writeln!(
+        out,
+        "after {:.1}% attack:  {:.2}%  (loss {:.2}%)",
+        rate * 100.0,
+        attacked * 100.0,
+        (pipeline.clean_accuracy - attacked).max(0.0) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "after recovery:     {:.2}%  (loss {:.2}%)",
+        recovered * 100.0,
+        (pipeline.clean_accuracy - recovered).max(0.0) * 100.0
+    );
+    let _ = write!(
+        out,
+        "trusted {:.0}% of the unlabeled traffic, rewrote {} stored bits",
+        engine.stats().trust_rate() * 100.0,
+        engine.stats().bits_changed
+    );
+    Ok(out)
+}
+
+const TRAIN_HELP: &str = "\
+robusthd train — train an HDC pipeline on CSV data and save it
+
+OPTIONS:
+    --train <PATH>   training CSV (features..., integer label) (required)
+    --model <PATH>   output model file (required)
+    --dim <N>        hypervector dimensionality (default 10000)
+    --seed <N>       pipeline seed (default 0)";
+
+/// `robusthd train` — fit a pipeline and persist it.
+pub fn train(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(argv, &["train", "model", "dim", "seed", "help"])
+        .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(TRAIN_HELP.to_owned());
+    }
+    let train_samples = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
+    let model_path = args.require("model").map_err(|e| e.to_string())?;
+    let dim = args.get_parsed_or("dim", 10_000usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+
+    let features = train_samples[0].features.len();
+    let classes = train_samples.iter().map(|s| s.label).max().expect("non-empty") + 1;
+    let config = HdcConfig::builder()
+        .dimension(dim)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let encoder = RecordEncoder::new(&config, features);
+    let encoded: Vec<_> = train_samples.iter().map(|s| encoder.encode(&s.features)).collect();
+    let labels: Vec<_> = train_samples.iter().map(|s| s.label).collect();
+    let model = TrainedModel::train(&encoded, &labels, classes, &config);
+
+    let file = File::create(Path::new(model_path))
+        .map_err(|e| format!("cannot create {model_path}: {e}"))?;
+    persist::save_model(file, &config, features, &model)
+        .map_err(|e| format!("writing {model_path}: {e}"))?;
+    Ok(format!(
+        "trained on {} samples ({features} features, {classes} classes, D = {dim}); saved to {model_path}",
+        train_samples.len()
+    ))
+}
+
+const INFER_HELP: &str = "\
+robusthd infer — load a saved pipeline and classify CSV samples
+
+OPTIONS:
+    --model <PATH>   saved model file from `robusthd train` (required)
+    --input <PATH>   CSV with features (and a label column, used for scoring) (required)
+    --predictions    also print one predicted label per line";
+
+/// `robusthd infer` — serve predictions from a persisted pipeline.
+pub fn infer(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(argv, &["model", "input", "predictions", "help"])
+        .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(INFER_HELP.to_owned());
+    }
+    let model_path = args.require("model").map_err(|e| e.to_string())?;
+    let input = load_samples(args.require("input").map_err(|e| e.to_string())?)?;
+    let file = File::open(Path::new(model_path))
+        .map_err(|e| format!("cannot open {model_path}: {e}"))?;
+    let saved = persist::load_model(file).map_err(|e| format!("{model_path}: {e}"))?;
+    if input[0].features.len() != saved.features {
+        return Err(format!(
+            "model expects {} features, input has {}",
+            saved.features,
+            input[0].features.len()
+        ));
+    }
+    let encoder = RecordEncoder::new(&saved.config, saved.features);
+    let predictions: Vec<usize> = input
+        .iter()
+        .map(|s| saved.model.predict(&encoder.encode(&s.features)))
+        .collect();
+    let correct = predictions
+        .iter()
+        .zip(&input)
+        .filter(|(&p, s)| p == s.label)
+        .count();
+    let mut out = format!(
+        "classified {} samples: accuracy {:.2}% against the label column",
+        input.len(),
+        correct as f64 / input.len() as f64 * 100.0
+    );
+    if args.flag("predictions") {
+        for p in &predictions {
+            let _ = write!(out, "\n{p}");
+        }
+    }
+    Ok(out)
+}
+
+const MONITOR_HELP: &str = "\
+robusthd monitor — judge a model's health from unlabeled traffic
+
+Calibrates on the clean model, re-plays the traffic against an attacked
+copy, and reports the monitor's verdict at each corruption step.
+
+OPTIONS:
+    --train <PATH>   training CSV (required)
+    --traffic <PATH> unlabeled traffic CSV (label column present but unused) (required)
+    --rate <F>       per-step corruption increment (default 0.05)
+    --steps <N>      corruption steps to simulate (default 5)
+    --dim <N>        HDC dimensionality (default 4096)
+    --seed <N>       pipeline/attack seed (default 0)";
+
+/// `robusthd monitor` — unsupervised degradation detection demo.
+pub fn monitor(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["train", "traffic", "rate", "steps", "dim", "seed", "help"],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(MONITOR_HELP.to_owned());
+    }
+    let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
+    let traffic = load_samples(args.require("traffic").map_err(|e| e.to_string())?)?;
+    let rate = args.get_parsed_or("rate", 0.05f64).map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--rate {rate} outside [0, 1]"));
+    }
+    let steps = args.get_parsed_or("steps", 5usize).map_err(|e| e.to_string())?;
+    let dim = args.get_parsed_or("dim", 4096usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+
+    let pipeline = train_pipeline(&train, &traffic, dim, seed)?;
+    let mut model = pipeline.model.clone();
+    let window = (pipeline.queries.len() / 2).max(1);
+    let mut health = HealthMonitor::new(window, 0.6);
+    health.calibrate(&model, &pipeline.queries, pipeline.config.softmax_beta);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "calibrated on {} clean queries", pipeline.queries.len());
+    for step in 1..=steps {
+        model = attack_model(&model, rate, seed ^ (step as u64) << 4);
+        for q in &pipeline.queries {
+            health.observe(&model, q, pipeline.config.softmax_beta);
+        }
+        let verdict = match health.verdict() {
+            HealthVerdict::Healthy => "healthy",
+            HealthVerdict::Degraded => "DEGRADED",
+            HealthVerdict::InsufficientTraffic => "insufficient traffic",
+        };
+        let _ = writeln!(
+            out,
+            "step {step}: +{:.1}% corruption, accuracy {:.2}%, verdict {verdict}",
+            rate * 100.0,
+            accuracy(&model, &pipeline.queries, &pipeline.labels) * 100.0
+        );
+    }
+    out.pop();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("robusthd-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn generate_then_evaluate_roundtrip() {
+        let dir = temp_dir();
+        let train = dir.join("train.csv");
+        let test = dir.join("test.csv");
+        let report = generate(&argv(&[
+            "--dataset", "pecan",
+            "--train", train.to_str().expect("utf8"),
+            "--test", test.to_str().expect("utf8"),
+            "--train-size", "150",
+            "--test-size", "60",
+            "--seed", "5",
+        ]))
+        .expect("generate succeeds");
+        assert!(report.contains("150 samples"));
+
+        let report = evaluate(&argv(&[
+            "--train", train.to_str().expect("utf8"),
+            "--test", test.to_str().expect("utf8"),
+            "--dim", "2048",
+        ]))
+        .expect("evaluate succeeds");
+        assert!(report.contains("accuracy"), "report: {report}");
+    }
+
+    #[test]
+    fn recover_runs_end_to_end() {
+        let dir = temp_dir();
+        let train = dir.join("rec_train.csv");
+        let test = dir.join("rec_test.csv");
+        generate(&argv(&[
+            "--dataset", "pecan",
+            "--train", train.to_str().expect("utf8"),
+            "--test", test.to_str().expect("utf8"),
+            "--train-size", "150",
+            "--test-size", "90",
+        ]))
+        .expect("generate succeeds");
+        let report = recover(&argv(&[
+            "--train", train.to_str().expect("utf8"),
+            "--test", test.to_str().expect("utf8"),
+            "--dim", "2048",
+            "--rate", "0.08",
+            "--passes", "6",
+        ]))
+        .expect("recover succeeds");
+        assert!(report.contains("after recovery"), "report: {report}");
+    }
+
+    #[test]
+    fn train_then_infer_roundtrip() {
+        let dir = temp_dir();
+        let train_csv = dir.join("ti_train.csv");
+        let test_csv = dir.join("ti_test.csv");
+        let model_path = dir.join("model.rhd");
+        generate(&argv(&[
+            "--dataset", "pecan",
+            "--train", train_csv.to_str().expect("utf8"),
+            "--test", test_csv.to_str().expect("utf8"),
+            "--train-size", "150",
+            "--test-size", "60",
+        ]))
+        .expect("generate succeeds");
+        let report = train(&argv(&[
+            "--train", train_csv.to_str().expect("utf8"),
+            "--model", model_path.to_str().expect("utf8"),
+            "--dim", "2048",
+        ]))
+        .expect("train succeeds");
+        assert!(report.contains("saved to"), "report: {report}");
+        let report = infer(&argv(&[
+            "--model", model_path.to_str().expect("utf8"),
+            "--input", test_csv.to_str().expect("utf8"),
+        ]))
+        .expect("infer succeeds");
+        assert!(report.contains("accuracy"), "report: {report}");
+    }
+
+    #[test]
+    fn monitor_reports_verdicts() {
+        let dir = temp_dir();
+        let train_csv = dir.join("mon_train.csv");
+        let traffic_csv = dir.join("mon_traffic.csv");
+        generate(&argv(&[
+            "--dataset", "pecan",
+            "--train", train_csv.to_str().expect("utf8"),
+            "--test", traffic_csv.to_str().expect("utf8"),
+            "--train-size", "150",
+            "--test-size", "90",
+        ]))
+        .expect("generate succeeds");
+        let report = monitor(&argv(&[
+            "--train", train_csv.to_str().expect("utf8"),
+            "--traffic", traffic_csv.to_str().expect("utf8"),
+            "--dim", "2048",
+            "--rate", "0.1",
+            "--steps", "4",
+        ]))
+        .expect("monitor succeeds");
+        assert!(report.contains("step 4"), "report: {report}");
+        assert!(
+            report.contains("healthy") || report.contains("DEGRADED"),
+            "report: {report}"
+        );
+    }
+
+    #[test]
+    fn help_flags_short_circuit() {
+        for cmd in [generate, evaluate, attack, recover, train, infer, monitor] {
+            let text = cmd(&argv(&["--help"])).expect("help is ok");
+            assert!(text.contains("OPTIONS"));
+        }
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = evaluate(&argv(&[
+            "--train", "/nonexistent/t.csv",
+            "--test", "/nonexistent/e.csv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+
+    #[test]
+    fn invalid_rate_is_rejected() {
+        let dir = temp_dir();
+        let train = dir.join("r_train.csv");
+        let test = dir.join("r_test.csv");
+        generate(&argv(&[
+            "--train", train.to_str().expect("utf8"),
+            "--test", test.to_str().expect("utf8"),
+            "--dataset", "pecan",
+            "--train-size", "30",
+            "--test-size", "9",
+        ]))
+        .expect("generate succeeds");
+        let err = attack(&argv(&[
+            "--train", train.to_str().expect("utf8"),
+            "--test", test.to_str().expect("utf8"),
+            "--rate", "1.5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("outside [0, 1]"));
+    }
+
+    #[test]
+    fn unknown_dataset_is_rejected() {
+        let err = generate(&argv(&[
+            "--dataset", "imagenet",
+            "--train", "/tmp/x.csv",
+            "--test", "/tmp/y.csv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown dataset"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `robusthd` binary: parse `std::env::args`, dispatch, print.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match robusthd_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

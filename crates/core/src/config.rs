@@ -1,0 +1,423 @@
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an [`HdcConfig`] or [`RecoveryConfig`] builder is
+/// given an invalid parameter combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// How substitution writes trusted-query bits into a faulty chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubstitutionMode {
+    /// The paper's §4.3 operator: the class bit is *overwritten* by the
+    /// query bit. Arithmetic-free, but the repaired bits inherit the
+    /// query's disagreement with the clean class, so the repair floor
+    /// equals the trusted-query error rate — effective against
+    /// concentrated corruption (dead rows, bursts), neutral against
+    /// diffuse corruption at or below that floor.
+    Overwrite,
+    /// Reproduction extension (documented in DESIGN.md): a small saturating
+    /// counter per dimension accumulates the trusted queries' votes and the
+    /// class bit follows the counter's sign — an unsupervised re-bundling
+    /// of the faulty dimensions from inference traffic. Repairs diffuse
+    /// corruption to near-zero residual error because the majority of
+    /// several trusted queries is far more accurate than any single one.
+    MajorityCounter {
+        /// Counter saturation magnitude (e.g. 3 for a 3-bit up/down
+        /// counter).
+        saturation: u8,
+    },
+}
+
+/// Hyperparameters of the HDC learning pipeline.
+///
+/// Construct through [`HdcConfig::builder`]; defaults follow the paper
+/// (`D = 10_000`, binary model, a small number of retraining epochs).
+///
+/// # Example
+///
+/// ```
+/// use robusthd::HdcConfig;
+///
+/// let config = HdcConfig::builder()
+///     .dimension(4_096)
+///     .levels(32)
+///     .retrain_epochs(3)
+///     .seed(11)
+///     .build()?;
+/// assert_eq!(config.dimension, 4_096);
+/// # Ok::<(), robusthd::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HdcConfig {
+    /// Hypervector dimensionality `D` (the paper uses 4k–10k).
+    pub dimension: usize,
+    /// Number of quantization levels for scalar features.
+    pub levels: usize,
+    /// Correlation length of the level codebook, in levels: values within
+    /// this many levels stay similar in hyperspace, values further apart
+    /// are near-orthogonal. Small values decorrelate classes more.
+    pub level_correlation: usize,
+    /// Retraining passes after the initial one-shot bundling.
+    pub retrain_epochs: usize,
+    /// Seed controlling base/level hypervector generation and retraining
+    /// order.
+    pub seed: u64,
+    /// Inverse temperature of the confidence softmax (larger sharpens; see
+    /// [`crate::confidence`]).
+    pub softmax_beta: f64,
+}
+
+impl HdcConfig {
+    /// Starts a builder pre-loaded with the paper's defaults.
+    pub fn builder() -> HdcConfigBuilder {
+        HdcConfigBuilder::new()
+    }
+}
+
+impl Default for HdcConfig {
+    fn default() -> Self {
+        Self::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`HdcConfig`].
+#[derive(Debug, Clone)]
+pub struct HdcConfigBuilder {
+    dimension: usize,
+    levels: usize,
+    level_correlation: usize,
+    retrain_epochs: usize,
+    seed: u64,
+    softmax_beta: f64,
+}
+
+impl HdcConfigBuilder {
+    fn new() -> Self {
+        Self {
+            dimension: 10_000,
+            levels: 64,
+            level_correlation: 4,
+            retrain_epochs: 0,
+            seed: 0,
+            softmax_beta: 128.0,
+        }
+    }
+
+    /// Sets hypervector dimensionality `D`.
+    pub fn dimension(mut self, dimension: usize) -> Self {
+        self.dimension = dimension;
+        self
+    }
+
+    /// Sets the number of feature quantization levels.
+    pub fn levels(mut self, levels: usize) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Sets the level-codebook correlation length (in levels).
+    pub fn level_correlation(mut self, level_correlation: usize) -> Self {
+        self.level_correlation = level_correlation;
+        self
+    }
+
+    /// Sets the number of retraining epochs.
+    pub fn retrain_epochs(mut self, retrain_epochs: usize) -> Self {
+        self.retrain_epochs = retrain_epochs;
+        self
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the softmax inverse temperature used for confidence.
+    pub fn softmax_beta(mut self, softmax_beta: f64) -> Self {
+        self.softmax_beta = softmax_beta;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the dimension or level count is zero, or
+    /// the softmax temperature is not positive and finite.
+    pub fn build(self) -> Result<HdcConfig, ConfigError> {
+        if self.dimension == 0 {
+            return Err(ConfigError::new("dimension must be positive"));
+        }
+        if self.levels == 0 {
+            return Err(ConfigError::new("levels must be positive"));
+        }
+        if self.level_correlation == 0 {
+            return Err(ConfigError::new("level_correlation must be positive"));
+        }
+        if !(self.softmax_beta.is_finite() && self.softmax_beta > 0.0) {
+            return Err(ConfigError::new("softmax_beta must be positive and finite"));
+        }
+        Ok(HdcConfig {
+            dimension: self.dimension,
+            levels: self.levels,
+            level_correlation: self.level_correlation,
+            retrain_epochs: self.retrain_epochs,
+            seed: self.seed,
+            softmax_beta: self.softmax_beta,
+        })
+    }
+}
+
+/// Hyperparameters of the adaptive recovery framework (§4 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use robusthd::RecoveryConfig;
+///
+/// let config = RecoveryConfig::builder()
+///     .chunks(20)
+///     .confidence_threshold(0.6)
+///     .substitution_rate(0.3)
+///     .build()?;
+/// assert_eq!(config.chunks, 20);
+/// # Ok::<(), robusthd::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Number of chunks `m` the hypervectors are split into (`d = D / m`
+    /// dimensions per chunk).
+    pub chunks: usize,
+    /// Confidence threshold `T_C`: only predictions whose softmax confidence
+    /// exceeds this are trusted as pseudo-labels.
+    pub confidence_threshold: f64,
+    /// Substitution rate `S`: probability that a class-vector bit inside a
+    /// faulty chunk is replaced by the query bit.
+    pub substitution_rate: f64,
+    /// How substitution writes query bits into faulty chunks.
+    pub substitution: SubstitutionMode,
+    /// Statistical margin (in units of `sqrt(d)` for chunk size `d`)
+    /// a competing class must win by before a chunk is flagged faulty.
+    /// Hamming distances over a chunk fluctuate with standard deviation
+    /// `O(sqrt(d))`; requiring a deficit beyond that keeps the false-positive
+    /// rate low so healthy chunks are not churned by substitution.
+    pub fault_margin: f64,
+    /// When `true` (paper behaviour) substitution is restricted to chunks
+    /// that voted against the trusted prediction; when `false` the whole
+    /// class vector is eligible (the `pQ|(1-p)C` form of §4.3, used by the
+    /// chunking ablation).
+    pub faulty_chunks_only: bool,
+    /// Seed for the stochastic substitution.
+    pub seed: u64,
+}
+
+impl RecoveryConfig {
+    /// Starts a builder pre-loaded with defaults matching the paper's
+    /// operating point.
+    pub fn builder() -> RecoveryConfigBuilder {
+        RecoveryConfigBuilder::new()
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`RecoveryConfig`].
+#[derive(Debug, Clone)]
+pub struct RecoveryConfigBuilder {
+    chunks: usize,
+    confidence_threshold: f64,
+    substitution_rate: f64,
+    substitution: SubstitutionMode,
+    fault_margin: f64,
+    faulty_chunks_only: bool,
+    seed: u64,
+}
+
+impl RecoveryConfigBuilder {
+    fn new() -> Self {
+        Self {
+            chunks: 20,
+            confidence_threshold: 0.85,
+            substitution_rate: 0.25,
+            substitution: SubstitutionMode::Overwrite,
+            fault_margin: 1.0,
+            faulty_chunks_only: true,
+            seed: 0,
+        }
+    }
+
+    /// Sets the chunk count `m`.
+    pub fn chunks(mut self, chunks: usize) -> Self {
+        self.chunks = chunks;
+        self
+    }
+
+    /// Sets the confidence threshold `T_C`.
+    pub fn confidence_threshold(mut self, confidence_threshold: f64) -> Self {
+        self.confidence_threshold = confidence_threshold;
+        self
+    }
+
+    /// Sets the substitution rate `S`.
+    pub fn substitution_rate(mut self, substitution_rate: f64) -> Self {
+        self.substitution_rate = substitution_rate;
+        self
+    }
+
+    /// Sets the statistical fault-detection margin (in units of `sqrt(d)`).
+    pub fn fault_margin(mut self, fault_margin: f64) -> Self {
+        self.fault_margin = fault_margin;
+        self
+    }
+
+    /// Chooses the substitution operator (paper-literal overwrite, or the
+    /// majority-counter extension).
+    pub fn substitution(mut self, substitution: SubstitutionMode) -> Self {
+        self.substitution = substitution;
+        self
+    }
+
+    /// Chooses between per-chunk substitution (paper behaviour, `true`) and
+    /// whole-vector substitution (`false`).
+    pub fn faulty_chunks_only(mut self, faulty_chunks_only: bool) -> Self {
+        self.faulty_chunks_only = faulty_chunks_only;
+        self
+    }
+
+    /// Sets the substitution RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `chunks` is zero, or either rate parameter
+    /// lies outside `[0, 1]`.
+    pub fn build(self) -> Result<RecoveryConfig, ConfigError> {
+        if self.chunks == 0 {
+            return Err(ConfigError::new("chunks must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.confidence_threshold) {
+            return Err(ConfigError::new("confidence_threshold must lie in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.substitution_rate) {
+            return Err(ConfigError::new("substitution_rate must lie in [0, 1]"));
+        }
+        if !(self.fault_margin.is_finite() && self.fault_margin >= 0.0) {
+            return Err(ConfigError::new("fault_margin must be non-negative and finite"));
+        }
+        if let SubstitutionMode::MajorityCounter { saturation } = self.substitution {
+            if saturation == 0 {
+                return Err(ConfigError::new("counter saturation must be positive"));
+            }
+        }
+        Ok(RecoveryConfig {
+            chunks: self.chunks,
+            confidence_threshold: self.confidence_threshold,
+            substitution_rate: self.substitution_rate,
+            substitution: self.substitution,
+            fault_margin: self.fault_margin,
+            faulty_chunks_only: self.faulty_chunks_only,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hdc_config_matches_paper() {
+        let c = HdcConfig::default();
+        assert_eq!(c.dimension, 10_000);
+        assert!(c.levels > 0);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let c = HdcConfig::builder()
+            .dimension(5_000)
+            .levels(16)
+            .retrain_epochs(0)
+            .seed(9)
+            .softmax_beta(32.0)
+            .build()
+            .expect("valid");
+        assert_eq!(
+            (c.dimension, c.levels, c.retrain_epochs, c.seed),
+            (5_000, 16, 0, 9)
+        );
+        assert_eq!(c.softmax_beta, 32.0);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let err = HdcConfig::builder().dimension(0).build().unwrap_err();
+        assert!(err.to_string().contains("dimension"));
+    }
+
+    #[test]
+    fn zero_levels_rejected() {
+        assert!(HdcConfig::builder().levels(0).build().is_err());
+    }
+
+    #[test]
+    fn negative_beta_rejected() {
+        assert!(HdcConfig::builder().softmax_beta(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn recovery_defaults_are_valid() {
+        let c = RecoveryConfig::default();
+        assert!(c.chunks > 0);
+        assert!(c.faulty_chunks_only);
+    }
+
+    #[test]
+    fn recovery_validation() {
+        assert!(RecoveryConfig::builder().chunks(0).build().is_err());
+        assert!(RecoveryConfig::builder()
+            .confidence_threshold(1.2)
+            .build()
+            .is_err());
+        assert!(RecoveryConfig::builder()
+            .substitution_rate(-0.1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn config_error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<ConfigError>();
+    }
+}

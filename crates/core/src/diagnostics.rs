@@ -1,0 +1,313 @@
+//! Unsupervised model-health monitoring: detecting that the deployed model
+//! is under attack, without labels.
+//!
+//! The recovery framework (§4) *repairs* damage; this module *notices* it.
+//! The same signals recovery relies on — prediction confidence and
+//! chunk-vote agreement — shift measurably when stored bits corrupt, so a
+//! monitor that tracks their moving averages against a calibration baseline
+//! raises an alarm as corruption accumulates. This is the runtime-detection
+//! extension the paper's framework implies (its Figure 1 pipeline computes
+//! every needed quantity already; the monitor only adds the statistics).
+
+use crate::confidence::Confidence;
+use crate::model::TrainedModel;
+use hypervector::BinaryHypervector;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Health statistics over a window of observed queries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Queries in the window.
+    pub window: usize,
+    /// Mean top-class confidence.
+    pub mean_confidence: f64,
+    /// Mean raw similarity margin between the top two classes.
+    pub mean_margin: f64,
+}
+
+/// Verdict of a health check against the calibration baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthVerdict {
+    /// Statistics within the calibrated band.
+    Healthy,
+    /// Confidence/margin depressed beyond the alarm threshold —
+    /// corruption (or distribution shift) likely.
+    Degraded,
+    /// Not enough traffic observed to judge.
+    InsufficientTraffic,
+}
+
+/// Sliding-window health monitor for a deployed model.
+///
+/// Calibrate on known-good traffic once ([`HealthMonitor::calibrate`]),
+/// then feed production queries ([`HealthMonitor::observe`]) and poll
+/// [`HealthMonitor::verdict`].
+///
+/// # Example
+///
+/// ```
+/// use hypervector::random::HypervectorSampler;
+/// use robusthd::diagnostics::{HealthMonitor, HealthVerdict};
+/// use robusthd::{HdcConfig, TrainedModel};
+///
+/// # fn main() -> Result<(), robusthd::ConfigError> {
+/// let dim = 4096;
+/// let mut sampler = HypervectorSampler::seed_from(2);
+/// let common = sampler.binary(dim);
+/// let protos = [sampler.flip_noise(&common, 0.2), sampler.flip_noise(&common, 0.2)];
+/// let queries: Vec<_> = (0..60)
+///     .map(|i| sampler.flip_noise(&protos[i % 2], 0.05))
+///     .collect();
+/// let labels: Vec<_> = (0..60).map(|i| i % 2).collect();
+/// let config = HdcConfig::builder().dimension(dim).build()?;
+/// let mut model = TrainedModel::train(&queries, &labels, 2, &config);
+///
+/// let mut monitor = HealthMonitor::new(32, 0.5);
+/// monitor.calibrate(&model, &queries, config.softmax_beta);
+///
+/// // Healthy traffic keeps the verdict clean...
+/// for q in &queries {
+///     monitor.observe(&model, q, config.softmax_beta);
+/// }
+/// assert_eq!(monitor.verdict(), HealthVerdict::Healthy);
+///
+/// // ...then a heavy attack depresses margins and trips the alarm.
+/// let corrupted = sampler.flip_noise(model.class(0), 0.4);
+/// *model.class_mut(0) = corrupted;
+/// let corrupted = sampler.flip_noise(model.class(1), 0.4);
+/// *model.class_mut(1) = corrupted;
+/// for q in &queries {
+///     monitor.observe(&model, q, config.softmax_beta);
+/// }
+/// assert_eq!(monitor.verdict(), HealthVerdict::Degraded);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct HealthMonitor {
+    window: usize,
+    /// Alarm when the windowed margin falls below `sensitivity` times the
+    /// calibrated margin.
+    sensitivity: f64,
+    baseline: Option<HealthSnapshot>,
+    confidences: VecDeque<f64>,
+    margins: VecDeque<f64>,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor with the given sliding-window size and alarm
+    /// sensitivity (fraction of the calibrated margin below which the
+    /// verdict degrades; e.g. `0.5` alarms when margins halve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `sensitivity` is not in `(0, 1]`.
+    pub fn new(window: usize, sensitivity: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(
+            sensitivity > 0.0 && sensitivity <= 1.0,
+            "sensitivity must lie in (0, 1]"
+        );
+        Self {
+            window,
+            sensitivity,
+            baseline: None,
+            confidences: VecDeque::with_capacity(window),
+            margins: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Establishes the healthy baseline from known-good traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn calibrate(
+        &mut self,
+        model: &TrainedModel,
+        queries: &[BinaryHypervector],
+        softmax_beta: f64,
+    ) {
+        assert!(!queries.is_empty(), "calibration traffic must not be empty");
+        let mut confidence_sum = 0.0;
+        let mut margin_sum = 0.0;
+        for query in queries {
+            let c = Confidence::evaluate(model, query, softmax_beta);
+            confidence_sum += c.confidence;
+            margin_sum += c.margin;
+        }
+        self.baseline = Some(HealthSnapshot {
+            window: queries.len(),
+            mean_confidence: confidence_sum / queries.len() as f64,
+            mean_margin: margin_sum / queries.len() as f64,
+        });
+    }
+
+    /// The calibrated baseline, if any.
+    pub fn baseline(&self) -> Option<HealthSnapshot> {
+        self.baseline
+    }
+
+    /// Feeds one production query into the window.
+    pub fn observe(
+        &mut self,
+        model: &TrainedModel,
+        query: &BinaryHypervector,
+        softmax_beta: f64,
+    ) {
+        let c = Confidence::evaluate(model, query, softmax_beta);
+        if self.confidences.len() == self.window {
+            self.confidences.pop_front();
+            self.margins.pop_front();
+        }
+        self.confidences.push_back(c.confidence);
+        self.margins.push_back(c.margin);
+    }
+
+    /// Current window statistics (`None` until any traffic arrives).
+    pub fn snapshot(&self) -> Option<HealthSnapshot> {
+        if self.confidences.is_empty() {
+            return None;
+        }
+        let n = self.confidences.len() as f64;
+        Some(HealthSnapshot {
+            window: self.confidences.len(),
+            mean_confidence: self.confidences.iter().sum::<f64>() / n,
+            mean_margin: self.margins.iter().sum::<f64>() / n,
+        })
+    }
+
+    /// Judges the current window against the calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor was never calibrated.
+    pub fn verdict(&self) -> HealthVerdict {
+        let baseline = self.baseline.expect("monitor must be calibrated first");
+        let Some(current) = self.snapshot() else {
+            return HealthVerdict::InsufficientTraffic;
+        };
+        if current.window < self.window {
+            return HealthVerdict::InsufficientTraffic;
+        }
+        if current.mean_margin < baseline.mean_margin * self.sensitivity {
+            HealthVerdict::Degraded
+        } else {
+            HealthVerdict::Healthy
+        }
+    }
+}
+
+impl fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HealthMonitor")
+            .field("window", &self.window)
+            .field("sensitivity", &self.sensitivity)
+            .field("calibrated", &self.baseline.is_some())
+            .field("observed", &self.confidences.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HdcConfig;
+    use hypervector::random::HypervectorSampler;
+
+    fn setup() -> (TrainedModel, Vec<BinaryHypervector>, f64) {
+        let dim = 4096;
+        let mut sampler = HypervectorSampler::seed_from(3);
+        let common = sampler.binary(dim);
+        let protos: Vec<_> = (0..3).map(|_| sampler.flip_noise(&common, 0.15)).collect();
+        let queries: Vec<_> = (0..90)
+            .map(|i| sampler.flip_noise(&protos[i % 3], 0.05))
+            .collect();
+        let labels: Vec<_> = (0..90).map(|i| i % 3).collect();
+        let config = HdcConfig::builder().dimension(dim).build().expect("valid");
+        let model = TrainedModel::train(&queries, &labels, 3, &config);
+        (model, queries, config.softmax_beta)
+    }
+
+    #[test]
+    fn healthy_traffic_stays_healthy() {
+        let (model, queries, beta) = setup();
+        let mut monitor = HealthMonitor::new(30, 0.5);
+        monitor.calibrate(&model, &queries, beta);
+        for q in &queries {
+            monitor.observe(&model, q, beta);
+        }
+        assert_eq!(monitor.verdict(), HealthVerdict::Healthy);
+    }
+
+    #[test]
+    fn heavy_corruption_degrades_verdict() {
+        let (mut model, queries, beta) = setup();
+        let mut monitor = HealthMonitor::new(30, 0.5);
+        monitor.calibrate(&model, &queries, beta);
+        let mut sampler = HypervectorSampler::seed_from(9);
+        for c in 0..3 {
+            let corrupted = sampler.flip_noise(model.class(c), 0.4);
+            *model.class_mut(c) = corrupted;
+        }
+        for q in &queries {
+            monitor.observe(&model, q, beta);
+        }
+        assert_eq!(monitor.verdict(), HealthVerdict::Degraded);
+    }
+
+    #[test]
+    fn short_traffic_is_insufficient() {
+        let (model, queries, beta) = setup();
+        let mut monitor = HealthMonitor::new(50, 0.5);
+        monitor.calibrate(&model, &queries, beta);
+        assert_eq!(monitor.verdict(), HealthVerdict::InsufficientTraffic);
+        for q in queries.iter().take(10) {
+            monitor.observe(&model, q, beta);
+        }
+        assert_eq!(monitor.verdict(), HealthVerdict::InsufficientTraffic);
+    }
+
+    #[test]
+    fn window_slides() {
+        let (model, queries, beta) = setup();
+        let mut monitor = HealthMonitor::new(20, 0.5);
+        monitor.calibrate(&model, &queries, beta);
+        for q in &queries {
+            monitor.observe(&model, q, beta);
+        }
+        let snap = monitor.snapshot().expect("has traffic");
+        assert_eq!(snap.window, 20);
+    }
+
+    #[test]
+    fn mild_corruption_does_not_false_alarm() {
+        // 2% flips barely move margins; sensitivity 0.5 must not trip.
+        let (mut model, queries, beta) = setup();
+        let mut monitor = HealthMonitor::new(30, 0.5);
+        monitor.calibrate(&model, &queries, beta);
+        let mut sampler = HypervectorSampler::seed_from(11);
+        for c in 0..3 {
+            let corrupted = sampler.flip_noise(model.class(c), 0.02);
+            *model.class_mut(c) = corrupted;
+        }
+        for q in &queries {
+            monitor.observe(&model, q, beta);
+        }
+        assert_eq!(monitor.verdict(), HealthVerdict::Healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibrated first")]
+    fn verdict_without_calibration_panics() {
+        HealthMonitor::new(10, 0.5).verdict();
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitivity")]
+    fn invalid_sensitivity_panics() {
+        HealthMonitor::new(10, 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Accuracy and quality-loss metrics used by every experiment.
+
+use crate::model::TrainedModel;
+use hypervector::BinaryHypervector;
+
+/// Classification accuracy of `model` over encoded queries with known
+/// labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::random::HypervectorSampler;
+/// use robusthd::{accuracy, HdcConfig, TrainedModel};
+///
+/// # fn main() -> Result<(), robusthd::ConfigError> {
+/// let mut sampler = HypervectorSampler::seed_from(0);
+/// let protos = [sampler.binary(2048), sampler.binary(2048)];
+/// let queries: Vec<_> = (0..20)
+///     .map(|i| sampler.flip_noise(&protos[i % 2], 0.1))
+///     .collect();
+/// let labels: Vec<_> = (0..20).map(|i| i % 2).collect();
+/// let config = HdcConfig::builder().dimension(2048).build()?;
+/// let model = TrainedModel::train(&queries, &labels, 2, &config);
+/// assert_eq!(accuracy(&model, &queries, &labels), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn accuracy(model: &TrainedModel, queries: &[BinaryHypervector], labels: &[usize]) -> f64 {
+    assert_eq!(queries.len(), labels.len(), "queries and labels must align");
+    assert!(!queries.is_empty(), "cannot score an empty evaluation set");
+    let correct = queries
+        .iter()
+        .zip(labels)
+        .filter(|(q, &l)| model.predict(q) == l)
+        .count();
+    correct as f64 / queries.len() as f64
+}
+
+/// Quality loss as reported throughout the paper's tables: the accuracy of
+/// the clean model minus the accuracy of the faulty model, floored at zero
+/// (a faulty model that happens to score higher reports zero loss).
+///
+/// # Example
+///
+/// ```
+/// use robusthd::quality_loss;
+///
+/// assert!((quality_loss(0.95, 0.92) - 0.03).abs() < 1e-12);
+/// assert_eq!(quality_loss(0.95, 0.96), 0.0);
+/// ```
+pub fn quality_loss(clean_accuracy: f64, faulty_accuracy: f64) -> f64 {
+    (clean_accuracy - faulty_accuracy).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HdcConfig;
+    use hypervector::random::HypervectorSampler;
+
+    #[test]
+    fn accuracy_counts_correct_fraction() {
+        let mut sampler = HypervectorSampler::seed_from(1);
+        let protos = [sampler.binary(1024), sampler.binary(1024)];
+        let model = TrainedModel::from_classes(protos.to_vec());
+        let queries = vec![
+            sampler.flip_noise(&protos[0], 0.05),
+            sampler.flip_noise(&protos[1], 0.05),
+        ];
+        assert_eq!(accuracy(&model, &queries, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&model, &queries, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&model, &queries, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let model = TrainedModel::from_classes(vec![BinaryHypervector::zeros(8)]);
+        accuracy(&model, &[BinaryHypervector::zeros(8)], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn empty_set_panics() {
+        let model = TrainedModel::from_classes(vec![BinaryHypervector::zeros(8)]);
+        accuracy(&model, &[], &[]);
+    }
+
+    #[test]
+    fn quality_loss_floors_at_zero() {
+        assert_eq!(quality_loss(0.9, 0.95), 0.0);
+        assert!((quality_loss(0.9, 0.85) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trained_model_has_low_loss_under_mild_attack() {
+        // Miniature version of the paper's core claim wired through the
+        // metrics: a binary HDC model barely degrades at 5% bit flips.
+        let mut sampler = HypervectorSampler::seed_from(2);
+        let protos: Vec<_> = (0..4).map(|_| sampler.binary(8192)).collect();
+        let mut queries = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            queries.push(sampler.flip_noise(&protos[i % 4], 0.15));
+            labels.push(i % 4);
+        }
+        let cfg = HdcConfig::builder().dimension(8192).build().expect("valid");
+        let mut model = TrainedModel::train(&queries, &labels, 4, &cfg);
+        let clean = accuracy(&model, &queries, &labels);
+        for c in 0..4 {
+            let noisy = sampler.flip_noise(model.class(c), 0.05);
+            *model.class_mut(c) = noisy;
+        }
+        let faulty = accuracy(&model, &queries, &labels);
+        assert!(quality_loss(clean, faulty) < 0.05);
+    }
+}
+
+/// A `k × k` confusion matrix: `counts[truth][predicted]`.
+///
+/// # Example
+///
+/// ```
+/// use robusthd::metrics::ConfusionMatrix;
+///
+/// let mut matrix = ConfusionMatrix::new(2);
+/// matrix.record(0, 0);
+/// matrix.record(0, 1);
+/// matrix.record(1, 1);
+/// assert_eq!(matrix.count(0, 1), 1);
+/// assert!((matrix.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Builds the matrix by evaluating `model` over labelled queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a label is out of range.
+    pub fn evaluate(
+        model: &TrainedModel,
+        queries: &[BinaryHypervector],
+        labels: &[usize],
+    ) -> Self {
+        assert_eq!(queries.len(), labels.len(), "queries and labels must align");
+        let mut matrix = Self::new(model.num_classes());
+        for (query, &label) in queries.iter().zip(labels) {
+            matrix.record(label, model.predict(query));
+        }
+        matrix
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(truth, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes, "truth label {truth} out of range");
+        assert!(
+            predicted < self.classes,
+            "predicted label {predicted} out of range"
+        );
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// Observations with the given truth and prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        assert!(truth < self.classes && predicted < self.classes, "label out of range");
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of one class: correct / actual (0 when the class never
+    /// occurred).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is out of range.
+    pub fn recall(&self, class: usize) -> f64 {
+        assert!(class < self.classes, "class out of range");
+        let actual: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / actual as f64
+        }
+    }
+
+    /// Precision of one class: correct / predicted (0 when the class was
+    /// never predicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is out of range.
+    pub fn precision(&self, class: usize) -> f64 {
+        assert!(class < self.classes, "class out of range");
+        let predicted: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / predicted as f64
+        }
+    }
+
+    /// F1 score of one class (harmonic mean of precision and recall).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is out of range.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.classes).map(|c| self.f1(c)).sum::<f64>() / self.classes as f64
+    }
+}
+
+#[cfg(test)]
+mod confusion_tests {
+    use super::*;
+
+    fn toy_matrix() -> ConfusionMatrix {
+        // truth 0: 8 correct, 2 predicted as 1.
+        // truth 1: 5 correct, 5 predicted as 0.
+        let mut m = ConfusionMatrix::new(2);
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        for _ in 0..5 {
+            m.record(1, 1);
+        }
+        for _ in 0..5 {
+            m.record(1, 0);
+        }
+        m
+    }
+
+    #[test]
+    fn accuracy_and_totals() {
+        let m = toy_matrix();
+        assert_eq!(m.total(), 20);
+        assert!((m.accuracy() - 13.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_precision_f1() {
+        let m = toy_matrix();
+        assert!((m.recall(0) - 0.8).abs() < 1e-12);
+        assert!((m.recall(1) - 0.5).abs() < 1e-12);
+        assert!((m.precision(0) - 8.0 / 13.0).abs() < 1e-12);
+        assert!((m.precision(1) - 5.0 / 7.0).abs() < 1e-12);
+        let f1_0 = 2.0 * (8.0 / 13.0) * 0.8 / (8.0 / 13.0 + 0.8);
+        assert!((m.f1(0) - f1_0).abs() < 1e-12);
+        assert!(m.macro_f1() > 0.0 && m.macro_f1() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_classes_score_zero() {
+        let m = ConfusionMatrix::new(3); // empty
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+    }
+
+    #[test]
+    fn evaluate_agrees_with_accuracy_metric() {
+        use crate::config::HdcConfig;
+        use hypervector::random::HypervectorSampler;
+        let mut sampler = HypervectorSampler::seed_from(12);
+        let protos = [sampler.binary(2048), sampler.binary(2048)];
+        let queries: Vec<_> = (0..40)
+            .map(|i| sampler.flip_noise(&protos[i % 2], 0.2))
+            .collect();
+        let labels: Vec<_> = (0..40).map(|i| i % 2).collect();
+        let cfg = HdcConfig::builder().dimension(2048).build().expect("valid");
+        let model = TrainedModel::train(&queries, &labels, 2, &cfg);
+        let matrix = ConfusionMatrix::evaluate(&model, &queries, &labels);
+        assert!((matrix.accuracy() - accuracy(&model, &queries, &labels)).abs() < 1e-12);
+        assert_eq!(matrix.total(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_record_panics() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

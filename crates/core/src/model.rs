@@ -1,0 +1,526 @@
+//! Class-hypervector models: one-shot bundling, retraining, prediction, and
+//! the raw memory image that fault injection targets.
+
+use crate::config::HdcConfig;
+use hypervector::{BinaryHypervector, BundleAccumulator, IntHypervector, PackedBits, Precision};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A trained binary HDC model: one class hypervector per label.
+///
+/// This is the model RobustHD deploys — the paper always uses the binary
+/// (1-bit) model in production because it maximizes robustness (§3.2).
+///
+/// The model exposes its packed memory image
+/// ([`TrainedModel::to_memory_image`] /
+/// [`TrainedModel::load_memory_image`]) so fault injectors can attack the
+/// stored bits exactly as a memory attack would.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::random::HypervectorSampler;
+/// use robusthd::{HdcConfig, TrainedModel};
+///
+/// // Two well-separated synthetic classes in hyperspace.
+/// let mut sampler = HypervectorSampler::seed_from(1);
+/// let protos = [sampler.binary(2048), sampler.binary(2048)];
+/// let mut encoded = Vec::new();
+/// let mut labels = Vec::new();
+/// for i in 0..40 {
+///     let class = i % 2;
+///     encoded.push(sampler.flip_noise(&protos[class], 0.15));
+///     labels.push(class);
+/// }
+/// let config = HdcConfig::builder().dimension(2048).build()?;
+/// let model = TrainedModel::train(&encoded, &labels, 2, &config);
+/// assert_eq!(model.predict(&encoded[0]), 0);
+/// assert_eq!(model.predict(&encoded[1]), 1);
+/// # Ok::<(), robusthd::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainedModel {
+    classes: Vec<BinaryHypervector>,
+    dim: usize,
+}
+
+impl TrainedModel {
+    /// Trains a binary model: one-shot bundling of every encoded sample into
+    /// its class accumulator, followed by `config.retrain_epochs` perceptron
+    /// passes (mispredicted samples are added to their true class and
+    /// subtracted from the predicted one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are empty, lengths differ, a label is out of
+    /// range, or an encoded vector has the wrong dimension.
+    pub fn train(
+        encoded: &[BinaryHypervector],
+        labels: &[usize],
+        num_classes: usize,
+        config: &HdcConfig,
+    ) -> Self {
+        let accumulators = train_accumulators(encoded, labels, num_classes, config);
+        Self::from_accumulators(&accumulators)
+    }
+
+    /// Thresholds trained accumulators into a binary model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accumulators` is empty.
+    pub fn from_accumulators(accumulators: &[BundleAccumulator]) -> Self {
+        assert!(!accumulators.is_empty(), "need at least one class");
+        let classes: Vec<BinaryHypervector> =
+            accumulators.iter().map(|a| a.to_binary()).collect();
+        let dim = classes[0].dim();
+        Self { classes, dim }
+    }
+
+    /// Builds a model directly from class hypervectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or dimensions are inconsistent.
+    pub fn from_classes(classes: Vec<BinaryHypervector>) -> Self {
+        assert!(!classes.is_empty(), "need at least one class");
+        let dim = classes[0].dim();
+        assert!(
+            classes.iter().all(|c| c.dim() == dim),
+            "class hypervectors must share one dimension"
+        );
+        Self { classes, dim }
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes `k`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// All class hypervectors.
+    pub fn classes(&self) -> &[BinaryHypervector] {
+        &self.classes
+    }
+
+    /// One class hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn class(&self, label: usize) -> &BinaryHypervector {
+        &self.classes[label]
+    }
+
+    /// Mutable access to one class hypervector (used by the recovery engine
+    /// and by direct fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn class_mut(&mut self, label: usize) -> &mut BinaryHypervector {
+        &mut self.classes[label]
+    }
+
+    /// Normalized similarity of `query` to every class, in class order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the model's.
+    pub fn similarities(&self, query: &BinaryHypervector) -> Vec<f64> {
+        self.classes.iter().map(|c| c.similarity(query)).collect()
+    }
+
+    /// Predicted label: the class with the highest Hamming similarity (ties
+    /// resolve to the lowest label).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the model's.
+    pub fn predict(&self, query: &BinaryHypervector) -> usize {
+        self.classes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.hamming_distance(query))
+            .map(|(i, _)| i)
+            .expect("model has at least one class")
+    }
+
+    /// Serializes the model into its stored form: the bit-concatenation of
+    /// all class hypervectors (`k × D` bits). This is the image a memory
+    /// attack corrupts.
+    pub fn to_memory_image(&self) -> PackedBits {
+        let mut image = PackedBits::zeros(self.num_classes() * self.dim);
+        for (c, class) in self.classes.iter().enumerate() {
+            for i in 0..self.dim {
+                if class.get(i) {
+                    image.set(c * self.dim + i, true);
+                }
+            }
+        }
+        image
+    }
+
+    /// Replaces the model contents from a (possibly corrupted) memory image
+    /// produced by [`TrainedModel::to_memory_image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size does not equal `num_classes × dim` bits.
+    pub fn load_memory_image(&mut self, image: &PackedBits) {
+        assert_eq!(
+            image.len(),
+            self.num_classes() * self.dim,
+            "memory image has {} bits, expected {}",
+            image.len(),
+            self.num_classes() * self.dim
+        );
+        for (c, class) in self.classes.iter_mut().enumerate() {
+            for i in 0..class.dim() {
+                class.set(i, image.get(c * class.dim() + i));
+            }
+        }
+    }
+}
+
+/// A low-precision integer HDC model (the 2-bit rows of Table 1).
+///
+/// Stores `b`-bit signed elements per dimension; similarity is the bipolar
+/// dot product. Less robust than [`TrainedModel`] because a flip of a stored
+/// high-order bit moves an element by a large magnitude.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntModel {
+    classes: Vec<IntHypervector>,
+    dim: usize,
+    precision: Precision,
+}
+
+impl IntModel {
+    /// Trains an integer model at the given element precision using the same
+    /// bundling + retraining procedure as [`TrainedModel::train`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TrainedModel::train`].
+    pub fn train(
+        encoded: &[BinaryHypervector],
+        labels: &[usize],
+        num_classes: usize,
+        config: &HdcConfig,
+        precision: Precision,
+    ) -> Self {
+        let accumulators = train_accumulators(encoded, labels, num_classes, config);
+        let classes: Vec<IntHypervector> =
+            accumulators.iter().map(|a| a.to_int(precision)).collect();
+        let dim = classes[0].dim();
+        Self {
+            classes,
+            dim,
+            precision,
+        }
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Element precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// All class hypervectors.
+    pub fn classes(&self) -> &[IntHypervector] {
+        &self.classes
+    }
+
+    /// Predicted label by bipolar dot product (ties resolve to the lowest
+    /// label).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the model's.
+    pub fn predict(&self, query: &BinaryHypervector) -> usize {
+        self.classes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, c)| (c.dot_binary(query), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .expect("model has at least one class")
+    }
+
+    /// Serializes the model's stored form: `k × D × b` bits of packed
+    /// `b`-bit fields.
+    pub fn to_memory_image(&self) -> PackedBits {
+        let bits_per_class = self.dim * self.precision.bits() as usize;
+        let mut image = PackedBits::zeros(self.num_classes() * bits_per_class);
+        for (c, class) in self.classes.iter().enumerate() {
+            let packed = class.pack();
+            for i in 0..packed.len() {
+                if packed.get(i) {
+                    image.set(c * bits_per_class + i, true);
+                }
+            }
+        }
+        image
+    }
+
+    /// Replaces the model from a (possibly corrupted) image produced by
+    /// [`IntModel::to_memory_image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size does not match.
+    pub fn load_memory_image(&mut self, image: &PackedBits) {
+        let bits_per_class = self.dim * self.precision.bits() as usize;
+        assert_eq!(
+            image.len(),
+            self.num_classes() * bits_per_class,
+            "memory image size mismatch"
+        );
+        for (c, class) in self.classes.iter_mut().enumerate() {
+            let mut packed = PackedBits::zeros(bits_per_class);
+            for i in 0..bits_per_class {
+                if image.get(c * bits_per_class + i) {
+                    packed.set(i, true);
+                }
+            }
+            *class = IntHypervector::from_packed(&packed, self.dim, self.precision);
+        }
+    }
+}
+
+/// Shared training core: one-shot bundling plus perceptron retraining over
+/// the accumulators.
+fn train_accumulators(
+    encoded: &[BinaryHypervector],
+    labels: &[usize],
+    num_classes: usize,
+    config: &HdcConfig,
+) -> Vec<BundleAccumulator> {
+    assert!(!encoded.is_empty(), "training set must not be empty");
+    assert_eq!(
+        encoded.len(),
+        labels.len(),
+        "encoded samples and labels must align"
+    );
+    assert!(num_classes > 0, "need at least one class");
+    let dim = encoded[0].dim();
+    for (i, hv) in encoded.iter().enumerate() {
+        assert_eq!(hv.dim(), dim, "sample {i} has dimension {}", hv.dim());
+    }
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < num_classes, "label {l} of sample {i} out of range");
+    }
+
+    // One-shot bundling.
+    let mut accumulators: Vec<BundleAccumulator> =
+        (0..num_classes).map(|_| BundleAccumulator::new(dim)).collect();
+    for (hv, &label) in encoded.iter().zip(labels) {
+        accumulators[label].add(hv);
+    }
+
+    // Perceptron-style retraining against a per-epoch binary snapshot.
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37_79b9));
+    let mut order: Vec<usize> = (0..encoded.len()).collect();
+    for _ in 0..config.retrain_epochs {
+        let snapshot = TrainedModel::from_accumulators(&accumulators);
+        order.shuffle(&mut rng);
+        let mut mistakes = 0usize;
+        for &idx in &order {
+            let predicted = snapshot.predict(&encoded[idx]);
+            let truth = labels[idx];
+            if predicted != truth {
+                accumulators[truth].add(&encoded[idx]);
+                accumulators[predicted].subtract(&encoded[idx]);
+                mistakes += 1;
+            }
+        }
+        if mistakes == 0 {
+            break;
+        }
+    }
+    accumulators
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypervector::random::HypervectorSampler;
+
+    /// Builds a toy hyperspace task: `k` noisy clusters around random
+    /// prototypes.
+    fn toy_task(
+        k: usize,
+        per_class: usize,
+        dim: usize,
+        noise: f64,
+        seed: u64,
+    ) -> (Vec<BinaryHypervector>, Vec<usize>) {
+        let mut sampler = HypervectorSampler::seed_from(seed);
+        let protos: Vec<_> = (0..k).map(|_| sampler.binary(dim)).collect();
+        let mut encoded = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..k * per_class {
+            let class = i % k;
+            encoded.push(sampler.flip_noise(&protos[class], noise));
+            labels.push(class);
+        }
+        (encoded, labels)
+    }
+
+    fn config(dim: usize) -> HdcConfig {
+        HdcConfig::builder().dimension(dim).build().expect("valid")
+    }
+
+    #[test]
+    fn one_shot_model_classifies_separable_task() {
+        let (encoded, labels) = toy_task(4, 20, 4096, 0.2, 1);
+        let cfg = HdcConfig::builder()
+            .dimension(4096)
+            .retrain_epochs(0)
+            .build()
+            .expect("valid");
+        let model = TrainedModel::train(&encoded, &labels, 4, &cfg);
+        let correct = encoded
+            .iter()
+            .zip(&labels)
+            .filter(|(hv, &l)| model.predict(hv) == l)
+            .count();
+        assert_eq!(correct, encoded.len(), "separable task must be learned");
+    }
+
+    #[test]
+    fn retraining_does_not_hurt() {
+        let (encoded, labels) = toy_task(6, 15, 2048, 0.3, 2);
+        let acc = |epochs: usize| {
+            let cfg = HdcConfig::builder()
+                .dimension(2048)
+                .retrain_epochs(epochs)
+                .build()
+                .expect("valid");
+            let model = TrainedModel::train(&encoded, &labels, 6, &cfg);
+            encoded
+                .iter()
+                .zip(&labels)
+                .filter(|(hv, &l)| model.predict(hv) == l)
+                .count()
+        };
+        assert!(acc(3) >= acc(0));
+    }
+
+    #[test]
+    fn memory_image_roundtrips() {
+        let (encoded, labels) = toy_task(3, 10, 1000, 0.2, 3);
+        let model = TrainedModel::train(&encoded, &labels, 3, &config(1000));
+        let image = model.to_memory_image();
+        assert_eq!(image.len(), 3000);
+        let mut copy = model.clone();
+        copy.load_memory_image(&image);
+        assert_eq!(copy, model);
+    }
+
+    #[test]
+    fn corrupted_image_changes_model() {
+        let (encoded, labels) = toy_task(2, 10, 512, 0.2, 4);
+        let model = TrainedModel::train(&encoded, &labels, 2, &config(512));
+        let mut image = model.to_memory_image();
+        image.flip(0);
+        image.flip(700);
+        let mut corrupted = model.clone();
+        corrupted.load_memory_image(&image);
+        assert_eq!(corrupted.class(0).hamming_distance(model.class(0)), 1);
+        assert_eq!(corrupted.class(1).hamming_distance(model.class(1)), 1);
+    }
+
+    #[test]
+    fn predict_breaks_ties_to_lowest_label() {
+        let zero = BinaryHypervector::zeros(64);
+        let model = TrainedModel::from_classes(vec![zero.clone(), zero.clone()]);
+        assert_eq!(model.predict(&zero), 0);
+    }
+
+    #[test]
+    fn similarities_align_with_prediction() {
+        let (encoded, labels) = toy_task(5, 10, 2048, 0.25, 5);
+        let model = TrainedModel::train(&encoded, &labels, 5, &config(2048));
+        for hv in encoded.iter().take(10) {
+            let sims = model.similarities(hv);
+            let argmax = sims
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            assert_eq!(model.predict(hv), argmax);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn training_on_empty_set_panics() {
+        TrainedModel::train(&[], &[], 2, &config(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let hv = BinaryHypervector::zeros(64);
+        TrainedModel::train(&[hv], &[5], 2, &config(64));
+    }
+
+    #[test]
+    fn int_model_learns_and_roundtrips_image() {
+        let (encoded, labels) = toy_task(3, 15, 1024, 0.2, 6);
+        let p = Precision::new(2).expect("valid");
+        let model = IntModel::train(&encoded, &labels, 3, &config(1024), p);
+        let correct = encoded
+            .iter()
+            .zip(&labels)
+            .filter(|(hv, &l)| model.predict(hv) == l)
+            .count();
+        assert!(correct >= encoded.len() * 9 / 10);
+
+        let image = model.to_memory_image();
+        assert_eq!(image.len(), 3 * 1024 * 2);
+        let mut copy = model.clone();
+        copy.load_memory_image(&image);
+        assert_eq!(copy, model);
+    }
+
+    #[test]
+    fn int_model_msb_corruption_perturbs_elements() {
+        let (encoded, labels) = toy_task(2, 10, 256, 0.2, 7);
+        let p = Precision::new(4).expect("valid");
+        let model = IntModel::train(&encoded, &labels, 2, &config(256), p);
+        let mut image = model.to_memory_image();
+        image.flip(3); // MSB of element 0 of class 0
+        let mut corrupted = model.clone();
+        corrupted.load_memory_image(&image);
+        let delta = (corrupted.classes()[0].values()[0] - model.classes()[0].values()[0]).abs();
+        assert_eq!(delta, 8, "MSB flip must move a 4-bit element by 2^3");
+    }
+
+    #[test]
+    fn binary_and_int1_models_predict_identically() {
+        let (encoded, labels) = toy_task(4, 10, 2048, 0.25, 8);
+        let cfg = config(2048);
+        let binary = TrainedModel::train(&encoded, &labels, 4, &cfg);
+        let int1 = IntModel::train(&encoded, &labels, 4, &cfg, Precision::BINARY);
+        for hv in encoded.iter().take(20) {
+            assert_eq!(binary.predict(hv), int1.predict(hv));
+        }
+    }
+}

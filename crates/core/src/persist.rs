@@ -1,0 +1,291 @@
+//! Model persistence: a small, versioned, dependency-free binary format
+//! for trained RobustHD pipelines.
+//!
+//! A saved file carries everything needed to rebuild the deployed pipeline:
+//! the [`HdcConfig`] (from which the encoder's codebooks regenerate
+//! deterministically), the input feature count, and the class
+//! hypervectors' raw words. Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  b"RHD1"
+//! u32    feature count
+//! u64    dimension          u64  levels
+//! u64    level_correlation  u64  retrain_epochs
+//! u64    seed               f64  softmax_beta
+//! u32    classes
+//! u64 × classes × ceil(dimension / 64)   class hypervector words
+//! ```
+
+use crate::config::HdcConfig;
+use crate::model::TrainedModel;
+use hypervector::{BinaryHypervector, PackedBits};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RHD1";
+
+/// Error loading a persisted model.
+#[derive(Debug)]
+pub enum LoadModelError {
+    /// The stream does not start with the `RHD1` magic.
+    BadMagic,
+    /// Structurally invalid contents (zero dims, impossible sizes, bad
+    /// config values).
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for LoadModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadModelError::BadMagic => f.write_str("not a RobustHD model file (bad magic)"),
+            LoadModelError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
+            LoadModelError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for LoadModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<io::Error> for LoadModelError {
+    fn from(e: io::Error) -> Self {
+        LoadModelError::Io(e)
+    }
+}
+
+/// A deserialized pipeline: the pieces needed to serve predictions (the
+/// encoder regenerates from `config` + `features`).
+#[derive(Debug, Clone)]
+pub struct SavedPipeline {
+    /// The HDC configuration the pipeline was trained with.
+    pub config: HdcConfig,
+    /// Input feature count the encoder expects.
+    pub features: usize,
+    /// The trained class-hypervector model.
+    pub model: TrainedModel,
+}
+
+/// Serializes a trained pipeline.
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::random::HypervectorSampler;
+/// use robusthd::{persist, HdcConfig, TrainedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sampler = HypervectorSampler::seed_from(1);
+/// let model = TrainedModel::from_classes(vec![sampler.binary(256), sampler.binary(256)]);
+/// let config = HdcConfig::builder().dimension(256).build()?;
+///
+/// let mut buffer = Vec::new();
+/// persist::save_model(&mut buffer, &config, 16, &model)?;
+/// let loaded = persist::load_model(buffer.as_slice())?;
+/// assert_eq!(loaded.model, model);
+/// assert_eq!(loaded.features, 16);
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_model<W: Write>(
+    mut writer: W,
+    config: &HdcConfig,
+    features: usize,
+    model: &TrainedModel,
+) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(features as u32).to_le_bytes())?;
+    writer.write_all(&(config.dimension as u64).to_le_bytes())?;
+    writer.write_all(&(config.levels as u64).to_le_bytes())?;
+    writer.write_all(&(config.level_correlation as u64).to_le_bytes())?;
+    writer.write_all(&(config.retrain_epochs as u64).to_le_bytes())?;
+    writer.write_all(&config.seed.to_le_bytes())?;
+    writer.write_all(&config.softmax_beta.to_le_bytes())?;
+    writer.write_all(&(model.num_classes() as u32).to_le_bytes())?;
+    for class in model.classes() {
+        for &word in class.bits().words() {
+            writer.write_all(&word.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Deserializes a pipeline saved by [`save_model`].
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] on bad magic, truncated or structurally
+/// invalid contents, or I/O failure.
+pub fn load_model<R: Read>(mut reader: R) -> Result<SavedPipeline, LoadModelError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(LoadModelError::BadMagic);
+    }
+    let features = read_u32(&mut reader)? as usize;
+    let dimension = read_u64(&mut reader)? as usize;
+    let levels = read_u64(&mut reader)? as usize;
+    let level_correlation = read_u64(&mut reader)? as usize;
+    let retrain_epochs = read_u64(&mut reader)? as usize;
+    let seed = read_u64(&mut reader)?;
+    let softmax_beta = f64::from_le_bytes({
+        let mut buf = [0u8; 8];
+        reader.read_exact(&mut buf)?;
+        buf
+    });
+    // Guard against absurd sizes before allocating.
+    if features == 0 || features > 1 << 24 {
+        return Err(LoadModelError::Corrupt(format!(
+            "implausible feature count {features}"
+        )));
+    }
+    if dimension == 0 || dimension > 1 << 26 {
+        return Err(LoadModelError::Corrupt(format!(
+            "implausible dimension {dimension}"
+        )));
+    }
+    let config = HdcConfig::builder()
+        .dimension(dimension)
+        .levels(levels)
+        .level_correlation(level_correlation)
+        .retrain_epochs(retrain_epochs)
+        .seed(seed)
+        .softmax_beta(softmax_beta)
+        .build()
+        .map_err(|e| LoadModelError::Corrupt(e.to_string()))?;
+    let classes = read_u32(&mut reader)? as usize;
+    if classes == 0 || classes > 1 << 16 {
+        return Err(LoadModelError::Corrupt(format!(
+            "implausible class count {classes}"
+        )));
+    }
+    let words_per_class = dimension.div_ceil(64);
+    let mut class_vectors = Vec::with_capacity(classes);
+    for _ in 0..classes {
+        let mut bits = PackedBits::zeros(dimension);
+        for word_idx in 0..words_per_class {
+            bits.words_mut()[word_idx] = read_u64(&mut reader)?;
+        }
+        bits.mask_tail();
+        class_vectors.push(BinaryHypervector::from_bits(bits));
+    }
+    Ok(SavedPipeline {
+        config,
+        features,
+        model: TrainedModel::from_classes(class_vectors),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Encoder, RecordEncoder};
+    use hypervector::random::HypervectorSampler;
+
+    fn toy_pipeline() -> (HdcConfig, usize, TrainedModel) {
+        let config = HdcConfig::builder()
+            .dimension(500)
+            .levels(16)
+            .seed(77)
+            .build()
+            .expect("valid");
+        let mut sampler = HypervectorSampler::seed_from(4);
+        let model = TrainedModel::from_classes(vec![
+            sampler.binary(500),
+            sampler.binary(500),
+            sampler.binary(500),
+        ]);
+        (config, 12, model)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (config, features, model) = toy_pipeline();
+        let mut buffer = Vec::new();
+        save_model(&mut buffer, &config, features, &model).expect("save");
+        let loaded = load_model(buffer.as_slice()).expect("load");
+        assert_eq!(loaded.config, config);
+        assert_eq!(loaded.features, features);
+        assert_eq!(loaded.model, model);
+    }
+
+    #[test]
+    fn encoder_rebuilt_from_loaded_config_matches_original() {
+        let (config, features, model) = toy_pipeline();
+        let mut buffer = Vec::new();
+        save_model(&mut buffer, &config, features, &model).expect("save");
+        let loaded = load_model(buffer.as_slice()).expect("load");
+        let original = RecordEncoder::new(&config, features);
+        let rebuilt = RecordEncoder::new(&loaded.config, loaded.features);
+        let input: Vec<f64> = (0..features).map(|i| i as f64 / features as f64).collect();
+        assert_eq!(original.encode(&input), rebuilt.encode(&input));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_model(&b"NOPE...."[..]).unwrap_err();
+        assert!(matches!(err, LoadModelError::BadMagic));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let (config, features, model) = toy_pipeline();
+        let mut buffer = Vec::new();
+        save_model(&mut buffer, &config, features, &model).expect("save");
+        buffer.truncate(buffer.len() - 10);
+        let err = load_model(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadModelError::Io(_)));
+    }
+
+    #[test]
+    fn implausible_header_is_corrupt() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(MAGIC);
+        buffer.extend_from_slice(&0u32.to_le_bytes()); // zero features
+        buffer.extend_from_slice(&[0u8; 48]);
+        buffer.extend_from_slice(&1u32.to_le_bytes());
+        let err = load_model(buffer.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("feature count"));
+    }
+
+    #[test]
+    fn non_word_aligned_dimension_roundtrips() {
+        let config = HdcConfig::builder().dimension(100).build().expect("valid");
+        let mut sampler = HypervectorSampler::seed_from(8);
+        let model = TrainedModel::from_classes(vec![sampler.binary(100), sampler.binary(100)]);
+        let mut buffer = Vec::new();
+        save_model(&mut buffer, &config, 3, &model).expect("save");
+        let loaded = load_model(buffer.as_slice()).expect("load");
+        assert_eq!(loaded.model, model);
+    }
+}

@@ -1,0 +1,166 @@
+use crate::config::HdcConfig;
+use crate::encoding::{Encoder, RecordEncoder};
+use crate::model::TrainedModel;
+
+/// Minimal view of a labelled sample so the pipeline does not depend on the
+/// dataset crate. `synthdata::Sample` satisfies it structurally via the
+/// blanket conversion below.
+mod synthdata_like {
+    /// Anything that exposes normalized features and a label.
+    pub trait Labeled {
+        /// Feature vector in `[0, 1]`.
+        fn features(&self) -> &[f64];
+        /// Class label.
+        fn label(&self) -> usize;
+    }
+
+    impl Labeled for (Vec<f64>, usize) {
+        fn features(&self) -> &[f64] {
+            &self.0
+        }
+        fn label(&self) -> usize {
+            self.1
+        }
+    }
+
+    impl Labeled for synthdata::Sample {
+        fn features(&self) -> &[f64] {
+            &self.features
+        }
+        fn label(&self) -> usize {
+            self.label
+        }
+    }
+}
+
+pub use synthdata_like::Labeled;
+
+/// End-to-end HDC classifier: record encoder + trained binary model.
+///
+/// This is the convenience entry point used by the examples; experiments
+/// that attack or recover the model work with the parts
+/// ([`crate::RecordEncoder`], [`crate::TrainedModel`],
+/// [`crate::RecoveryEngine`]) directly.
+///
+/// # Example
+///
+/// ```
+/// use robusthd::{HdcClassifier, HdcConfig};
+/// use synthdata::{DatasetSpec, GeneratorConfig};
+///
+/// # fn main() -> Result<(), robusthd::ConfigError> {
+/// let data = GeneratorConfig::new(2).generate(&DatasetSpec::pecan().with_sizes(120, 60));
+/// let config = HdcConfig::builder().dimension(2048).build()?;
+/// let classifier = HdcClassifier::fit(&config, &data.train);
+/// assert!(classifier.accuracy(&data.test) > 0.7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HdcClassifier {
+    encoder: RecordEncoder,
+    model: TrainedModel,
+    num_classes: usize,
+}
+
+impl HdcClassifier {
+    /// Encodes and trains on labelled samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty or samples disagree on feature count.
+    pub fn fit<S: Labeled>(config: &HdcConfig, train: &[S]) -> Self {
+        assert!(!train.is_empty(), "training set must not be empty");
+        let features = train[0].features().len();
+        let num_classes = train.iter().map(|s| s.label()).max().expect("nonempty") + 1;
+        let encoder = RecordEncoder::new(config, features);
+        let encoded: Vec<_> = train.iter().map(|s| encoder.encode(s.features())).collect();
+        let labels: Vec<_> = train.iter().map(|s| s.label()).collect();
+        let model = TrainedModel::train(&encoded, &labels, num_classes, config);
+        Self {
+            encoder,
+            model,
+            num_classes,
+        }
+    }
+
+    /// Predicts the label of one raw feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the training data.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        self.model.predict(&self.encoder.encode(features))
+    }
+
+    /// Accuracy over labelled samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn accuracy<S: Labeled>(&self, samples: &[S]) -> f64 {
+        assert!(!samples.is_empty(), "cannot score an empty evaluation set");
+        let correct = samples
+            .iter()
+            .filter(|s| self.predict(s.features()) == s.label())
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// The encoder (shared by training and inference).
+    pub fn encoder(&self) -> &RecordEncoder {
+        &self.encoder
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Mutable model access for attack/recovery experiments.
+    pub fn model_mut(&mut self) -> &mut TrainedModel {
+        &mut self.model
+    }
+
+    /// Number of classes seen at fit time.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_predict_on_tuples() {
+        // A separable toy problem in raw feature space.
+        let train: Vec<(Vec<f64>, usize)> = (0..40)
+            .map(|i| {
+                let label = i % 2;
+                let base = if label == 0 { 0.2 } else { 0.8 };
+                let features = (0..6)
+                    .map(|j| base + 0.01 * ((i + j) % 5) as f64)
+                    .collect();
+                (features, label)
+            })
+            .collect();
+        let config = HdcConfig::builder()
+            .dimension(2048)
+            .seed(3)
+            .build()
+            .expect("valid");
+        let clf = HdcClassifier::fit(&config, &train);
+        assert_eq!(clf.num_classes(), 2);
+        assert!(clf.accuracy(&train) > 0.95);
+        assert_eq!(clf.predict(&[0.2; 6]), 0);
+        assert_eq!(clf.predict(&[0.8; 6]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_training_set_panics() {
+        let config = HdcConfig::default();
+        HdcClassifier::fit::<(Vec<f64>, usize)>(&config, &[]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Scenario tests of the recovery framework against the threat models it
+//! was designed for: one-shot attacks, concentrated row damage, and
+//! continuous noise accumulation.
+
+use hypervector::random::HypervectorSampler;
+use robusthd::{
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
+    SubstitutionMode, TrainedModel,
+};
+use synthdata::{DatasetSpec, GeneratorConfig};
+
+struct Deployment {
+    queries: Vec<hypervector::BinaryHypervector>,
+    labels: Vec<usize>,
+    model: TrainedModel,
+    config: HdcConfig,
+    clean_accuracy: f64,
+}
+
+fn deploy(seed: u64) -> Deployment {
+    let spec = DatasetSpec::ucihar().with_sizes(1000, 600);
+    let data = GeneratorConfig::new(seed).generate(&spec);
+    let config = HdcConfig::builder()
+        .dimension(4096)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    let encoder = RecordEncoder::new(&config, spec.features);
+    let train: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
+    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
+    let model = TrainedModel::train(&train, &train_labels, spec.classes, &config);
+    let clean_accuracy = accuracy(&model, &queries, &labels);
+    Deployment {
+        queries,
+        labels,
+        model,
+        config,
+        clean_accuracy,
+    }
+}
+
+fn majority_engine(beta: f64, seed: u64) -> RecoveryEngine {
+    let config = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(seed)
+        .build()
+        .expect("valid recovery config");
+    RecoveryEngine::new(config, beta)
+}
+
+#[test]
+fn recovery_repairs_wiped_rows() {
+    // A Row-Hammer-style wipe of whole 256-bit rows (~5% of the model).
+    let mut d = deploy(31);
+    let model_bits = d.model.num_classes() * d.model.dim();
+    let mut image = d.model.to_memory_image();
+    faultsim::Attacker::seed_from(7).row_burst(
+        image.words_mut(),
+        model_bits,
+        256,
+        model_bits / 256 / 20,
+    );
+    image.mask_tail();
+    d.model.load_memory_image(&image);
+    let attacked = accuracy(&d.model, &d.queries, &d.labels);
+
+    let mut engine = majority_engine(d.config.softmax_beta, 1);
+    for _ in 0..12 {
+        engine.run_stream(&mut d.model, &d.queries);
+    }
+    let recovered = accuracy(&d.model, &d.queries, &d.labels);
+    assert!(
+        recovered >= attacked,
+        "row-wipe recovery regressed: {attacked} -> {recovered}"
+    );
+    assert!(
+        d.clean_accuracy - recovered < 0.02,
+        "residual loss too high: clean {}, recovered {recovered}",
+        d.clean_accuracy
+    );
+}
+
+#[test]
+fn recovery_tracks_accumulating_noise() {
+    // Noise accumulates 1.5%/interval to 12%; recovery runs in between.
+    use faultsim::{AttackCampaign, ErrorRateSchedule};
+    let mut d = deploy(32);
+    let model_bits = d.model.num_classes() * d.model.dim();
+    let schedule = ErrorRateSchedule::linear(0.0, 0.12, 8);
+    let mut campaign = AttackCampaign::new(schedule, model_bits, 2);
+    let mut engine = majority_engine(d.config.softmax_beta, 3);
+    loop {
+        let mut image = d.model.to_memory_image();
+        if campaign.advance(image.words_mut()).is_none() {
+            break;
+        }
+        image.mask_tail();
+        d.model.load_memory_image(&image);
+        engine.run_stream(&mut d.model, &d.queries);
+        engine.run_stream(&mut d.model, &d.queries);
+    }
+    let final_accuracy = accuracy(&d.model, &d.queries, &d.labels);
+    assert!(
+        d.clean_accuracy - final_accuracy < 0.02,
+        "accumulation defeated recovery: clean {}, final {final_accuracy}",
+        d.clean_accuracy
+    );
+}
+
+#[test]
+fn overwrite_mode_repairs_concentrated_damage() {
+    // The paper-literal §4.3 operator on its home turf: one class with
+    // whole chunks annihilated, everything else clean.
+    let mut d = deploy(33);
+    let dim = d.model.dim();
+    for chunk in [1usize, 9, 15] {
+        for i in (chunk * dim / 20)..((chunk + 1) * dim / 20) {
+            d.model.class_mut(2).flip(i);
+        }
+    }
+    let attacked = accuracy(&d.model, &d.queries, &d.labels);
+    let config = RecoveryConfig::builder()
+        .confidence_threshold(0.6)
+        .substitution_rate(0.5)
+        .build()
+        .expect("valid recovery config");
+    let mut engine = RecoveryEngine::new(config, d.config.softmax_beta);
+    for _ in 0..8 {
+        engine.run_stream(&mut d.model, &d.queries);
+    }
+    let recovered = accuracy(&d.model, &d.queries, &d.labels);
+    assert!(
+        recovered + 1e-9 >= attacked,
+        "overwrite regressed on burst: {attacked} -> {recovered}"
+    );
+    assert!(engine.stats().chunks_faulty > 0, "faulty chunks must be found");
+}
+
+#[test]
+fn recovery_engine_survives_garbage_traffic() {
+    // Pure-noise queries: almost nothing should clear the confidence
+    // threshold, and the model must remain essentially untouched.
+    let mut d = deploy(34);
+    let before = d.model.clone();
+    let mut sampler = HypervectorSampler::seed_from(77);
+    let garbage: Vec<_> = (0..300).map(|_| sampler.binary(4096)).collect();
+    let mut engine = majority_engine(d.config.softmax_beta, 4);
+    engine.run_stream(&mut d.model, &garbage);
+    let drift: usize = (0..d.model.num_classes())
+        .map(|c| d.model.class(c).hamming_distance(before.class(c)))
+        .sum();
+    let total = d.model.num_classes() * d.model.dim();
+    assert!(
+        (drift as f64) < total as f64 * 0.02,
+        "garbage traffic moved {drift} of {total} bits"
+    );
+}

@@ -1,0 +1,197 @@
+//! Multi-step attack campaigns: cumulative corruption over time.
+//!
+//! The paper's runtime story is not a single attack but *accumulation*:
+//! every interval, a few more cells flip, and without recovery the damage
+//! compounds until predictions break (§4: "overcome the noise accumulation").
+//! An [`AttackCampaign`] drives that process: it owns the set of
+//! already-corrupted positions and, at each step, flips enough *fresh*
+//! positions to reach the next cumulative error rate exactly.
+
+use crate::sampling::distinct_indices;
+use crate::schedule::ErrorRateSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Stateful attacker walking an [`ErrorRateSchedule`] over a fixed image
+/// size.
+///
+/// # Example
+///
+/// ```
+/// use faultsim::{AttackCampaign, ErrorRateSchedule};
+///
+/// let schedule = ErrorRateSchedule::from_cumulative(vec![0.02, 0.06, 0.10]);
+/// let mut campaign = AttackCampaign::new(schedule, 10_000, 1);
+/// let mut image = vec![0u64; 10_000 / 64 + 1];
+///
+/// let mut cumulative = 0;
+/// while let Some(flipped) = campaign.advance(&mut image) {
+///     cumulative += flipped;
+/// }
+/// assert_eq!(cumulative, 1_000); // exactly 10% of the image, in 3 steps
+/// ```
+pub struct AttackCampaign {
+    schedule: ErrorRateSchedule,
+    bit_len: usize,
+    corrupted: HashSet<usize>,
+    step: usize,
+    rng: StdRng,
+}
+
+impl AttackCampaign {
+    /// Creates a campaign over `bit_len` stored bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_len` is zero.
+    pub fn new(schedule: ErrorRateSchedule, bit_len: usize, seed: u64) -> Self {
+        assert!(bit_len > 0, "campaign needs a non-empty image");
+        Self {
+            schedule,
+            bit_len,
+            corrupted: HashSet::new(),
+            step: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of steps executed so far.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Total steps in the schedule.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Returns `true` if the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// Positions corrupted so far (unordered).
+    pub fn corrupted_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.corrupted.iter().copied()
+    }
+
+    /// Cumulative fraction of the image corrupted so far.
+    pub fn cumulative_rate(&self) -> f64 {
+        self.corrupted.len() as f64 / self.bit_len as f64
+    }
+
+    /// Executes the next step: flips fresh positions in `image` until the
+    /// cumulative corruption matches the schedule. Returns the number of
+    /// bits flipped this step, or `None` when the schedule is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is too small for the campaign's `bit_len`.
+    pub fn advance(&mut self, image: &mut [u64]) -> Option<usize> {
+        assert!(
+            self.bit_len <= image.len() * 64,
+            "image too small for campaign"
+        );
+        let target_rate = *self.schedule.cumulative_rates().get(self.step)?;
+        self.step += 1;
+        let target = (target_rate * self.bit_len as f64).round() as usize;
+        let needed = target.saturating_sub(self.corrupted.len());
+        let mut flipped = 0usize;
+        // Rejection-sample fresh positions; the schedule caps at 100% so
+        // this terminates.
+        while flipped < needed && self.corrupted.len() < self.bit_len {
+            for pos in distinct_indices(&mut self.rng, self.bit_len, needed - flipped) {
+                if self.corrupted.insert(pos) {
+                    image[pos / 64] ^= 1 << (pos % 64);
+                    flipped += 1;
+                }
+            }
+        }
+        Some(flipped)
+    }
+}
+
+impl fmt::Debug for AttackCampaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttackCampaign")
+            .field("bit_len", &self.bit_len)
+            .field("step", &self.step)
+            .field("corrupted", &self.corrupted.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ones(image: &[u64]) -> usize {
+        image.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    #[test]
+    fn campaign_reaches_each_cumulative_rate_exactly() {
+        let schedule = ErrorRateSchedule::from_cumulative(vec![0.01, 0.05, 0.10]);
+        let mut campaign = AttackCampaign::new(schedule, 6400, 3);
+        let mut image = vec![0u64; 100];
+        let expected = [64usize, 320, 640];
+        for (i, &total) in expected.iter().enumerate() {
+            campaign.advance(&mut image).expect("step exists");
+            assert_eq!(ones(&image), total, "after step {i}");
+            assert!((campaign.cumulative_rate() - total as f64 / 6400.0).abs() < 1e-12);
+        }
+        assert!(campaign.advance(&mut image).is_none());
+    }
+
+    #[test]
+    fn steps_never_reflip_corrupted_positions() {
+        // If a step re-flipped an old position, total ones would drop.
+        let schedule = ErrorRateSchedule::linear(0.0, 0.5, 10);
+        let mut campaign = AttackCampaign::new(schedule, 1280, 7);
+        let mut image = vec![0u64; 20];
+        let mut prev = 0;
+        while campaign.advance(&mut image).is_some() {
+            let now = ones(&image);
+            assert!(now >= prev, "ones decreased: {prev} -> {now}");
+            prev = now;
+        }
+        assert_eq!(prev, 640);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || {
+            let schedule = ErrorRateSchedule::linear(0.0, 0.2, 4);
+            let mut campaign = AttackCampaign::new(schedule, 640, 11);
+            let mut image = vec![0u64; 10];
+            while campaign.advance(&mut image).is_some() {}
+            image
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_schedule_is_immediately_exhausted() {
+        let schedule = ErrorRateSchedule::from_cumulative(vec![]);
+        let mut campaign = AttackCampaign::new(schedule, 64, 0);
+        assert!(campaign.is_empty());
+        assert!(campaign.advance(&mut [0u64; 1]).is_none());
+    }
+
+    #[test]
+    fn full_corruption_is_reachable() {
+        let schedule = ErrorRateSchedule::from_cumulative(vec![1.0]);
+        let mut campaign = AttackCampaign::new(schedule, 128, 5);
+        let mut image = vec![0u64; 2];
+        campaign.advance(&mut image);
+        assert_eq!(ones(&image), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty image")]
+    fn zero_bits_panics() {
+        AttackCampaign::new(ErrorRateSchedule::linear(0.0, 0.1, 1), 0, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Bit-level fault and attack injection for model memory images.
+//!
+//! The RobustHD evaluation subjects *stored model weights* to bit flips:
+//! random flips (technology noise, retention failures) and targeted flips
+//! (adversarial attacks on the most significant bits, as in Row Hammer based
+//! bit-flip attacks on DNNs). This crate implements those fault models over
+//! raw `u64` word images, so any model — binary hypervectors, 8-bit
+//! fixed-point DNN weights, AdaBoost stump parameters — can be attacked
+//! through its packed representation.
+//!
+//! * [`Attacker`] — seeded injector with random / targeted / row-burst /
+//!   stuck-at fault models.
+//! * [`AttackReport`] — what was actually flipped.
+//! * [`ErrorRateSchedule`] — cumulative error-rate sweeps for
+//!   lifetime-style experiments.
+//! * [`AttackCampaign`] — stateful multi-step corruption that accumulates
+//!   over time, the runtime threat model RobustHD's recovery counteracts.
+//!
+//! # Example
+//!
+//! ```
+//! use faultsim::Attacker;
+//!
+//! let mut image = vec![0u64; 64]; // 4096 stored bits
+//! let report = Attacker::seed_from(1).random_flips(&mut image, 4096, 0.10);
+//! assert_eq!(report.flipped_bits, 410); // exactly round(0.10 * 4096)
+//! let ones: u32 = image.iter().map(|w| w.count_ones()).sum();
+//! assert_eq!(ones, 410);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod attacker;
+mod campaign;
+mod report;
+mod sampling;
+mod schedule;
+
+pub use attacker::Attacker;
+pub use campaign::AttackCampaign;
+pub use report::AttackReport;
+pub use schedule::ErrorRateSchedule;

@@ -1,0 +1,60 @@
+use serde::{Deserialize, Serialize};
+
+/// Summary of one fault-injection pass, returned by every [`crate::Attacker`]
+/// method.
+///
+/// # Example
+///
+/// ```
+/// use faultsim::Attacker;
+///
+/// let mut image = vec![0u64; 2];
+/// let report = Attacker::seed_from(0).random_flips(&mut image, 128, 0.5);
+/// assert_eq!(report.bit_len, 128);
+/// assert!((report.achieved_rate() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// Error rate that was requested (fraction of stored bits).
+    pub requested_rate: f64,
+    /// Number of bits actually flipped (distinct positions).
+    pub flipped_bits: usize,
+    /// Size of the attacked image in bits.
+    pub bit_len: usize,
+}
+
+impl AttackReport {
+    /// Fraction of stored bits actually flipped.
+    pub fn achieved_rate(&self) -> f64 {
+        if self.bit_len == 0 {
+            0.0
+        } else {
+            self.flipped_bits as f64 / self.bit_len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn achieved_rate_is_flips_over_len() {
+        let r = AttackReport {
+            requested_rate: 0.1,
+            flipped_bits: 10,
+            bit_len: 100,
+        };
+        assert!((r.achieved_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_image_rate_is_zero() {
+        let r = AttackReport {
+            requested_rate: 0.1,
+            flipped_bits: 0,
+            bit_len: 0,
+        };
+        assert_eq!(r.achieved_rate(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples `count` distinct indices from `0..len`, capping at `len`.
+///
+/// Uses rejection sampling for sparse draws and a partial Fisher-Yates
+/// shuffle for dense draws, so both the 1%-of-a-megabit and the
+/// flip-everything cases stay fast.
+pub(crate) fn distinct_indices(rng: &mut StdRng, len: usize, count: usize) -> Vec<usize> {
+    let count = count.min(len);
+    if count == 0 {
+        return Vec::new();
+    }
+    if count * 4 <= len {
+        let mut chosen = HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let idx = rng.random_range(0..len);
+            if chosen.insert(idx) {
+                out.push(idx);
+            }
+        }
+        out
+    } else {
+        let mut all: Vec<usize> = (0..len).collect();
+        all.shuffle(rng);
+        all.truncate(count);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn returns_exact_count_of_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(len, count) in &[(100usize, 3usize), (100, 50), (100, 100), (10, 0)] {
+            let idx = distinct_indices(&mut rng, len, count);
+            assert_eq!(idx.len(), count);
+            let unique: HashSet<_> = idx.iter().collect();
+            assert_eq!(unique.len(), count, "indices must be distinct");
+            assert!(idx.iter().all(|&i| i < len));
+        }
+    }
+
+    #[test]
+    fn count_caps_at_len() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(distinct_indices(&mut rng, 10, 25).len(), 10);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = distinct_indices(&mut StdRng::seed_from_u64(3), 1000, 10);
+        let b = distinct_indices(&mut StdRng::seed_from_u64(3), 1000, 10);
+        assert_eq!(a, b);
+    }
+}

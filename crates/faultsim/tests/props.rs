@@ -1,0 +1,76 @@
+//! Property-based tests of the fault-injection models.
+
+use faultsim::{AttackCampaign, Attacker, ErrorRateSchedule};
+use proptest::prelude::*;
+
+fn ones(image: &[u64]) -> usize {
+    image.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+proptest! {
+    /// A targeted attack with budget below the field count only ever flips
+    /// MSB positions.
+    #[test]
+    fn targeted_hits_only_msbs_when_budget_fits(
+        fields in 4usize..40,
+        seed in any::<u64>(),
+    ) {
+        let field_bits = 8usize;
+        let bit_len = fields * field_bits;
+        let mut image = vec![0u64; bit_len.div_ceil(64)];
+        // Budget: half the fields.
+        let rate = (fields / 2) as f64 / bit_len as f64;
+        Attacker::seed_from(seed).targeted_flips(&mut image, bit_len, rate, field_bits);
+        for pos in 0..bit_len {
+            if (image[pos / 64] >> (pos % 64)) & 1 == 1 {
+                prop_assert_eq!(pos % field_bits, field_bits - 1, "non-MSB bit {} flipped", pos);
+            }
+        }
+    }
+
+    /// Row bursts flip whole aligned rows and nothing else.
+    #[test]
+    fn row_burst_is_row_aligned(rows_total in 2usize..10, rows_hit in 1usize..10, seed in any::<u64>()) {
+        let row_bits = 64usize;
+        let bit_len = rows_total * row_bits;
+        let mut image = vec![0u64; rows_total];
+        let report = Attacker::seed_from(seed).row_burst(&mut image, bit_len, row_bits, rows_hit.min(rows_total));
+        // Every word is either fully flipped or untouched.
+        for &word in &image {
+            prop_assert!(word == 0 || word == u64::MAX);
+        }
+        prop_assert_eq!(report.flipped_bits, ones(&image));
+    }
+
+    /// Stuck-at faults are idempotent: applying the same fault set twice
+    /// changes nothing further.
+    #[test]
+    fn stuck_at_is_idempotent(words in 1usize..8, rate in 0.0f64..=1.0, seed in any::<u64>()) {
+        let bit_len = words * 64;
+        let mut image: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0xdeadbeef)).collect();
+        Attacker::seed_from(seed).stuck_at(&mut image, bit_len, rate, true);
+        let after_once = image.clone();
+        Attacker::seed_from(seed).stuck_at(&mut image, bit_len, rate, true);
+        prop_assert_eq!(image, after_once);
+    }
+
+    /// A campaign's cumulative corruption matches the schedule exactly at
+    /// every step, never revisiting a position.
+    #[test]
+    fn campaign_tracks_schedule(
+        steps in prop::collection::vec(0.0f64..=0.5, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let mut cumulative: Vec<f64> = steps.clone();
+        cumulative.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let schedule = ErrorRateSchedule::from_cumulative(cumulative.clone());
+        let bit_len = 1280usize;
+        let mut campaign = AttackCampaign::new(schedule, bit_len, seed);
+        let mut image = vec![0u64; bit_len / 64];
+        for &rate in &cumulative {
+            campaign.advance(&mut image).expect("step exists");
+            let expected = (rate * bit_len as f64).round() as usize;
+            prop_assert_eq!(ones(&image), expected, "at rate {}", rate);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when two hypervectors of different dimensionality are
+/// combined.
+///
+/// Most binary operators in this crate panic on mismatched dimensions (the
+/// mismatch is a programming error), but fallible entry points such as
+/// [`crate::BinaryHypervector::try_bind`] return this error instead so that
+/// callers handling untrusted dimensions can recover.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::{BinaryHypervector, DimensionMismatchError};
+///
+/// let a = BinaryHypervector::zeros(64);
+/// let b = BinaryHypervector::zeros(128);
+/// let err: DimensionMismatchError = a.try_bind(&b).unwrap_err();
+/// assert_eq!(err.left(), 64);
+/// assert_eq!(err.right(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionMismatchError {
+    left: usize,
+    right: usize,
+}
+
+impl DimensionMismatchError {
+    pub(crate) fn new(left: usize, right: usize) -> Self {
+        Self { left, right }
+    }
+
+    /// Dimensionality of the left-hand operand.
+    pub fn left(&self) -> usize {
+        self.left
+    }
+
+    /// Dimensionality of the right-hand operand.
+    pub fn right(&self) -> usize {
+        self.right
+    }
+}
+
+impl fmt::Display for DimensionMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hypervector dimensions do not match: {} vs {}",
+            self.left, self.right
+        )
+    }
+}
+
+impl Error for DimensionMismatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_dimensions() {
+        let err = DimensionMismatchError::new(10, 20);
+        let msg = err.to_string();
+        assert!(msg.contains("10"));
+        assert!(msg.contains("20"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DimensionMismatchError>();
+    }
+}

@@ -1,0 +1,220 @@
+//! Item memory: the associative cleanup structure of classic HDC systems.
+//!
+//! An item memory stores named hypervectors and, given a noisy query,
+//! returns the *cleanest* stored item — the nearest neighbour in Hamming
+//! space. Superposed or corrupted vectors "clean up" to their closest
+//! stored prototype, which is how HDC systems decode bound/bundled
+//! composites back into symbols.
+
+use crate::binary::BinaryHypervector;
+use serde::{Deserialize, Serialize};
+
+/// A named associative store of binary hypervectors.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::{random::HypervectorSampler, ItemMemory};
+///
+/// let mut sampler = HypervectorSampler::seed_from(3);
+/// let mut memory = ItemMemory::new(1024);
+/// memory.insert("apple", sampler.binary(1024));
+/// memory.insert("pear", sampler.binary(1024));
+///
+/// // A corrupted copy of "apple" cleans up to "apple".
+/// let noisy = sampler.flip_noise(memory.get("apple").expect("stored"), 0.2);
+/// let (name, similarity) = memory.cleanup(&noisy).expect("memory not empty");
+/// assert_eq!(name, "apple");
+/// assert!(similarity > 0.7);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ItemMemory {
+    dim: usize,
+    names: Vec<String>,
+    items: Vec<BinaryHypervector>,
+}
+
+impl ItemMemory {
+    /// Creates an empty item memory for hypervectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            names: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Dimensionality of the stored items.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Stores (or replaces) an item under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hypervector's dimension differs from the memory's.
+    pub fn insert(&mut self, name: impl Into<String>, item: BinaryHypervector) {
+        assert_eq!(
+            item.dim(),
+            self.dim,
+            "item dimension {} does not match memory dimension {}",
+            item.dim(),
+            self.dim
+        );
+        let name = name.into();
+        if let Some(pos) = self.names.iter().position(|n| *n == name) {
+            self.items[pos] = item;
+        } else {
+            self.names.push(name);
+            self.items.push(item);
+        }
+    }
+
+    /// Looks an item up by name.
+    pub fn get(&self, name: &str) -> Option<&BinaryHypervector> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|pos| &self.items[pos])
+    }
+
+    /// Removes an item by name, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<BinaryHypervector> {
+        let pos = self.names.iter().position(|n| n == name)?;
+        self.names.remove(pos);
+        Some(self.items.remove(pos))
+    }
+
+    /// Cleans a (possibly noisy) query up to the nearest stored item,
+    /// returning its name and normalized similarity. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the memory's.
+    pub fn cleanup(&self, query: &BinaryHypervector) -> Option<(&str, f64)> {
+        assert_eq!(
+            query.dim(),
+            self.dim,
+            "query dimension {} does not match memory dimension {}",
+            query.dim(),
+            self.dim
+        );
+        self.items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, item)| item.hamming_distance(query))
+            .map(|(pos, item)| (self.names[pos].as_str(), item.similarity(query)))
+    }
+
+    /// The `k` nearest stored items, most similar first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the memory's.
+    pub fn nearest(&self, query: &BinaryHypervector, k: usize) -> Vec<(&str, f64)> {
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        let mut scored: Vec<(&str, f64)> = self
+            .names
+            .iter()
+            .zip(&self.items)
+            .map(|(name, item)| (name.as_str(), item.similarity(query)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Iterates over `(name, item)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BinaryHypervector)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.items.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::HypervectorSampler;
+
+    fn filled(count: usize, dim: usize) -> (ItemMemory, HypervectorSampler) {
+        let mut sampler = HypervectorSampler::seed_from(9);
+        let mut memory = ItemMemory::new(dim);
+        for i in 0..count {
+            memory.insert(format!("item{i}"), sampler.binary(dim));
+        }
+        (memory, sampler)
+    }
+
+    #[test]
+    fn cleanup_recovers_noisy_items() {
+        let (memory, mut sampler) = filled(8, 4096);
+        for i in 0..8 {
+            let name = format!("item{i}");
+            let noisy = sampler.flip_noise(memory.get(&name).expect("stored"), 0.25);
+            let (found, sim) = memory.cleanup(&noisy).expect("not empty");
+            assert_eq!(found, name, "item {i}");
+            assert!(sim > 0.6);
+        }
+    }
+
+    #[test]
+    fn insert_replaces_existing_name() {
+        let (mut memory, mut sampler) = filled(2, 256);
+        let replacement = sampler.binary(256);
+        memory.insert("item0", replacement.clone());
+        assert_eq!(memory.len(), 2);
+        assert_eq!(memory.get("item0"), Some(&replacement));
+    }
+
+    #[test]
+    fn remove_deletes_item() {
+        let (mut memory, _) = filled(3, 128);
+        assert!(memory.remove("item1").is_some());
+        assert_eq!(memory.len(), 2);
+        assert!(memory.get("item1").is_none());
+        assert!(memory.remove("item1").is_none());
+    }
+
+    #[test]
+    fn nearest_ranks_by_similarity() {
+        let (memory, mut sampler) = filled(5, 2048);
+        let noisy = sampler.flip_noise(memory.get("item3").expect("stored"), 0.1);
+        let top = memory.nearest(&noisy, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, "item3");
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn empty_memory_cleans_to_none() {
+        let memory = ItemMemory::new(64);
+        assert!(memory.is_empty());
+        assert!(memory.cleanup(&BinaryHypervector::zeros(64)).is_none());
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let (memory, _) = filled(4, 64);
+        let names: Vec<&str> = memory.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["item0", "item1", "item2", "item3"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match memory dimension")]
+    fn wrong_dimension_insert_panics() {
+        ItemMemory::new(64).insert("x", BinaryHypervector::zeros(65));
+    }
+}

@@ -1,0 +1,57 @@
+//! Bit-packed hypervectors and the hyperdimensional-computing operator algebra.
+//!
+//! This crate is the numeric substrate of the RobustHD reproduction. It
+//! provides:
+//!
+//! * [`PackedBits`] — a dense, bit-addressable buffer backed by `u64` words,
+//!   with constant-time word access so fault injectors can flip raw bits.
+//! * [`BinaryHypervector`] — a `{0,1}^D` hypervector supporting binding
+//!   (XOR), permutation (rotation), and Hamming-distance similarity.
+//! * [`IntHypervector`] — a low-precision integer hypervector used for the
+//!   multi-bit model-precision study (Table 1 of the paper).
+//! * [`BundleAccumulator`] — element-wise counters used to bundle (add) many
+//!   binary hypervectors and threshold them back to a binary model.
+//! * [`ItemMemory`] — the associative cleanup memory of classic HDC
+//!   systems.
+//! * [`SequenceEncoder`] — order-sensitive n-gram encoding of symbol
+//!   streams.
+//! * [`random`] — seeded generators for base, level, and orthogonal
+//!   hypervector sets.
+//! * [`similarity`] — Hamming / normalized / dot / cosine similarity kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use hypervector::{BinaryHypervector, random::HypervectorSampler};
+//!
+//! let mut sampler = HypervectorSampler::seed_from(7);
+//! let a = sampler.binary(10_000);
+//! let b = sampler.binary(10_000);
+//! // Random hypervectors are nearly orthogonal: distance ~ D/2.
+//! let d = a.hamming_distance(&b);
+//! assert!((4_500..5_500).contains(&d));
+//! // Binding is self-inverse.
+//! let bound = a.bind(&b);
+//! assert_eq!(bound.bind(&b), a);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accumulator;
+mod binary;
+mod bitvec;
+mod error;
+mod itemmemory;
+mod multibit;
+pub mod random;
+mod sequence;
+pub mod similarity;
+
+pub use accumulator::BundleAccumulator;
+pub use binary::BinaryHypervector;
+pub use bitvec::PackedBits;
+pub use error::DimensionMismatchError;
+pub use itemmemory::ItemMemory;
+pub use multibit::{IntHypervector, Precision};
+pub use sequence::SequenceEncoder;

@@ -1,0 +1,350 @@
+use crate::binary::BinaryHypervector;
+use crate::bitvec::PackedBits;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bits used to store each hypervector element.
+///
+/// Table 1 of the paper studies 1-bit and 2-bit models; this type supports
+/// 1 through 8 bits.
+///
+/// * `Precision(1)` is a **sign encoding**: elements are `-1` or `+1`, one
+///   stored bit each (`1` encodes `-1`).
+/// * `Precision(b)` for `b > 1` is **two's complement**: elements span
+///   `[-2^(b-1), 2^(b-1) - 1]`, `b` stored bits each.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::Precision;
+///
+/// let p = Precision::new(2).expect("2 bits is valid");
+/// assert_eq!(p.bits(), 2);
+/// assert_eq!((p.min_value(), p.max_value()), (-2, 1));
+/// assert!(Precision::new(0).is_none());
+/// assert!(Precision::new(9).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Precision(u8);
+
+impl Precision {
+    /// Creates a precision of `bits` bits, if `1 <= bits <= 8`.
+    pub fn new(bits: u8) -> Option<Self> {
+        (1..=8).contains(&bits).then_some(Self(bits))
+    }
+
+    /// The 1-bit (binary / bipolar) precision RobustHD always deploys with.
+    pub const BINARY: Precision = Precision(1);
+
+    /// Number of stored bits per element.
+    pub fn bits(&self) -> u8 {
+        self.0
+    }
+
+    /// Smallest representable element value.
+    pub fn min_value(&self) -> i32 {
+        if self.0 == 1 {
+            -1
+        } else {
+            -(1 << (self.0 - 1))
+        }
+    }
+
+    /// Largest representable element value.
+    pub fn max_value(&self) -> i32 {
+        if self.0 == 1 {
+            1
+        } else {
+            (1 << (self.0 - 1)) - 1
+        }
+    }
+
+    /// Returns `true` if `value` is representable at this precision.
+    pub fn contains(&self, value: i32) -> bool {
+        if self.0 == 1 {
+            value == -1 || value == 1
+        } else {
+            (self.min_value()..=self.max_value()).contains(&value)
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+/// A hypervector whose elements are low-precision signed integers.
+///
+/// This is the "multi-bit model" of Table 1: bundled class counts quantized
+/// to `b` bits per dimension. Similarity against a binary query is the
+/// bipolar dot product ([`IntHypervector::dot_binary`]).
+///
+/// The stored form is bit-exact: [`IntHypervector::pack`] lays the elements
+/// out as contiguous `b`-bit fields so fault injectors can flip stored bits,
+/// and [`IntHypervector::from_packed`] decodes a (possibly corrupted) image
+/// back into element values. A flip of a high-order stored bit changes the
+/// element by a large magnitude, which is exactly why higher precision is
+/// *less* robust — the effect Table 1 measures.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::{IntHypervector, Precision};
+///
+/// let p = Precision::new(2).expect("valid");
+/// let hv = IntHypervector::from_values(vec![1, -2, 0, 1], p);
+/// let packed = hv.pack();
+/// let decoded = IntHypervector::from_packed(&packed, 4, p);
+/// assert_eq!(decoded, hv);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntHypervector {
+    values: Vec<i32>,
+    precision: Precision,
+}
+
+impl IntHypervector {
+    /// Wraps element values at the given precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not representable at `precision`.
+    pub fn from_values(values: Vec<i32>, precision: Precision) -> Self {
+        for (i, &v) in values.iter().enumerate() {
+            assert!(
+                precision.contains(v),
+                "value {v} at index {i} not representable at {precision}"
+            );
+        }
+        Self { values, precision }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Element precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Borrows the element values.
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Bipolar dot-product similarity against a binary query: a one-bit in
+    /// the query contributes `+value`, a zero-bit `-value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot_binary(&self, query: &BinaryHypervector) -> i64 {
+        assert_eq!(self.dim(), query.dim(), "dimension mismatch in dot_binary");
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if query.get(i) { v as i64 } else { -(v as i64) })
+            .sum()
+    }
+
+    /// Sign-thresholds to a binary hypervector (`value > 0` → one; zero maps
+    /// by index parity to stay deterministic).
+    pub fn to_binary(&self) -> BinaryHypervector {
+        BinaryHypervector::from_fn(self.dim(), |i| {
+            let v = self.values[i];
+            if v != 0 {
+                v > 0
+            } else {
+                i % 2 == 0
+            }
+        })
+    }
+
+    /// Encodes the elements as contiguous `b`-bit stored fields.
+    ///
+    /// 1-bit precision stores the sign (`1` ↔ `-1`); wider precisions store
+    /// two's complement. The resulting image has `dim * b` bits.
+    pub fn pack(&self) -> PackedBits {
+        let b = self.precision.bits() as usize;
+        let mut bits = PackedBits::zeros(self.dim() * b);
+        for (i, &v) in self.values.iter().enumerate() {
+            if b == 1 {
+                bits.set(i, v < 0);
+            } else {
+                let field = (v as u32) & ((1u32 << b) - 1);
+                for j in 0..b {
+                    bits.set(i * b + j, (field >> j) & 1 == 1);
+                }
+            }
+        }
+        bits
+    }
+
+    /// Decodes a stored image (possibly corrupted by bit flips) back into an
+    /// integer hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != dim * precision.bits()`.
+    pub fn from_packed(bits: &PackedBits, dim: usize, precision: Precision) -> Self {
+        let b = precision.bits() as usize;
+        assert_eq!(
+            bits.len(),
+            dim * b,
+            "packed image length {} does not match dim {dim} x {b} bits",
+            bits.len()
+        );
+        let values = (0..dim)
+            .map(|i| {
+                if b == 1 {
+                    if bits.get(i) {
+                        -1
+                    } else {
+                        1
+                    }
+                } else {
+                    let mut field = 0u32;
+                    for j in 0..b {
+                        if bits.get(i * b + j) {
+                            field |= 1 << j;
+                        }
+                    }
+                    // Sign-extend the b-bit two's complement field.
+                    if field & (1 << (b - 1)) != 0 {
+                        (field as i32) - (1 << b)
+                    } else {
+                        field as i32
+                    }
+                }
+            })
+            .collect();
+        Self { values, precision }
+    }
+}
+
+impl fmt::Debug for IntHypervector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IntHypervector(dim={}, precision={})",
+            self.dim(),
+            self.precision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u8) -> Precision {
+        Precision::new(bits).expect("valid precision")
+    }
+
+    #[test]
+    fn precision_ranges() {
+        assert_eq!((p(1).min_value(), p(1).max_value()), (-1, 1));
+        assert_eq!((p(2).min_value(), p(2).max_value()), (-2, 1));
+        assert_eq!((p(4).min_value(), p(4).max_value()), (-8, 7));
+        assert_eq!((p(8).min_value(), p(8).max_value()), (-128, 127));
+    }
+
+    #[test]
+    fn precision_one_excludes_zero() {
+        assert!(!p(1).contains(0));
+        assert!(p(1).contains(1));
+        assert!(p(1).contains(-1));
+        assert!(p(2).contains(0));
+    }
+
+    #[test]
+    fn invalid_precisions_rejected() {
+        assert!(Precision::new(0).is_none());
+        assert!(Precision::new(9).is_none());
+        assert_eq!(Precision::BINARY, p(1));
+    }
+
+    #[test]
+    fn pack_roundtrip_all_precisions() {
+        for bits in 1..=8u8 {
+            let prec = p(bits);
+            let values: Vec<i32> = (0..64)
+                .map(|i| {
+                    if bits == 1 {
+                        if i % 2 == 0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    } else {
+                        let span = (prec.max_value() - prec.min_value() + 1) as i32;
+                        prec.min_value() + (i * 7 % span)
+                    }
+                })
+                .collect();
+            let hv = IntHypervector::from_values(values, prec);
+            let decoded = IntHypervector::from_packed(&hv.pack(), 64, prec);
+            assert_eq!(decoded, hv, "roundtrip failed at {bits} bits");
+        }
+    }
+
+    #[test]
+    fn pack_length_is_dim_times_bits() {
+        let hv = IntHypervector::from_values(vec![0; 100], p(3));
+        assert_eq!(hv.pack().len(), 300);
+    }
+
+    #[test]
+    fn bit_flip_in_msb_changes_value_by_large_magnitude() {
+        let prec = p(8);
+        let hv = IntHypervector::from_values(vec![0], prec);
+        let mut image = hv.pack();
+        image.flip(7); // sign bit of the 8-bit field
+        let corrupted = IntHypervector::from_packed(&image, 1, prec);
+        assert_eq!(corrupted.values()[0], -128);
+    }
+
+    #[test]
+    fn bit_flip_in_binary_changes_value_by_two() {
+        let prec = p(1);
+        let hv = IntHypervector::from_values(vec![1, 1], prec);
+        let mut image = hv.pack();
+        image.flip(0);
+        let corrupted = IntHypervector::from_packed(&image, 2, prec);
+        assert_eq!(corrupted.values(), &[-1, 1]);
+    }
+
+    #[test]
+    fn dot_binary_matches_manual_sum() {
+        let prec = p(4);
+        let hv = IntHypervector::from_values(vec![3, -2, 5, 0], prec);
+        let query = BinaryHypervector::from_fn(4, |i| i < 2);
+        // one-bits contribute +value, zero-bits -value: +3 - 2 - 5 - 0
+        assert_eq!(hv.dot_binary(&query), 3 - 2 - 5 - 0);
+    }
+
+    #[test]
+    fn to_binary_takes_signs() {
+        let hv = IntHypervector::from_values(vec![5, -3, 0, 0], p(4));
+        let b = hv.to_binary();
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(2)); // zero at even index → one
+        assert!(!b.get(3)); // zero at odd index → zero
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn from_values_validates_range() {
+        IntHypervector::from_values(vec![2], p(2));
+    }
+
+    #[test]
+    fn display_precision() {
+        assert_eq!(p(2).to_string(), "2-bit");
+    }
+}

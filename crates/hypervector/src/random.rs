@@ -1,0 +1,287 @@
+//! Seeded generation of random, level, and orthogonal hypervector sets.
+//!
+//! All generators are deterministic given a seed so every experiment in the
+//! reproduction is replayable bit-for-bit.
+
+use crate::binary::BinaryHypervector;
+use crate::bitvec::PackedBits;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Deterministic source of random hypervectors.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::random::HypervectorSampler;
+///
+/// let mut s1 = HypervectorSampler::seed_from(9);
+/// let mut s2 = HypervectorSampler::seed_from(9);
+/// assert_eq!(s1.binary(1024), s2.binary(1024));
+/// ```
+pub struct HypervectorSampler {
+    rng: StdRng,
+}
+
+impl HypervectorSampler {
+    /// Creates a sampler from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples one i.i.d. uniform binary hypervector of dimension `dim`.
+    pub fn binary(&mut self, dim: usize) -> BinaryHypervector {
+        let mut bits = PackedBits::zeros(dim);
+        for word in bits.words_mut() {
+            *word = self.rng.random();
+        }
+        bits.mask_tail();
+        BinaryHypervector::from_bits(bits)
+    }
+
+    /// Samples `count` independent base hypervectors.
+    ///
+    /// Independent random hypervectors of large `dim` are nearly orthogonal
+    /// (pairwise Hamming distance ≈ `dim / 2`), which is what the
+    /// record-based encoder relies on to keep feature positions separable.
+    pub fn base_set(&mut self, count: usize, dim: usize) -> Vec<BinaryHypervector> {
+        (0..count).map(|_| self.binary(dim)).collect()
+    }
+
+    /// Builds a chain of `levels` *locally* correlated level hypervectors.
+    ///
+    /// Level 0 is random. Each subsequent level flips `dim / (2 ×
+    /// correlation_length)` randomly chosen positions (with replacement
+    /// across steps), so the similarity between levels `i` and `j` decays
+    /// exponentially toward orthogonality with scale `correlation_length`:
+    /// nearby levels stay similar (preserving the ordinal structure of
+    /// quantized features) while distant levels are near-orthogonal. The
+    /// near-orthogonality of distant values is what keeps encodings of
+    /// different classes decorrelated — the property HDC's robustness and
+    /// RobustHD's recovery stability rest on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or `correlation_length == 0`.
+    pub fn level_set(
+        &mut self,
+        levels: usize,
+        dim: usize,
+        correlation_length: usize,
+    ) -> Vec<BinaryHypervector> {
+        assert!(levels > 0, "level_set requires at least one level");
+        assert!(correlation_length > 0, "correlation length must be positive");
+        let mut out = Vec::with_capacity(levels);
+        let first = self.binary(dim);
+        out.push(first);
+        if levels == 1 {
+            return out;
+        }
+        let per_step = (dim / (2 * correlation_length)).max(1);
+        for step in 1..levels {
+            let mut next = out[step - 1].clone();
+            for _ in 0..per_step {
+                let pos = self.rng.random_range(0..dim);
+                next.flip(pos);
+            }
+            out.push(next);
+        }
+        out
+    }
+
+    /// Builds the classic linear (thermometer) chain: each step flips a
+    /// fresh, disjoint `dim / (2 × (levels − 1))` slice, so distance grows
+    /// linearly with level separation and the extremes differ in `dim / 2`
+    /// positions. Kept for the encoder ablation; [`HypervectorSampler::level_set`]
+    /// is the default used by the RobustHD encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn level_set_linear(&mut self, levels: usize, dim: usize) -> Vec<BinaryHypervector> {
+        assert!(levels > 0, "level_set_linear requires at least one level");
+        let mut out = Vec::with_capacity(levels);
+        let first = self.binary(dim);
+        out.push(first);
+        if levels == 1 {
+            return out;
+        }
+        // A random permutation of positions, consumed in disjoint slices so
+        // no bit is flipped twice along the chain.
+        let mut order: Vec<usize> = (0..dim).collect();
+        order.shuffle(&mut self.rng);
+        let per_step = dim / (2 * (levels - 1));
+        for step in 1..levels {
+            let mut next = out[step - 1].clone();
+            let lo = (step - 1) * per_step;
+            let hi = (step * per_step).min(dim);
+            for &pos in &order[lo..hi] {
+                next.flip(pos);
+            }
+            out.push(next);
+        }
+        out
+    }
+
+    /// Flips each component of `hv` independently with probability `p`.
+    ///
+    /// Utility for constructing noisy variants of a vector with a known
+    /// expected corruption rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn flip_noise(&mut self, hv: &BinaryHypervector, p: f64) -> BinaryHypervector {
+        assert!((0.0..=1.0).contains(&p), "flip probability {p} outside [0,1]");
+        let mut out = hv.clone();
+        for i in 0..hv.dim() {
+            if self.rng.random_bool(p) {
+                out.flip(i);
+            }
+        }
+        out
+    }
+
+    /// Access to the underlying RNG for callers composing custom sampling.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl fmt::Debug for HypervectorSampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("HypervectorSampler(StdRng)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_sampler_is_deterministic() {
+        let mut a = HypervectorSampler::seed_from(100);
+        let mut b = HypervectorSampler::seed_from(100);
+        for _ in 0..3 {
+            assert_eq!(a.binary(333), b.binary(333));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = HypervectorSampler::seed_from(1);
+        let mut b = HypervectorSampler::seed_from(2);
+        assert_ne!(a.binary(512), b.binary(512));
+    }
+
+    #[test]
+    fn random_binary_is_balanced() {
+        let mut s = HypervectorSampler::seed_from(3);
+        let hv = s.binary(10_000);
+        let ones = hv.count_ones();
+        assert!((4_500..5_500).contains(&ones), "unbalanced: {ones}");
+    }
+
+    #[test]
+    fn base_set_is_near_orthogonal() {
+        let mut s = HypervectorSampler::seed_from(4);
+        let set = s.base_set(5, 8192);
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                let d = set[i].hamming_distance(&set[j]);
+                assert!(
+                    (3_500..4_700).contains(&d),
+                    "pair ({i},{j}) distance {d} not near D/2"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_levels_decay_to_orthogonal() {
+        let mut s = HypervectorSampler::seed_from(5);
+        let levels = s.level_set(64, 10_000, 8);
+        // Adjacent levels stay similar.
+        let step = levels[0].hamming_distance(&levels[1]);
+        assert!(step <= 10_000 / 16 + 50, "adjacent step too large: {step}");
+        // Distant levels are near-orthogonal.
+        let far = levels[0].hamming_distance(&levels[63]);
+        assert!((4_300..=5_300).contains(&far), "distant levels distance {far}");
+        // Distance beyond a few correlation lengths saturates rather than
+        // growing linearly.
+        let mid = levels[0].hamming_distance(&levels[32]);
+        assert!(
+            (far as f64 - mid as f64).abs() < 700.0,
+            "no saturation: mid {mid} vs far {far}"
+        );
+    }
+
+    #[test]
+    fn linear_levels_grow_monotonically() {
+        let mut s = HypervectorSampler::seed_from(51);
+        let levels = s.level_set_linear(11, 10_000);
+        let d0 = |l: &BinaryHypervector| levels[0].hamming_distance(l);
+        for w in levels.windows(2) {
+            assert!(d0(&w[1]) >= d0(&w[0]), "level distance not monotone");
+        }
+        let extreme = levels[0].hamming_distance(&levels[10]);
+        assert!((4_500..=5_100).contains(&extreme), "extreme distance {extreme}");
+    }
+
+    #[test]
+    fn adjacent_levels_are_similar() {
+        let mut s = HypervectorSampler::seed_from(6);
+        let levels = s.level_set(21, 10_000, 10);
+        let step = levels[0].hamming_distance(&levels[1]);
+        assert!(step <= 10_000 / 20 + 50, "adjacent step too large: {step}");
+    }
+
+    #[test]
+    fn single_level_set_is_valid() {
+        let mut s = HypervectorSampler::seed_from(7);
+        let levels = s.level_set(1, 100, 4);
+        assert_eq!(levels.len(), 1);
+        let linear = s.level_set_linear(1, 100);
+        assert_eq!(linear.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        HypervectorSampler::seed_from(8).level_set(0, 100, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation length")]
+    fn zero_correlation_length_panics() {
+        HypervectorSampler::seed_from(8).level_set(4, 100, 0);
+    }
+
+    #[test]
+    fn flip_noise_rate_is_close_to_p() {
+        let mut s = HypervectorSampler::seed_from(9);
+        let hv = s.binary(50_000);
+        let noisy = s.flip_noise(&hv, 0.1);
+        let flipped = hv.hamming_distance(&noisy);
+        assert!((4_200..5_800).contains(&flipped), "flip count {flipped}");
+    }
+
+    #[test]
+    fn flip_noise_zero_is_identity() {
+        let mut s = HypervectorSampler::seed_from(10);
+        let hv = s.binary(1000);
+        assert_eq!(s.flip_noise(&hv, 0.0), hv);
+    }
+
+    #[test]
+    fn flip_noise_one_is_complement() {
+        let mut s = HypervectorSampler::seed_from(11);
+        let hv = s.binary(1000);
+        let c = s.flip_noise(&hv, 1.0);
+        assert_eq!(hv.hamming_distance(&c), 1000);
+    }
+}

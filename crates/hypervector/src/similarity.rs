@@ -1,0 +1,167 @@
+//! Similarity kernels shared across the workspace.
+//!
+//! Binary hypervectors compare by Hamming distance; integer hypervectors by
+//! bipolar dot product; real-valued vectors (used by the baselines) by dot
+//! and cosine. All kernels are plain functions so callers can compose them
+//! with any storage.
+
+use crate::binary::BinaryHypervector;
+
+/// Hamming distance between two binary hypervectors.
+///
+/// Convenience re-export of [`BinaryHypervector::hamming_distance`] in
+/// function form for use with iterator pipelines.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::{similarity, BinaryHypervector};
+///
+/// let a = BinaryHypervector::zeros(8);
+/// let b = BinaryHypervector::ones(8);
+/// assert_eq!(similarity::hamming(&a, &b), 8);
+/// ```
+pub fn hamming(a: &BinaryHypervector, b: &BinaryHypervector) -> usize {
+    a.hamming_distance(b)
+}
+
+/// Normalized Hamming similarity in `[0, 1]`; see
+/// [`BinaryHypervector::similarity`].
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn normalized(a: &BinaryHypervector, b: &BinaryHypervector) -> f64 {
+    a.similarity(b)
+}
+
+/// Dot product of two real vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch in dot");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine similarity of two real vectors; zero vectors score 0.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let denom = dot(a, a).sqrt() * dot(b, b).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / denom
+    }
+}
+
+/// Softmax normalization of raw scores, returning a probability vector.
+///
+/// Used by RobustHD's prediction-confidence block to turn per-class
+/// similarities into a confidence distribution. Numerically stabilized by
+/// subtracting the maximum score. An empty input returns an empty vector.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::similarity::softmax;
+///
+/// let probs = softmax(&[1.0, 1.0]);
+/// assert!((probs[0] - 0.5).abs() < 1e-12);
+/// let sum: f64 = softmax(&[3.0, -1.0, 0.5]).iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-12);
+/// ```
+pub fn softmax(scores: &[f64]) -> Vec<f64> {
+    let Some(max) = scores.iter().copied().reduce(f64::max) else {
+        return Vec::new();
+    };
+    let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax with inverse temperature `beta` (`beta = 1.0` is plain softmax;
+/// larger `beta` sharpens the distribution).
+///
+/// RobustHD's confidence threshold is calibrated on sharpened similarities
+/// because raw Hamming similarities of high-dimensional data cluster near
+/// 0.5.
+pub fn softmax_with_temperature(scores: &[f64], beta: f64) -> Vec<f64> {
+    let scaled: Vec<f64> = scores.iter().map(|&s| s * beta).collect();
+    softmax(&scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_and_normalized_agree() {
+        let a = BinaryHypervector::from_fn(10, |i| i < 5);
+        let b = BinaryHypervector::zeros(10);
+        assert_eq!(hamming(&a, &b), 5);
+        assert!((normalized(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_is_one() {
+        let a = [1.0, 2.0];
+        let b = [2.0, 4.0];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let probs = softmax(&[0.1, 0.9, 0.3, 0.2]);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_is_monotone() {
+        let probs = softmax(&[0.1, 0.9, 0.3]);
+        assert!(probs[1] > probs[2] && probs[2] > probs[0]);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_scores() {
+        let probs = softmax(&[1000.0, -1000.0]);
+        assert!(probs[0] > 0.999);
+        assert!(probs.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty_is_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn temperature_sharpens() {
+        let soft = softmax_with_temperature(&[0.6, 0.4], 1.0);
+        let sharp = softmax_with_temperature(&[0.6, 0.4], 50.0);
+        assert!(sharp[0] > soft[0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the hypervector algebra.
+
+use hypervector::random::HypervectorSampler;
+use hypervector::{BinaryHypervector, BundleAccumulator, ItemMemory, PackedBits, SequenceEncoder};
+use proptest::prelude::*;
+
+fn hv(bits: &[bool]) -> BinaryHypervector {
+    BinaryHypervector::from_fn(bits.len(), |i| bits[i])
+}
+
+proptest! {
+    /// Rotation is a bijection: rotating by `s` then by `dim - s` is the
+    /// identity, and rotation preserves popcount.
+    #[test]
+    fn permute_is_bijective(
+        bits in prop::collection::vec(any::<bool>(), 1..200),
+        shift in 0usize..400,
+    ) {
+        let v = hv(&bits);
+        let dim = v.dim();
+        let rotated = v.permute(shift);
+        prop_assert_eq!(rotated.count_ones(), v.count_ones());
+        let back = rotated.permute(dim - (shift % dim));
+        prop_assert_eq!(back, v);
+    }
+
+    /// Range Hamming distances over a partition sum to the total distance,
+    /// for arbitrary partition points.
+    #[test]
+    fn range_distance_partitions(
+        a in prop::collection::vec(any::<bool>(), 100),
+        b in prop::collection::vec(any::<bool>(), 100),
+        cut in 0usize..=100,
+    ) {
+        let (ha, hb) = (hv(&a), hv(&b));
+        let left = ha.hamming_distance_range(&hb, 0, cut);
+        let right = ha.hamming_distance_range(&hb, cut, 100);
+        prop_assert_eq!(left + right, ha.hamming_distance(&hb));
+    }
+
+    /// copy_range_from makes the range identical and leaves the rest alone.
+    #[test]
+    fn copy_range_semantics(
+        a in prop::collection::vec(any::<bool>(), 80),
+        b in prop::collection::vec(any::<bool>(), 80),
+        bounds in (0usize..=80, 0usize..=80),
+    ) {
+        let (lo, hi) = (bounds.0.min(bounds.1), bounds.0.max(bounds.1));
+        let mut dst = PackedBits::from_bools(&a);
+        let src = PackedBits::from_bools(&b);
+        dst.copy_range_from(&src, lo, hi);
+        for i in 0..80 {
+            let expected = if (lo..hi).contains(&i) { b[i] } else { a[i] };
+            prop_assert_eq!(dst.get(i), expected, "bit {}", i);
+        }
+    }
+
+    /// Bundling then subtracting every vector returns the accumulator to
+    /// its empty state.
+    #[test]
+    fn bundle_subtract_cancels(
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 48), 1..6),
+    ) {
+        let mut acc = BundleAccumulator::new(48);
+        for row in &rows {
+            acc.add(&hv(row));
+        }
+        for row in &rows {
+            acc.subtract(&hv(row));
+        }
+        prop_assert!(acc.counts().iter().all(|&c| c == 0));
+        prop_assert_eq!(acc.added(), 0);
+    }
+
+    /// An exact stored item always cleans up to itself with similarity 1.
+    #[test]
+    fn item_memory_exact_cleanup(count in 1usize..6, probe in 0usize..6) {
+        let mut sampler = HypervectorSampler::seed_from(5);
+        let mut memory = ItemMemory::new(512);
+        let mut items = Vec::new();
+        for i in 0..count {
+            let item = sampler.binary(512);
+            memory.insert(format!("i{i}"), item.clone());
+            items.push(item);
+        }
+        let probe = probe % count;
+        let (name, sim) = memory.cleanup(&items[probe]).expect("non-empty");
+        prop_assert_eq!(name, format!("i{probe}"));
+        prop_assert!((sim - 1.0).abs() < 1e-12);
+    }
+
+    /// Sequence encodings of identical streams agree; appending a symbol
+    /// changes at most the contribution of one extra n-gram.
+    #[test]
+    fn sequence_encoding_is_stable(
+        stream in prop::collection::vec(0usize..4, 4..24),
+        extra in 0usize..4,
+    ) {
+        let mut sampler = HypervectorSampler::seed_from(6);
+        let encoder = SequenceEncoder::new(sampler.base_set(4, 1024), 3);
+        let base = encoder.encode(&stream);
+        prop_assert_eq!(encoder.encode(&stream), base.clone());
+        let mut longer = stream.clone();
+        longer.push(extra);
+        // One extra n-gram over (len-2) existing ones cannot move the
+        // bundle by more than roughly one vote per dimension: similarity
+        // stays high for long streams.
+        let sim = base.similarity(&encoder.encode(&longer));
+        prop_assert!(sim > 0.6, "appending one symbol moved encoding too far: {}", sim);
+    }
+}

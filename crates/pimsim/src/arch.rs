@@ -1,0 +1,299 @@
+//! The DPIM tile model: kernel-level cost reports for DNN and HDC
+//! workloads.
+//!
+//! Costs are **analytic but gate-exact**: the per-operation NOR counts are
+//! the constants of the circuits in [`crate::logic`] (the unit tests cross
+//! check them against the actual gate-level implementations), multiplied
+//! out over the kernels' operation counts. Sequential cycles account for
+//! the row-parallelism of MAGIC NOR: one NOR step executes simultaneously
+//! on every activated row of every array.
+
+use crate::device::DeviceParams;
+use serde::{Deserialize, Serialize};
+
+/// NOR evaluations per 2-input XOR (see [`crate::logic::xor`]).
+pub const XOR_NORS: u64 = 5;
+/// NOR evaluations per 2-input XNOR (see [`crate::logic::xnor`]).
+pub const XNOR_NORS: u64 = 4;
+/// NOR evaluations per 2-input AND (see [`crate::logic::and`]).
+pub const AND_NORS: u64 = 3;
+/// NOR evaluations per 2-input OR (see [`crate::logic::or`]).
+pub const OR_NORS: u64 = 2;
+/// NOR evaluations per full adder (2 XOR + 2 AND + 1 OR).
+pub const FULL_ADDER_NORS: u64 = 2 * XOR_NORS + 2 * AND_NORS + OR_NORS;
+
+/// Average switching writes per NOR evaluation (init write plus a
+/// conditional output switch; conditioned at 50% signal probability).
+pub const AVG_WRITES_PER_NOR: f64 = 1.5;
+
+/// Geometry and device of a DPIM accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpimConfig {
+    /// Number of crossbar arrays operating in parallel.
+    pub arrays: usize,
+    /// Rows per array (MAGIC NOR executes row-parallel).
+    pub rows: usize,
+    /// Columns per array.
+    pub cols: usize,
+    /// Device parameters.
+    pub device: DeviceParams,
+}
+
+impl Default for DpimConfig {
+    fn default() -> Self {
+        Self {
+            arrays: 2048,
+            rows: 1024,
+            cols: 1024,
+            device: DeviceParams::default(),
+        }
+    }
+}
+
+/// Cost of executing a kernel once on the DPIM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Total NOR evaluations.
+    pub nor_evals: u64,
+    /// Sequential cycles after row-parallelism.
+    pub cycles: u64,
+    /// Total cell switching writes.
+    pub writes: u64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Latency in seconds.
+    pub latency_s: f64,
+}
+
+impl CostReport {
+    /// Inferences per second at this latency.
+    pub fn throughput(&self) -> f64 {
+        if self.latency_s > 0.0 {
+            1.0 / self.latency_s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean switching writes charged to each of `cells` storage cells.
+    pub fn writes_per_cell(&self, cells: usize) -> f64 {
+        self.writes as f64 / cells.max(1) as f64
+    }
+}
+
+/// The DPIM accelerator model.
+///
+/// # Example
+///
+/// ```
+/// use pimsim::{DpimArchitecture, DpimConfig};
+///
+/// let dpim = DpimArchitecture::new(DpimConfig::default());
+/// let dnn = dpim.dnn_inference_cost(&[561, 128, 12], 8);
+/// let hdc = dpim.hdc_inference_cost(561, 10_000, 12);
+/// // The binary HDC kernel avoids the quadratic multiply entirely.
+/// assert!(hdc.cycles < dnn.cycles);
+/// assert!(hdc.energy_j < dnn.energy_j);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DpimArchitecture {
+    config: DpimConfig,
+}
+
+impl DpimArchitecture {
+    /// Creates an architecture model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate or the device invalid.
+    pub fn new(config: DpimConfig) -> Self {
+        assert!(
+            config.arrays > 0 && config.rows > 0 && config.cols > 0,
+            "DPIM geometry must be positive"
+        );
+        config.device.validate().expect("valid device parameters");
+        Self { config }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &DpimConfig {
+        &self.config
+    }
+
+    /// Parallel NOR lanes: one per activated row per array.
+    pub fn parallel_lanes(&self) -> u64 {
+        (self.config.arrays * self.config.rows) as u64
+    }
+
+    /// NOR evaluations of one `bits × bits` multiply (mask ANDs plus a
+    /// `2·bits`-wide ripple add per partial product — quadratic in `bits`).
+    pub fn multiply_nors(&self, bits: u64) -> u64 {
+        bits * (bits * AND_NORS + 2 * bits * FULL_ADDER_NORS)
+    }
+
+    /// NOR evaluations of one `bits`-wide addition.
+    pub fn add_nors(&self, bits: u64) -> u64 {
+        bits * FULL_ADDER_NORS
+    }
+
+    /// Wraps a raw NOR count into a full report.
+    fn report(&self, nor_evals: u64) -> CostReport {
+        let cycles = nor_evals.div_ceil(self.parallel_lanes());
+        let writes = (nor_evals as f64 * AVG_WRITES_PER_NOR) as u64;
+        // Per-NOR energy: one init (reset), half a set, one read current.
+        let d = &self.config.device;
+        let per_nor = d.reset_energy_j() + 0.5 * d.set_energy_j() + d.read_energy_j();
+        let energy_j = nor_evals as f64 * per_nor;
+        let latency_s = cycles as f64 * d.switching_delay_s;
+        CostReport {
+            nor_evals,
+            cycles,
+            writes,
+            energy_j,
+            latency_s,
+        }
+    }
+
+    /// Cost of one DNN inference: dense layers `layer_sizes[0] →
+    /// layer_sizes[1] → …`, with `weight_bits`-bit fixed-point MACs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer sizes or zero-width weights are given.
+    pub fn dnn_inference_cost(&self, layer_sizes: &[usize], weight_bits: u64) -> CostReport {
+        assert!(layer_sizes.len() >= 2, "need at least input and output layers");
+        assert!(weight_bits > 0, "weights must have at least one bit");
+        let macs: u64 = layer_sizes
+            .windows(2)
+            .map(|w| (w[0] * w[1]) as u64)
+            .sum();
+        // Each MAC: one multiply plus one accumulate-wide addition.
+        let acc_bits = 2 * weight_bits + 8; // accumulator head-room
+        let nors = macs * (self.multiply_nors(weight_bits) + self.add_nors(acc_bits));
+        self.report(nors)
+    }
+
+    /// Cost of one HDC inference: record encoding (`features × dim` XOR
+    /// binds plus the majority popcount) and the associative search
+    /// (`classes × dim` XNOR plus popcount accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn hdc_inference_cost(&self, features: usize, dim: usize, classes: usize) -> CostReport {
+        assert!(features > 0 && dim > 0 && classes > 0, "arguments must be positive");
+        let (features, dim, classes) = (features as u64, dim as u64, classes as u64);
+        // Encoding: bind every feature's level hypervector (XOR), then a
+        // majority per dimension — a log2(features)-deep adder over 1-bit
+        // inputs, ~1 full adder per input bit.
+        let encode = features * dim * XOR_NORS + features * dim * FULL_ADDER_NORS;
+        // Search: XNOR similarity plus popcount accumulation (1 full adder
+        // per compared bit).
+        let search = classes * dim * (XNOR_NORS + FULL_ADDER_NORS);
+        self.report(encode + search)
+    }
+
+    /// Cost of one *model-only* HDC query (encoding done at the sensor, as
+    /// in the memory-lifetime study where only the stored model is
+    /// exercised).
+    pub fn hdc_search_cost(&self, dim: usize, classes: usize) -> CostReport {
+        assert!(dim > 0 && classes > 0, "arguments must be positive");
+        let nors = (classes * dim) as u64 * (XNOR_NORS + FULL_ADDER_NORS);
+        self.report(nors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic;
+    use crate::nor::NorGate;
+
+    /// The analytic constants must match the real gate-level circuits.
+    #[test]
+    fn analytic_constants_match_gate_level() {
+        let mut g = NorGate::new(DeviceParams::default());
+        logic::xor(&mut g, true, false);
+        assert_eq!(g.cost().cycles, XOR_NORS);
+        g.reset_cost();
+        logic::xnor(&mut g, true, false);
+        assert_eq!(g.cost().cycles, XNOR_NORS);
+        g.reset_cost();
+        logic::and(&mut g, true, false);
+        assert_eq!(g.cost().cycles, AND_NORS);
+        g.reset_cost();
+        logic::or(&mut g, true, false);
+        assert_eq!(g.cost().cycles, OR_NORS);
+        g.reset_cost();
+        logic::full_adder(&mut g, true, false, true);
+        assert_eq!(g.cost().cycles, FULL_ADDER_NORS);
+    }
+
+    #[test]
+    fn analytic_multiply_matches_gate_level() {
+        let arch = DpimArchitecture::new(DpimConfig::default());
+        for bits in [4u32, 8] {
+            let mut g = NorGate::new(DeviceParams::default());
+            logic::multiply(&mut g, 3, 5, bits);
+            assert_eq!(
+                g.cost().cycles,
+                arch.multiply_nors(bits as u64),
+                "multiply width {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiply_cost_is_quadratic() {
+        let arch = DpimArchitecture::new(DpimConfig::default());
+        let r = arch.multiply_nors(16) as f64 / arch.multiply_nors(8) as f64;
+        assert!((r - 4.0).abs() < 0.01, "ratio {r}");
+    }
+
+    #[test]
+    fn hdc_beats_dnn_on_standard_workload() {
+        let arch = DpimArchitecture::new(DpimConfig::default());
+        let dnn = arch.dnn_inference_cost(&[561, 128, 12], 8);
+        let hdc = arch.hdc_inference_cost(561, 10_000, 12);
+        assert!(hdc.nor_evals < dnn.nor_evals);
+        assert!(hdc.energy_j < dnn.energy_j);
+        assert!(hdc.writes < dnn.writes);
+        // The paper's Figure 2 ballpark: HDC 2-4x faster than DNN on PIM.
+        let speedup = dnn.cycles as f64 / hdc.cycles as f64;
+        assert!(speedup > 1.5 && speedup < 10.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let arch = DpimArchitecture::new(DpimConfig::default());
+        let r = arch.hdc_search_cost(10_000, 12);
+        assert_eq!(r.cycles, r.nor_evals.div_ceil(arch.parallel_lanes()));
+        assert!((r.latency_s - r.cycles as f64 * 1e-9).abs() < 1e-15);
+        assert!(r.throughput() > 0.0);
+        assert!(r.writes_per_cell(10_000 * 12) > 0.0);
+    }
+
+    #[test]
+    fn deeper_network_costs_more() {
+        let arch = DpimArchitecture::new(DpimConfig::default());
+        let small = arch.dnn_inference_cost(&[100, 50, 10], 8);
+        let big = arch.dnn_inference_cost(&[100, 200, 100, 10], 8);
+        assert!(big.nor_evals > small.nor_evals);
+    }
+
+    #[test]
+    fn fp32_costs_more_than_int8() {
+        let arch = DpimArchitecture::new(DpimConfig::default());
+        let int8 = arch.dnn_inference_cost(&[561, 128, 12], 8);
+        let fp32 = arch.dnn_inference_cost(&[561, 128, 12], 32);
+        // Quadratic multiply: 16x the NORs for 4x the bits.
+        let r = fp32.nor_evals as f64 / int8.nor_evals as f64;
+        assert!(r > 10.0, "ratio {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn single_layer_panics() {
+        DpimArchitecture::new(DpimConfig::default()).dnn_inference_cost(&[10], 8);
+    }
+}

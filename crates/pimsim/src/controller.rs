@@ -1,0 +1,200 @@
+//! Memory-controller protection schemes: what it costs to keep a model's
+//! stored bits trustworthy.
+//!
+//! §5.2 and §6.6 of the paper argue that RobustHD *eliminates* the cost of
+//! conventional protection: SECDED ECC plus scrubbing adds storage, energy,
+//! and latency to every access, while the HDC representation plus the
+//! recovery framework tolerates and repairs errors for free. This module
+//! makes that comparison quantitative: each [`ProtectionScheme`] maps a raw
+//! stored-bit error rate to a residual (post-protection) error rate and an
+//! overhead report.
+
+use crate::ecc::CODEWORD_BITS;
+use serde::{Deserialize, Serialize};
+
+/// How the memory protects stored model bits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProtectionScheme {
+    /// No protection: raw errors reach the model. Free, and exactly what
+    /// RobustHD deploys — the representation itself absorbs the errors.
+    None,
+    /// Hamming(72,64) SECDED with periodic scrubbing. Each 64-bit word
+    /// tolerates one error between scrubs; two or more are uncorrectable.
+    /// `errors_per_scrub_interval` is the expected number of new raw bit
+    /// errors a word accumulates between scrubs.
+    Secded {
+        /// Expected raw bit errors arriving per 64-bit word per scrub
+        /// interval (rate × interval × 72 stored bits).
+        errors_per_scrub_interval: f64,
+    },
+}
+
+/// Cost/benefit report of one protection scheme at one raw error rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtectionReport {
+    /// Fraction of stored bits in error after protection.
+    pub residual_error_rate: f64,
+    /// Extra storage per data bit (0.125 for SECDED).
+    pub storage_overhead: f64,
+    /// Extra energy per access relative to an unprotected read (decode +
+    /// re-encode on scrub amortized).
+    pub energy_overhead: f64,
+}
+
+impl ProtectionScheme {
+    /// Evaluates the scheme at a raw per-bit error rate.
+    ///
+    /// For SECDED the residual rate is the probability that a 72-bit
+    /// codeword accumulates ≥2 errors within one scrub interval (those
+    /// words are uncorrectable; we charge half their bits as wrong), scaled
+    /// back to a per-bit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw_error_rate` is outside `[0, 1]`.
+    pub fn evaluate(&self, raw_error_rate: f64) -> ProtectionReport {
+        assert!(
+            (0.0..=1.0).contains(&raw_error_rate),
+            "raw error rate {raw_error_rate} outside [0, 1]"
+        );
+        match self {
+            ProtectionScheme::None => ProtectionReport {
+                residual_error_rate: raw_error_rate,
+                storage_overhead: 0.0,
+                energy_overhead: 0.0,
+            },
+            ProtectionScheme::Secded {
+                errors_per_scrub_interval,
+            } => {
+                // Errors per codeword within a scrub interval: the raw rate
+                // expressed over 72 bits, plus the accumulation term.
+                let n = CODEWORD_BITS as f64;
+                let lambda = (raw_error_rate * n).max(*errors_per_scrub_interval);
+                // Poisson approximation: P(>= 2 errors) in a word.
+                let p0 = (-lambda).exp();
+                let p1 = lambda * p0;
+                let p_uncorrectable = (1.0 - p0 - p1).max(0.0);
+                // An uncorrectable word is garbage: half its bits wrong in
+                // expectation after the (failed) correction attempt.
+                let residual = p_uncorrectable * 0.5;
+                ProtectionReport {
+                    residual_error_rate: residual,
+                    storage_overhead: (n - 64.0) / 64.0,
+                    // Decode on every read (~8 parity XOR trees) relative
+                    // to a raw 64-bit read: ~12%; scrub re-encodes add a
+                    // few percent more.
+                    energy_overhead: 0.15,
+                }
+            }
+        }
+    }
+}
+
+/// Compares the total cost of serving a model under each scheme, given the
+/// accuracy impact of residual errors (a measured robustness curve).
+///
+/// Returns `(scheme, report, accuracy)` triples in the order given.
+pub fn compare_schemes<F: Fn(f64) -> f64>(
+    schemes: &[ProtectionScheme],
+    raw_error_rate: f64,
+    accuracy_at: F,
+) -> Vec<(ProtectionScheme, ProtectionReport, f64)> {
+    schemes
+        .iter()
+        .map(|&scheme| {
+            let report = scheme.evaluate(raw_error_rate);
+            let accuracy = accuracy_at(report.residual_error_rate);
+            (scheme, report, accuracy)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_passes_errors_through_for_free() {
+        let report = ProtectionScheme::None.evaluate(0.03);
+        assert_eq!(report.residual_error_rate, 0.03);
+        assert_eq!(report.storage_overhead, 0.0);
+        assert_eq!(report.energy_overhead, 0.0);
+    }
+
+    #[test]
+    fn secded_suppresses_low_error_rates() {
+        let scheme = ProtectionScheme::Secded {
+            errors_per_scrub_interval: 1e-4,
+        };
+        let report = scheme.evaluate(1e-6);
+        assert!(
+            report.residual_error_rate < 1e-7,
+            "SECDED residual {} too high at 1e-6 raw",
+            report.residual_error_rate
+        );
+        assert!((report.storage_overhead - 0.125).abs() < 1e-12);
+        assert!(report.energy_overhead > 0.0);
+    }
+
+    #[test]
+    fn secded_collapses_at_high_error_rates() {
+        // The paper's point: when raw error rates reach the percents, ECC
+        // stops helping (multi-bit errors dominate) while still charging
+        // its overheads.
+        let scheme = ProtectionScheme::Secded {
+            errors_per_scrub_interval: 1e-4,
+        };
+        let at = |raw: f64| scheme.evaluate(raw).residual_error_rate;
+        assert!(at(0.04) > 0.1, "4% raw should overwhelm SECDED: {}", at(0.04));
+        assert!(at(0.04) > at(0.001));
+    }
+
+    #[test]
+    fn crossover_exists_between_schemes() {
+        // Below some raw rate SECDED wins on residual errors; above it the
+        // overhead buys nothing — None + a robust representation is at
+        // least as good.
+        let secded = ProtectionScheme::Secded {
+            errors_per_scrub_interval: 1e-4,
+        };
+        let low = 1e-6;
+        let high = 0.06;
+        assert!(secded.evaluate(low).residual_error_rate < low);
+        assert!(secded.evaluate(high).residual_error_rate > high / 2.0);
+    }
+
+    #[test]
+    fn compare_schemes_applies_robustness_curve() {
+        // An HDC-like flat curve at a percent-scale raw error rate: SECDED
+        // *amplifies* errors (uncorrectable words decode to garbage), so
+        // the unprotected robust representation wins on accuracy AND pays
+        // no storage/energy tax — the paper's §6.6 argument, quantified.
+        let flat = |ber: f64| 0.96 - 0.2 * ber;
+        let schemes = [
+            ProtectionScheme::None,
+            ProtectionScheme::Secded {
+                errors_per_scrub_interval: 1e-4,
+            },
+        ];
+        let raw = 0.04;
+        let results = compare_schemes(&schemes, raw, flat);
+        assert_eq!(results.len(), 2);
+        let (_, none_report, none_acc) = results[0];
+        let (_, ecc_report, ecc_acc) = results[1];
+        assert!(
+            ecc_report.residual_error_rate > raw,
+            "overwhelmed SECDED must amplify: {} vs raw {raw}",
+            ecc_report.residual_error_rate
+        );
+        assert!(none_acc >= ecc_acc);
+        // The ECC path also still pays its storage and energy tax.
+        assert!(none_report.storage_overhead < ecc_report.storage_overhead);
+        assert!(none_report.energy_overhead < ecc_report.energy_overhead);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_rate_panics() {
+        ProtectionScheme::None.evaluate(1.5);
+    }
+}

@@ -1,0 +1,249 @@
+//! Bit-level crossbar arrays with per-cell wear tracking.
+
+use crate::device::DeviceParams;
+use crate::endurance::EnduranceModel;
+use serde::{Deserialize, Serialize};
+
+/// One memory crossbar: a grid of resistive cells, each holding one bit and
+/// counting the switching events it has absorbed.
+///
+/// Cells whose write count exceeds their (variability-drawn) endurance
+/// limit die **stuck at their current value**: subsequent writes no longer
+/// change them. This is the failure mode that erodes PIM accuracy over
+/// time (Figure 4a).
+///
+/// # Example
+///
+/// ```
+/// use pimsim::{CrossbarArray, DeviceParams, EnduranceModel};
+///
+/// let endurance = EnduranceModel::new(1e3, 0.0, 7);
+/// let mut array = CrossbarArray::new(4, 4, DeviceParams::default(), endurance);
+/// array.write(0, 0, true);
+/// assert!(array.read(0, 0));
+/// assert_eq!(array.write_count(0, 0), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    state: Vec<bool>,
+    writes: Vec<u64>,
+    /// Per-cell endurance limit (drawn once from the endurance model).
+    limits: Vec<u64>,
+    device: DeviceParams,
+    total_writes: u64,
+    total_energy_j: f64,
+}
+
+impl CrossbarArray {
+    /// Allocates a `rows × cols` array; per-cell endurance limits are drawn
+    /// from `endurance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize, device: DeviceParams, endurance: EnduranceModel) -> Self {
+        assert!(rows > 0 && cols > 0, "array must have positive dimensions");
+        let cells = rows * cols;
+        Self {
+            rows,
+            cols,
+            state: vec![false; cells],
+            writes: vec![0; cells],
+            limits: endurance.draw_limits(cells),
+            device,
+            total_writes: 0,
+            total_energy_j: 0.0,
+        }
+    }
+
+    /// Array height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        row * self.cols + col
+    }
+
+    /// Reads a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn read(&self, row: usize, col: usize) -> bool {
+        self.state[self.index(row, col)]
+    }
+
+    /// Writes a cell, charging a switching event when the stored value
+    /// actually changes. Dead cells silently ignore the write (stuck-at
+    /// fault). Returns whether the cell now holds `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn write(&mut self, row: usize, col: usize, value: bool) -> bool {
+        let idx = self.index(row, col);
+        if self.state[idx] == value {
+            return true;
+        }
+        if self.writes[idx] >= self.limits[idx] {
+            // Dead cell: stuck at its current value.
+            return false;
+        }
+        self.state[idx] = value;
+        self.writes[idx] += 1;
+        self.total_writes += 1;
+        self.total_energy_j += if value {
+            self.device.set_energy_j()
+        } else {
+            self.device.reset_energy_j()
+        };
+        true
+    }
+
+    /// Switching events absorbed by one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn write_count(&self, row: usize, col: usize) -> u64 {
+        self.writes[self.index(row, col)]
+    }
+
+    /// Whether a cell has exceeded its endurance and is stuck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn is_dead(&self, row: usize, col: usize) -> bool {
+        let idx = self.index(row, col);
+        self.writes[idx] >= self.limits[idx]
+    }
+
+    /// Fraction of dead cells.
+    pub fn dead_fraction(&self) -> f64 {
+        let dead = self
+            .writes
+            .iter()
+            .zip(&self.limits)
+            .filter(|(w, l)| w >= l)
+            .count();
+        dead as f64 / self.state.len() as f64
+    }
+
+    /// Total switching events across the array.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Total write energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Applies `writes_per_cell` uniform wear to every cell (used by
+    /// lifetime simulations to fast-forward bulk PIM activity without
+    /// simulating each NOR individually).
+    pub fn age_uniformly(&mut self, writes_per_cell: u64) {
+        for (w, l) in self.writes.iter_mut().zip(&self.limits) {
+            *w = (*w + writes_per_cell).min(l.saturating_add(1));
+        }
+        self.total_writes += writes_per_cell * self.state.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(limit: f64, sigma: f64) -> CrossbarArray {
+        CrossbarArray::new(
+            8,
+            8,
+            DeviceParams::default(),
+            EnduranceModel::new(limit, sigma, 42),
+        )
+    }
+
+    #[test]
+    fn fresh_array_is_zeroed() {
+        let a = small(1e9, 0.0);
+        assert_eq!(a.rows(), 8);
+        assert_eq!(a.cols(), 8);
+        assert!(!a.read(3, 3));
+        assert_eq!(a.total_writes(), 0);
+        assert_eq!(a.dead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn write_charges_only_on_change() {
+        let mut a = small(1e9, 0.0);
+        a.write(0, 0, true);
+        a.write(0, 0, true); // no switch
+        assert_eq!(a.write_count(0, 0), 1);
+        a.write(0, 0, false);
+        assert_eq!(a.write_count(0, 0), 2);
+        assert_eq!(a.total_writes(), 2);
+        assert!(a.total_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn cell_dies_after_limit_and_sticks() {
+        let mut a = small(3.0, 0.0);
+        for i in 0..3 {
+            a.write(1, 1, i % 2 == 0);
+        }
+        assert!(a.is_dead(1, 1));
+        let value_before = a.read(1, 1);
+        assert!(!a.write(1, 1, !value_before), "write to dead cell must fail");
+        assert_eq!(a.read(1, 1), value_before);
+    }
+
+    #[test]
+    fn dead_fraction_counts_dead_cells() {
+        let mut a = small(1.0, 0.0);
+        a.write(0, 0, true);
+        a.write(0, 1, true);
+        assert!((a.dead_fraction() - 2.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn age_uniformly_kills_everything_past_limit() {
+        let mut a = small(100.0, 0.0);
+        a.age_uniformly(101);
+        assert_eq!(a.dead_fraction(), 1.0);
+    }
+
+    #[test]
+    fn variability_spreads_death_times() {
+        let mut a = CrossbarArray::new(
+            32,
+            32,
+            DeviceParams::default(),
+            EnduranceModel::new(1000.0, 0.3, 7),
+        );
+        a.age_uniformly(1000);
+        let f = a.dead_fraction();
+        assert!(f > 0.2 && f < 0.8, "dead fraction {f} should straddle the median");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        small(1e9, 0.0).read(8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn zero_size_panics() {
+        CrossbarArray::new(0, 8, DeviceParams::default(), EnduranceModel::new(1e9, 0.0, 0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Memristor device model (VTEAM-flavoured) used by the DPIM simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical and timing parameters of one bipolar resistive cell.
+///
+/// Defaults follow the paper's experimental setup (§6.1): a VTEAM-modelled
+/// memristor fitted to practical devices with a **1 ns switching delay**,
+/// **2 V SET** and **1 V RESET** pulses, and Ron/Roff chosen near
+/// 3D-XPoint-class devices. Switching energy is the resistive dissipation
+/// of one switching pulse, `V² / R × t`, evaluated at the mean of the on
+/// and off resistance (the cell traverses both states during a switch).
+///
+/// # Example
+///
+/// ```
+/// use pimsim::DeviceParams;
+///
+/// let device = DeviceParams::default();
+/// assert_eq!(device.switching_delay_s, 1e-9);
+/// // A SET event costs on the order of tens of femtojoules.
+/// let energy = device.set_energy_j();
+/// assert!(energy > 1e-16 && energy < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Low-resistance (on) state, ohms.
+    pub r_on_ohm: f64,
+    /// High-resistance (off) state, ohms.
+    pub r_off_ohm: f64,
+    /// SET pulse voltage, volts (switches Roff → Ron).
+    pub v_set: f64,
+    /// RESET pulse voltage, volts (switches Ron → Roff).
+    pub v_reset: f64,
+    /// Switching delay per pulse, seconds.
+    pub switching_delay_s: f64,
+    /// Mean write endurance, switching events per cell.
+    pub endurance_writes: f64,
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self {
+            r_on_ohm: 10e3,
+            r_off_ohm: 10e6,
+            v_set: 2.0,
+            v_reset: 1.0,
+            switching_delay_s: 1e-9,
+            endurance_writes: 1e9,
+        }
+    }
+}
+
+impl DeviceParams {
+    /// Effective resistance during a switching transient (geometric mean of
+    /// the two states, as the cell sweeps the whole range).
+    pub fn transient_resistance_ohm(&self) -> f64 {
+        (self.r_on_ohm * self.r_off_ohm).sqrt()
+    }
+
+    /// Energy of one SET event (`V_set² / R × t`).
+    pub fn set_energy_j(&self) -> f64 {
+        self.v_set * self.v_set / self.transient_resistance_ohm() * self.switching_delay_s
+    }
+
+    /// Energy of one RESET event (`V_reset² / R × t`).
+    pub fn reset_energy_j(&self) -> f64 {
+        self.v_reset * self.v_reset / self.transient_resistance_ohm() * self.switching_delay_s
+    }
+
+    /// Average write energy (SET and RESET equally likely).
+    pub fn avg_write_energy_j(&self) -> f64 {
+        0.5 * (self.set_energy_j() + self.reset_energy_j())
+    }
+
+    /// Energy of sensing a cell during a NOR evaluation: the read current
+    /// through an on-state input for one cycle at the RESET voltage.
+    pub fn read_energy_j(&self) -> f64 {
+        self.v_reset * self.v_reset / self.r_on_ohm * self.switching_delay_s
+    }
+
+    /// Validates physical consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint (non-positive
+    /// values, or `r_on >= r_off`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.r_on_ohm <= 0.0 || self.r_off_ohm <= 0.0 {
+            return Err("resistances must be positive".into());
+        }
+        if self.r_on_ohm >= self.r_off_ohm {
+            return Err("r_on must be below r_off".into());
+        }
+        if self.v_set <= 0.0 || self.v_reset <= 0.0 {
+            return Err("voltages must be positive".into());
+        }
+        if self.switching_delay_s <= 0.0 {
+            return Err("switching delay must be positive".into());
+        }
+        if self.endurance_writes <= 0.0 {
+            return Err("endurance must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_paper() {
+        let d = DeviceParams::default();
+        d.validate().expect("defaults valid");
+        assert_eq!(d.v_set, 2.0);
+        assert_eq!(d.v_reset, 1.0);
+        assert_eq!(d.switching_delay_s, 1e-9);
+        assert_eq!(d.endurance_writes, 1e9);
+    }
+
+    #[test]
+    fn set_costs_more_than_reset() {
+        let d = DeviceParams::default();
+        assert!(d.set_energy_j() > d.reset_energy_j());
+        // 2 V vs 1 V at the same resistance: exactly 4x.
+        assert!((d.set_energy_j() / d.reset_energy_j() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_resistance_is_between_states() {
+        let d = DeviceParams::default();
+        let r = d.transient_resistance_ohm();
+        assert!(r > d.r_on_ohm && r < d.r_off_ohm);
+    }
+
+    #[test]
+    fn validation_catches_inverted_resistances() {
+        let d = DeviceParams {
+            r_on_ohm: 1e6,
+            r_off_ohm: 1e3,
+            ..DeviceParams::default()
+        };
+        assert!(d.validate().unwrap_err().contains("r_on"));
+    }
+
+    #[test]
+    fn validation_catches_nonpositive_delay() {
+        let d = DeviceParams {
+            switching_delay_s: 0.0,
+            ..DeviceParams::default()
+        };
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn average_write_energy_is_midpoint() {
+        let d = DeviceParams::default();
+        let mid = 0.5 * (d.set_energy_j() + d.reset_energy_j());
+        assert_eq!(d.avg_write_energy_j(), mid);
+    }
+}

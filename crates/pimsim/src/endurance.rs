@@ -1,0 +1,178 @@
+//! NVM write-endurance model with device-to-device variability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Endurance distribution of a population of NVM cells.
+///
+/// Each cell tolerates a lognormally distributed number of switching events
+/// around `mean_writes` (the paper evaluates 10⁹-endurance devices);
+/// `sigma` is the lognormal shape parameter capturing fabrication
+/// variability. With `sigma = 0` every cell dies at exactly the mean.
+///
+/// # Example
+///
+/// ```
+/// use pimsim::EnduranceModel;
+///
+/// let model = EnduranceModel::new(1e9, 0.2, 1);
+/// let limits = model.draw_limits(1000);
+/// let mean = limits.iter().map(|&l| l as f64).sum::<f64>() / 1000.0;
+/// assert!(mean > 5e8 && mean < 2e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceModel {
+    mean_writes: f64,
+    sigma: f64,
+    seed: u64,
+}
+
+impl EnduranceModel {
+    /// Creates a model with the given mean endurance, lognormal sigma, and
+    /// sampling seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_writes` is not positive or `sigma` is negative.
+    pub fn new(mean_writes: f64, sigma: f64, seed: u64) -> Self {
+        assert!(
+            mean_writes.is_finite() && mean_writes > 0.0,
+            "mean endurance must be positive"
+        );
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        Self {
+            mean_writes,
+            sigma,
+            seed,
+        }
+    }
+
+    /// Mean endurance in switching events.
+    pub fn mean_writes(&self) -> f64 {
+        self.mean_writes
+    }
+
+    /// Lognormal shape parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws per-cell endurance limits (deterministic for a given seed).
+    pub fn draw_limits(&self, cells: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Median-preserving lognormal: limit = mean * exp(sigma * z).
+        (0..cells)
+            .map(|_| {
+                let z = standard_normal(&mut rng);
+                let limit = self.mean_writes * (self.sigma * z).exp();
+                limit.max(1.0) as u64
+            })
+            .collect()
+    }
+
+    /// Fraction of cells dead after `writes_per_cell` uniform switching
+    /// events (closed-form lognormal CDF).
+    pub fn dead_fraction_after(&self, writes_per_cell: f64) -> f64 {
+        if writes_per_cell <= 0.0 {
+            return 0.0;
+        }
+        if self.sigma == 0.0 {
+            return if writes_per_cell >= self.mean_writes {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        let z = (writes_per_cell / self.mean_writes).ln() / self.sigma;
+        normal_cdf(z)
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max error ~1.5e-7, ample for fraction-of-cells estimates).
+pub(crate) fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_deterministic_cliff() {
+        let m = EnduranceModel::new(1000.0, 0.0, 0);
+        let limits = m.draw_limits(10);
+        assert!(limits.iter().all(|&l| l == 1000));
+        assert_eq!(m.dead_fraction_after(999.0), 0.0);
+        assert_eq!(m.dead_fraction_after(1000.0), 1.0);
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let m = EnduranceModel::new(1e6, 0.3, 5);
+        assert_eq!(m.draw_limits(100), m.draw_limits(100));
+    }
+
+    #[test]
+    fn dead_fraction_is_half_at_median() {
+        let m = EnduranceModel::new(1e9, 0.25, 0);
+        let f = m.dead_fraction_after(1e9);
+        assert!((f - 0.5).abs() < 1e-6, "fraction at median was {f}");
+    }
+
+    #[test]
+    fn dead_fraction_is_monotone() {
+        let m = EnduranceModel::new(1e9, 0.25, 0);
+        let mut prev = 0.0;
+        for w in [1e7, 1e8, 5e8, 1e9, 2e9, 1e10] {
+            let f = m.dead_fraction_after(w);
+            assert!(f >= prev, "not monotone at {w}");
+            prev = f;
+        }
+        assert!(prev > 0.99);
+    }
+
+    #[test]
+    fn closed_form_matches_sampled_limits() {
+        let m = EnduranceModel::new(1e6, 0.3, 9);
+        let limits = m.draw_limits(20_000);
+        let writes = 1.2e6;
+        let sampled =
+            limits.iter().filter(|&&l| (l as f64) <= writes).count() as f64 / limits.len() as f64;
+        let analytic = m.dead_fraction_after(writes);
+        assert!(
+            (sampled - analytic).abs() < 0.02,
+            "sampled {sampled} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_mean_panics() {
+        EnduranceModel::new(0.0, 0.1, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Functional in-array execution: run an actual associative search on a
+//! [`crate::CrossbarArray`], cell by cell, with real wear.
+//!
+//! The analytic kernel costs of [`crate::arch`] answer "how much"; this
+//! module answers "does the machine actually compute the right thing while
+//! wearing out". A stored row-per-class bit matrix is searched against
+//! query bit vectors using MAGIC NOR evaluations whose scratch writes land
+//! on real cells of the array; when cells die, the computation silently
+//! degrades — exactly the failure mode of Figure 4a, now observable at the
+//! functional level.
+
+use crate::crossbar::CrossbarArray;
+use crate::device::DeviceParams;
+use crate::endurance::EnduranceModel;
+use crate::nor::NorGate;
+
+/// An associative memory mapped onto a crossbar: one stored row per item,
+/// plus a scratch region for in-array logic.
+#[derive(Debug)]
+pub struct AssociativeArray {
+    array: CrossbarArray,
+    items: usize,
+    width: usize,
+    gate: NorGate,
+    /// Round-robin pointer into the scratch rows (cheap wear leveling).
+    scratch_cursor: usize,
+}
+
+impl AssociativeArray {
+    /// Number of scratch rows appended below the stored items.
+    pub const SCRATCH_ROWS: usize = 4;
+
+    /// Builds an array storing `items` rows of `width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` or `width` is zero.
+    pub fn new(
+        items: usize,
+        width: usize,
+        device: DeviceParams,
+        endurance: EnduranceModel,
+    ) -> Self {
+        assert!(items > 0 && width > 0, "array must be non-empty");
+        let array = CrossbarArray::new(items + Self::SCRATCH_ROWS, width, device, endurance);
+        Self {
+            array,
+            items,
+            width,
+            gate: NorGate::new(device),
+            scratch_cursor: 0,
+        }
+    }
+
+    /// Stores an item's bits into row `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range or `bits` has the wrong width.
+    pub fn store(&mut self, item: usize, bits: &[bool]) {
+        assert!(item < self.items, "item {item} out of range");
+        assert_eq!(bits.len(), self.width, "row width mismatch");
+        for (col, &bit) in bits.iter().enumerate() {
+            self.array.write(item, col, bit);
+        }
+    }
+
+    /// Reads an item's stored bits (possibly degraded by stuck cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    pub fn read_item(&self, item: usize) -> Vec<bool> {
+        assert!(item < self.items, "item {item} out of range");
+        (0..self.width).map(|c| self.array.read(item, c)).collect()
+    }
+
+    /// In-array Hamming distance between `query` and stored row `item`:
+    /// per column, an XNOR computed from NOR evaluations whose output is
+    /// materialized in a scratch cell (wearing it), then popcounted.
+    ///
+    /// Dead scratch cells corrupt the XNOR output they hold — functional
+    /// degradation from wear, not just a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range or `query` has the wrong width.
+    pub fn hamming_distance(&mut self, item: usize, query: &[bool]) -> usize {
+        assert!(item < self.items, "item {item} out of range");
+        assert_eq!(query.len(), self.width, "query width mismatch");
+        let scratch_row = self.items + (self.scratch_cursor % Self::SCRATCH_ROWS);
+        self.scratch_cursor += 1;
+        let mut distance = 0;
+        for (col, &q) in query.iter().enumerate() {
+            let stored = self.array.read(item, col);
+            // MAGIC XNOR through the shared gate (charges cycles/energy)...
+            let xnor = crate::logic::xnor(&mut self.gate, stored, q);
+            // ...with the result materialized in a real scratch cell. A
+            // dead cell keeps its stuck value and corrupts the result.
+            self.array.write(scratch_row, col, xnor);
+            if !self.array.read(scratch_row, col) {
+                distance += 1;
+            }
+        }
+        distance
+    }
+
+    /// Nearest stored item to `query` (ties to the lowest index), plus its
+    /// distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong width.
+    pub fn nearest(&mut self, query: &[bool]) -> (usize, usize) {
+        let mut best = (0usize, usize::MAX);
+        for item in 0..self.items {
+            let d = self.hamming_distance(item, query);
+            if d < best.1 {
+                best = (item, d);
+            }
+        }
+        best
+    }
+
+    /// The underlying crossbar (wear counters, dead fraction).
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// Accumulated gate-level cost of every in-array evaluation so far.
+    pub fn compute_cost(&self) -> crate::nor::OpCost {
+        self.gate.cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(items: usize, width: usize, endurance: f64) -> AssociativeArray {
+        AssociativeArray::new(
+            items,
+            width,
+            DeviceParams::default(),
+            EnduranceModel::new(endurance, 0.0, 3),
+        )
+    }
+
+    fn pattern(width: usize, key: usize) -> Vec<bool> {
+        // Distinct quasi-random patterns per key (coprime multipliers
+        // modulo 11 keep different keys far apart in Hamming distance).
+        (0..width).map(|i| (i * (2 * key + 1)) % 11 < 5).collect()
+    }
+
+    #[test]
+    fn nearest_finds_exact_match() {
+        let mut mem = fresh(4, 64, 1e9);
+        for item in 0..4 {
+            mem.store(item, &pattern(64, item));
+        }
+        for item in 0..4 {
+            let (found, distance) = mem.nearest(&pattern(64, item));
+            assert_eq!(found, item, "query for item {item}");
+            assert_eq!(distance, 0);
+        }
+    }
+
+    #[test]
+    fn distance_matches_software_hamming() {
+        let mut mem = fresh(2, 48, 1e9);
+        let a = pattern(48, 0);
+        let b = pattern(48, 1);
+        mem.store(0, &a);
+        let expected = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert_eq!(mem.hamming_distance(0, &b), expected);
+    }
+
+    #[test]
+    fn queries_wear_the_scratch_rows_not_the_items() {
+        let mut mem = fresh(2, 32, 1e9);
+        mem.store(0, &pattern(32, 0));
+        mem.store(1, &pattern(32, 1));
+        let stored_writes = mem.array().total_writes();
+        for _ in 0..50 {
+            mem.nearest(&pattern(32, 2));
+        }
+        assert!(mem.array().total_writes() > stored_writes);
+        // Item rows themselves were only written at store time.
+        for item in 0..2 {
+            for col in 0..5 {
+                assert!(mem.array().write_count(item, col) <= 1);
+            }
+        }
+        assert!(mem.compute_cost().cycles > 0);
+    }
+
+    #[test]
+    fn worn_out_scratch_corrupts_distances() {
+        // Tiny endurance: scratch cells die quickly, and the in-array
+        // distance drifts from the software truth — the functional face of
+        // Figure 4a. Alternating queries force the scratch cells to switch
+        // (a repeated identical query would leave them untouched).
+        let mut mem = fresh(2, 32, 40.0);
+        let a = pattern(32, 0);
+        let b = pattern(32, 1);
+        let c: Vec<bool> = b.iter().map(|&x| !x).collect();
+        mem.store(0, &a);
+        let truth_b = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        let truth_c = 32 - truth_b;
+        let mut corrupted = false;
+        for round in 0..400 {
+            // Period 3 vs the 4-row scratch rotation: every scratch row
+            // sees both queries and must keep switching.
+            let (query, truth) = if round % 3 == 0 { (&b, truth_b) } else { (&c, truth_c) };
+            if mem.hamming_distance(0, query) != truth {
+                corrupted = true;
+                break;
+            }
+        }
+        assert!(corrupted, "dead scratch cells must eventually corrupt results");
+        assert!(mem.array().dead_fraction() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_store_panics() {
+        fresh(1, 8, 1e9).store(0, &[true; 9]);
+    }
+}

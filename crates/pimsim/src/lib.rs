@@ -1,0 +1,62 @@
+//! Digital processing-in-memory (DPIM) simulator and memory-technology
+//! models for the RobustHD cross-stack evaluation.
+//!
+//! The paper evaluates RobustHD on a digital PIM architecture built from
+//! NOR-capable non-volatile memory (memristor crossbars, §5), studies the
+//! endurance-limited lifetime of that architecture (Figure 4a), and models
+//! DRAM refresh relaxation (Figure 4b). This crate implements every piece:
+//!
+//! * [`device`] — the VTEAM-flavoured memristor switching model (1 ns
+//!   switching, 1 V / 2 V RESET/SET) and its per-event energy.
+//! * [`nor`] / [`logic`] — MAGIC-style in-array NOR and the adders and
+//!   multipliers composed from it, with exact gate/cycle/write counts
+//!   (an N-bit PIM multiply needs `O(N²)` sequential cycles — the reason
+//!   high-precision arithmetic wears NVM out).
+//! * [`crossbar`] — bit-level crossbar arrays with per-cell write counters
+//!   and endurance-driven cell death.
+//! * [`endurance`] / [`wearlevel`] — cell-failure model (10⁹ writes,
+//!   lognormal variability) and start-gap style wear leveling.
+//! * [`ecc`] — Hamming(72,64) SECDED, the error-correction cost RobustHD
+//!   eliminates.
+//! * [`arch`] — the DPIM tile model with DNN and HDC kernel cost reports.
+//! * [`gpu`] — the analytic GPU reference used to normalize Figure 2.
+//! * [`lifetime`] — accuracy-over-time simulation combining all of the
+//!   above (Figure 4a).
+//! * [`dram`] — refresh-interval / retention-error / energy model
+//!   (Figure 4b).
+//!
+//! Cost constants are calibrated from the paper's device parameters;
+//! absolute joules differ from the authors' HSPICE testbed but the
+//! *ratios* the figures report are operation-count driven (see DESIGN.md
+//! §4).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arch;
+pub mod controller;
+pub mod crossbar;
+pub mod device;
+pub mod dram;
+pub mod ecc;
+pub mod endurance;
+pub mod exec;
+pub mod gpu;
+pub mod lifetime;
+pub mod logic;
+pub mod mapping;
+pub mod nor;
+pub mod wearlevel;
+
+pub use arch::{CostReport, DpimArchitecture, DpimConfig};
+pub use crossbar::CrossbarArray;
+pub use device::DeviceParams;
+pub use dram::DramModel;
+pub use controller::{ProtectionReport, ProtectionScheme};
+pub use ecc::SecdedCodec;
+pub use exec::AssociativeArray;
+pub use endurance::EnduranceModel;
+pub use gpu::GpuModel;
+pub use lifetime::{LifetimePoint, LifetimeSimulation};
+pub use nor::NorGate;
+pub use wearlevel::WearLeveler;

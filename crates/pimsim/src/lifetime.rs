@@ -1,0 +1,216 @@
+//! Accuracy-over-time simulation of a PIM accelerator with endurance-
+//! limited NVM (Figure 4a of the paper).
+//!
+//! The accelerator runs a fixed inference workload; every inference charges
+//! switching writes to the cells (per the kernel cost reports of
+//! [`crate::arch`]). Cells die after their endurance is exhausted
+//! (lognormal variability), dead cells become stuck bits, and stuck bits
+//! are exactly the bit-error rate whose accuracy impact the learning-side
+//! experiments measure. The simulation composes these pieces: time →
+//! cumulative writes per cell → dead-cell fraction → bit-error rate →
+//! accuracy (through a caller-supplied robustness curve).
+
+use crate::endurance::EnduranceModel;
+use serde::{Deserialize, Serialize};
+
+/// One sample of the lifetime curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimePoint {
+    /// Elapsed time in years.
+    pub years: f64,
+    /// Cumulative switching writes per cell.
+    pub writes_per_cell: f64,
+    /// Fraction of dead (stuck) cells = stored bit-error rate.
+    pub bit_error_rate: f64,
+    /// Model accuracy at this error rate.
+    pub accuracy: f64,
+}
+
+/// Lifetime simulation of one workload on one device population.
+///
+/// # Example
+///
+/// ```
+/// use pimsim::{EnduranceModel, LifetimeSimulation};
+///
+/// let endurance = EnduranceModel::new(1e9, 0.25, 0);
+/// // A workload writing each cell 5 times per second, accuracy dropping
+/// // linearly with error rate.
+/// let sim = LifetimeSimulation::new(endurance, 5.0);
+/// let curve = sim.run(10.0, 20, |ber| 0.95 - 0.5 * ber);
+/// assert_eq!(curve.len(), 20);
+/// assert!(curve[0].accuracy > curve[19].accuracy);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LifetimeSimulation {
+    endurance: EnduranceModel,
+    writes_per_cell_per_second: f64,
+}
+
+/// Seconds per (365-day) year.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+impl LifetimeSimulation {
+    /// Creates a simulation for a workload charging
+    /// `writes_per_cell_per_second` switching events to each cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write rate is not positive and finite.
+    pub fn new(endurance: EnduranceModel, writes_per_cell_per_second: f64) -> Self {
+        assert!(
+            writes_per_cell_per_second.is_finite() && writes_per_cell_per_second > 0.0,
+            "write rate must be positive"
+        );
+        Self {
+            endurance,
+            writes_per_cell_per_second,
+        }
+    }
+
+    /// The workload's per-cell write rate.
+    pub fn writes_per_cell_per_second(&self) -> f64 {
+        self.writes_per_cell_per_second
+    }
+
+    /// Bit-error rate (dead-cell fraction) after `years` of operation.
+    pub fn bit_error_rate_at(&self, years: f64) -> f64 {
+        let writes = years * SECONDS_PER_YEAR * self.writes_per_cell_per_second;
+        self.endurance.dead_fraction_after(writes)
+    }
+
+    /// Samples the lifetime curve over `[0, horizon_years]` at `points`
+    /// evenly spaced times, mapping error rate to accuracy with
+    /// `robustness` (the measured accuracy-vs-error curve of the deployed
+    /// model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is zero or the horizon is not positive.
+    pub fn run<F: Fn(f64) -> f64>(
+        &self,
+        horizon_years: f64,
+        points: usize,
+        robustness: F,
+    ) -> Vec<LifetimePoint> {
+        assert!(points > 0, "need at least one sample point");
+        assert!(
+            horizon_years.is_finite() && horizon_years > 0.0,
+            "horizon must be positive"
+        );
+        (0..points)
+            .map(|i| {
+                let years = horizon_years * (i + 1) as f64 / points as f64;
+                let writes = years * SECONDS_PER_YEAR * self.writes_per_cell_per_second;
+                let ber = self.endurance.dead_fraction_after(writes);
+                LifetimePoint {
+                    years,
+                    writes_per_cell: writes,
+                    bit_error_rate: ber,
+                    accuracy: robustness(ber),
+                }
+            })
+            .collect()
+    }
+
+    /// First time (years) at which the accuracy drop from `clean_accuracy`
+    /// exceeds `loss_budget`, found by bisection; `None` if it never does
+    /// within `horizon_years`.
+    pub fn lifetime_years<F: Fn(f64) -> f64>(
+        &self,
+        clean_accuracy: f64,
+        loss_budget: f64,
+        horizon_years: f64,
+        robustness: F,
+    ) -> Option<f64> {
+        let exceeded =
+            |years: f64| clean_accuracy - robustness(self.bit_error_rate_at(years)) > loss_budget;
+        if !exceeded(horizon_years) {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.0f64, horizon_years);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if exceeded(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(rate: f64) -> LifetimeSimulation {
+        LifetimeSimulation::new(EnduranceModel::new(1e9, 0.25, 0), rate)
+    }
+
+    #[test]
+    fn error_rate_grows_over_time() {
+        let s = sim(10.0);
+        let early = s.bit_error_rate_at(0.5);
+        let late = s.bit_error_rate_at(5.0);
+        assert!(late > early);
+    }
+
+    #[test]
+    fn curve_has_requested_points_and_monotone_error() {
+        let s = sim(5.0);
+        let curve = s.run(8.0, 16, |ber| 1.0 - ber);
+        assert_eq!(curve.len(), 16);
+        for w in curve.windows(2) {
+            assert!(w[1].bit_error_rate >= w[0].bit_error_rate);
+            assert!(w[1].years > w[0].years);
+        }
+    }
+
+    #[test]
+    fn heavier_workload_dies_sooner() {
+        let light = sim(1.0).lifetime_years(0.95, 0.01, 50.0, |ber| 0.95 - ber);
+        let heavy = sim(100.0).lifetime_years(0.95, 0.01, 50.0, |ber| 0.95 - ber);
+        let (light, heavy) = (light.expect("dies"), heavy.expect("dies"));
+        assert!(heavy < light, "heavy {heavy} !< light {light}");
+    }
+
+    #[test]
+    fn robust_model_lives_longer_than_fragile_one() {
+        // Same hardware wear; the model that tolerates more bit errors
+        // (HDC-like flat curve vs DNN-like steep curve) lives longer.
+        let s = sim(20.0);
+        let fragile = s.lifetime_years(0.95, 0.01, 50.0, |ber| 0.95 - 20.0 * ber);
+        let robust = s.lifetime_years(0.95, 0.01, 50.0, |ber| 0.95 - 0.3 * ber);
+        let (fragile, robust) = (fragile.expect("dies"), robust.expect("dies"));
+        assert!(robust > 1.2 * fragile, "robust {robust} vs fragile {fragile}");
+    }
+
+    #[test]
+    fn immortal_within_horizon_returns_none() {
+        let s = sim(0.001);
+        assert!(s.lifetime_years(0.95, 0.5, 1.0, |_| 0.95).is_none());
+    }
+
+    #[test]
+    fn bisection_brackets_the_threshold() {
+        let s = sim(20.0);
+        let budget = 0.01;
+        let clean = 0.95;
+        let robustness = |ber: f64| 0.95 - 2.0 * ber;
+        let t = s
+            .lifetime_years(clean, budget, 50.0, robustness)
+            .expect("dies");
+        let loss_before = clean - robustness(s.bit_error_rate_at(t * 0.99));
+        let loss_after = clean - robustness(s.bit_error_rate_at(t * 1.01));
+        assert!(loss_before <= budget + 1e-6);
+        assert!(loss_after >= budget - 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "write rate must be positive")]
+    fn zero_rate_panics() {
+        LifetimeSimulation::new(EnduranceModel::new(1e9, 0.1, 0), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Boolean and arithmetic circuits composed from the MAGIC NOR primitive.
+//!
+//! Everything the DPIM executes reduces to sequences of in-array NOR
+//! evaluations; this module builds the standard cells (NOT/OR/AND/XOR),
+//! ripple-carry adders, and shift-add multipliers from them, charging every
+//! NOR to the shared [`NorGate`] cost meter. The headline scaling result
+//! (§5.3): an `N`-bit multiply needs `O(N²)` sequential NOR cycles, which
+//! is why high-precision PIM arithmetic wears NVM cells out quadratically
+//! faster than the bitwise XOR/popcount kernels HDC needs.
+
+use crate::nor::NorGate;
+
+/// Logical NOT via a one-input NOR.
+pub fn not(gate: &mut NorGate, a: bool) -> bool {
+    gate.eval(&[a])
+}
+
+/// Logical OR (2 NORs).
+pub fn or(gate: &mut NorGate, a: bool, b: bool) -> bool {
+    let n = gate.eval(&[a, b]);
+    gate.eval(&[n])
+}
+
+/// Logical AND (3 NORs).
+pub fn and(gate: &mut NorGate, a: bool, b: bool) -> bool {
+    let na = gate.eval(&[a]);
+    let nb = gate.eval(&[b]);
+    gate.eval(&[na, nb])
+}
+
+/// Logical XNOR (4 NORs).
+pub fn xnor(gate: &mut NorGate, a: bool, b: bool) -> bool {
+    let n1 = gate.eval(&[a, b]);
+    let n2 = gate.eval(&[a, n1]);
+    let n3 = gate.eval(&[b, n1]);
+    gate.eval(&[n2, n3])
+}
+
+/// Logical XOR (5 NORs) — the binding operator of binary HDC.
+pub fn xor(gate: &mut NorGate, a: bool, b: bool) -> bool {
+    let x = xnor(gate, a, b);
+    gate.eval(&[x])
+}
+
+/// One-bit full adder; returns `(sum, carry_out)`.
+pub fn full_adder(gate: &mut NorGate, a: bool, b: bool, carry_in: bool) -> (bool, bool) {
+    let ab = xor(gate, a, b);
+    let sum = xor(gate, ab, carry_in);
+    let and1 = and(gate, a, b);
+    let and2 = and(gate, ab, carry_in);
+    let carry = or(gate, and1, and2);
+    (sum, carry)
+}
+
+/// `bits`-bit ripple-carry addition (wrapping), verified against native
+/// arithmetic in the tests.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds 64.
+pub fn add(gate: &mut NorGate, a: u64, b: u64, bits: u32) -> u64 {
+    assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+    let mut result = 0u64;
+    let mut carry = false;
+    for i in 0..bits {
+        let (sum, c) = full_adder(gate, bit(a, i), bit(b, i), carry);
+        if sum {
+            result |= 1 << i;
+        }
+        carry = c;
+    }
+    result
+}
+
+/// `bits × bits`-bit shift-add multiplication producing the full
+/// `2 × bits` product.
+///
+/// Every partial product is masked with AND gates and accumulated with a
+/// ripple adder, so the sequential cycle count grows quadratically in
+/// `bits` — the wear-out driver of high-precision PIM.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds 32.
+pub fn multiply(gate: &mut NorGate, a: u64, b: u64, bits: u32) -> u64 {
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+    let mut acc = 0u64;
+    for i in 0..bits {
+        // Mask the partial product a & b_i.
+        let bi = bit(b, i);
+        let mut partial = 0u64;
+        for j in 0..bits {
+            if and(gate, bit(a, j), bi) {
+                partial |= 1 << j;
+            }
+        }
+        acc = add(gate, acc, partial << i, 2 * bits);
+    }
+    acc
+}
+
+/// Population count of a word's low `bits` bits using an adder tree.
+pub fn popcount(gate: &mut NorGate, value: u64, bits: u32) -> u64 {
+    assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+    let mut total = 0u64;
+    for i in 0..bits {
+        total = add(gate, total, bit(value, i) as u64, 7);
+    }
+    total
+}
+
+fn bit(v: u64, i: u32) -> bool {
+    (v >> i) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceParams;
+
+    fn gate() -> NorGate {
+        NorGate::new(DeviceParams::default())
+    }
+
+    #[test]
+    fn standard_cells_match_boolean_algebra() {
+        let mut g = gate();
+        for a in [false, true] {
+            assert_eq!(not(&mut g, a), !a);
+            for b in [false, true] {
+                assert_eq!(or(&mut g, a, b), a | b, "or({a},{b})");
+                assert_eq!(and(&mut g, a, b), a & b, "and({a},{b})");
+                assert_eq!(xor(&mut g, a, b), a ^ b, "xor({a},{b})");
+                assert_eq!(xnor(&mut g, a, b), !(a ^ b), "xnor({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut g = gate();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let (s, co) = full_adder(&mut g, a, b, c);
+                    let total = a as u8 + b as u8 + c as u8;
+                    assert_eq!(s, total & 1 == 1);
+                    assert_eq!(co, total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_matches_native_arithmetic() {
+        let mut g = gate();
+        for (a, b) in [(0u64, 0u64), (1, 1), (13, 29), (200, 55), (255, 255)] {
+            assert_eq!(add(&mut g, a, b, 8), (a + b) & 0xff, "{a}+{b}");
+        }
+        assert_eq!(add(&mut g, u64::MAX, 1, 64), 0);
+    }
+
+    #[test]
+    fn multiplier_matches_native_arithmetic() {
+        let mut g = gate();
+        for (a, b) in [(0u64, 7u64), (3, 5), (12, 12), (255, 255), (200, 131)] {
+            assert_eq!(multiply(&mut g, a, b, 8), a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn multiply_cycles_grow_quadratically() {
+        let cycles = |bits: u32| {
+            let mut g = gate();
+            multiply(&mut g, (1 << bits) - 1, (1 << bits) - 1, bits);
+            g.cost().cycles
+        };
+        let c4 = cycles(4);
+        let c8 = cycles(8);
+        let c16 = cycles(16);
+        // Doubling the width should roughly quadruple the cycles.
+        let r1 = c8 as f64 / c4 as f64;
+        let r2 = c16 as f64 / c8 as f64;
+        assert!(r1 > 3.0 && r1 < 5.0, "4->8 bit ratio {r1}");
+        assert!(r2 > 3.0 && r2 < 5.0, "8->16 bit ratio {r2}");
+    }
+
+    #[test]
+    fn xor_is_five_nor_cycles() {
+        let mut g = gate();
+        xor(&mut g, true, false);
+        assert_eq!(g.cost().cycles, 5);
+    }
+
+    #[test]
+    fn popcount_matches_native() {
+        let mut g = gate();
+        for v in [0u64, 1, 0b1011, 0xff, 0xdead_beef] {
+            assert_eq!(popcount(&mut g, v, 32), (v & 0xffff_ffff).count_ones() as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bit_add_panics() {
+        add(&mut gate(), 1, 1, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Physical mapping of a model onto the DPIM's crossbar arrays.
+//!
+//! The cost model of [`crate::arch`] counts operations; this module answers
+//! the floorplan questions: how many arrays does a model occupy, how full
+//! are they, and how much scratch is provisioned next to the data for
+//! MAGIC-style in-place logic. The scratch provisioning is the ρ parameter
+//! of the lifetime study (DESIGN.md: compute writes amortize over the
+//! scratch rows adjacent to each stored row).
+
+use crate::arch::DpimConfig;
+use serde::{Deserialize, Serialize};
+
+/// How one model is laid out across the accelerator's arrays.
+///
+/// # Example
+///
+/// ```
+/// use pimsim::{DpimConfig, mapping::ModelMapping};
+///
+/// // An HDC model: 12 classes x 10k bits, with 4 scratch rows per stored row.
+/// let mapping = ModelMapping::plan(&DpimConfig::default(), 12, 10_000, 4);
+/// assert!(mapping.arrays_used >= 1);
+/// assert!(mapping.utilization > 0.0 && mapping.utilization <= 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelMapping {
+    /// Stored rows (one per class / weight-matrix row).
+    pub rows: usize,
+    /// Bits per stored row.
+    pub row_bits: usize,
+    /// Scratch rows provisioned per stored row.
+    pub scratch_per_row: usize,
+    /// Row segments after splitting rows wider than an array.
+    pub segments_per_row: usize,
+    /// Number of arrays the model (plus scratch) occupies.
+    pub arrays_used: usize,
+    /// Fraction of the occupied arrays' cells actually used.
+    pub utilization: f64,
+    /// Total cells allocated (data + scratch).
+    pub cells_allocated: usize,
+}
+
+impl ModelMapping {
+    /// Plans the layout of a `rows × row_bits` model with
+    /// `scratch_per_row` scratch rows per stored row.
+    ///
+    /// Rows wider than one array split into column segments; each segment
+    /// of each row occupies `1 + scratch_per_row` physical rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `row_bits` is zero.
+    pub fn plan(
+        config: &DpimConfig,
+        rows: usize,
+        row_bits: usize,
+        scratch_per_row: usize,
+    ) -> Self {
+        assert!(rows > 0 && row_bits > 0, "model must be non-empty");
+        let segments_per_row = row_bits.div_ceil(config.cols);
+        let physical_rows_per_segment = 1 + scratch_per_row;
+        let total_physical_rows = rows * segments_per_row * physical_rows_per_segment;
+        let arrays_used = total_physical_rows.div_ceil(config.rows).max(1);
+        let cells_allocated = total_physical_rows * config.cols.min(row_bits);
+        let capacity = arrays_used * config.rows * config.cols;
+        let used_cells = rows * row_bits * physical_rows_per_segment;
+        Self {
+            rows,
+            row_bits,
+            scratch_per_row,
+            segments_per_row,
+            arrays_used,
+            utilization: used_cells as f64 / capacity as f64,
+            cells_allocated,
+        }
+    }
+
+    /// Whether the model fits in the configured accelerator at all.
+    pub fn fits(&self, config: &DpimConfig) -> bool {
+        self.arrays_used <= config.arrays
+    }
+
+    /// Effective scratch rows per stored model bit (the ρ of the lifetime
+    /// study): how many scratch cells share each data cell's wear.
+    pub fn scratch_rows_per_bit(&self) -> f64 {
+        self.scratch_per_row as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> DpimConfig {
+        DpimConfig::default() // 2048 arrays of 1024 x 1024
+    }
+
+    #[test]
+    fn small_model_fits_one_array() {
+        // 12 classes x 1000 bits with 4x scratch: 60 physical rows.
+        let m = ModelMapping::plan(&config(), 12, 1000, 4);
+        assert_eq!(m.segments_per_row, 1);
+        assert_eq!(m.arrays_used, 1);
+        assert!(m.fits(&config()));
+    }
+
+    #[test]
+    fn wide_rows_split_into_segments() {
+        // 10k-bit rows on 1024-wide arrays: 10 segments.
+        let m = ModelMapping::plan(&config(), 12, 10_000, 4);
+        assert_eq!(m.segments_per_row, 10);
+        // 12 rows x 10 segments x 5 physical rows = 600 rows: one array.
+        assert_eq!(m.arrays_used, 1);
+    }
+
+    #[test]
+    fn big_dnn_occupies_many_arrays() {
+        // A 4096 x 4096 8-bit weight matrix: 4096 rows of 32768 bits.
+        let m = ModelMapping::plan(&config(), 4096, 32_768, 4);
+        assert!(m.arrays_used > 100, "arrays used: {}", m.arrays_used);
+        assert!(m.fits(&config()));
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_and_improves_with_density() {
+        let sparse = ModelMapping::plan(&config(), 1, 100, 4);
+        let dense = ModelMapping::plan(&config(), 200, 1024, 4);
+        assert!(sparse.utilization > 0.0 && sparse.utilization <= 1.0);
+        assert!(dense.utilization > sparse.utilization);
+    }
+
+    #[test]
+    fn zero_scratch_means_data_only() {
+        let m = ModelMapping::plan(&config(), 10, 1024, 0);
+        assert_eq!(m.scratch_rows_per_bit(), 0.0);
+        assert_eq!(m.cells_allocated, 10 * 1024);
+    }
+
+    #[test]
+    fn oversized_model_reports_not_fitting() {
+        let tiny = DpimConfig {
+            arrays: 1,
+            rows: 8,
+            cols: 8,
+            ..DpimConfig::default()
+        };
+        let m = ModelMapping::plan(&tiny, 100, 64, 4);
+        assert!(!m.fits(&tiny));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_model_panics() {
+        ModelMapping::plan(&config(), 0, 10, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! MAGIC-style in-array NOR: the universal gate of the DPIM architecture.
+
+use crate::device::DeviceParams;
+use serde::{Deserialize, Serialize};
+
+/// Cost of a sequence of in-memory operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Sequential in-array cycles (each one switching-delay long).
+    pub cycles: u64,
+    /// Cell write (switching) events — the quantity endurance cares about.
+    pub writes: u64,
+    /// Energy in joules.
+    pub energy_j: f64,
+}
+
+impl OpCost {
+    /// Accumulates another cost (sequential composition).
+    pub fn add(&mut self, other: OpCost) {
+        self.cycles += other.cycles;
+        self.writes += other.writes;
+        self.energy_j += other.energy_j;
+    }
+
+    /// Cost scaled by a repetition count.
+    pub fn repeated(&self, times: u64) -> OpCost {
+        OpCost {
+            cycles: self.cycles * times,
+            writes: self.writes * times,
+            energy_j: self.energy_j * times as f64,
+        }
+    }
+
+    /// Latency in seconds for a device with the given switching delay.
+    pub fn latency_s(&self, device: &DeviceParams) -> f64 {
+        self.cycles as f64 * device.switching_delay_s
+    }
+}
+
+/// The MAGIC NOR primitive (§5.1 of the paper).
+///
+/// Input cells hold the operands as resistance states; the output cell is
+/// initialized to `R_on` and conditionally switched to `R_off` when any
+/// input stores a one. One NOR evaluation therefore costs:
+///
+/// * 1 initialization write of the output cell,
+/// * 1 conditional switching write when the output is 0 (i.e. some input
+///   was 1),
+/// * 1 sequential cycle (row-parallel across the array),
+/// * read-current energy through every on-state input.
+///
+/// # Example
+///
+/// ```
+/// use pimsim::{DeviceParams, NorGate};
+///
+/// let mut gate = NorGate::new(DeviceParams::default());
+/// assert!(gate.eval(&[false, false]));
+/// assert!(!gate.eval(&[true, false]));
+/// assert_eq!(gate.cost().cycles, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NorGate {
+    device: DeviceParams,
+    cost: OpCost,
+}
+
+impl NorGate {
+    /// Creates a gate evaluator that accumulates costs for `device`.
+    pub fn new(device: DeviceParams) -> Self {
+        Self {
+            device,
+            cost: OpCost::default(),
+        }
+    }
+
+    /// The device parameters in use.
+    pub fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+
+    /// Accumulated cost of every evaluation so far.
+    pub fn cost(&self) -> OpCost {
+        self.cost
+    }
+
+    /// Resets the cost counters.
+    pub fn reset_cost(&mut self) {
+        self.cost = OpCost::default();
+    }
+
+    /// Evaluates `NOR(inputs)`, charging its cycle, write, and energy cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty (MAGIC NOR needs at least one operand).
+    pub fn eval(&mut self, inputs: &[bool]) -> bool {
+        assert!(!inputs.is_empty(), "NOR needs at least one input");
+        let any_on = inputs.iter().any(|&b| b);
+        let output = !any_on;
+        // Output cell init to R_on (a RESET-direction write).
+        let mut writes = 1u64;
+        let mut energy = self.device.reset_energy_j();
+        // Conditional switch of the output when any input conducts.
+        if any_on {
+            writes += 1;
+            energy += self.device.set_energy_j();
+        }
+        // Read current through conducting inputs during the cycle.
+        let on_inputs = inputs.iter().filter(|&&b| b).count() as f64;
+        energy += on_inputs * self.device.read_energy_j();
+        self.cost.add(OpCost {
+            cycles: 1,
+            writes,
+            energy_j: energy,
+        });
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> NorGate {
+        NorGate::new(DeviceParams::default())
+    }
+
+    #[test]
+    fn truth_table_two_inputs() {
+        let mut g = gate();
+        assert!(g.eval(&[false, false]));
+        assert!(!g.eval(&[true, false]));
+        assert!(!g.eval(&[false, true]));
+        assert!(!g.eval(&[true, true]));
+    }
+
+    #[test]
+    fn truth_table_three_inputs() {
+        let mut g = gate();
+        assert!(g.eval(&[false, false, false]));
+        assert!(!g.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn single_input_is_not() {
+        let mut g = gate();
+        assert!(g.eval(&[false]));
+        assert!(!g.eval(&[true]));
+    }
+
+    #[test]
+    fn each_eval_costs_one_cycle() {
+        let mut g = gate();
+        g.eval(&[true, false]);
+        g.eval(&[false, false]);
+        assert_eq!(g.cost().cycles, 2);
+    }
+
+    #[test]
+    fn writes_depend_on_output_switching() {
+        let mut g = gate();
+        g.eval(&[false, false]); // output stays R_on: init only
+        assert_eq!(g.cost().writes, 1);
+        g.reset_cost();
+        g.eval(&[true, true]); // output switches: init + set
+        assert_eq!(g.cost().writes, 2);
+    }
+
+    #[test]
+    fn energy_grows_with_conducting_inputs() {
+        let mut g1 = gate();
+        g1.eval(&[true, false, false]);
+        let mut g3 = gate();
+        g3.eval(&[true, true, true]);
+        assert!(g3.cost().energy_j > g1.cost().energy_j);
+    }
+
+    #[test]
+    fn reset_cost_zeroes_counters() {
+        let mut g = gate();
+        g.eval(&[true]);
+        g.reset_cost();
+        assert_eq!(g.cost(), OpCost::default());
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let c = OpCost {
+            cycles: 2,
+            writes: 3,
+            energy_j: 1e-15,
+        };
+        let r = c.repeated(4);
+        assert_eq!(r.cycles, 8);
+        assert_eq!(r.writes, 12);
+        assert!((r.energy_j - 4e-15).abs() < 1e-24);
+        let mut acc = OpCost::default();
+        acc.add(c);
+        acc.add(c);
+        assert_eq!(acc.cycles, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_inputs_panic() {
+        gate().eval(&[]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of the PIM substrate.
+
+use pimsim::logic;
+use pimsim::{DeviceParams, DramModel, EnduranceModel, NorGate, SecdedCodec, WearLeveler};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Gate-level addition equals native addition for any width.
+    #[test]
+    fn adder_is_exact(a in any::<u32>(), b in any::<u32>(), bits in 1u32..=32) {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let (a, b) = ((a & mask) as u64, (b & mask) as u64);
+        let mut gate = NorGate::new(DeviceParams::default());
+        prop_assert_eq!(logic::add(&mut gate, a, b, bits), (a + b) & mask as u64);
+    }
+
+    /// Gate-level multiplication equals native multiplication.
+    #[test]
+    fn multiplier_is_exact(a in 0u64..4096, b in 0u64..4096) {
+        let mut gate = NorGate::new(DeviceParams::default());
+        prop_assert_eq!(logic::multiply(&mut gate, a, b, 12), a * b);
+    }
+
+    /// SECDED: any word survives any single flip; syndrome-clean words
+    /// decode verbatim.
+    #[test]
+    fn secded_single_error_correction(word in any::<u64>(), bit in 0u32..72) {
+        let codec = SecdedCodec::new();
+        let code = codec.encode(word);
+        prop_assert_eq!(codec.decode(code).data, word);
+        let decoded = codec.decode(code ^ (1u128 << bit));
+        prop_assert_eq!(decoded.data, word);
+        prop_assert!(!decoded.uncorrectable);
+    }
+
+    /// The wear-leveler mapping is injective after any write history.
+    #[test]
+    fn wear_leveler_stays_injective(
+        lines in 2usize..32,
+        period in 1usize..16,
+        writes in prop::collection::vec(any::<usize>(), 0..300),
+    ) {
+        let mut leveler = WearLeveler::new(lines, period);
+        for w in writes {
+            leveler.record_write(w % lines);
+            let mapped: HashSet<usize> = (0..lines).map(|l| leveler.physical_of(l)).collect();
+            prop_assert_eq!(mapped.len(), lines);
+            prop_assert!(mapped.iter().all(|&p| p <= lines));
+        }
+    }
+
+    /// Endurance dead-fraction is a CDF: within [0,1] and monotone.
+    #[test]
+    fn dead_fraction_is_cdf(
+        mean in 1e3f64..1e9,
+        sigma in 0.0f64..1.0,
+        w1 in 0.0f64..1e10,
+        w2 in 0.0f64..1e10,
+    ) {
+        let model = EnduranceModel::new(mean, sigma, 0);
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let (f_lo, f_hi) = (model.dead_fraction_after(lo), model.dead_fraction_after(hi));
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!((0.0..=1.0).contains(&f_hi));
+        prop_assert!(f_lo <= f_hi + 1e-12);
+    }
+
+    /// DRAM error rate and energy improvement are monotone in the refresh
+    /// interval and properly bounded.
+    #[test]
+    fn dram_model_is_monotone(t1 in 1.0f64..1e5, t2 in 1.0f64..1e5) {
+        let dram = DramModel::default();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(dram.error_rate(lo) <= dram.error_rate(hi) + 1e-12);
+        prop_assert!(dram.energy_improvement(lo) <= dram.energy_improvement(hi) + 1e-12);
+        prop_assert!(dram.error_rate(hi) <= dram.weak_fraction + 1e-9);
+        prop_assert!(dram.energy_improvement(hi) < dram.refresh_share);
+    }
+}

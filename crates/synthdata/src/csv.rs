@@ -1,0 +1,242 @@
+//! Dependency-free CSV import/export of labelled datasets.
+//!
+//! The format is the plain numeric layout ML tools exchange: one sample per
+//! line, features first, the integer class label in the last column. An
+//! optional header line is tolerated on read. This is how a downstream user
+//! feeds *real* data (the paper's actual MNIST/ISOLET/… exports) into the
+//! RobustHD pipeline in place of the synthetic stand-ins.
+
+use crate::dataset::Sample;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Error parsing a CSV dataset.
+#[derive(Debug)]
+pub struct ParseCsvError {
+    line: usize,
+    message: String,
+}
+
+impl ParseCsvError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-indexed line the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseCsvError {}
+
+/// Writes samples as CSV: features then label, one sample per line.
+///
+/// A reference to a writer can be passed (`&mut file`) since `Write` is
+/// implemented for mutable references.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use synthdata::{csv, Sample};
+///
+/// let samples = vec![Sample { features: vec![0.25, 0.5], label: 1 }];
+/// let mut out = Vec::new();
+/// csv::write_samples(&mut out, &samples)?;
+/// assert_eq!(String::from_utf8(out).unwrap(), "0.25,0.5,1\n");
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_samples<W: Write>(mut writer: W, samples: &[Sample]) -> std::io::Result<()> {
+    for sample in samples {
+        let mut first = true;
+        for f in &sample.features {
+            if !first {
+                write!(writer, ",")?;
+            }
+            write!(writer, "{f}")?;
+            first = false;
+        }
+        if !first {
+            write!(writer, ",")?;
+        }
+        writeln!(writer, "{}", sample.label)?;
+    }
+    Ok(())
+}
+
+/// Reads samples from CSV: features then an integer label per line.
+///
+/// Blank lines are skipped; a first line containing any non-numeric field
+/// is treated as a header and skipped. All samples must agree on the
+/// feature count.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] on malformed numbers, inconsistent feature
+/// counts, lines without a label column, or I/O failure.
+///
+/// # Example
+///
+/// ```
+/// use synthdata::csv;
+///
+/// let text = "f0,f1,label\n0.1,0.9,0\n0.8,0.2,1\n";
+/// let samples = csv::read_samples(text.as_bytes())?;
+/// assert_eq!(samples.len(), 2);
+/// assert_eq!(samples[1].label, 1);
+/// # Ok::<(), synthdata::csv::ParseCsvError>(())
+/// ```
+pub fn read_samples<R: Read>(reader: R) -> Result<Vec<Sample>, ParseCsvError> {
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut expected_features: Option<usize> = None;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| ParseCsvError::new(line_no, format!("i/o error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(ParseCsvError::new(
+                line_no,
+                "need at least one feature and a label",
+            ));
+        }
+        let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
+        let values = match parsed {
+            Ok(values) => values,
+            Err(_) if samples.is_empty() && expected_features.is_none() => {
+                // Tolerate one header line before any data.
+                continue;
+            }
+            Err(_) => {
+                return Err(ParseCsvError::new(line_no, "non-numeric field"));
+            }
+        };
+        let (label_field, feature_fields) = values.split_last().expect("len >= 2");
+        if label_field.fract() != 0.0 || *label_field < 0.0 {
+            return Err(ParseCsvError::new(
+                line_no,
+                format!("label column must be a non-negative integer, got {label_field}"),
+            ));
+        }
+        match expected_features {
+            None => expected_features = Some(feature_fields.len()),
+            Some(n) if n != feature_fields.len() => {
+                return Err(ParseCsvError::new(
+                    line_no,
+                    format!("expected {n} features, found {}", feature_fields.len()),
+                ));
+            }
+            Some(_) => {}
+        }
+        samples.push(Sample {
+            features: feature_fields.to_vec(),
+            label: *label_field as usize,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_samples() {
+        let samples = vec![
+            Sample {
+                features: vec![0.5, 0.25, 1.0],
+                label: 2,
+            },
+            Sample {
+                features: vec![0.0, 0.125, 0.75],
+                label: 0,
+            },
+        ];
+        let mut buffer = Vec::new();
+        write_samples(&mut buffer, &samples).expect("write");
+        let decoded = read_samples(buffer.as_slice()).expect("read");
+        assert_eq!(decoded, samples);
+    }
+
+    #[test]
+    fn header_line_is_skipped() {
+        let text = "a,b,label\n0.1,0.2,1\n";
+        let samples = read_samples(text.as_bytes()).expect("read");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].label, 1);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "\n0.1,0.2,1\n\n0.3,0.4,0\n";
+        let samples = read_samples(text.as_bytes()).expect("read");
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn non_numeric_mid_file_is_an_error() {
+        let text = "0.1,0.2,1\nxyz,0.4,0\n";
+        let err = read_samples(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("non-numeric"));
+    }
+
+    #[test]
+    fn inconsistent_width_is_an_error() {
+        let text = "0.1,0.2,1\n0.3,0.4,0.5,0\n";
+        let err = read_samples(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 2 features"));
+    }
+
+    #[test]
+    fn fractional_label_is_an_error() {
+        let text = "0.1,0.2,1.5\n";
+        let err = read_samples(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("label column"));
+    }
+
+    #[test]
+    fn single_column_is_an_error() {
+        let err = read_samples("5\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("at least one feature"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_dataset() {
+        assert!(read_samples("".as_bytes()).expect("read").is_empty());
+    }
+
+    #[test]
+    fn generated_dataset_roundtrips() {
+        use crate::{DatasetSpec, GeneratorConfig};
+        let data =
+            GeneratorConfig::new(3).generate(&DatasetSpec::pecan().with_sizes(30, 9));
+        let mut buffer = Vec::new();
+        write_samples(&mut buffer, &data.train).expect("write");
+        let decoded = read_samples(buffer.as_slice()).expect("read");
+        assert_eq!(decoded.len(), 30);
+        for (a, b) in decoded.iter().zip(&data.train) {
+            assert_eq!(a.label, b.label);
+            for (x, y) in a.features.iter().zip(&b.features) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+}

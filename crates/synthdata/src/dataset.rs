@@ -1,0 +1,125 @@
+use crate::spec::DatasetSpec;
+use serde::{Deserialize, Serialize};
+
+/// One labelled data point: features normalized to `[0, 1]` plus a class
+/// label in `0..classes`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature vector, each component in `[0, 1]`.
+    pub features: Vec<f64>,
+    /// Class label.
+    pub label: usize,
+}
+
+/// A generated train/test corpus together with the spec that produced it.
+///
+/// Features are min-max normalized to `[0, 1]` using statistics of the
+/// training split (the test split reuses the training normalization, as a
+/// deployed pipeline would).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The shape and difficulty parameters this corpus was generated from.
+    pub spec: DatasetSpec,
+    /// Training samples.
+    pub train: Vec<Sample>,
+    /// Held-out test samples.
+    pub test: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Number of features per sample.
+    pub fn features(&self) -> usize {
+        self.spec.features
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.spec.classes
+    }
+
+    /// Per-class sample counts over the training split.
+    pub fn train_class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.spec.classes];
+        for s in &self.train {
+            hist[s.label] += 1;
+        }
+        hist
+    }
+
+    /// Checks the structural invariants of the corpus; used by tests and by
+    /// callers loading untrusted serialized datasets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: wrong feature
+    /// count, label out of range, or feature outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (split, samples) in [("train", &self.train), ("test", &self.test)] {
+            for (i, s) in samples.iter().enumerate() {
+                if s.features.len() != self.spec.features {
+                    return Err(format!(
+                        "{split}[{i}] has {} features, expected {}",
+                        s.features.len(),
+                        self.spec.features
+                    ));
+                }
+                if s.label >= self.spec.classes {
+                    return Err(format!(
+                        "{split}[{i}] label {} out of range {}",
+                        s.label, self.spec.classes
+                    ));
+                }
+                if let Some(f) = s.features.iter().find(|f| !(0.0..=1.0).contains(*f)) {
+                    return Err(format!("{split}[{i}] feature {f} outside [0,1]"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::GeneratorConfig;
+
+    fn tiny() -> Dataset {
+        GeneratorConfig::new(1).generate(&DatasetSpec::pecan().with_sizes(90, 30))
+    }
+
+    #[test]
+    fn validate_accepts_generated_data() {
+        tiny().validate().expect("generated data must be valid");
+    }
+
+    #[test]
+    fn histogram_is_roughly_balanced() {
+        let data = tiny();
+        let hist = data.train_class_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), 90);
+        for (c, &count) in hist.iter().enumerate() {
+            assert!(count >= 20, "class {c} underrepresented: {count}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_label() {
+        let mut data = tiny();
+        data.train[0].label = 99;
+        assert!(data.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_feature() {
+        let mut data = tiny();
+        data.test[0].features[0] = 1.5;
+        assert!(data.validate().unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_feature_count() {
+        let mut data = tiny();
+        data.train[0].features.pop();
+        assert!(data.validate().is_err());
+    }
+}

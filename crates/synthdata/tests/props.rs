@@ -1,0 +1,48 @@
+//! Property-based tests of the dataset generator.
+
+use proptest::prelude::*;
+use synthdata::{DatasetSpec, GeneratorConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any scaled spec produces a structurally valid corpus with every
+    /// class represented in both splits.
+    #[test]
+    fn generated_corpora_are_valid(
+        seed in any::<u64>(),
+        which in 0usize..6,
+        train in 30usize..120,
+        test in 30usize..120,
+    ) {
+        let spec = DatasetSpec::all()[which].with_sizes(train.max(30), test.max(30));
+        let data = GeneratorConfig::new(seed).generate(&spec);
+        prop_assert!(data.validate().is_ok());
+        prop_assert_eq!(data.train.len(), spec.train_size);
+        prop_assert_eq!(data.test.len(), spec.test_size);
+        let hist = data.train_class_histogram();
+        prop_assert!(hist.iter().all(|&c| c > 0), "class missing: {:?}", hist);
+    }
+
+    /// Generation is a pure function of (seed, spec).
+    #[test]
+    fn generation_is_pure(seed in any::<u64>()) {
+        let spec = DatasetSpec::pecan().with_sizes(45, 30);
+        let a = GeneratorConfig::new(seed).generate(&spec);
+        let b = GeneratorConfig::new(seed).generate(&spec);
+        prop_assert_eq!(a.train, b.train);
+        prop_assert_eq!(a.test, b.test);
+    }
+
+    /// Scaling preserves geometry and never drops below one sample per
+    /// class.
+    #[test]
+    fn scaling_invariants(factor in 1e-6f64..2.0, which in 0usize..6) {
+        let spec = DatasetSpec::all()[which].clone();
+        let scaled = spec.scaled(factor);
+        prop_assert_eq!(scaled.features, spec.features);
+        prop_assert_eq!(scaled.classes, spec.classes);
+        prop_assert!(scaled.train_size >= spec.classes);
+        prop_assert!(scaled.test_size >= spec.classes);
+    }
+}

@@ -1,0 +1,86 @@
+//! Health monitoring: detect that the deployed model is being corrupted —
+//! with no labels — and trigger recovery automatically.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example health_monitor
+//! ```
+
+use faultsim::Attacker;
+use robusthd::diagnostics::{HealthMonitor, HealthVerdict};
+use robusthd::{
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
+    SubstitutionMode, TrainedModel,
+};
+use synthdata::{DatasetSpec, GeneratorConfig};
+
+fn main() {
+    // Deploy.
+    let spec = DatasetSpec::ucihar().with_sizes(1200, 600);
+    let data = GeneratorConfig::new(25).generate(&spec);
+    let config = HdcConfig::builder()
+        .dimension(4096)
+        .seed(8)
+        .build()
+        .expect("valid configuration");
+    let encoder = RecordEncoder::new(&config, spec.features);
+    let train: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
+    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
+    let mut model = TrainedModel::train(&train, &train_labels, spec.classes, &config);
+    println!("clean accuracy: {:.2}%", accuracy(&model, &queries, &labels) * 100.0);
+
+    // Calibrate the monitor on known-good traffic at deployment time.
+    let mut monitor = HealthMonitor::new(100, 0.6);
+    monitor.calibrate(&model, &queries, config.softmax_beta);
+    let baseline = monitor.baseline().expect("calibrated");
+    println!(
+        "baseline: mean confidence {:.3}, mean margin {:.4}\n",
+        baseline.mean_confidence, baseline.mean_margin
+    );
+
+    // Memory degrades in steps; the monitor watches the live traffic.
+    for step in 1..=6 {
+        let mut image = model.to_memory_image();
+        let bits = image.len();
+        Attacker::seed_from(step).random_flips(image.words_mut(), bits, 0.05);
+        image.mask_tail();
+        model.load_memory_image(&image);
+
+        for q in &queries {
+            monitor.observe(&model, q, config.softmax_beta);
+        }
+        let snap = monitor.snapshot().expect("traffic seen");
+        let verdict = monitor.verdict();
+        println!(
+            "step {step}: accuracy {:.2}%  margin {:.4}  verdict {:?}",
+            accuracy(&model, &queries, &labels) * 100.0,
+            snap.mean_margin,
+            verdict
+        );
+
+        if verdict == HealthVerdict::Degraded {
+            println!("\nalarm raised — engaging recovery on live traffic");
+            let recovery = RecoveryConfig::builder()
+                .confidence_threshold(0.45)
+                .substitution_rate(0.5)
+                .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+                .build()
+                .expect("valid recovery configuration");
+            let mut engine = RecoveryEngine::new(recovery, config.softmax_beta);
+            for _ in 0..12 {
+                engine.run_stream(&mut model, &queries);
+            }
+            for q in &queries {
+                monitor.observe(&model, q, config.softmax_beta);
+            }
+            println!(
+                "after recovery: accuracy {:.2}%  verdict {:?}",
+                accuracy(&model, &queries, &labels) * 100.0,
+                monitor.verdict()
+            );
+            break;
+        }
+    }
+}

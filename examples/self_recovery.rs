@@ -1,0 +1,79 @@
+//! Self recovery: attack a deployed HDC model, then let RobustHD repair it
+//! using nothing but unlabeled inference traffic — no clean copy, no
+//! training data, no labels.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example self_recovery
+//! ```
+
+use faultsim::Attacker;
+use robusthd::{
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
+    SubstitutionMode, TrainedModel,
+};
+use synthdata::{DatasetSpec, GeneratorConfig};
+
+fn main() {
+    // Train the deployed model.
+    let spec = DatasetSpec::ucihar().with_sizes(1200, 600);
+    let data = GeneratorConfig::new(9).generate(&spec);
+    let config = HdcConfig::builder()
+        .dimension(4096)
+        .seed(2)
+        .build()
+        .expect("valid configuration");
+    let encoder = RecordEncoder::new(&config, spec.features);
+    let train: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
+    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
+    let mut model = TrainedModel::train(&train, &train_labels, spec.classes, &config);
+    let clean = accuracy(&model, &queries, &labels);
+    println!("clean accuracy:    {:.2}%", clean * 100.0);
+
+    // A memory attack flips 10% of the stored model bits.
+    let mut image = model.to_memory_image();
+    let bits = image.len();
+    Attacker::seed_from(13).random_flips(image.words_mut(), bits, 0.10);
+    image.mask_tail();
+    model.load_memory_image(&image);
+    println!("attacked accuracy: {:.2}%", accuracy(&model, &queries, &labels) * 100.0);
+
+    // RobustHD recovery: confident predictions become pseudo-labels, chunk
+    // votes locate the faulty dimensions, and the majority of the trusted
+    // traffic regenerates them.
+    let recovery = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .build()
+        .expect("valid recovery configuration");
+    let mut engine = RecoveryEngine::new(recovery, config.softmax_beta);
+    for pass in 1..=8 {
+        engine.run_stream(&mut model, &queries);
+        println!(
+            "after pass {pass}:     {:.2}%  (trusted {:.0}% of traffic, {} bits rewritten)",
+            accuracy(&model, &queries, &labels) * 100.0,
+            engine.stats().trust_rate() * 100.0,
+            engine.stats().bits_changed
+        );
+    }
+    let final_acc = accuracy(&model, &queries, &labels);
+    println!(
+        "\nfinal quality loss: {:.2}% (was {:.2}% without recovery)",
+        (clean - final_acc).max(0.0) * 100.0,
+        (clean - {
+            // Re-create the attacked-but-unrecovered model for the closing
+            // comparison.
+            let mut m = TrainedModel::train(&train, &train_labels, spec.classes, &config);
+            let mut img = m.to_memory_image();
+            let b = img.len();
+            Attacker::seed_from(13).random_flips(img.words_mut(), b, 0.10);
+            img.mask_tail();
+            m.load_memory_image(&img);
+            accuracy(&m, &queries, &labels)
+        })
+        .max(0.0) * 100.0
+    );
+}

@@ -1,0 +1,23 @@
+//! RobustHD reproduction suite — umbrella crate.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and
+//! cross-crate integration tests (`tests/`) of the RobustHD (DAC 2022)
+//! reproduction. It re-exports the workspace members so downstream code can
+//! depend on one crate:
+//!
+//! * [`hypervector`] — bit-packed hypervectors and the HDC operator algebra
+//! * [`robusthd`] — encoding, training, confidence, adaptive recovery
+//! * [`synthdata`] — synthetic stand-ins for the paper's datasets
+//! * [`faultsim`] — bit-flip attack and fault injection
+//! * [`baselines`] — DNN / SVM / AdaBoost comparators in 8-bit fixed point
+//! * [`pimsim`] — the digital processing-in-memory simulator
+//!
+//! See `README.md` for the quickstart and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use baselines;
+pub use faultsim;
+pub use hypervector;
+pub use pimsim;
+pub use robusthd;
+pub use synthdata;

@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning the workspace crates.
+
+use faultsim::Attacker;
+use hypervector::{BinaryHypervector, BundleAccumulator, IntHypervector, PackedBits, Precision};
+use proptest::prelude::*;
+
+proptest! {
+    /// PackedBits agrees with a plain Vec<bool> reference implementation
+    /// under any sequence of set/flip operations.
+    #[test]
+    fn packed_bits_matches_reference(
+        len in 1usize..300,
+        ops in prop::collection::vec((0usize..300, any::<bool>(), any::<bool>()), 0..50),
+    ) {
+        let mut bits = PackedBits::zeros(len);
+        let mut reference = vec![false; len];
+        for (pos, value, is_flip) in ops {
+            let pos = pos % len;
+            if is_flip {
+                bits.flip(pos);
+                reference[pos] = !reference[pos];
+            } else {
+                bits.set(pos, value);
+                reference[pos] = value;
+            }
+        }
+        for (i, &expected) in reference.iter().enumerate() {
+            prop_assert_eq!(bits.get(i), expected, "bit {}", i);
+        }
+        prop_assert_eq!(bits.count_ones(), reference.iter().filter(|&&b| b).count());
+    }
+
+    /// Hamming distance is a metric: non-negative (by type), symmetric,
+    /// zero iff equal, and satisfies the triangle inequality.
+    #[test]
+    fn hamming_is_a_metric(
+        a in prop::collection::vec(any::<bool>(), 64),
+        b in prop::collection::vec(any::<bool>(), 64),
+        c in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let ha = BinaryHypervector::from_fn(64, |i| a[i]);
+        let hb = BinaryHypervector::from_fn(64, |i| b[i]);
+        let hc = BinaryHypervector::from_fn(64, |i| c[i]);
+        prop_assert_eq!(ha.hamming_distance(&hb), hb.hamming_distance(&ha));
+        prop_assert_eq!(ha.hamming_distance(&ha), 0);
+        if a != b {
+            prop_assert!(ha.hamming_distance(&hb) > 0);
+        }
+        prop_assert!(
+            ha.hamming_distance(&hc)
+                <= ha.hamming_distance(&hb) + hb.hamming_distance(&hc)
+        );
+    }
+
+    /// Binding is self-inverse and distance-preserving for arbitrary
+    /// vectors, not just random ones.
+    #[test]
+    fn bind_properties(
+        a in prop::collection::vec(any::<bool>(), 128),
+        b in prop::collection::vec(any::<bool>(), 128),
+        k in prop::collection::vec(any::<bool>(), 128),
+    ) {
+        let ha = BinaryHypervector::from_fn(128, |i| a[i]);
+        let hb = BinaryHypervector::from_fn(128, |i| b[i]);
+        let hk = BinaryHypervector::from_fn(128, |i| k[i]);
+        prop_assert_eq!(ha.bind(&hb).bind(&hb), ha.clone());
+        prop_assert_eq!(
+            ha.hamming_distance(&hb),
+            ha.bind(&hk).hamming_distance(&hb.bind(&hk))
+        );
+    }
+
+    /// The bundle majority never disagrees with a unanimous component, and
+    /// bundling is permutation-invariant over its inputs.
+    #[test]
+    fn bundle_majority_bounds(
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 32), 1..9),
+    ) {
+        let dim = 32;
+        let mut acc = BundleAccumulator::new(dim);
+        for row in &rows {
+            acc.add(&BinaryHypervector::from_fn(dim, |i| row[i]));
+        }
+        let bundled = acc.to_binary();
+        for i in 0..dim {
+            let ones = rows.iter().filter(|r| r[i]).count();
+            if ones == rows.len() {
+                prop_assert!(bundled.get(i), "unanimous one lost at {}", i);
+            }
+            if ones == 0 {
+                prop_assert!(!bundled.get(i), "unanimous zero lost at {}", i);
+            }
+        }
+        // Permutation invariance: add in reverse order.
+        let mut acc_rev = BundleAccumulator::new(dim);
+        for row in rows.iter().rev() {
+            acc_rev.add(&BinaryHypervector::from_fn(dim, |i| row[i]));
+        }
+        prop_assert_eq!(acc_rev.to_binary(), bundled);
+    }
+
+    /// Multi-bit hypervectors survive pack/unpack bit-exactly at every
+    /// precision.
+    #[test]
+    fn int_hypervector_pack_roundtrip(
+        bits in 1u8..=8,
+        raw in prop::collection::vec(any::<i32>(), 1..40),
+    ) {
+        let precision = Precision::new(bits).expect("valid");
+        let values: Vec<i32> = raw
+            .iter()
+            .map(|&v| {
+                if bits == 1 {
+                    if v % 2 == 0 { 1 } else { -1 }
+                } else {
+                    let span = precision.max_value() - precision.min_value() + 1;
+                    precision.min_value() + (v.rem_euclid(span))
+                }
+            })
+            .collect();
+        let hv = IntHypervector::from_values(values, precision);
+        let decoded = IntHypervector::from_packed(&hv.pack(), hv.dim(), precision);
+        prop_assert_eq!(decoded, hv);
+    }
+
+    /// The fault injector flips exactly the requested number of distinct
+    /// bits for any image size and rate.
+    #[test]
+    fn attacker_flips_exact_count(
+        words in 1usize..16,
+        rate in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let bit_len = words * 64;
+        let mut image = vec![0u64; words];
+        let report = Attacker::seed_from(seed).random_flips(&mut image, bit_len, rate);
+        let expected = (rate * bit_len as f64).round() as usize;
+        prop_assert_eq!(report.flipped_bits, expected);
+        let ones: usize = image.iter().map(|w| w.count_ones() as usize).sum();
+        prop_assert_eq!(ones, expected, "flips must hit distinct positions");
+    }
+
+    /// Double application of the same random attack is NOT the identity in
+    /// general, but attacking with rate zero always is.
+    #[test]
+    fn zero_rate_attack_is_identity(words in 1usize..8, seed in any::<u64>()) {
+        let mut image: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        let original = image.clone();
+        Attacker::seed_from(seed).random_flips(&mut image, words * 64, 0.0);
+        prop_assert_eq!(image, original);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SECDED corrects any single flip of any codeword of any word.
+    #[test]
+    fn secded_corrects_any_single_flip(word in any::<u64>(), bit in 0u32..72) {
+        let codec = pimsim::SecdedCodec::new();
+        let code = codec.encode(word);
+        let decoded = codec.decode(code ^ (1u128 << bit));
+        prop_assert_eq!(decoded.data, word);
+        prop_assert!(decoded.corrected);
+        prop_assert!(!decoded.uncorrectable);
+    }
+
+    /// Gate-level PIM arithmetic agrees with native arithmetic on random
+    /// operands.
+    #[test]
+    fn pim_arithmetic_matches_native(a in 0u64..256, b in 0u64..256) {
+        let mut gate = pimsim::NorGate::new(pimsim::DeviceParams::default());
+        prop_assert_eq!(pimsim::logic::add(&mut gate, a, b, 16), (a + b) & 0xffff);
+        prop_assert_eq!(pimsim::logic::multiply(&mut gate, a, b, 8), a * b);
+    }
+
+    /// The 8-bit fixed-point codec round-trips within half a quantization
+    /// step for in-range values.
+    #[test]
+    fn fixed8_roundtrip_error_bound(scale in 0.1f64..100.0, frac in -1.0f64..1.0) {
+        let codec = baselines::Fixed8Codec::from_max_abs(scale);
+        let value = frac * scale;
+        let err = (codec.decode(codec.encode(value)) - value).abs();
+        prop_assert!(err <= scale / 127.0 / 2.0 + 1e-12, "error {} at {}", err, value);
+    }
+}
