@@ -81,7 +81,10 @@ impl AdaBoost {
     pub fn fit(config: &AdaBoostConfig, train: &[Sample]) -> Self {
         assert!(!train.is_empty(), "training set must not be empty");
         assert!(config.rounds > 0, "need at least one boosting round");
-        assert!(config.feature_samples > 0, "need at least one feature sample");
+        assert!(
+            config.feature_samples > 0,
+            "need at least one feature sample"
+        );
         assert!(config.threshold_grid > 0, "need at least one threshold");
         let features = train[0].features.len();
         assert!(
@@ -104,7 +107,14 @@ impl AdaBoost {
             for _ in 0..config.rounds {
                 // Stump search over a random feature subset and a uniform
                 // threshold grid.
-                let mut best = (f64::INFINITY, StumpShape { feature: 0, polarity: true }, 0.5);
+                let mut best = (
+                    f64::INFINITY,
+                    StumpShape {
+                        feature: 0,
+                        polarity: true,
+                    },
+                    0.5,
+                );
                 for _ in 0..config.feature_samples.min(features) {
                     let feature = rng.random_range(0..features);
                     for g in 0..config.threshold_grid {
@@ -112,9 +122,7 @@ impl AdaBoost {
                         // Weighted error of the polarity-true stump; the
                         // polarity-false stump has error 1 - err.
                         let mut err = 0.0;
-                        for (sample, (&y, &w)) in
-                            train.iter().zip(labels.iter().zip(&weights))
-                        {
+                        for (sample, (&y, &w)) in train.iter().zip(labels.iter().zip(&weights)) {
                             let vote = if sample.features[feature] < threshold {
                                 1.0
                             } else {
@@ -124,7 +132,11 @@ impl AdaBoost {
                                 err += w;
                             }
                         }
-                        let (e, polarity) = if err <= 0.5 { (err, true) } else { (1.0 - err, false) };
+                        let (e, polarity) = if err <= 0.5 {
+                            (err, true)
+                        } else {
+                            (1.0 - err, false)
+                        };
                         if e < best.0 {
                             best = (e, StumpShape { feature, polarity }, threshold);
                         }
@@ -136,7 +148,8 @@ impl AdaBoost {
                 // Re-weight samples.
                 let mut total = 0.0;
                 for (sample, (&y, w)) in train.iter().zip(labels.iter().zip(weights.iter_mut())) {
-                    let vote = stump_vote(sample.features[shape.feature], threshold, shape.polarity);
+                    let vote =
+                        stump_vote(sample.features[shape.feature], threshold, shape.polarity);
                     *w *= (-alpha * y * vote).exp();
                     total += *w;
                 }
@@ -270,9 +283,17 @@ mod tests {
         let data = small_data();
         let mut model = AdaBoost::fit(&quick_config(), &data.train);
         let image = model.to_image();
-        let before: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        let before: Vec<usize> = data
+            .test
+            .iter()
+            .map(|s| model.predict(&s.features))
+            .collect();
         model.load_image(&image);
-        let after: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        let after: Vec<usize> = data
+            .test
+            .iter()
+            .map(|s| model.predict(&s.features))
+            .collect();
         assert_eq!(before, after);
     }
 

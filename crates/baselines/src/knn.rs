@@ -81,8 +81,7 @@ impl Knn {
         // A seeded shuffle avoids aliasing against any periodic label
         // layout (an even stride would sample one class of round-robin
         // data).
-        let keep: Vec<&Sample> = if config.max_exemplars > 0 && train.len() > config.max_exemplars
-        {
+        let keep: Vec<&Sample> = if config.max_exemplars > 0 && train.len() > config.max_exemplars {
             let mut indices: Vec<usize> = (0..train.len()).collect();
             indices.shuffle(&mut StdRng::seed_from_u64(config.seed));
             indices.truncate(config.max_exemplars);
@@ -219,9 +218,17 @@ mod tests {
         let data = small_data();
         let mut model = Knn::fit(&KnnConfig::default(), &data.train);
         let image = model.to_image();
-        let before: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        let before: Vec<usize> = data
+            .test
+            .iter()
+            .map(|s| model.predict(&s.features))
+            .collect();
         model.load_image(&image);
-        let after: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        let after: Vec<usize> = data
+            .test
+            .iter()
+            .map(|s| model.predict(&s.features))
+            .collect();
         assert_eq!(before, after);
     }
 

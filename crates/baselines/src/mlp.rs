@@ -234,7 +234,10 @@ impl BitStoredModel for Mlp {
     }
 
     fn load_image(&mut self, image: &[u64]) {
-        unpack_tensors(image, [&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2]);
+        unpack_tensors(
+            image,
+            [&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2],
+        );
     }
 
     fn field_bits(&self) -> usize {
@@ -352,9 +355,17 @@ mod tests {
         let data = small_data();
         let mut model = Mlp::fit(&quick_config(), &data.train);
         let image = model.to_image();
-        let before: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        let before: Vec<usize> = data
+            .test
+            .iter()
+            .map(|s| model.predict(&s.features))
+            .collect();
         model.load_image(&image);
-        let after: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        let after: Vec<usize> = data
+            .test
+            .iter()
+            .map(|s| model.predict(&s.features))
+            .collect();
         assert_eq!(before, after);
     }
 

@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn words_roundtrip() {
-        let tensor = QuantizedTensor::quantize(&[0.1, -0.9, 0.33, 0.72, -0.01, 0.5, 0.6, -0.7, 0.8]);
+        let tensor =
+            QuantizedTensor::quantize(&[0.1, -0.9, 0.33, 0.72, -0.01, 0.5, 0.6, -0.7, 0.8]);
         let words = tensor.to_words();
         assert_eq!(words.len(), 2);
         let mut copy = tensor.clone();

@@ -201,9 +201,17 @@ mod tests {
         let data = small_data();
         let mut model = LinearSvm::fit(&SvmConfig::default(), &data.train);
         let image = model.to_image();
-        let before: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        let before: Vec<usize> = data
+            .test
+            .iter()
+            .map(|s| model.predict(&s.features))
+            .collect();
         model.load_image(&image);
-        let after: Vec<usize> = data.test.iter().map(|s| model.predict(&s.features)).collect();
+        let after: Vec<usize> = data
+            .test
+            .iter()
+            .map(|s| model.predict(&s.features))
+            .collect();
         assert_eq!(before, after);
     }
 

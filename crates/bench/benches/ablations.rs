@@ -24,7 +24,11 @@ fn workload() -> (
         .build()
         .expect("valid");
     let encoder = RecordEncoder::new(&config, spec.features);
-    let encoded: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let encoded: Vec<_> = data
+        .train
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
     let model = TrainedModel::train(&encoded, &labels, spec.classes, &config);
     (config, encoded, labels, model)
@@ -42,7 +46,12 @@ fn bench_chunk_count(c: &mut Criterion) {
             .expect("valid");
         group.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, _| {
             b.iter_batched(
-                || (model.clone(), RecoveryEngine::new(rc.clone(), config.softmax_beta)),
+                || {
+                    (
+                        model.clone(),
+                        RecoveryEngine::new(rc.clone(), config.softmax_beta),
+                    )
+                },
                 |(mut m, mut engine)| engine.observe(&mut m, black_box(&encoded[0])),
                 criterion::BatchSize::SmallInput,
             )
@@ -88,7 +97,12 @@ fn bench_substitution_modes(c: &mut Criterion) {
             .expect("valid");
         group.bench_function(name, |b| {
             b.iter_batched(
-                || (model.clone(), RecoveryEngine::new(rc.clone(), config.softmax_beta)),
+                || {
+                    (
+                        model.clone(),
+                        RecoveryEngine::new(rc.clone(), config.softmax_beta),
+                    )
+                },
                 |(mut m, mut engine)| engine.observe(&mut m, black_box(&encoded[0])),
                 criterion::BatchSize::SmallInput,
             )

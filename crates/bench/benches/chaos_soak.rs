@@ -1,0 +1,30 @@
+//! Criterion wrapper of the chaos-soak scenario: times one quick-scale
+//! closed-loop soak (campaign + burst + escalating recovery + rollback).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusthd_bench::{soak, Scale};
+use std::hint::black_box;
+use synthdata::DatasetSpec;
+
+fn bench_chaos_soak(c: &mut Criterion) {
+    c.bench_function("chaos_soak_pecan_quick", |b| {
+        b.iter(|| {
+            soak::run(
+                &DatasetSpec::pecan(),
+                Scale::Quick,
+                2048,
+                black_box(7),
+                4,
+                0.08,
+                true,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_chaos_soak
+}
+criterion_main!(benches);

@@ -6,7 +6,13 @@ use robusthd::{Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine
 use std::hint::black_box;
 use synthdata::{DatasetSpec, GeneratorConfig};
 
-fn setup(dim: usize) -> (RecordEncoder, TrainedModel, Vec<hypervector::BinaryHypervector>) {
+fn setup(
+    dim: usize,
+) -> (
+    RecordEncoder,
+    TrainedModel,
+    Vec<hypervector::BinaryHypervector>,
+) {
     let spec = DatasetSpec::ucihar().with_sizes(120, 60);
     let data = GeneratorConfig::new(1).generate(&spec);
     let config = HdcConfig::builder()
@@ -15,10 +21,18 @@ fn setup(dim: usize) -> (RecordEncoder, TrainedModel, Vec<hypervector::BinaryHyp
         .build()
         .expect("valid");
     let encoder = RecordEncoder::new(&config, spec.features);
-    let encoded: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let encoded: Vec<_> = data
+        .train
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
     let model = TrainedModel::train(&encoded, &labels, spec.classes, &config);
-    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let queries: Vec<_> = data
+        .test
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     (encoder, model, queries)
 }
 

@@ -8,15 +8,7 @@ use synthdata::DatasetSpec;
 
 fn bench_table4(c: &mut Criterion) {
     c.bench_function("table4_recovery_ucihar_quick", |b| {
-        b.iter(|| {
-            table4::run_dataset(
-                &DatasetSpec::ucihar(),
-                Scale::Quick,
-                4096,
-                black_box(5),
-                1,
-            )
-        })
+        b.iter(|| table4::run_dataset(&DatasetSpec::ucihar(), Scale::Quick, 4096, black_box(5), 1))
     });
 }
 

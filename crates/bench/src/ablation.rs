@@ -70,10 +70,7 @@ pub fn substitution_ablation(scale: Scale, dim: usize, seed: u64) -> Vec<Substit
             CorruptionPattern::Diffuse => attack_hdc(&w.model, 0.06, seed ^ 0x5150),
             CorruptionPattern::RowBurst => attack_rows(&w.model, burst_rows, seed ^ 0x5150),
         };
-        let loss_before = quality_loss(
-            clean,
-            accuracy(&attacked, &w.test_encoded, &w.test_labels),
-        );
+        let loss_before = quality_loss(clean, accuracy(&attacked, &w.test_encoded, &w.test_labels));
         for mode in [
             SubstitutionMode::Overwrite,
             SubstitutionMode::MajorityCounter { saturation: 3 },
@@ -90,8 +87,7 @@ pub fn substitution_ablation(scale: Scale, dim: usize, seed: u64) -> Vec<Substit
             for _ in 0..16 {
                 engine.run_stream(&mut model, &w.test_encoded);
             }
-            let loss_after =
-                quality_loss(clean, accuracy(&model, &w.test_encoded, &w.test_labels));
+            let loss_after = quality_loss(clean, accuracy(&model, &w.test_encoded, &w.test_labels));
             rows.push(SubstitutionAblationRow {
                 pattern,
                 mode,
@@ -136,10 +132,7 @@ pub fn chunk_ablation(scale: Scale, dim: usize, seed: u64) -> Vec<ChunkAblationR
             }
             ChunkAblationRow {
                 chunks,
-                loss_after: quality_loss(
-                    clean,
-                    accuracy(&model, &w.test_encoded, &w.test_labels),
-                ),
+                loss_after: quality_loss(clean, accuracy(&model, &w.test_encoded, &w.test_labels)),
                 fault_rate: engine.stats().fault_rate(),
             }
         })
@@ -170,8 +163,9 @@ pub fn encoder_ablation(scale: Scale, dim: usize, seed: u64) -> Vec<EncoderAblat
         .build()
         .expect("valid config");
 
-    let evaluate = |label: &str, encoded_train: Vec<hypervector::BinaryHypervector>,
-                        encoded_test: Vec<hypervector::BinaryHypervector>|
+    let evaluate = |label: &str,
+                    encoded_train: Vec<hypervector::BinaryHypervector>,
+                    encoded_test: Vec<hypervector::BinaryHypervector>|
      -> EncoderAblationRow {
         let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
         let test_labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
@@ -191,13 +185,25 @@ pub fn encoder_ablation(scale: Scale, dim: usize, seed: u64) -> Vec<EncoderAblat
     vec![
         evaluate(
             "record-binding",
-            data.train.iter().map(|s| record.encode(&s.features)).collect(),
-            data.test.iter().map(|s| record.encode(&s.features)).collect(),
+            data.train
+                .iter()
+                .map(|s| record.encode(&s.features))
+                .collect(),
+            data.test
+                .iter()
+                .map(|s| record.encode(&s.features))
+                .collect(),
         ),
         evaluate(
             "random-projection",
-            data.train.iter().map(|s| projection.encode(&s.features)).collect(),
-            data.test.iter().map(|s| projection.encode(&s.features)).collect(),
+            data.train
+                .iter()
+                .map(|s| projection.encode(&s.features))
+                .collect(),
+            data.test
+                .iter()
+                .map(|s| projection.encode(&s.features))
+                .collect(),
         ),
     ]
 }
@@ -231,11 +237,17 @@ pub fn level_ablation(scale: Scale, dim: usize, seed: u64) -> Vec<LevelAblationR
     let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
     let test_labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
 
-    let mut evaluate = |codebook: &str, encoder: RecordEncoder| -> LevelAblationRow {
-        let encoded_train: Vec<_> =
-            data.train.iter().map(|s| encoder.encode(&s.features)).collect();
-        let encoded_test: Vec<_> =
-            data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let evaluate = |codebook: &str, encoder: RecordEncoder| -> LevelAblationRow {
+        let encoded_train: Vec<_> = data
+            .train
+            .iter()
+            .map(|s| encoder.encode(&s.features))
+            .collect();
+        let encoded_test: Vec<_> = data
+            .test
+            .iter()
+            .map(|s| encoder.encode(&s.features))
+            .collect();
         let model = TrainedModel::train(&encoded_train, &train_labels, spec.classes, &config);
         let clean = accuracy(&model, &encoded_test, &test_labels);
 
@@ -268,10 +280,7 @@ pub fn level_ablation(scale: Scale, dim: usize, seed: u64) -> Vec<LevelAblationR
             codebook: codebook.to_owned(),
             clean_accuracy: clean,
             ambient_similarity: ambient / pairs.max(1.0),
-            recovered_loss: quality_loss(
-                clean,
-                accuracy(&attacked, &encoded_test, &test_labels),
-            ),
+            recovered_loss: quality_loss(clean, accuracy(&attacked, &encoded_test, &test_labels)),
         }
     };
 
@@ -297,8 +306,7 @@ mod tests {
         let burst_overwrite = rows
             .iter()
             .find(|r| {
-                r.pattern == CorruptionPattern::RowBurst
-                    && r.mode == SubstitutionMode::Overwrite
+                r.pattern == CorruptionPattern::RowBurst && r.mode == SubstitutionMode::Overwrite
             })
             .expect("row exists");
         assert!(

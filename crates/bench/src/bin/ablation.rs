@@ -85,7 +85,11 @@ fn main() {
     print_header(&["encoder", "clean acc", "loss @10% flips"], &widths);
     for r in rows {
         print_row(
-            &[r.encoder.clone(), pct(r.clean_accuracy), pct(r.loss_at_ten_percent)],
+            &[
+                r.encoder.clone(),
+                pct(r.clean_accuracy),
+                pct(r.loss_at_ten_percent),
+            ],
             &widths,
         );
     }

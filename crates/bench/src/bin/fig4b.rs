@@ -21,7 +21,13 @@ fn main() {
     let rows = fig4b::run(scale, 1);
     let widths = [12usize, 12, 12, 10, 10];
     print_header(
-        &["refresh ms", "error rate", "energy gain", "HDC loss", "DNN loss"],
+        &[
+            "refresh ms",
+            "error rate",
+            "energy gain",
+            "HDC loss",
+            "DNN loss",
+        ],
         &widths,
     );
     for row in rows {

@@ -66,9 +66,7 @@ pub fn run(scale: Scale, dim: usize, seed: u64) -> Vec<SweepPoint> {
                 engine.run_stream(&mut model, &w.test_encoded);
                 let acc = robusthd::accuracy(&model, &w.test_encoded, &w.test_labels);
                 accuracies.push(acc);
-                if samples_to_recover.is_none()
-                    && quality_loss(clean, acc) <= RECOVERY_TOLERANCE
-                {
+                if samples_to_recover.is_none() && quality_loss(clean, acc) <= RECOVERY_TOLERANCE {
                     samples_to_recover = Some((pass + 1) * w.test_encoded.len());
                 }
             }
@@ -100,7 +98,10 @@ mod tests {
     #[test]
     fn sweep_reproduces_the_papers_tradeoffs() {
         let points = run(Scale::Quick, 4096, 2);
-        assert_eq!(points.len(), CONFIDENCE_GRID.len() * SUBSTITUTION_GRID.len());
+        assert_eq!(
+            points.len(),
+            CONFIDENCE_GRID.len() * SUBSTITUTION_GRID.len()
+        );
         let p = |tc: f64, s: f64| {
             points
                 .iter()

@@ -217,7 +217,11 @@ mod tests {
         // The paper's shape: DNNs die in a fraction of a year, HDC lives
         // for years, and fp32 dies before 8-bit.
         assert!(lifetime("DNN fp32") <= lifetime("DNN 8-bit"));
-        assert!(lifetime("DNN 8-bit") < 1.0, "DNN lives {}", lifetime("DNN 8-bit"));
+        assert!(
+            lifetime("DNN 8-bit") < 1.0,
+            "DNN lives {}",
+            lifetime("DNN 8-bit")
+        );
         assert!(
             lifetime("HDC D=10k") > 1.0,
             "HDC D=10k lives only {}",

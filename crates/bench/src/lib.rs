@@ -16,6 +16,7 @@
 //! | [`fig3`]   | Figure 3 — recovery vs confidence threshold and substitution rate |
 //! | [`fig4a`]  | Figure 4a — PIM lifetime under endurance wear |
 //! | [`fig4b`]  | Figure 4b — DRAM refresh relaxation |
+//! | [`soak`]   | Extension — chaos soak of the closed-loop resilience supervisor |
 //!
 //! Experiments default to a laptop-scale subsample of the paper's datasets
 //! (exact feature/class geometry, reduced split sizes); see
@@ -28,6 +29,7 @@ pub mod fig3;
 pub mod fig4a;
 pub mod fig4b;
 pub mod format;
+pub mod soak;
 pub mod table1;
 pub mod table3;
 pub mod table4;

@@ -75,11 +75,8 @@ pub fn run(scale: Scale, seed: u64, runs: u64) -> Vec<Row> {
                     .map(|&rate| {
                         mean_over_seeds(runs, |s| {
                             let attacked = attack_hdc(&w.model, rate, seed ^ (s << 8));
-                            let acc = robusthd::accuracy(
-                                &attacked,
-                                &w.test_encoded,
-                                &w.test_labels,
-                            );
+                            let acc =
+                                robusthd::accuracy(&attacked, &w.test_encoded, &w.test_labels);
                             quality_loss(clean, acc)
                         })
                     })
@@ -99,8 +96,7 @@ pub fn run(scale: Scale, seed: u64, runs: u64) -> Vec<Row> {
                         mean_over_seeds(runs, |s| {
                             let attacked =
                                 attack_int_model(&int_model, rate, false, seed ^ (s << 8));
-                            let acc =
-                                int_accuracy(&attacked, &w.test_encoded, &w.test_labels);
+                            let acc = int_accuracy(&attacked, &w.test_encoded, &w.test_labels);
                             quality_loss(clean, acc)
                         })
                     })
@@ -136,6 +132,10 @@ mod tests {
             hdc10k.losses
         );
         // HDC at small noise is essentially lossless.
-        assert!(hdc10k.losses[0] < 0.02, "1% noise loss {}", hdc10k.losses[0]);
+        assert!(
+            hdc10k.losses[0] < 0.02,
+            "1% noise loss {}",
+            hdc10k.losses[0]
+        );
     }
 }

@@ -83,7 +83,11 @@ pub fn run(scale: Scale, seed: u64, runs: u64) -> Vec<Row> {
                 mean_over_seeds(runs, |s| {
                     // Different seed offsets keep the two rows independent
                     // draws of the same distribution.
-                    let offset = if attack == AttackKind::Targeted { 17 } else { 0 };
+                    let offset = if attack == AttackKind::Targeted {
+                        17
+                    } else {
+                        0
+                    };
                     let attacked = attack_hdc(&w.model, rate, seed ^ ((s + offset) << 8));
                     let acc = robusthd::accuracy(&attacked, &w.test_encoded, &w.test_labels);
                     quality_loss(clean, acc)

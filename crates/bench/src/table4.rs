@@ -101,7 +101,11 @@ mod tests {
         // recovery eliminates most of the 10%-error quality loss (or there
         // was nothing to lose in the first place).
         let result = run_dataset(&DatasetSpec::ucihar(), Scale::Standard, 4096, 5, 1);
-        assert!(result.clean_accuracy > 0.85, "clean {}", result.clean_accuracy);
+        assert!(
+            result.clean_accuracy > 0.85,
+            "clean {}",
+            result.clean_accuracy
+        );
         let col = 2; // 10%
         let (without, with) = (result.without_recovery[col], result.with_recovery[col]);
         assert!(

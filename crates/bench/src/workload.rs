@@ -81,12 +81,7 @@ impl EncodedWorkload {
             .map(|s| encoder.encode(&s.features))
             .collect();
         let test_labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
-        let model = TrainedModel::train(
-            &train_encoded,
-            &train_labels,
-            spec.classes,
-            &config,
-        );
+        let model = TrainedModel::train(&train_encoded, &train_labels, spec.classes, &config);
         Self {
             data,
             encoder,

@@ -72,10 +72,7 @@ impl ParsedArgs {
                         .join(", ")
                 )));
             }
-            let value_next = argv
-                .get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .cloned();
+            let value_next = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
             match value_next {
                 Some(value) => {
                     parsed.values.insert(name.to_owned(), value);
@@ -122,9 +119,9 @@ impl ParsedArgs {
     {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse::<T>().map_err(|e| {
-                ArgError::new(format!("invalid value `{raw}` for `--{name}`: {e}"))
-            }),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|e| ArgError::new(format!("invalid value `{raw}` for `--{name}`: {e}"))),
         }
     }
 }
@@ -139,9 +136,8 @@ mod tests {
 
     #[test]
     fn parses_values_and_flags() {
-        let args =
-            ParsedArgs::parse(&argv(&["--rate", "0.1", "--verbose"]), &["rate", "verbose"])
-                .expect("valid");
+        let args = ParsedArgs::parse(&argv(&["--rate", "0.1", "--verbose"]), &["rate", "verbose"])
+            .expect("valid");
         assert_eq!(args.get("rate"), Some("0.1"));
         assert!(args.flag("verbose"));
         assert!(!args.flag("rate"));
@@ -172,6 +168,10 @@ mod tests {
     #[test]
     fn require_reports_missing() {
         let args = ParsedArgs::parse(&[], &["train"]).expect("valid");
-        assert!(args.require("train").unwrap_err().to_string().contains("--train"));
+        assert!(args
+            .require("train")
+            .unwrap_err()
+            .to_string()
+            .contains("--train"));
     }
 }

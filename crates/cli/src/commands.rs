@@ -2,12 +2,13 @@
 
 use crate::args::ParsedArgs;
 use baselines::{BitStoredModel, Mlp, MlpConfig};
-use faultsim::Attacker;
+use faultsim::{AttackCampaign, Attacker, ErrorRateSchedule};
 use robusthd::diagnostics::{HealthMonitor, HealthVerdict};
 use robusthd::persist;
+use robusthd::supervisor::{run_soak, ResilienceSupervisor};
 use robusthd::{
-    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
-    SubstitutionMode, TrainedModel,
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine, SubstitutionMode,
+    SupervisorConfig, TrainedModel,
 };
 use std::fmt::Write as _;
 use std::fs::File;
@@ -38,7 +39,11 @@ fn train_pipeline(
     seed: u64,
 ) -> Result<TrainedPipeline, String> {
     let features = train[0].features.len();
-    if test.iter().chain(train).any(|s| s.features.len() != features) {
+    if test
+        .iter()
+        .chain(train)
+        .any(|s| s.features.len() != features)
+    {
         return Err("train and test feature counts disagree".to_owned());
     }
     let classes = train
@@ -94,7 +99,15 @@ OPTIONS:
 pub fn generate(argv: &[String]) -> Result<String, String> {
     let args = ParsedArgs::parse(
         argv,
-        &["dataset", "train", "test", "train-size", "test-size", "seed", "help"],
+        &[
+            "dataset",
+            "train",
+            "test",
+            "train-size",
+            "test-size",
+            "seed",
+            "help",
+        ],
     )
     .map_err(|e| e.to_string())?;
     if args.flag("help") {
@@ -110,16 +123,23 @@ pub fn generate(argv: &[String]) -> Result<String, String> {
         "pecan" => DatasetSpec::pecan(),
         other => return Err(format!("unknown dataset `{other}`")),
     };
-    let train_size = args.get_parsed_or("train-size", 1200usize).map_err(|e| e.to_string())?;
-    let test_size = args.get_parsed_or("test-size", 600usize).map_err(|e| e.to_string())?;
-    let seed = args.get_parsed_or("seed", 1u64).map_err(|e| e.to_string())?;
+    let train_size = args
+        .get_parsed_or("train-size", 1200usize)
+        .map_err(|e| e.to_string())?;
+    let test_size = args
+        .get_parsed_or("test-size", 600usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 1u64)
+        .map_err(|e| e.to_string())?;
     let train_path = args.require("train").map_err(|e| e.to_string())?;
     let test_path = args.require("test").map_err(|e| e.to_string())?;
 
     let spec = spec.with_sizes(train_size, test_size);
     let data = GeneratorConfig::new(seed).generate(&spec);
     let write = |path: &str, samples: &[Sample]| -> Result<(), String> {
-        let file = File::create(Path::new(path)).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let file =
+            File::create(Path::new(path)).map_err(|e| format!("cannot create {path}: {e}"))?;
         csv::write_samples(file, samples).map_err(|e| format!("writing {path}: {e}"))
     };
     write(train_path, &data.train)?;
@@ -153,8 +173,12 @@ pub fn evaluate(argv: &[String]) -> Result<String, String> {
     }
     let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
     let test = load_samples(args.require("test").map_err(|e| e.to_string())?)?;
-    let dim = args.get_parsed_or("dim", 10_000usize).map_err(|e| e.to_string())?;
-    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let dim = args
+        .get_parsed_or("dim", 10_000usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
     let pipeline = train_pipeline(&train, &test, dim, seed)?;
     Ok(format!(
         "trained on {} samples, tested on {}: accuracy {:.2}% (D = {dim})",
@@ -183,12 +207,18 @@ pub fn attack(argv: &[String]) -> Result<String, String> {
     }
     let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
     let test = load_samples(args.require("test").map_err(|e| e.to_string())?)?;
-    let rate = args.get_parsed_or("rate", 0.1f64).map_err(|e| e.to_string())?;
+    let rate = args
+        .get_parsed_or("rate", 0.1f64)
+        .map_err(|e| e.to_string())?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(format!("--rate {rate} outside [0, 1]"));
     }
-    let dim = args.get_parsed_or("dim", 10_000usize).map_err(|e| e.to_string())?;
-    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let dim = args
+        .get_parsed_or("dim", 10_000usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
 
     let pipeline = train_pipeline(&train, &test, dim, seed)?;
     let attacked = attack_model(&pipeline.model, rate, seed ^ 0xa77);
@@ -203,7 +233,11 @@ pub fn attack(argv: &[String]) -> Result<String, String> {
     let dnn_attacked = baselines::accuracy(&dnn_attacked_model, &test);
 
     let mut out = String::new();
-    let _ = writeln!(out, "attack rate: {:.1}% of stored model bits", rate * 100.0);
+    let _ = writeln!(
+        out,
+        "attack rate: {:.1}% of stored model bits",
+        rate * 100.0
+    );
     let _ = writeln!(
         out,
         "HDC  (D={dim}): clean {:.2}%  attacked {:.2}%  loss {:.2}%",
@@ -244,13 +278,21 @@ pub fn recover(argv: &[String]) -> Result<String, String> {
     }
     let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
     let test = load_samples(args.require("test").map_err(|e| e.to_string())?)?;
-    let rate = args.get_parsed_or("rate", 0.1f64).map_err(|e| e.to_string())?;
+    let rate = args
+        .get_parsed_or("rate", 0.1f64)
+        .map_err(|e| e.to_string())?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(format!("--rate {rate} outside [0, 1]"));
     }
-    let dim = args.get_parsed_or("dim", 4096usize).map_err(|e| e.to_string())?;
-    let passes = args.get_parsed_or("passes", 16usize).map_err(|e| e.to_string())?;
-    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let dim = args
+        .get_parsed_or("dim", 4096usize)
+        .map_err(|e| e.to_string())?;
+    let passes = args
+        .get_parsed_or("passes", 16usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
 
     let pipeline = train_pipeline(&train, &test, dim, seed)?;
     let mut model = attack_model(&pipeline.model, rate, seed ^ 0xa77);
@@ -270,7 +312,11 @@ pub fn recover(argv: &[String]) -> Result<String, String> {
     let recovered = accuracy(&model, &pipeline.queries, &pipeline.labels);
 
     let mut out = String::new();
-    let _ = writeln!(out, "clean accuracy:     {:.2}%", pipeline.clean_accuracy * 100.0);
+    let _ = writeln!(
+        out,
+        "clean accuracy:     {:.2}%",
+        pipeline.clean_accuracy * 100.0
+    );
     let _ = writeln!(
         out,
         "after {:.1}% attack:  {:.2}%  (loss {:.2}%)",
@@ -311,18 +357,30 @@ pub fn train(argv: &[String]) -> Result<String, String> {
     }
     let train_samples = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
     let model_path = args.require("model").map_err(|e| e.to_string())?;
-    let dim = args.get_parsed_or("dim", 10_000usize).map_err(|e| e.to_string())?;
-    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let dim = args
+        .get_parsed_or("dim", 10_000usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
 
     let features = train_samples[0].features.len();
-    let classes = train_samples.iter().map(|s| s.label).max().expect("non-empty") + 1;
+    let classes = train_samples
+        .iter()
+        .map(|s| s.label)
+        .max()
+        .expect("non-empty")
+        + 1;
     let config = HdcConfig::builder()
         .dimension(dim)
         .seed(seed)
         .build()
         .map_err(|e| e.to_string())?;
     let encoder = RecordEncoder::new(&config, features);
-    let encoded: Vec<_> = train_samples.iter().map(|s| encoder.encode(&s.features)).collect();
+    let encoded: Vec<_> = train_samples
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let labels: Vec<_> = train_samples.iter().map(|s| s.label).collect();
     let model = TrainedModel::train(&encoded, &labels, classes, &config);
 
@@ -353,8 +411,8 @@ pub fn infer(argv: &[String]) -> Result<String, String> {
     }
     let model_path = args.require("model").map_err(|e| e.to_string())?;
     let input = load_samples(args.require("input").map_err(|e| e.to_string())?)?;
-    let file = File::open(Path::new(model_path))
-        .map_err(|e| format!("cannot open {model_path}: {e}"))?;
+    let file =
+        File::open(Path::new(model_path)).map_err(|e| format!("cannot open {model_path}: {e}"))?;
     let saved = persist::load_model(file).map_err(|e| format!("{model_path}: {e}"))?;
     if input[0].features.len() != saved.features {
         return Err(format!(
@@ -412,13 +470,21 @@ pub fn monitor(argv: &[String]) -> Result<String, String> {
     }
     let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
     let traffic = load_samples(args.require("traffic").map_err(|e| e.to_string())?)?;
-    let rate = args.get_parsed_or("rate", 0.05f64).map_err(|e| e.to_string())?;
+    let rate = args
+        .get_parsed_or("rate", 0.05f64)
+        .map_err(|e| e.to_string())?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(format!("--rate {rate} outside [0, 1]"));
     }
-    let steps = args.get_parsed_or("steps", 5usize).map_err(|e| e.to_string())?;
-    let dim = args.get_parsed_or("dim", 4096usize).map_err(|e| e.to_string())?;
-    let seed = args.get_parsed_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let steps = args
+        .get_parsed_or("steps", 5usize)
+        .map_err(|e| e.to_string())?;
+    let dim = args
+        .get_parsed_or("dim", 4096usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
 
     let pipeline = train_pipeline(&train, &traffic, dim, seed)?;
     let mut model = pipeline.model.clone();
@@ -427,7 +493,11 @@ pub fn monitor(argv: &[String]) -> Result<String, String> {
     health.calibrate(&model, &pipeline.queries, pipeline.config.softmax_beta);
 
     let mut out = String::new();
-    let _ = writeln!(out, "calibrated on {} clean queries", pipeline.queries.len());
+    let _ = writeln!(
+        out,
+        "calibrated on {} clean queries",
+        pipeline.queries.len()
+    );
     for step in 1..=steps {
         model = attack_model(&model, rate, seed ^ (step as u64) << 4);
         for q in &pipeline.queries {
@@ -446,6 +516,167 @@ pub fn monitor(argv: &[String]) -> Result<String, String> {
         );
     }
     out.pop();
+    Ok(out)
+}
+
+const SOAK_HELP: &str = "\
+robusthd soak — chaos-soak the self-healing serving runtime
+
+Trains a pipeline, calibrates the resilience supervisor on the first half
+of the traffic (retained as canaries), then serves the second half while
+an attack campaign corrupts the stored model between batches. The
+supervisor monitors, repairs at an escalating ladder, checkpoints healthy
+states, and rolls back when recovery keeps failing.
+
+OPTIONS:
+    --train <PATH>   training CSV (required)
+    --traffic <PATH> traffic CSV (labels used only to report accuracy) (required)
+    --steps <N>      attack-campaign steps (default 8)
+    --peak <F>       cumulative corruption rate at the last step (default 0.12)
+    --burst          also flip half of every stored word at the midpoint
+                     (a catastrophe that forces escalation and rollback)
+    --targeted       spend the campaign budget on stored-word MSBs first
+    --dim <N>        HDC dimensionality (default 4096)
+    --seed <N>       pipeline/campaign seed (default 0)
+    --json           emit the full JSON soak trace instead of a text report";
+
+/// `robusthd soak` — closed-loop resilience soak with fault injection.
+pub fn soak(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "train", "traffic", "steps", "peak", "burst", "targeted", "dim", "seed", "json", "help",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(SOAK_HELP.to_owned());
+    }
+    let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
+    let traffic = load_samples(args.require("traffic").map_err(|e| e.to_string())?)?;
+    let steps = args
+        .get_parsed_or("steps", 8usize)
+        .map_err(|e| e.to_string())?;
+    if steps == 0 {
+        return Err("--steps must be positive".to_owned());
+    }
+    let peak = args
+        .get_parsed_or("peak", 0.12f64)
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&peak) {
+        return Err(format!("--peak {peak} outside [0, 1]"));
+    }
+    let dim = args
+        .get_parsed_or("dim", 4096usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
+    let burst = args.flag("burst");
+    let targeted = args.flag("targeted");
+
+    let pipeline = train_pipeline(&train, &traffic, dim, seed)?;
+    let features = train[0].features.len();
+    let half = (pipeline.queries.len() / 2).max(1);
+    let (canaries, served) = pipeline.queries.split_at(half);
+    let served_labels = &pipeline.labels[half..];
+    if served.is_empty() {
+        return Err("traffic file too small to split into canaries and served queries".to_owned());
+    }
+
+    let base = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(seed ^ 0x50AC)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let policy = SupervisorConfig::builder()
+        .window(served.len())
+        .sensitivity(0.9)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut supervisor = ResilienceSupervisor::new(&pipeline.config, base, policy, features);
+    let mut model = pipeline.model.clone();
+    supervisor.calibrate(&model, canaries);
+
+    let model_bits = model.num_classes() * model.dim();
+    let schedule = ErrorRateSchedule::from_cumulative(
+        (1..=steps)
+            .map(|i| peak * i as f64 / steps as f64)
+            .collect(),
+    );
+    let mut campaign = AttackCampaign::new(schedule, model_bits, seed ^ 0xCA);
+    let burst_at = steps / 2;
+    let report = run_soak(
+        &mut supervisor,
+        &mut model,
+        served,
+        served_labels,
+        |model, step| {
+            let mut image = model.to_memory_image();
+            let flipped = if burst && step == burst_at {
+                for word in image.words_mut() {
+                    *word ^= 0xAAAA_AAAA_AAAA_AAAA;
+                }
+                model_bits / 2
+            } else if targeted {
+                campaign.advance_targeted(image.words_mut(), 64)?
+            } else {
+                campaign.advance(image.words_mut())?
+            };
+            image.mask_tail();
+            model.load_memory_image(&image);
+            Some(flipped)
+        },
+    );
+
+    if args.flag("json") {
+        return Ok(report.to_json());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "calibrated on {} canaries, serving {} queries per batch",
+        canaries.len(),
+        served.len()
+    );
+    for s in &report.steps {
+        let _ = writeln!(
+            out,
+            "step {}: +{} flips ({:.1}% cumulative), accuracy {:.2}%, level {}{}{}{}",
+            s.step,
+            s.bits_flipped,
+            s.cumulative_error_rate * 100.0,
+            s.accuracy * 100.0,
+            s.report.level,
+            if s.report.escalated {
+                ", ESCALATED"
+            } else {
+                ""
+            },
+            if s.report.rolled_back {
+                ", ROLLED BACK"
+            } else {
+                ""
+            },
+            if s.report.checkpointed {
+                ", checkpointed"
+            } else {
+                ""
+            },
+        );
+    }
+    let _ = write!(
+        out,
+        "soak: clean {:.2}% -> final {:.2}% at {:.1}% peak corruption, \
+         {} escalations, {} rollbacks",
+        report.clean_accuracy * 100.0,
+        report.final_accuracy() * 100.0,
+        report.peak_error_rate() * 100.0,
+        report.escalations(),
+        report.rollbacks()
+    );
     Ok(out)
 }
 
@@ -469,20 +700,29 @@ mod tests {
         let train = dir.join("train.csv");
         let test = dir.join("test.csv");
         let report = generate(&argv(&[
-            "--dataset", "pecan",
-            "--train", train.to_str().expect("utf8"),
-            "--test", test.to_str().expect("utf8"),
-            "--train-size", "150",
-            "--test-size", "60",
-            "--seed", "5",
+            "--dataset",
+            "pecan",
+            "--train",
+            train.to_str().expect("utf8"),
+            "--test",
+            test.to_str().expect("utf8"),
+            "--train-size",
+            "150",
+            "--test-size",
+            "60",
+            "--seed",
+            "5",
         ]))
         .expect("generate succeeds");
         assert!(report.contains("150 samples"));
 
         let report = evaluate(&argv(&[
-            "--train", train.to_str().expect("utf8"),
-            "--test", test.to_str().expect("utf8"),
-            "--dim", "2048",
+            "--train",
+            train.to_str().expect("utf8"),
+            "--test",
+            test.to_str().expect("utf8"),
+            "--dim",
+            "2048",
         ]))
         .expect("evaluate succeeds");
         assert!(report.contains("accuracy"), "report: {report}");
@@ -494,19 +734,29 @@ mod tests {
         let train = dir.join("rec_train.csv");
         let test = dir.join("rec_test.csv");
         generate(&argv(&[
-            "--dataset", "pecan",
-            "--train", train.to_str().expect("utf8"),
-            "--test", test.to_str().expect("utf8"),
-            "--train-size", "150",
-            "--test-size", "90",
+            "--dataset",
+            "pecan",
+            "--train",
+            train.to_str().expect("utf8"),
+            "--test",
+            test.to_str().expect("utf8"),
+            "--train-size",
+            "150",
+            "--test-size",
+            "90",
         ]))
         .expect("generate succeeds");
         let report = recover(&argv(&[
-            "--train", train.to_str().expect("utf8"),
-            "--test", test.to_str().expect("utf8"),
-            "--dim", "2048",
-            "--rate", "0.08",
-            "--passes", "6",
+            "--train",
+            train.to_str().expect("utf8"),
+            "--test",
+            test.to_str().expect("utf8"),
+            "--dim",
+            "2048",
+            "--rate",
+            "0.08",
+            "--passes",
+            "6",
         ]))
         .expect("recover succeeds");
         assert!(report.contains("after recovery"), "report: {report}");
@@ -519,23 +769,33 @@ mod tests {
         let test_csv = dir.join("ti_test.csv");
         let model_path = dir.join("model.rhd");
         generate(&argv(&[
-            "--dataset", "pecan",
-            "--train", train_csv.to_str().expect("utf8"),
-            "--test", test_csv.to_str().expect("utf8"),
-            "--train-size", "150",
-            "--test-size", "60",
+            "--dataset",
+            "pecan",
+            "--train",
+            train_csv.to_str().expect("utf8"),
+            "--test",
+            test_csv.to_str().expect("utf8"),
+            "--train-size",
+            "150",
+            "--test-size",
+            "60",
         ]))
         .expect("generate succeeds");
         let report = train(&argv(&[
-            "--train", train_csv.to_str().expect("utf8"),
-            "--model", model_path.to_str().expect("utf8"),
-            "--dim", "2048",
+            "--train",
+            train_csv.to_str().expect("utf8"),
+            "--model",
+            model_path.to_str().expect("utf8"),
+            "--dim",
+            "2048",
         ]))
         .expect("train succeeds");
         assert!(report.contains("saved to"), "report: {report}");
         let report = infer(&argv(&[
-            "--model", model_path.to_str().expect("utf8"),
-            "--input", test_csv.to_str().expect("utf8"),
+            "--model",
+            model_path.to_str().expect("utf8"),
+            "--input",
+            test_csv.to_str().expect("utf8"),
         ]))
         .expect("infer succeeds");
         assert!(report.contains("accuracy"), "report: {report}");
@@ -547,19 +807,29 @@ mod tests {
         let train_csv = dir.join("mon_train.csv");
         let traffic_csv = dir.join("mon_traffic.csv");
         generate(&argv(&[
-            "--dataset", "pecan",
-            "--train", train_csv.to_str().expect("utf8"),
-            "--test", traffic_csv.to_str().expect("utf8"),
-            "--train-size", "150",
-            "--test-size", "90",
+            "--dataset",
+            "pecan",
+            "--train",
+            train_csv.to_str().expect("utf8"),
+            "--test",
+            traffic_csv.to_str().expect("utf8"),
+            "--train-size",
+            "150",
+            "--test-size",
+            "90",
         ]))
         .expect("generate succeeds");
         let report = monitor(&argv(&[
-            "--train", train_csv.to_str().expect("utf8"),
-            "--traffic", traffic_csv.to_str().expect("utf8"),
-            "--dim", "2048",
-            "--rate", "0.1",
-            "--steps", "4",
+            "--train",
+            train_csv.to_str().expect("utf8"),
+            "--traffic",
+            traffic_csv.to_str().expect("utf8"),
+            "--dim",
+            "2048",
+            "--rate",
+            "0.1",
+            "--steps",
+            "4",
         ]))
         .expect("monitor succeeds");
         assert!(report.contains("step 4"), "report: {report}");
@@ -570,8 +840,51 @@ mod tests {
     }
 
     #[test]
+    fn soak_reports_summary_and_json_trace() {
+        let dir = temp_dir();
+        let train_csv = dir.join("soak_train.csv");
+        let traffic_csv = dir.join("soak_traffic.csv");
+        generate(&argv(&[
+            "--dataset",
+            "pecan",
+            "--train",
+            train_csv.to_str().expect("utf8"),
+            "--test",
+            traffic_csv.to_str().expect("utf8"),
+            "--train-size",
+            "150",
+            "--test-size",
+            "90",
+        ]))
+        .expect("generate succeeds");
+        let base = [
+            "--train",
+            train_csv.to_str().expect("utf8"),
+            "--traffic",
+            traffic_csv.to_str().expect("utf8"),
+            "--dim",
+            "2048",
+            "--steps",
+            "3",
+            "--peak",
+            "0.06",
+        ];
+        let report = soak(&argv(&base)).expect("soak succeeds");
+        assert!(report.contains("step 3"), "report: {report}");
+        assert!(report.contains("rollbacks"), "report: {report}");
+
+        let mut json_args = base.to_vec();
+        json_args.push("--json");
+        let trace = soak(&argv(&json_args)).expect("soak --json succeeds");
+        assert!(trace.starts_with('{'), "trace: {trace}");
+        assert!(trace.contains("\"verdict\""), "trace: {trace}");
+    }
+
+    #[test]
     fn help_flags_short_circuit() {
-        for cmd in [generate, evaluate, attack, recover, train, infer, monitor] {
+        for cmd in [
+            generate, evaluate, attack, recover, train, infer, monitor, soak,
+        ] {
             let text = cmd(&argv(&["--help"])).expect("help is ok");
             assert!(text.contains("OPTIONS"));
         }
@@ -580,8 +893,10 @@ mod tests {
     #[test]
     fn missing_files_are_reported() {
         let err = evaluate(&argv(&[
-            "--train", "/nonexistent/t.csv",
-            "--test", "/nonexistent/e.csv",
+            "--train",
+            "/nonexistent/t.csv",
+            "--test",
+            "/nonexistent/e.csv",
         ]))
         .unwrap_err();
         assert!(err.contains("cannot open"));
@@ -593,17 +908,25 @@ mod tests {
         let train = dir.join("r_train.csv");
         let test = dir.join("r_test.csv");
         generate(&argv(&[
-            "--train", train.to_str().expect("utf8"),
-            "--test", test.to_str().expect("utf8"),
-            "--dataset", "pecan",
-            "--train-size", "30",
-            "--test-size", "9",
+            "--train",
+            train.to_str().expect("utf8"),
+            "--test",
+            test.to_str().expect("utf8"),
+            "--dataset",
+            "pecan",
+            "--train-size",
+            "30",
+            "--test-size",
+            "9",
         ]))
         .expect("generate succeeds");
         let err = attack(&argv(&[
-            "--train", train.to_str().expect("utf8"),
-            "--test", test.to_str().expect("utf8"),
-            "--rate", "1.5",
+            "--train",
+            train.to_str().expect("utf8"),
+            "--test",
+            test.to_str().expect("utf8"),
+            "--rate",
+            "1.5",
         ]))
         .unwrap_err();
         assert!(err.contains("outside [0, 1]"));
@@ -612,9 +935,12 @@ mod tests {
     #[test]
     fn unknown_dataset_is_rejected() {
         let err = generate(&argv(&[
-            "--dataset", "imagenet",
-            "--train", "/tmp/x.csv",
-            "--test", "/tmp/y.csv",
+            "--dataset",
+            "imagenet",
+            "--train",
+            "/tmp/x.csv",
+            "--test",
+            "/tmp/y.csv",
         ]))
         .unwrap_err();
         assert!(err.contains("unknown dataset"));

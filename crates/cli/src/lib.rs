@@ -30,6 +30,7 @@ COMMANDS:
     attack      Compare HDC and an 8-bit DNN under bit-flip attack
     recover     Attack an HDC model, then repair it from unlabeled traffic
     monitor     Judge a model's health from unlabeled traffic as it corrupts
+    soak        Chaos-soak the self-healing serving runtime under an attack campaign
 
 Run `robusthd <COMMAND> --help` for per-command options.";
 
@@ -52,6 +53,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "attack" => commands::attack(rest),
         "recover" => commands::recover(rest),
         "monitor" => commands::monitor(rest),
+        "soak" => commands::soak(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }

@@ -332,7 +332,9 @@ impl RecoveryConfigBuilder {
             return Err(ConfigError::new("substitution_rate must lie in [0, 1]"));
         }
         if !(self.fault_margin.is_finite() && self.fault_margin >= 0.0) {
-            return Err(ConfigError::new("fault_margin must be non-negative and finite"));
+            return Err(ConfigError::new(
+                "fault_margin must be non-negative and finite",
+            ));
         }
         if let SubstitutionMode::MajorityCounter { saturation } = self.substitution {
             if saturation == 0 {
@@ -347,6 +349,293 @@ impl RecoveryConfigBuilder {
             fault_margin: self.fault_margin,
             faulty_chunks_only: self.faulty_chunks_only,
             seed: self.seed,
+        })
+    }
+}
+
+/// One rung of the resilience supervisor's escalation ladder: the recovery
+/// operating point used while the model is degraded at that escalation
+/// level.
+///
+/// Escalating raises the repair aggressiveness — more substitution, finer
+/// chunking, more passes — and, at the deepest rungs, *temporarily* lowers
+/// the trust threshold `T_C` so a heavily damaged class that produces no
+/// high-confidence traffic can still attract repair. The supervisor bounds
+/// how far `T_C` may fall via [`SupervisorConfig::threshold_floor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EscalationLevel {
+    /// Substitution rate `S` at this level.
+    pub substitution_rate: f64,
+    /// Chunk count `m` at this level.
+    pub chunks: usize,
+    /// Trust threshold `T_C` at this level (never below the configured
+    /// floor).
+    pub confidence_threshold: f64,
+    /// Recovery passes over the degraded batch at this level — the bounded
+    /// backoff: deeper levels retry harder, but never unboundedly.
+    pub rounds: usize,
+}
+
+impl EscalationLevel {
+    /// Builds the default four-rung ladder from a base recovery
+    /// configuration: the base operating point, then raised `S` and doubled
+    /// `m`, then a half-way `T_C` cut, then `T_C` at `floor`.
+    pub fn default_ladder(base: &RecoveryConfig, floor: f64) -> Vec<EscalationLevel> {
+        let t = base.confidence_threshold.max(floor);
+        vec![
+            EscalationLevel {
+                substitution_rate: base.substitution_rate,
+                chunks: base.chunks,
+                confidence_threshold: t,
+                rounds: 1,
+            },
+            EscalationLevel {
+                substitution_rate: (base.substitution_rate * 1.5).min(1.0),
+                chunks: base.chunks * 2,
+                confidence_threshold: t,
+                rounds: 2,
+            },
+            EscalationLevel {
+                substitution_rate: (base.substitution_rate * 2.0).min(1.0),
+                chunks: base.chunks * 2,
+                confidence_threshold: floor + (t - floor) / 2.0,
+                rounds: 3,
+            },
+            EscalationLevel {
+                substitution_rate: (base.substitution_rate * 2.0).min(1.0),
+                chunks: base.chunks * 2,
+                confidence_threshold: floor,
+                rounds: 4,
+            },
+        ]
+    }
+}
+
+/// Policy of the closed-loop resilience supervisor
+/// ([`crate::supervisor::ResilienceSupervisor`]).
+///
+/// # Example
+///
+/// ```
+/// use robusthd::SupervisorConfig;
+///
+/// let config = SupervisorConfig::builder()
+///     .window(48)
+///     .rollback_after(2)
+///     .build()?;
+/// assert_eq!(config.window, 48);
+/// # Ok::<(), robusthd::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Sliding-window size of the health monitor.
+    pub window: usize,
+    /// Monitor alarm sensitivity (see [`crate::diagnostics::HealthMonitor`]).
+    pub sensitivity: f64,
+    /// Escalation ladder, mildest first. Empty means: derive
+    /// [`EscalationLevel::default_ladder`] from the base recovery config at
+    /// supervisor construction.
+    pub ladder: Vec<EscalationLevel>,
+    /// Hard floor under every temporary `T_C` cut in the ladder.
+    pub threshold_floor: f64,
+    /// Healthy batches between checkpoints.
+    pub checkpoint_interval: usize,
+    /// Consecutive failed recovery rounds before rolling back to the last
+    /// healthy checkpoint.
+    pub rollback_after: usize,
+    /// Consecutive healthy batches required before de-escalating one level
+    /// (hysteresis keeps the ladder from flapping at the alarm boundary).
+    pub hysteresis: usize,
+    /// Per-class chunk-fault rate above which the class hypervector is
+    /// quarantined (its predictions reported unreliable).
+    pub quarantine_fault_ceiling: f64,
+    /// Minimum chunks inspected for a class before its quarantine state may
+    /// change — below this, the fault-rate estimate is too noisy to act on.
+    pub quarantine_min_chunks: usize,
+    /// Minimum fraction of canary queries whose current prediction must
+    /// match the answer recorded at calibration for the model to count as
+    /// healthy. Margin statistics alone cannot tell a healthy model from
+    /// one whose classes were rewritten into a confident label permutation
+    /// (for example by a repair loop feeding on misrouted traffic); golden
+    /// answers can.
+    pub canary_agreement_floor: f64,
+}
+
+impl SupervisorConfig {
+    /// Starts a builder pre-loaded with defaults.
+    pub fn builder() -> SupervisorConfigBuilder {
+        SupervisorConfigBuilder::new()
+    }
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`SupervisorConfig`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfigBuilder {
+    window: usize,
+    sensitivity: f64,
+    ladder: Vec<EscalationLevel>,
+    threshold_floor: f64,
+    checkpoint_interval: usize,
+    rollback_after: usize,
+    hysteresis: usize,
+    quarantine_fault_ceiling: f64,
+    quarantine_min_chunks: usize,
+    canary_agreement_floor: f64,
+}
+
+impl SupervisorConfigBuilder {
+    fn new() -> Self {
+        Self {
+            window: 64,
+            sensitivity: 0.7,
+            ladder: Vec::new(),
+            threshold_floor: 0.4,
+            checkpoint_interval: 1,
+            rollback_after: 3,
+            hysteresis: 2,
+            quarantine_fault_ceiling: 0.5,
+            quarantine_min_chunks: 40,
+            canary_agreement_floor: 0.75,
+        }
+    }
+
+    /// Sets the health-monitor window.
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the monitor alarm sensitivity.
+    pub fn sensitivity(mut self, sensitivity: f64) -> Self {
+        self.sensitivity = sensitivity;
+        self
+    }
+
+    /// Sets an explicit escalation ladder (mildest level first).
+    pub fn ladder(mut self, ladder: Vec<EscalationLevel>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Sets the `T_C` floor.
+    pub fn threshold_floor(mut self, threshold_floor: f64) -> Self {
+        self.threshold_floor = threshold_floor;
+        self
+    }
+
+    /// Sets the healthy-batch checkpoint interval.
+    pub fn checkpoint_interval(mut self, checkpoint_interval: usize) -> Self {
+        self.checkpoint_interval = checkpoint_interval;
+        self
+    }
+
+    /// Sets the failed-round count that triggers rollback.
+    pub fn rollback_after(mut self, rollback_after: usize) -> Self {
+        self.rollback_after = rollback_after;
+        self
+    }
+
+    /// Sets the de-escalation hysteresis (in healthy batches).
+    pub fn hysteresis(mut self, hysteresis: usize) -> Self {
+        self.hysteresis = hysteresis;
+        self
+    }
+
+    /// Sets the quarantine chunk-fault-rate ceiling.
+    pub fn quarantine_fault_ceiling(mut self, ceiling: f64) -> Self {
+        self.quarantine_fault_ceiling = ceiling;
+        self
+    }
+
+    /// Sets the minimum inspected chunks before quarantine decisions.
+    pub fn quarantine_min_chunks(mut self, min_chunks: usize) -> Self {
+        self.quarantine_min_chunks = min_chunks;
+        self
+    }
+
+    /// Sets the canary golden-answer agreement floor.
+    pub fn canary_agreement_floor(mut self, floor: f64) -> Self {
+        self.canary_agreement_floor = floor;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any count is zero, a rate or threshold
+    /// lies outside `[0, 1]`, or a ladder level's `T_C` undercuts the floor.
+    pub fn build(self) -> Result<SupervisorConfig, ConfigError> {
+        if self.window == 0 {
+            return Err(ConfigError::new("window must be positive"));
+        }
+        if !(self.sensitivity > 0.0 && self.sensitivity <= 1.0) {
+            return Err(ConfigError::new("sensitivity must lie in (0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.threshold_floor) {
+            return Err(ConfigError::new("threshold_floor must lie in [0, 1]"));
+        }
+        if self.checkpoint_interval == 0 {
+            return Err(ConfigError::new("checkpoint_interval must be positive"));
+        }
+        if self.rollback_after == 0 {
+            return Err(ConfigError::new("rollback_after must be positive"));
+        }
+        if self.hysteresis == 0 {
+            return Err(ConfigError::new("hysteresis must be positive"));
+        }
+        if !(self.quarantine_fault_ceiling > 0.0 && self.quarantine_fault_ceiling <= 1.0) {
+            return Err(ConfigError::new(
+                "quarantine_fault_ceiling must lie in (0, 1]",
+            ));
+        }
+        if self.quarantine_min_chunks == 0 {
+            return Err(ConfigError::new("quarantine_min_chunks must be positive"));
+        }
+        if !(self.canary_agreement_floor > 0.0 && self.canary_agreement_floor <= 1.0) {
+            return Err(ConfigError::new(
+                "canary_agreement_floor must lie in (0, 1]",
+            ));
+        }
+        for (i, level) in self.ladder.iter().enumerate() {
+            if level.chunks == 0 {
+                return Err(ConfigError::new(format!(
+                    "ladder level {i}: chunks must be positive"
+                )));
+            }
+            if level.rounds == 0 {
+                return Err(ConfigError::new(format!(
+                    "ladder level {i}: rounds must be positive"
+                )));
+            }
+            if !(0.0..=1.0).contains(&level.substitution_rate) {
+                return Err(ConfigError::new(format!(
+                    "ladder level {i}: substitution_rate must lie in [0, 1]"
+                )));
+            }
+            if !(self.threshold_floor..=1.0).contains(&level.confidence_threshold) {
+                return Err(ConfigError::new(format!(
+                    "ladder level {i}: confidence_threshold must lie in [threshold_floor, 1]"
+                )));
+            }
+        }
+        Ok(SupervisorConfig {
+            window: self.window,
+            sensitivity: self.sensitivity,
+            ladder: self.ladder,
+            threshold_floor: self.threshold_floor,
+            checkpoint_interval: self.checkpoint_interval,
+            rollback_after: self.rollback_after,
+            hysteresis: self.hysteresis,
+            quarantine_fault_ceiling: self.quarantine_fault_ceiling,
+            quarantine_min_chunks: self.quarantine_min_chunks,
+            canary_agreement_floor: self.canary_agreement_floor,
         })
     }
 }
@@ -413,6 +702,65 @@ mod tests {
             .substitution_rate(-0.1)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn supervisor_defaults_are_valid() {
+        let c = SupervisorConfig::default();
+        assert!(c.window > 0);
+        assert!(
+            c.ladder.is_empty(),
+            "default ladder derives at construction"
+        );
+    }
+
+    #[test]
+    fn supervisor_validation() {
+        assert!(SupervisorConfig::builder().window(0).build().is_err());
+        assert!(SupervisorConfig::builder()
+            .sensitivity(0.0)
+            .build()
+            .is_err());
+        assert!(SupervisorConfig::builder()
+            .rollback_after(0)
+            .build()
+            .is_err());
+        assert!(SupervisorConfig::builder().hysteresis(0).build().is_err());
+        assert!(SupervisorConfig::builder()
+            .quarantine_fault_ceiling(1.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn ladder_threshold_below_floor_rejected() {
+        let mut ladder = EscalationLevel::default_ladder(&RecoveryConfig::default(), 0.4);
+        ladder[3].confidence_threshold = 0.2;
+        let err = SupervisorConfig::builder()
+            .threshold_floor(0.4)
+            .ladder(ladder)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("threshold_floor"));
+    }
+
+    #[test]
+    fn default_ladder_escalates_monotonically() {
+        let base = RecoveryConfig::default();
+        let ladder = EscalationLevel::default_ladder(&base, 0.4);
+        assert!(ladder.len() >= 2);
+        for pair in ladder.windows(2) {
+            assert!(pair[1].substitution_rate >= pair[0].substitution_rate);
+            assert!(pair[1].chunks >= pair[0].chunks);
+            assert!(pair[1].confidence_threshold <= pair[0].confidence_threshold);
+            assert!(pair[1].rounds >= pair[0].rounds);
+        }
+        assert!(ladder.last().expect("non-empty").confidence_threshold >= 0.4 - 1e-12);
+        let config = SupervisorConfig::builder()
+            .ladder(ladder)
+            .build()
+            .expect("default ladder passes validation");
+        assert_eq!(config.ladder.len(), 4);
     }
 
     #[test]

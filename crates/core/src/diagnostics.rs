@@ -25,6 +25,14 @@ pub struct HealthSnapshot {
     pub mean_confidence: f64,
     /// Mean raw similarity margin between the top two classes.
     pub mean_margin: f64,
+    /// Median raw similarity margin between the top two classes.
+    ///
+    /// The median is the robust twin of [`HealthSnapshot::mean_margin`]: a
+    /// handful of queries with inflated margins (for example traffic a
+    /// misdirected repair overfitted to) can drag the mean back into the
+    /// healthy band while the bulk of the window is still broken, but they
+    /// cannot move the median.
+    pub median_margin: f64,
 }
 
 /// Verdict of a health check against the calibration baseline.
@@ -132,16 +140,17 @@ impl HealthMonitor {
     ) {
         assert!(!queries.is_empty(), "calibration traffic must not be empty");
         let mut confidence_sum = 0.0;
-        let mut margin_sum = 0.0;
+        let mut margins = Vec::with_capacity(queries.len());
         for query in queries {
             let c = Confidence::evaluate(model, query, softmax_beta);
             confidence_sum += c.confidence;
-            margin_sum += c.margin;
+            margins.push(c.margin);
         }
         self.baseline = Some(HealthSnapshot {
             window: queries.len(),
             mean_confidence: confidence_sum / queries.len() as f64,
-            mean_margin: margin_sum / queries.len() as f64,
+            mean_margin: margins.iter().sum::<f64>() / queries.len() as f64,
+            median_margin: median(&margins),
         });
     }
 
@@ -151,12 +160,7 @@ impl HealthMonitor {
     }
 
     /// Feeds one production query into the window.
-    pub fn observe(
-        &mut self,
-        model: &TrainedModel,
-        query: &BinaryHypervector,
-        softmax_beta: f64,
-    ) {
+    pub fn observe(&mut self, model: &TrainedModel, query: &BinaryHypervector, softmax_beta: f64) {
         let c = Confidence::evaluate(model, query, softmax_beta);
         if self.confidences.len() == self.window {
             self.confidences.pop_front();
@@ -172,14 +176,36 @@ impl HealthMonitor {
             return None;
         }
         let n = self.confidences.len() as f64;
+        let margins: Vec<f64> = self.margins.iter().copied().collect();
         Some(HealthSnapshot {
             window: self.confidences.len(),
             mean_confidence: self.confidences.iter().sum::<f64>() / n,
-            mean_margin: self.margins.iter().sum::<f64>() / n,
+            mean_margin: margins.iter().sum::<f64>() / n,
+            median_margin: median(&margins),
         })
     }
 
+    /// Configured sliding-window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Discards every buffered observation, keeping the calibration
+    /// baseline. Used after a model rollback: the buffered statistics
+    /// describe the pre-rollback model and would poison the next verdict.
+    pub fn reset_window(&mut self) {
+        self.confidences.clear();
+        self.margins.clear();
+    }
+
     /// Judges the current window against the calibration.
+    ///
+    /// The verdict degrades when either the windowed *mean* or the
+    /// windowed *median* margin falls below `sensitivity` times its
+    /// calibrated counterpart. The mean reacts to diffuse damage spread
+    /// thinly over every query; the median resists being whitewashed by a
+    /// few outlier queries with artificially inflated margins (the
+    /// signature of a repair loop overfitting garbage traffic).
     ///
     /// # Panics
     ///
@@ -192,11 +218,64 @@ impl HealthMonitor {
         if current.window < self.window {
             return HealthVerdict::InsufficientTraffic;
         }
-        if current.mean_margin < baseline.mean_margin * self.sensitivity {
+        if current.mean_margin < baseline.mean_margin * self.sensitivity
+            || current.median_margin < baseline.median_margin * self.sensitivity
+        {
             HealthVerdict::Degraded
         } else {
             HealthVerdict::Healthy
         }
+    }
+
+    /// Judges an arbitrary query set against the calibrated baseline
+    /// without touching the sliding window.
+    ///
+    /// This is the *canary probe*: re-scoring retained known-good traffic
+    /// that live serving (and any repair loop feeding on it) has never
+    /// seen. A repair that merely overfits the live window restores the
+    /// windowed statistics but not the canaries', so probing catches
+    /// whitewashed damage that [`HealthMonitor::verdict`] alone would miss.
+    ///
+    /// Returns [`HealthVerdict::InsufficientTraffic`] for an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor was never calibrated.
+    pub fn probe(
+        &self,
+        model: &TrainedModel,
+        queries: &[BinaryHypervector],
+        softmax_beta: f64,
+    ) -> HealthVerdict {
+        let baseline = self.baseline.expect("monitor must be calibrated first");
+        if queries.is_empty() {
+            return HealthVerdict::InsufficientTraffic;
+        }
+        let margins: Vec<f64> = queries
+            .iter()
+            .map(|q| Confidence::evaluate(model, q, softmax_beta).margin)
+            .collect();
+        let mean = margins.iter().sum::<f64>() / margins.len() as f64;
+        if mean < baseline.mean_margin * self.sensitivity
+            || median(&margins) < baseline.median_margin * self.sensitivity
+        {
+            HealthVerdict::Degraded
+        } else {
+            HealthVerdict::Healthy
+        }
+    }
+}
+
+/// Median of a non-empty sample (mean of the two middle elements when the
+/// length is even).
+fn median(sample: &[f64]) -> f64 {
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite margins"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
     }
 }
 
@@ -216,6 +295,14 @@ mod tests {
     use super::*;
     use crate::config::HdcConfig;
     use hypervector::random::HypervectorSampler;
+
+    #[test]
+    fn median_handles_odd_even_and_outliers() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        // A single huge outlier moves the mean but not the median.
+        assert_eq!(median(&[0.01, 0.01, 0.01, 0.01, 100.0]), 0.01);
+    }
 
     fn setup() -> (TrainedModel, Vec<BinaryHypervector>, f64) {
         let dim = 4096;
@@ -297,6 +384,21 @@ mod tests {
             monitor.observe(&model, q, beta);
         }
         assert_eq!(monitor.verdict(), HealthVerdict::Healthy);
+    }
+
+    #[test]
+    fn reset_window_clears_traffic_but_not_baseline() {
+        let (model, queries, beta) = setup();
+        let mut monitor = HealthMonitor::new(30, 0.5);
+        monitor.calibrate(&model, &queries, beta);
+        for q in &queries {
+            monitor.observe(&model, q, beta);
+        }
+        assert_eq!(monitor.verdict(), HealthVerdict::Healthy);
+        monitor.reset_window();
+        assert_eq!(monitor.verdict(), HealthVerdict::InsufficientTraffic);
+        assert!(monitor.snapshot().is_none());
+        assert!(monitor.baseline().is_some());
     }
 
     #[test]

@@ -74,11 +74,7 @@ impl RecordEncoder {
         assert!(features > 0, "encoder needs at least one feature");
         let mut sampler = HypervectorSampler::seed_from(config.seed);
         let bases = sampler.base_set(features, config.dimension);
-        let levels = sampler.level_set(
-            config.levels,
-            config.dimension,
-            config.level_correlation,
-        );
+        let levels = sampler.level_set(config.levels, config.dimension, config.level_correlation);
         Self {
             bases,
             levels,
@@ -299,7 +295,7 @@ mod tests {
     fn projection_encoder_is_deterministic_and_local() {
         let cfg = config(4096);
         let enc = RandomProjectionEncoder::new(&cfg, 16, 8);
-        let base: Vec<f64> = (0..16).map(|i| (i as f64 / 15.0)).collect();
+        let base: Vec<f64> = (0..16).map(|i| i as f64 / 15.0).collect();
         let mut near = base.clone();
         near[3] += 0.01;
         let far: Vec<f64> = base.iter().map(|f| 1.0 - f).collect();

@@ -159,11 +159,7 @@ impl ConfusionMatrix {
     /// # Panics
     ///
     /// Panics if the slices differ in length or a label is out of range.
-    pub fn evaluate(
-        model: &TrainedModel,
-        queries: &[BinaryHypervector],
-        labels: &[usize],
-    ) -> Self {
+    pub fn evaluate(model: &TrainedModel, queries: &[BinaryHypervector], labels: &[usize]) -> Self {
         assert_eq!(queries.len(), labels.len(), "queries and labels must align");
         let mut matrix = Self::new(model.num_classes());
         for (query, &label) in queries.iter().zip(labels) {
@@ -197,7 +193,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either label is out of range.
     pub fn count(&self, truth: usize, predicted: usize) -> u64 {
-        assert!(truth < self.classes && predicted < self.classes, "label out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "label out of range"
+        );
         self.counts[truth * self.classes + predicted]
     }
 

@@ -73,8 +73,7 @@ impl TrainedModel {
     /// Panics if `accumulators` is empty.
     pub fn from_accumulators(accumulators: &[BundleAccumulator]) -> Self {
         assert!(!accumulators.is_empty(), "need at least one class");
-        let classes: Vec<BinaryHypervector> =
-            accumulators.iter().map(|a| a.to_binary()).collect();
+        let classes: Vec<BinaryHypervector> = accumulators.iter().map(|a| a.to_binary()).collect();
         let dim = classes[0].dim();
         Self { classes, dim }
     }
@@ -326,8 +325,9 @@ fn train_accumulators(
     }
 
     // One-shot bundling.
-    let mut accumulators: Vec<BundleAccumulator> =
-        (0..num_classes).map(|_| BundleAccumulator::new(dim)).collect();
+    let mut accumulators: Vec<BundleAccumulator> = (0..num_classes)
+        .map(|_| BundleAccumulator::new(dim))
+        .collect();
     for (hv, &label) in encoded.iter().zip(labels) {
         accumulators[label].add(hv);
     }

@@ -7,14 +7,21 @@
 //! hypervectors' raw words. Layout (all integers little-endian):
 //!
 //! ```text
-//! magic  b"RHD1"
+//! magic  b"RHD2"
 //! u32    feature count
 //! u64    dimension          u64  levels
 //! u64    level_correlation  u64  retrain_epochs
 //! u64    seed               f64  softmax_beta
 //! u32    classes
 //! u64 × classes × ceil(dimension / 64)   class hypervector words
+//! u32    CRC32 (IEEE) over every byte between magic and checksum
 //! ```
+//!
+//! The trailing checksum makes checkpoints self-verifying: a rollback
+//! target that was itself hit by the memory attack fails loudly at load
+//! ([`LoadModelError::ChecksumMismatch`]) instead of silently restoring a
+//! corrupted model. Legacy `RHD1` files (the same layout without the
+//! checksum) still load.
 
 use crate::config::HdcConfig;
 use crate::model::TrainedModel;
@@ -23,13 +30,22 @@ use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 4] = b"RHD1";
+const MAGIC_V2: &[u8; 4] = b"RHD2";
+const MAGIC_V1: &[u8; 4] = b"RHD1";
 
 /// Error loading a persisted model.
 #[derive(Debug)]
 pub enum LoadModelError {
-    /// The stream does not start with the `RHD1` magic.
+    /// The stream starts with neither the `RHD2` nor the `RHD1` magic.
     BadMagic,
+    /// The stored CRC32 does not match the file contents: the checkpoint
+    /// was corrupted after it was written.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u32,
+        /// Checksum recomputed from the file's bytes.
+        computed: u32,
+    },
     /// Structurally invalid contents (zero dims, impossible sizes, bad
     /// config values).
     Corrupt(String),
@@ -41,6 +57,10 @@ impl fmt::Display for LoadModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoadModelError::BadMagic => f.write_str("not a RobustHD model file (bad magic)"),
+            LoadModelError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
             LoadModelError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
             LoadModelError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -108,21 +128,59 @@ pub fn save_model<W: Write>(
     features: usize,
     model: &TrainedModel,
 ) -> io::Result<()> {
-    writer.write_all(MAGIC)?;
-    writer.write_all(&(features as u32).to_le_bytes())?;
-    writer.write_all(&(config.dimension as u64).to_le_bytes())?;
-    writer.write_all(&(config.levels as u64).to_le_bytes())?;
-    writer.write_all(&(config.level_correlation as u64).to_le_bytes())?;
-    writer.write_all(&(config.retrain_epochs as u64).to_le_bytes())?;
-    writer.write_all(&config.seed.to_le_bytes())?;
-    writer.write_all(&config.softmax_beta.to_le_bytes())?;
-    writer.write_all(&(model.num_classes() as u32).to_le_bytes())?;
+    let body = encode_body(config, features, model);
+    writer.write_all(MAGIC_V2)?;
+    writer.write_all(&body)?;
+    writer.write_all(&crc32(&body).to_le_bytes())?;
+    Ok(())
+}
+
+/// Serializes the header + class words shared by both format versions.
+fn encode_body(config: &HdcConfig, features: usize, model: &TrainedModel) -> Vec<u8> {
+    let words = model.num_classes() * config.dimension.div_ceil(64);
+    let mut body = Vec::with_capacity(56 + words * 8);
+    body.extend_from_slice(&(features as u32).to_le_bytes());
+    body.extend_from_slice(&(config.dimension as u64).to_le_bytes());
+    body.extend_from_slice(&(config.levels as u64).to_le_bytes());
+    body.extend_from_slice(&(config.level_correlation as u64).to_le_bytes());
+    body.extend_from_slice(&(config.retrain_epochs as u64).to_le_bytes());
+    body.extend_from_slice(&config.seed.to_le_bytes());
+    body.extend_from_slice(&config.softmax_beta.to_le_bytes());
+    body.extend_from_slice(&(model.num_classes() as u32).to_le_bytes());
     for class in model.classes() {
         for &word in class.bits().words() {
-            writer.write_all(&word.to_le_bytes())?;
+            body.extend_from_slice(&word.to_le_bytes());
         }
     }
-    Ok(())
+    body
+}
+
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = u32::MAX;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
 }
 
 fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
@@ -141,22 +199,57 @@ fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
 ///
 /// A `&mut` reference can be passed as the reader.
 ///
+/// For `RHD2` files the trailing CRC32 is verified over the whole body
+/// *before* any field is interpreted, so a corrupted checkpoint always
+/// surfaces as [`LoadModelError::ChecksumMismatch`] rather than as a
+/// downstream parse error. Legacy `RHD1` files carry no checksum and are
+/// parsed as-is.
+///
 /// # Errors
 ///
-/// Returns [`LoadModelError`] on bad magic, truncated or structurally
-/// invalid contents, or I/O failure.
+/// Returns [`LoadModelError`] on bad magic, checksum mismatch, truncated
+/// or structurally invalid contents, or I/O failure.
 pub fn load_model<R: Read>(mut reader: R) -> Result<SavedPipeline, LoadModelError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    if &magic == MAGIC_V1 {
+        return parse_body(&mut reader);
+    }
+    if &magic != MAGIC_V2 {
         return Err(LoadModelError::BadMagic);
     }
-    let features = read_u32(&mut reader)? as usize;
-    let dimension = read_u64(&mut reader)? as usize;
-    let levels = read_u64(&mut reader)? as usize;
-    let level_correlation = read_u64(&mut reader)? as usize;
-    let retrain_epochs = read_u64(&mut reader)? as usize;
-    let seed = read_u64(&mut reader)?;
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest)?;
+    if rest.len() < 4 {
+        return Err(LoadModelError::Corrupt(
+            "file too short to hold a checksum".to_string(),
+        ));
+    }
+    let (body, crc_bytes) = rest.split_at(rest.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(LoadModelError::ChecksumMismatch { stored, computed });
+    }
+    let mut body_reader = body;
+    let pipeline = parse_body(&mut body_reader)?;
+    if !body_reader.is_empty() {
+        return Err(LoadModelError::Corrupt(format!(
+            "{} trailing bytes after class vectors",
+            body_reader.len()
+        )));
+    }
+    Ok(pipeline)
+}
+
+/// Parses the version-independent header + class words.
+fn parse_body<R: Read>(reader: &mut R) -> Result<SavedPipeline, LoadModelError> {
+    let features = read_u32(reader)? as usize;
+    let dimension = read_u64(reader)? as usize;
+    let levels = read_u64(reader)? as usize;
+    let level_correlation = read_u64(reader)? as usize;
+    let retrain_epochs = read_u64(reader)? as usize;
+    let seed = read_u64(reader)?;
     let softmax_beta = f64::from_le_bytes({
         let mut buf = [0u8; 8];
         reader.read_exact(&mut buf)?;
@@ -182,7 +275,7 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<SavedPipeline, LoadModelErro
         .softmax_beta(softmax_beta)
         .build()
         .map_err(|e| LoadModelError::Corrupt(e.to_string()))?;
-    let classes = read_u32(&mut reader)? as usize;
+    let classes = read_u32(reader)? as usize;
     if classes == 0 || classes > 1 << 16 {
         return Err(LoadModelError::Corrupt(format!(
             "implausible class count {classes}"
@@ -193,7 +286,7 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<SavedPipeline, LoadModelErro
     for _ in 0..classes {
         let mut bits = PackedBits::zeros(dimension);
         for word_idx in 0..words_per_class {
-            bits.words_mut()[word_idx] = read_u64(&mut reader)?;
+            bits.words_mut()[word_idx] = read_u64(reader)?;
         }
         bits.mask_tail();
         class_vectors.push(BinaryHypervector::from_bits(bits));
@@ -258,19 +351,33 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_an_io_error() {
+    fn truncated_v2_file_fails_the_checksum() {
         let (config, features, model) = toy_pipeline();
         let mut buffer = Vec::new();
         save_model(&mut buffer, &config, features, &model).expect("save");
         buffer.truncate(buffer.len() - 10);
         let err = load_model(buffer.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, LoadModelError::ChecksumMismatch { .. }),
+            "expected checksum mismatch, got {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_legacy_file_is_an_io_error() {
+        let (config, features, model) = toy_pipeline();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&encode_body(&config, features, &model));
+        v1.truncate(v1.len() - 10);
+        let err = load_model(v1.as_slice()).unwrap_err();
         assert!(matches!(err, LoadModelError::Io(_)));
     }
 
     #[test]
     fn implausible_header_is_corrupt() {
         let mut buffer = Vec::new();
-        buffer.extend_from_slice(MAGIC);
+        buffer.extend_from_slice(MAGIC_V1);
         buffer.extend_from_slice(&0u32.to_le_bytes()); // zero features
         buffer.extend_from_slice(&[0u8; 48]);
         buffer.extend_from_slice(&1u32.to_le_bytes());
@@ -287,5 +394,57 @@ mod tests {
         save_model(&mut buffer, &config, 3, &model).expect("save");
         let loaded = load_model(buffer.as_slice()).expect("load");
         assert_eq!(loaded.model, model);
+    }
+
+    #[test]
+    fn saved_files_carry_the_v2_magic_and_checksum() {
+        let (config, features, model) = toy_pipeline();
+        let mut buffer = Vec::new();
+        save_model(&mut buffer, &config, features, &model).expect("save");
+        assert_eq!(&buffer[..4], MAGIC_V2);
+        let stored = u32::from_le_bytes(buffer[buffer.len() - 4..].try_into().expect("4"));
+        assert_eq!(stored, crc32(&buffer[4..buffer.len() - 4]));
+    }
+
+    #[test]
+    fn any_flipped_bit_fails_the_checksum() {
+        let (config, features, model) = toy_pipeline();
+        let mut clean = Vec::new();
+        save_model(&mut clean, &config, features, &model).expect("save");
+        // Walk bit positions across the whole post-magic region — header,
+        // class words, and the checksum itself — at a stride that keeps the
+        // test fast while touching every byte class.
+        for bit in (0..(clean.len() - 4) * 8)
+            .step_by(97)
+            .chain([(clean.len() - 5) * 8])
+        {
+            let mut corrupted = clean.clone();
+            corrupted[4 + bit / 8] ^= 1 << (bit % 8);
+            let err = load_model(corrupted.as_slice()).unwrap_err();
+            assert!(
+                matches!(err, LoadModelError::ChecksumMismatch { .. }),
+                "bit {bit}: expected checksum mismatch, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_rhd1_files_still_load() {
+        let (config, features, model) = toy_pipeline();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&encode_body(&config, features, &model));
+        let loaded = load_model(v1.as_slice()).expect("legacy load");
+        assert_eq!(loaded.config, config);
+        assert_eq!(loaded.features, features);
+        assert_eq!(loaded.model, model);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values of the IEEE polynomial ("check" value of the
+        // catalogue entry, plus the empty string).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -139,9 +139,7 @@ mod tests {
             .map(|i| {
                 let label = i % 2;
                 let base = if label == 0 { 0.2 } else { 0.8 };
-                let features = (0..6)
-                    .map(|j| base + 0.01 * ((i + j) % 5) as f64)
-                    .collect();
+                let features = (0..6).map(|j| base + 0.01 * ((i + j) % 5) as f64).collect();
                 (features, label)
             })
             .collect();

@@ -96,8 +96,7 @@ impl StreamClassifier {
     ///
     /// Panics if the stream is shorter than one n-gram.
     pub fn encode(&self, stream: &[f64]) -> BinaryHypervector {
-        self.encoder
-            .encode(&Self::quantize(stream, self.alphabet))
+        self.encoder.encode(&Self::quantize(stream, self.alphabet))
     }
 
     /// Predicts the class of a stream.
@@ -224,8 +223,7 @@ impl MultichannelStreamClassifier {
             "all time steps must have the same channel count"
         );
 
-        let mut sampler =
-            HypervectorSampler::seed_from(config.seed ^ STREAM_SEED_MIX ^ 0x9d2c);
+        let mut sampler = HypervectorSampler::seed_from(config.seed ^ STREAM_SEED_MIX ^ 0x9d2c);
         let channel_bases = sampler.base_set(channels, config.dimension);
         let symbols = sampler.base_set(alphabet, config.dimension);
 
@@ -233,9 +231,7 @@ impl MultichannelStreamClassifier {
             channel_bases,
             symbols,
             // Placeholder; replaced below once encodings exist.
-            model: TrainedModel::from_classes(vec![BinaryHypervector::zeros(
-                config.dimension,
-            )]),
+            model: TrainedModel::from_classes(vec![BinaryHypervector::zeros(config.dimension)]),
             alphabet,
             ngram,
             num_classes: 1,
@@ -343,7 +339,6 @@ impl MultichannelStreamClassifier {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,9 +352,15 @@ mod tests {
             .map(|i| {
                 let t = i + phase;
                 let base = match class {
-                    0 => (t % 12) as f64 / 12.0,                       // ramp
-                    1 => if (t / 6) % 2 == 0 { 0.15 } else { 0.85 },   // square
-                    _ => 0.5 + 0.4 * ((t as f64) * 0.7).sin(),         // sine
+                    0 => (t % 12) as f64 / 12.0, // ramp
+                    1 => {
+                        if (t / 6) % 2 == 0 {
+                            0.15
+                        } else {
+                            0.85
+                        }
+                    } // square
+                    _ => 0.5 + 0.4 * ((t as f64) * 0.7).sin(), // sine
                 };
                 (base + rng.random_range(-0.04..0.04)).clamp(0.0, 1.0)
             })

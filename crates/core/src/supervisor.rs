@@ -1,0 +1,897 @@
+//! Closed-loop resilience supervision: a self-healing serving runtime.
+//!
+//! The other modules provide the parts — detection
+//! ([`crate::diagnostics`]), repair ([`crate::recovery`]), durable
+//! checkpoints ([`crate::persist`]) — and this module closes the loop
+//! around a deployed model:
+//!
+//! 1. **Monitor.** Every served query feeds the [`HealthMonitor`]; the
+//!    windowed verdict decides whether the loop intervenes at all. A
+//!    healthy-looking window is additionally cross-checked by a *canary
+//!    probe* ([`HealthMonitor::probe`]) over the retained calibration
+//!    traffic: live statistics can be whitewashed by a repair loop
+//!    overfitting the very queries it feeds on, but a disjoint canary set
+//!    cannot.
+//! 2. **Escalate.** On a [`HealthVerdict::Degraded`] batch the
+//!    [`RecoveryEngine`] runs at the current rung of an escalation ladder
+//!    ([`EscalationLevel`]). Each failed round climbs one rung: higher
+//!    substitution rate `S`, finer chunking `m`, more passes (bounded
+//!    backoff), and finally a *temporary* trust-threshold cut down to a
+//!    configured floor — the only way a class so damaged that it produces
+//!    no high-confidence traffic can attract repair again. De-escalation
+//!    needs a hysteresis of consecutive healthy batches, so the ladder does
+//!    not flap at the alarm boundary.
+//! 3. **Checkpoint / roll back.** Healthy batches periodically serialize
+//!    the model through the checksummed [`crate::persist`] format into an
+//!    in-memory checkpoint. When `rollback_after` consecutive recovery
+//!    rounds fail, the supervisor restores the last healthy checkpoint —
+//!    verifying its CRC on the way in — and resets the ladder.
+//! 4. **Quarantine.** A class whose chunk-fault rate stays above a ceiling
+//!    is quarantined: its predictions are reported as unreliable
+//!    (`None`) instead of silently misclassifying, until repair or
+//!    rollback clears the evidence.
+//!
+//! [`run_soak`] drives the whole loop against a caller-supplied corruption
+//! process (e.g. a `faultsim` attack campaign) and emits a JSON trace of
+//! every verdict, escalation, checkpoint, and rollback.
+
+use crate::config::{EscalationLevel, HdcConfig, RecoveryConfig, SupervisorConfig};
+use crate::diagnostics::{HealthMonitor, HealthVerdict};
+use crate::model::TrainedModel;
+use crate::persist;
+use crate::recovery::{RecoveryEngine, RecoveryStats};
+use hypervector::BinaryHypervector;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// What the supervisor did with one batch of queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// 1-based index of this batch.
+    pub step: usize,
+    /// Verdict on the traffic as served (before any repair this batch).
+    pub verdict: HealthVerdict,
+    /// Verdict after repair (equals `verdict` when no repair ran).
+    pub post_verdict: HealthVerdict,
+    /// Whether the canary probe degraded a window that looked healthy —
+    /// the signature of damage (or an overfitting repair) that the live
+    /// traffic statistics alone would have whitewashed.
+    pub canary_alarm: bool,
+    /// Escalation level after this batch.
+    pub level: usize,
+    /// Whether this batch climbed the escalation ladder.
+    pub escalated: bool,
+    /// Whether this batch descended the escalation ladder.
+    pub deescalated: bool,
+    /// Whether a checkpoint was written this batch.
+    pub checkpointed: bool,
+    /// Whether the model was rolled back this batch.
+    pub rolled_back: bool,
+    /// Stored bits changed by recovery this batch.
+    pub bits_repaired: usize,
+    /// Queries answered `None` because their class is quarantined.
+    pub unreliable: usize,
+    /// Classes currently quarantined.
+    pub quarantined: Vec<usize>,
+    /// Per-query answers: `Some(label)` or `None` when the predicted class
+    /// is quarantined (the graceful-degradation path).
+    pub answers: Vec<Option<usize>>,
+}
+
+/// The closed-loop resilience supervisor.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::random::HypervectorSampler;
+/// use robusthd::supervisor::ResilienceSupervisor;
+/// use robusthd::{HdcConfig, RecoveryConfig, SupervisorConfig, TrainedModel};
+///
+/// # fn main() -> Result<(), robusthd::ConfigError> {
+/// let dim = 2048;
+/// let mut sampler = HypervectorSampler::seed_from(3);
+/// let protos = [sampler.binary(dim), sampler.binary(dim)];
+/// let queries: Vec<_> = (0..60)
+///     .map(|i| sampler.flip_noise(&protos[i % 2], 0.1))
+///     .collect();
+/// let labels: Vec<_> = (0..60).map(|i| i % 2).collect();
+/// let config = HdcConfig::builder().dimension(dim).build()?;
+/// let mut model = TrainedModel::train(&queries, &labels, 2, &config);
+///
+/// let policy = SupervisorConfig::builder().window(32).build()?;
+/// let mut supervisor =
+///     ResilienceSupervisor::new(&config, RecoveryConfig::default(), policy, 0);
+/// supervisor.calibrate(&model, &queries);
+/// let report = supervisor.serve_batch(&mut model, &queries);
+/// assert!(report.answers.iter().all(|a| a.is_some()));
+/// # Ok(())
+/// # }
+/// ```
+pub struct ResilienceSupervisor {
+    policy: SupervisorConfig,
+    hdc: HdcConfig,
+    features: usize,
+    monitor: HealthMonitor,
+    canaries: Vec<BinaryHypervector>,
+    canary_answers: Vec<usize>,
+    engine: RecoveryEngine,
+    ladder: Vec<EscalationLevel>,
+    level: usize,
+    healthy_streak: usize,
+    failed_rounds: usize,
+    healthy_since_checkpoint: usize,
+    checkpoint: Option<Vec<u8>>,
+    quarantined: Vec<bool>,
+    step: usize,
+    total_rollbacks: usize,
+    total_escalations: usize,
+}
+
+impl ResilienceSupervisor {
+    /// Creates a supervisor for a deployment described by `hdc` (the model's
+    /// training configuration) serving `features`-dimensional inputs.
+    ///
+    /// `base` is the level-0 recovery operating point; when
+    /// `policy.ladder` is empty, [`EscalationLevel::default_ladder`] is
+    /// derived from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a supplied ladder level's trust threshold undercuts
+    /// `policy.threshold_floor` (the builder already rejects this, but a
+    /// hand-built config could bypass it).
+    pub fn new(
+        hdc: &HdcConfig,
+        base: RecoveryConfig,
+        policy: SupervisorConfig,
+        features: usize,
+    ) -> Self {
+        let ladder = if policy.ladder.is_empty() {
+            EscalationLevel::default_ladder(&base, policy.threshold_floor)
+        } else {
+            policy.ladder.clone()
+        };
+        assert!(
+            ladder
+                .iter()
+                .all(|l| l.confidence_threshold >= policy.threshold_floor - 1e-12),
+            "ladder undercuts the threshold floor"
+        );
+        let monitor = HealthMonitor::new(policy.window, policy.sensitivity);
+        let engine = RecoveryEngine::new(base, hdc.softmax_beta);
+        Self {
+            policy,
+            hdc: hdc.clone(),
+            features,
+            monitor,
+            canaries: Vec::new(),
+            canary_answers: Vec::new(),
+            engine,
+            ladder,
+            level: 0,
+            healthy_streak: 0,
+            failed_rounds: 0,
+            healthy_since_checkpoint: 0,
+            checkpoint: None,
+            quarantined: Vec::new(),
+            step: 0,
+            total_rollbacks: 0,
+            total_escalations: 0,
+        }
+    }
+
+    /// Calibrates the health monitor on known-good traffic, retains that
+    /// traffic as the canary set, and takes the initial checkpoint. Must be
+    /// called once before serving.
+    ///
+    /// The canaries are re-scored against the model every batch (see
+    /// [`HealthMonitor::probe`]), so the cost of a batch grows with the
+    /// calibration set's size. For the probe to add protection beyond the
+    /// live window, calibrate on traffic that will *not* be served again:
+    /// a repair loop can overfit the queries it feeds on, but not a
+    /// disjoint canary set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clean_queries` is empty.
+    pub fn calibrate(&mut self, model: &TrainedModel, clean_queries: &[BinaryHypervector]) {
+        self.monitor
+            .calibrate(model, clean_queries, self.hdc.softmax_beta);
+        self.canaries = clean_queries.to_vec();
+        // Golden answers: the healthy model's own predictions, the
+        // self-supervised reference that catches a model whose margins look
+        // fine but whose classes were rewritten into a label permutation.
+        self.canary_answers = clean_queries.iter().map(|q| model.predict(q)).collect();
+        self.quarantined = vec![false; model.num_classes()];
+        self.checkpoint = Some(self.encode_checkpoint(model));
+    }
+
+    /// Current escalation level (0 = base operating point).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The escalation ladder in use.
+    pub fn ladder(&self) -> &[EscalationLevel] {
+        &self.ladder
+    }
+
+    /// Total rollbacks performed.
+    pub fn rollbacks(&self) -> usize {
+        self.total_rollbacks
+    }
+
+    /// Total ladder climbs performed.
+    pub fn escalations(&self) -> usize {
+        self.total_escalations
+    }
+
+    /// Classes currently quarantined.
+    pub fn quarantined_classes(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &q)| q.then_some(c))
+            .collect()
+    }
+
+    /// The health monitor (e.g. for inspecting the baseline).
+    pub fn monitor(&self) -> &HealthMonitor {
+        &self.monitor
+    }
+
+    /// Cumulative statistics of the embedded recovery engine.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        self.engine.stats()
+    }
+
+    /// The last healthy checkpoint, as checksummed `RHD2` bytes.
+    pub fn checkpoint_bytes(&self) -> Option<&[u8]> {
+        self.checkpoint.as_deref()
+    }
+
+    /// Serves one batch of queries through the full closed loop: monitor,
+    /// answer (with quarantine), and — on a degraded verdict — repair,
+    /// escalate, checkpoint, or roll back as the policy dictates.
+    ///
+    /// For the post-repair verdict to reflect the repaired model, batches
+    /// should hold at least `policy.window` queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ResilienceSupervisor::calibrate`] was never called, or a
+    /// rollback checkpoint fails its CRC (memory corruption reached the
+    /// checkpoint itself — there is nothing sane left to restore).
+    pub fn serve_batch(
+        &mut self,
+        model: &mut TrainedModel,
+        queries: &[BinaryHypervector],
+    ) -> BatchReport {
+        assert!(
+            self.monitor.baseline().is_some(),
+            "supervisor must be calibrated before serving"
+        );
+        assert_eq!(
+            self.quarantined.len(),
+            model.num_classes(),
+            "model class count changed after calibration"
+        );
+        self.step += 1;
+        let beta = self.hdc.softmax_beta;
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut unreliable = 0usize;
+        for query in queries {
+            self.monitor.observe(model, query, beta);
+            let label = model.predict(query);
+            if self.quarantined[label] {
+                unreliable += 1;
+                answers.push(None);
+            } else {
+                answers.push(Some(label));
+            }
+        }
+        let (verdict, canary_alarm) = self.judged_verdict(model);
+        let mut report = BatchReport {
+            step: self.step,
+            verdict,
+            post_verdict: verdict,
+            canary_alarm,
+            level: self.level,
+            escalated: false,
+            deescalated: false,
+            checkpointed: false,
+            rolled_back: false,
+            bits_repaired: 0,
+            unreliable,
+            quarantined: Vec::new(),
+            answers,
+        };
+        match verdict {
+            HealthVerdict::Healthy => self.handle_healthy(model, &mut report),
+            HealthVerdict::Degraded => self.handle_degraded(model, queries, &mut report),
+            HealthVerdict::InsufficientTraffic => {}
+        }
+        report.level = self.level;
+        report.quarantined = self.quarantined_classes();
+        report
+    }
+
+    /// Healthy batch: reset failure tracking, walk back down the ladder
+    /// after the hysteresis, checkpoint on schedule, and release any
+    /// quarantine — traffic inside the calibration band means the model as
+    /// a whole serves correctly again.
+    fn handle_healthy(&mut self, model: &TrainedModel, report: &mut BatchReport) {
+        self.failed_rounds = 0;
+        self.healthy_streak += 1;
+        if self.level > 0 && self.healthy_streak >= self.policy.hysteresis {
+            self.level -= 1;
+            self.healthy_streak = 0;
+            report.deescalated = true;
+        }
+        self.healthy_since_checkpoint += 1;
+        if self.healthy_since_checkpoint >= self.policy.checkpoint_interval {
+            self.checkpoint = Some(self.encode_checkpoint(model));
+            self.healthy_since_checkpoint = 0;
+            report.checkpointed = true;
+        }
+        for q in &mut self.quarantined {
+            *q = false;
+        }
+    }
+
+    /// Degraded batch: repair at the current rung, update quarantine from
+    /// the per-class fault evidence, re-judge, and escalate or roll back on
+    /// failure.
+    fn handle_degraded(
+        &mut self,
+        model: &mut TrainedModel,
+        queries: &[BinaryHypervector],
+        report: &mut BatchReport,
+    ) {
+        self.healthy_streak = 0;
+        let rung = self.ladder[self.level];
+        self.engine
+            .reconfigure(recovery_config_at(&self.engine, rung));
+        let classes = model.num_classes();
+        let mut inspected = vec![0usize; classes];
+        let mut faulty = vec![0usize; classes];
+        let mut bits = 0usize;
+        for _ in 0..rung.rounds {
+            for query in queries {
+                let obs = self.engine.observe(model, query);
+                if obs.trusted {
+                    inspected[obs.confidence.label] += rung.chunks;
+                    faulty[obs.confidence.label] += obs.faulty_chunks.len();
+                    bits += obs.bits_changed;
+                }
+            }
+        }
+        report.bits_repaired = bits;
+        for c in 0..classes {
+            if inspected[c] >= self.policy.quarantine_min_chunks {
+                self.quarantined[c] =
+                    faulty[c] as f64 / inspected[c] as f64 > self.policy.quarantine_fault_ceiling;
+            }
+        }
+
+        // Re-judge on the repaired model: refill the window with
+        // post-repair observations of the same traffic, then require the
+        // canaries to agree — a repair that only overfitted this batch
+        // restores the window but not the canaries, and must count as a
+        // failed round rather than a recovery.
+        for query in queries {
+            self.monitor.observe(model, query, self.hdc.softmax_beta);
+        }
+        let (post, canary_alarm) = self.judged_verdict(model);
+        report.post_verdict = post;
+        report.canary_alarm |= canary_alarm;
+        if post == HealthVerdict::Degraded {
+            self.failed_rounds += 1;
+            if self.level + 1 < self.ladder.len() {
+                self.level += 1;
+                self.total_escalations += 1;
+                report.escalated = true;
+            }
+            if self.failed_rounds >= self.policy.rollback_after && self.checkpoint.is_some() {
+                self.roll_back(model);
+                report.rolled_back = true;
+            }
+        } else {
+            self.failed_rounds = 0;
+        }
+    }
+
+    /// The live window verdict hardened by the canary probe: a window that
+    /// looks healthy is only trusted when re-scoring the retained
+    /// known-good canaries agrees — both their margin statistics
+    /// ([`HealthMonitor::probe`]) and their golden-answer agreement. The
+    /// latter is the only check that catches a model whose classes were
+    /// confidently rewritten into a label permutation: margins recover,
+    /// answers do not. Returns the combined verdict and whether a canary
+    /// check raised the alarm on an otherwise-clean window.
+    fn judged_verdict(&self, model: &TrainedModel) -> (HealthVerdict, bool) {
+        let live = self.monitor.verdict();
+        if live != HealthVerdict::Healthy {
+            return (live, false);
+        }
+        if self
+            .monitor
+            .probe(model, &self.canaries, self.hdc.softmax_beta)
+            == HealthVerdict::Degraded
+        {
+            return (HealthVerdict::Degraded, true);
+        }
+        let agreeing = self
+            .canaries
+            .iter()
+            .zip(&self.canary_answers)
+            .filter(|(q, &golden)| model.predict(q) == golden)
+            .count();
+        let agreement = agreeing as f64 / self.canary_answers.len().max(1) as f64;
+        if agreement < self.policy.canary_agreement_floor {
+            (HealthVerdict::Degraded, true)
+        } else {
+            (HealthVerdict::Healthy, false)
+        }
+    }
+
+    /// Restores the last healthy checkpoint and resets the loop state.
+    fn roll_back(&mut self, model: &mut TrainedModel) {
+        let bytes = self
+            .checkpoint
+            .as_ref()
+            .expect("rollback needs a checkpoint");
+        let saved = persist::load_model(bytes.as_slice())
+            .expect("healthy checkpoint failed its checksum — checkpoint memory corrupted");
+        *model = saved.model;
+        self.failed_rounds = 0;
+        self.healthy_streak = 0;
+        self.level = 0;
+        for q in &mut self.quarantined {
+            *q = false;
+        }
+        // The buffered window statistics describe the pre-rollback model;
+        // drop them so the next verdict judges the restored one.
+        self.monitor.reset_window();
+        self.total_rollbacks += 1;
+    }
+
+    /// Serializes the model through the checksummed persist format. The
+    /// feature count is checkpoint metadata only; encoder-less deployments
+    /// (which pass 0) are clamped to 1 so the checkpoint stays loadable
+    /// under the format's plausibility guards.
+    fn encode_checkpoint(&self, model: &TrainedModel) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        persist::save_model(&mut bytes, &self.hdc, self.features.max(1), model)
+            .expect("writing to a Vec cannot fail");
+        bytes
+    }
+}
+
+/// Applies an escalation rung on top of the engine's current configuration
+/// (substitution mode, fault margin, seed, and chunk gating are preserved).
+fn recovery_config_at(engine: &RecoveryEngine, rung: EscalationLevel) -> RecoveryConfig {
+    let base = engine.config();
+    RecoveryConfig::builder()
+        .chunks(rung.chunks)
+        .confidence_threshold(rung.confidence_threshold)
+        .substitution_rate(rung.substitution_rate)
+        .substitution(base.substitution)
+        .fault_margin(base.fault_margin)
+        .faulty_chunks_only(base.faulty_chunks_only)
+        .seed(base.seed)
+        .build()
+        .expect("ladder levels are validated at construction")
+}
+
+impl fmt::Debug for ResilienceSupervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResilienceSupervisor")
+            .field("level", &self.level)
+            .field("failed_rounds", &self.failed_rounds)
+            .field("rollbacks", &self.total_rollbacks)
+            .field("escalations", &self.total_escalations)
+            .field("checkpointed", &self.checkpoint.is_some())
+            .field("quarantined", &self.quarantined_classes())
+            .finish()
+    }
+}
+
+/// One step of a soak run: corruption injected, then a batch served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakStep {
+    /// 1-based soak step.
+    pub step: usize,
+    /// Bits flipped into the model image this step.
+    pub bits_flipped: usize,
+    /// Cumulative injected corruption as a fraction of the model image
+    /// (repair does not subtract — this tracks what the attacker did).
+    pub cumulative_error_rate: f64,
+    /// Accuracy over the batch, counting unreliable answers as wrong.
+    pub accuracy: f64,
+    /// The supervisor's batch report.
+    pub report: BatchReport,
+}
+
+/// Full trace of a soak run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// Accuracy of the clean model on the soak traffic.
+    pub clean_accuracy: f64,
+    /// Per-step trace.
+    pub steps: Vec<SoakStep>,
+}
+
+impl SoakReport {
+    /// Accuracy at the last step (the clean accuracy when no steps ran).
+    pub fn final_accuracy(&self) -> f64 {
+        self.steps
+            .last()
+            .map_or(self.clean_accuracy, |s| s.accuracy)
+    }
+
+    /// Highest cumulative injected error rate reached.
+    pub fn peak_error_rate(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| s.cumulative_error_rate)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total rollbacks across the run.
+    pub fn rollbacks(&self) -> usize {
+        self.steps.iter().filter(|s| s.report.rolled_back).count()
+    }
+
+    /// Total ladder climbs across the run.
+    pub fn escalations(&self) -> usize {
+        self.steps.iter().filter(|s| s.report.escalated).count()
+    }
+
+    /// Serializes the trace as a single JSON object with a `steps` array
+    /// recording every verdict, escalation, checkpoint, and rollback
+    /// transition. Written by hand so the trace format is identical with or
+    /// without external serialization crates.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"clean_accuracy\":{},\"final_accuracy\":{},\"peak_error_rate\":{},\
+             \"rollbacks\":{},\"escalations\":{},\"steps\":[",
+            self.clean_accuracy,
+            self.final_accuracy(),
+            self.peak_error_rate(),
+            self.rollbacks(),
+            self.escalations()
+        );
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let quarantined = s
+                .report
+                .quarantined
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = write!(
+                out,
+                "{{\"step\":{},\"bits_flipped\":{},\"cumulative_error_rate\":{},\
+                 \"accuracy\":{},\"verdict\":\"{}\",\"post_verdict\":\"{}\",\
+                 \"canary_alarm\":{},\"level\":{},\"escalated\":{},\"deescalated\":{},\
+                 \"checkpointed\":{},\"rolled_back\":{},\"bits_repaired\":{},\
+                 \"unreliable\":{},\"quarantined\":[{}]}}",
+                s.step,
+                s.bits_flipped,
+                s.cumulative_error_rate,
+                s.accuracy,
+                verdict_str(s.report.verdict),
+                verdict_str(s.report.post_verdict),
+                s.report.canary_alarm,
+                s.report.level,
+                s.report.escalated,
+                s.report.deescalated,
+                s.report.checkpointed,
+                s.report.rolled_back,
+                s.report.bits_repaired,
+                s.report.unreliable,
+                quarantined,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn verdict_str(v: HealthVerdict) -> &'static str {
+    match v {
+        HealthVerdict::Healthy => "healthy",
+        HealthVerdict::Degraded => "degraded",
+        HealthVerdict::InsufficientTraffic => "insufficient_traffic",
+    }
+}
+
+/// Drives the closed loop against a corruption process: each step, `corrupt`
+/// mutates the model (returning the number of bits it flipped, or `None`
+/// when its schedule is exhausted — which ends the soak), then the
+/// supervisor serves the full query batch.
+///
+/// The corruption callback keeps this crate free of a fault-injector
+/// dependency; the `faultsim` attack campaigns plug in from the outside.
+///
+/// # Panics
+///
+/// Panics if `queries` and `labels` lengths differ, or the supervisor is
+/// uncalibrated.
+pub fn run_soak<F>(
+    supervisor: &mut ResilienceSupervisor,
+    model: &mut TrainedModel,
+    queries: &[BinaryHypervector],
+    labels: &[usize],
+    mut corrupt: F,
+) -> SoakReport
+where
+    F: FnMut(&mut TrainedModel, usize) -> Option<usize>,
+{
+    assert_eq!(queries.len(), labels.len(), "queries and labels must align");
+    let clean_accuracy = crate::metrics::accuracy(model, queries, labels);
+    let model_bits = (model.num_classes() * model.dim()) as f64;
+    let mut steps = Vec::new();
+    let mut injected = 0usize;
+    let mut step = 0usize;
+    while let Some(bits_flipped) = corrupt(model, step) {
+        step += 1;
+        injected += bits_flipped;
+        let report = supervisor.serve_batch(model, queries);
+        let correct = report
+            .answers
+            .iter()
+            .zip(labels)
+            .filter(|(answer, label)| **answer == Some(**label))
+            .count();
+        steps.push(SoakStep {
+            step,
+            bits_flipped,
+            cumulative_error_rate: injected as f64 / model_bits,
+            accuracy: correct as f64 / labels.len() as f64,
+            report,
+        });
+    }
+    SoakReport {
+        clean_accuracy,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HdcConfig, SubstitutionMode};
+    use hypervector::random::HypervectorSampler;
+
+    const DIM: usize = 2048;
+
+    fn trained_setup(seed: u64) -> (TrainedModel, Vec<BinaryHypervector>, Vec<usize>, HdcConfig) {
+        let mut sampler = HypervectorSampler::seed_from(seed);
+        let protos: Vec<_> = (0..3).map(|_| sampler.binary(DIM)).collect();
+        let mut encoded = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            let class = i % 3;
+            encoded.push(sampler.flip_noise(&protos[class], 0.15));
+            labels.push(class);
+        }
+        let cfg = HdcConfig::builder().dimension(DIM).build().expect("valid");
+        let model = TrainedModel::train(&encoded, &labels, 3, &cfg);
+        (model, encoded, labels, cfg)
+    }
+
+    fn base_recovery() -> RecoveryConfig {
+        RecoveryConfig::builder()
+            .confidence_threshold(0.45)
+            .substitution_rate(0.5)
+            .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+            .seed(1)
+            .build()
+            .expect("valid")
+    }
+
+    fn supervisor(policy: SupervisorConfig, cfg: &HdcConfig) -> ResilienceSupervisor {
+        ResilienceSupervisor::new(cfg, base_recovery(), policy, 0)
+    }
+
+    #[test]
+    fn healthy_traffic_checkpoints_and_stays_at_level_zero() {
+        let (mut model, queries, _, cfg) = trained_setup(1);
+        let policy = SupervisorConfig::builder()
+            .window(30)
+            .sensitivity(0.6)
+            .build()
+            .expect("valid");
+        let mut sup = supervisor(policy, &cfg);
+        sup.calibrate(&model, &queries);
+        let report = sup.serve_batch(&mut model, &queries);
+        assert_eq!(report.verdict, HealthVerdict::Healthy);
+        assert!(report.checkpointed);
+        assert!(!report.escalated && !report.rolled_back);
+        assert_eq!(sup.level(), 0);
+        assert_eq!(report.unreliable, 0);
+        assert!(report.answers.iter().all(|a| a.is_some()));
+        assert!(sup
+            .checkpoint_bytes()
+            .expect("checkpointed")
+            .starts_with(b"RHD2"));
+    }
+
+    #[test]
+    fn unrecoverable_damage_escalates_then_rolls_back() {
+        let (mut model, queries, labels, cfg) = trained_setup(2);
+        let clean = model.clone();
+        let policy = SupervisorConfig::builder()
+            .window(30)
+            .sensitivity(0.6)
+            .rollback_after(3)
+            .build()
+            .expect("valid");
+        let mut sup = supervisor(policy, &cfg);
+        sup.calibrate(&model, &queries);
+
+        // Replace two of three class vectors with pure noise: no recovery
+        // rung can rebuild them (their queries no longer produce trusted
+        // traffic predicted into them), so the loop must climb the ladder
+        // and finally restore the checkpoint.
+        let mut sampler = HypervectorSampler::seed_from(5);
+        *model.class_mut(1) = sampler.binary(DIM);
+        *model.class_mut(2) = sampler.binary(DIM);
+
+        let mut escalated = false;
+        let mut rolled_back = false;
+        for _ in 0..6 {
+            let report = sup.serve_batch(&mut model, &queries);
+            escalated |= report.escalated;
+            if report.rolled_back {
+                rolled_back = true;
+                break;
+            }
+            assert_eq!(report.verdict, HealthVerdict::Degraded);
+        }
+        assert!(escalated, "ladder never climbed");
+        assert!(rolled_back, "rollback never triggered");
+        assert_eq!(sup.level(), 0, "rollback resets the ladder");
+        assert_eq!(model, clean, "rollback must restore the checkpoint bits");
+        let acc = crate::metrics::accuracy(&model, &queries, &labels);
+        assert!(acc > 0.95, "restored model must serve correctly: {acc}");
+    }
+
+    #[test]
+    fn concentrated_class_damage_is_quarantined_until_healthy() {
+        let (mut model, queries, _, cfg) = trained_setup(3);
+        let policy = SupervisorConfig::builder()
+            .window(30)
+            .sensitivity(0.85)
+            // Repair starts fixing the dead chunks mid-batch, which dilutes
+            // the averaged fault rate; a low ceiling still separates the
+            // damaged class (~0.1) from healthy ones (~0).
+            .quarantine_fault_ceiling(0.05)
+            .quarantine_min_chunks(20)
+            .rollback_after(10)
+            .build()
+            .expect("valid");
+        let mut sup = supervisor(policy, &cfg);
+        sup.calibrate(&model, &queries);
+
+        // Annihilate 8 of 20 chunks of class 0: its queries still reach it
+        // (margins depressed, verdict degrades) and every trusted one flags
+        // the dead chunks, pushing the class fault rate over the ceiling.
+        let m = base_recovery().chunks;
+        for chunk in 0..8 {
+            for i in (chunk * DIM / m)..((chunk + 1) * DIM / m) {
+                model.class_mut(0).flip(i);
+            }
+        }
+
+        let first = sup.serve_batch(&mut model, &queries);
+        assert_eq!(first.verdict, HealthVerdict::Degraded);
+        assert!(
+            first.quarantined.contains(&0),
+            "class 0 not quarantined: {:?}",
+            first.quarantined
+        );
+        // Keep serving: quarantined answers are reported unreliable, and
+        // once repair brings the verdict back to healthy the quarantine
+        // lifts.
+        let mut saw_unreliable = false;
+        let mut released = false;
+        for _ in 0..8 {
+            let report = sup.serve_batch(&mut model, &queries);
+            saw_unreliable |= report.unreliable > 0;
+            if report.verdict == HealthVerdict::Healthy && report.quarantined.is_empty() {
+                released = true;
+                break;
+            }
+        }
+        assert!(
+            saw_unreliable,
+            "quarantine never produced unreliable answers"
+        );
+        assert!(released, "quarantine never released after repair");
+    }
+
+    #[test]
+    fn soak_report_json_records_transitions() {
+        let (mut model, queries, labels, cfg) = trained_setup(4);
+        let policy = SupervisorConfig::builder()
+            .window(30)
+            .sensitivity(0.6)
+            .build()
+            .expect("valid");
+        let mut sup = supervisor(policy, &cfg);
+        sup.calibrate(&model, &queries);
+        let mut sampler = HypervectorSampler::seed_from(7);
+        let report = run_soak(&mut sup, &mut model, &queries, &labels, |model, step| {
+            match step {
+                0 => Some(0),
+                1 => {
+                    // Light diffuse noise on one class.
+                    let noisy = sampler.flip_noise(model.class(0), 0.05);
+                    *model.class_mut(0) = noisy;
+                    Some(DIM / 20)
+                }
+                _ => None,
+            }
+        });
+        assert_eq!(report.steps.len(), 2);
+        assert!(report.clean_accuracy > 0.9);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"clean_accuracy\":",
+            "\"steps\":[",
+            "\"verdict\":\"healthy\"",
+            "\"level\":",
+            "\"rolled_back\":",
+            "\"cumulative_error_rate\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn supervisor_loop_is_deterministic() {
+        let run = || {
+            let (mut model, queries, labels, cfg) = trained_setup(5);
+            let policy = SupervisorConfig::builder()
+                .window(30)
+                .sensitivity(0.6)
+                .build()
+                .expect("valid");
+            let mut sup = supervisor(policy, &cfg);
+            sup.calibrate(&model, &queries);
+            let mut sampler = HypervectorSampler::seed_from(9);
+            let report = run_soak(&mut sup, &mut model, &queries, &labels, |model, step| {
+                if step >= 4 {
+                    return None;
+                }
+                for c in 0..3 {
+                    let noisy = sampler.flip_noise(model.class(c), 0.04);
+                    *model.class_mut(c) = noisy;
+                }
+                Some(3 * DIM / 25)
+            });
+            (model, report.to_json())
+        };
+        let (m1, j1) = run();
+        let (m2, j2) = run();
+        assert_eq!(m1, m2);
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibrated before serving")]
+    fn serving_uncalibrated_panics() {
+        let (mut model, queries, _, cfg) = trained_setup(6);
+        let mut sup = supervisor(SupervisorConfig::default(), &cfg);
+        sup.serve_batch(&mut model, &queries);
+    }
+}

@@ -111,6 +111,56 @@ impl AttackCampaign {
         }
         Some(flipped)
     }
+
+    /// Executes the next step as a *targeted* attack: fresh positions are
+    /// chosen MSB-first over `field_bits`-wide fields (see
+    /// [`crate::Attacker::targeted_flips`]) until the cumulative corruption
+    /// matches the schedule. Returns the number of bits flipped this step,
+    /// or `None` when the schedule is exhausted.
+    ///
+    /// Shares the corrupted-position set with [`AttackCampaign::advance`],
+    /// so mixed campaigns (random steps interleaved with targeted bursts)
+    /// still never revisit a flipped position. Bits in a partial trailing
+    /// field (when `field_bits` does not divide `bit_len`) are never
+    /// targeted, so the reachable ceiling is `fields × field_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field_bits` is zero or the image is too small for the
+    /// campaign's `bit_len`.
+    pub fn advance_targeted(&mut self, image: &mut [u64], field_bits: usize) -> Option<usize> {
+        assert!(field_bits > 0, "field_bits must be positive");
+        assert!(
+            self.bit_len <= image.len() * 64,
+            "image too small for campaign"
+        );
+        let target_rate = *self.schedule.cumulative_rates().get(self.step)?;
+        self.step += 1;
+        let target = (target_rate * self.bit_len as f64).round() as usize;
+        let mut needed = target.saturating_sub(self.corrupted.len());
+        let fields = self.bit_len / field_bits;
+        let mut flipped = 0usize;
+        // Spend the budget from the MSB (bit field_bits-1) downwards,
+        // skipping positions corrupted by earlier steps.
+        for sig in (0..field_bits).rev() {
+            if needed == 0 {
+                break;
+            }
+            let fresh: Vec<usize> = (0..fields)
+                .map(|field| field * field_bits + sig)
+                .filter(|pos| !self.corrupted.contains(pos))
+                .collect();
+            let take = needed.min(fresh.len());
+            for idx in distinct_indices(&mut self.rng, fresh.len(), take) {
+                let pos = fresh[idx];
+                self.corrupted.insert(pos);
+                image[pos / 64] ^= 1 << (pos % 64);
+                flipped += 1;
+            }
+            needed -= take;
+        }
+        Some(flipped)
+    }
 }
 
 impl fmt::Debug for AttackCampaign {
@@ -193,5 +243,100 @@ mod tests {
     #[should_panic(expected = "non-empty image")]
     fn zero_bits_panics() {
         AttackCampaign::new(ErrorRateSchedule::linear(0.0, 0.1, 1), 0, 0);
+    }
+
+    #[test]
+    fn targeted_campaign_hits_msbs_first() {
+        // 100 fields of 8 bits; cumulative rates keep the budget under 100
+        // flips, so every flipped bit must be a field MSB (bit 7).
+        let schedule = ErrorRateSchedule::from_cumulative(vec![0.05, 0.10]);
+        let mut campaign = AttackCampaign::new(schedule, 800, 21);
+        let mut image = vec![0u64; 13];
+        while campaign.advance_targeted(&mut image, 8).is_some() {}
+        assert_eq!(ones(&image), 80);
+        for pos in campaign.corrupted_positions() {
+            assert_eq!(pos % 8, 7, "non-MSB position {pos} flipped");
+        }
+    }
+
+    #[test]
+    fn targeted_campaign_descends_after_msbs_exhausted() {
+        // 16 fields of 4 bits, cumulative 50% of 64 bits = 32 flips:
+        // all 16 MSBs plus all 16 second bits, nothing deeper.
+        let schedule = ErrorRateSchedule::from_cumulative(vec![0.5]);
+        let mut campaign = AttackCampaign::new(schedule, 64, 22);
+        let mut image = vec![0u64; 1];
+        campaign
+            .advance_targeted(&mut image, 4)
+            .expect("step exists");
+        assert_eq!(ones(&image), 32);
+        for field in 0..16 {
+            assert!(get(&image, field * 4 + 3), "MSB of field {field} missed");
+            assert!(get(&image, field * 4 + 2), "bit 2 of field {field} missed");
+            assert!(!get(&image, field * 4 + 1));
+            assert!(!get(&image, field * 4));
+        }
+    }
+
+    #[test]
+    fn targeted_steps_never_reflip_corrupted_positions() {
+        let schedule = ErrorRateSchedule::linear(0.0, 0.6, 12);
+        let mut campaign = AttackCampaign::new(schedule, 1024, 23);
+        let mut image = vec![0u64; 16];
+        let mut prev = 0;
+        while campaign.advance_targeted(&mut image, 8).is_some() {
+            let now = ones(&image);
+            assert!(now >= prev, "ones decreased: {prev} -> {now}");
+            assert_eq!(now, campaign.corrupted_positions().count());
+            prev = now;
+        }
+        assert_eq!(prev, 614);
+    }
+
+    #[test]
+    fn mixed_random_and_targeted_steps_share_the_corruption_set() {
+        // Alternate random and targeted steps; the XOR image must stay in
+        // lockstep with the corrupted set (a revisit would clear a bit and
+        // break the equality).
+        let schedule = ErrorRateSchedule::linear(0.0, 0.4, 8);
+        let mut campaign = AttackCampaign::new(schedule, 640, 24);
+        let mut image = vec![0u64; 10];
+        let mut step = 0;
+        loop {
+            let advanced = if step % 2 == 0 {
+                campaign.advance(&mut image)
+            } else {
+                campaign.advance_targeted(&mut image, 64)
+            };
+            if advanced.is_none() {
+                break;
+            }
+            assert_eq!(ones(&image), campaign.corrupted_positions().count());
+            step += 1;
+        }
+        assert_eq!(ones(&image), 256);
+    }
+
+    #[test]
+    fn targeted_campaign_is_deterministic() {
+        let run = || {
+            let schedule = ErrorRateSchedule::linear(0.0, 0.3, 5);
+            let mut campaign = AttackCampaign::new(schedule, 512, 25);
+            let mut image = vec![0u64; 8];
+            while campaign.advance_targeted(&mut image, 8).is_some() {}
+            image
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "field_bits must be positive")]
+    fn targeted_zero_field_bits_panics() {
+        let schedule = ErrorRateSchedule::from_cumulative(vec![0.1]);
+        AttackCampaign::new(schedule, 64, 0).advance_targeted(&mut [0u64; 1], 0);
+    }
+
+    fn get(image: &[u64], pos: usize) -> bool {
+        (image[pos / 64] >> (pos % 64)) & 1 == 1
     }
 }

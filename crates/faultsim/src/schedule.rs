@@ -34,8 +34,14 @@ impl ErrorRateSchedule {
     pub fn from_cumulative(cumulative: Vec<f64>) -> Self {
         let mut prev = 0.0;
         for (i, &r) in cumulative.iter().enumerate() {
-            assert!((0.0..=1.0).contains(&r), "rate {r} at step {i} outside [0,1]");
-            assert!(r >= prev, "cumulative rates must be non-decreasing at step {i}");
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "rate {r} at step {i} outside [0,1]"
+            );
+            assert!(
+                r >= prev,
+                "cumulative rates must be non-decreasing at step {i}"
+            );
             prev = r;
         }
         Self { cumulative }

@@ -73,4 +73,40 @@ proptest! {
             prop_assert_eq!(ones(&image), expected, "at rate {}", rate);
         }
     }
+
+    /// Campaign steps — random or MSB-targeted, freely interleaved — never
+    /// revisit an already-flipped position: the XOR image always holds
+    /// exactly as many set bits as the campaign's corrupted set.
+    #[test]
+    fn campaign_never_revisits_positions(
+        steps in prop::collection::vec(0.0f64..=0.6, 2..8),
+        targeted_mask in any::<u64>(),
+        field_choice in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let field_bits = [1usize, 8, 64][field_choice];
+        let mut cumulative: Vec<f64> = steps.clone();
+        cumulative.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let schedule = ErrorRateSchedule::from_cumulative(cumulative);
+        let bit_len = 1280usize;
+        let mut campaign = AttackCampaign::new(schedule, bit_len, seed);
+        let mut image = vec![0u64; bit_len / 64];
+        let mut step = 0u32;
+        let mut prev = 0usize;
+        loop {
+            let advanced = if (targeted_mask >> (step % 64)) & 1 == 1 {
+                campaign.advance_targeted(&mut image, field_bits)
+            } else {
+                campaign.advance(&mut image)
+            };
+            if advanced.is_none() {
+                break;
+            }
+            let now = ones(&image);
+            prop_assert!(now >= prev, "a revisit cleared a bit: {} -> {}", prev, now);
+            prop_assert_eq!(now, campaign.corrupted_positions().count());
+            prev = now;
+            step += 1;
+        }
+    }
 }

@@ -157,7 +157,12 @@ impl BundleAccumulator {
                 .collect();
             return IntHypervector::from_values(values, precision);
         }
-        let max_mag = self.counts.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+        let max_mag = self
+            .counts
+            .iter()
+            .map(|c| c.unsigned_abs())
+            .max()
+            .unwrap_or(0);
         let hi = precision.max_value() as f64;
         let values: Vec<i32> = if max_mag == 0 {
             vec![0; self.dim()]

@@ -92,7 +92,11 @@ impl PackedBits {
     ///
     /// Panics if `index >= len()`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -102,7 +106,11 @@ impl PackedBits {
     ///
     /// Panics if `index >= len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % WORD_BITS);
         if value {
             self.words[index / WORD_BITS] |= mask;
@@ -117,7 +125,11 @@ impl PackedBits {
     ///
     /// Panics if `index >= len()`.
     pub fn flip(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
     }
 
@@ -163,7 +175,10 @@ impl PackedBits {
     /// Panics if the lengths differ or `start > end` or `end > len()`.
     pub fn hamming_range(&self, other: &Self, start: usize, end: usize) -> usize {
         assert_eq!(self.len, other.len, "length mismatch in hamming_range");
-        assert!(start <= end && end <= self.len, "invalid range {start}..{end}");
+        assert!(
+            start <= end && end <= self.len,
+            "invalid range {start}..{end}"
+        );
         let mut total = 0usize;
         let mut i = start;
         while i < end {
@@ -188,7 +203,10 @@ impl PackedBits {
     /// Panics if the lengths differ or the range is invalid.
     pub fn copy_range_from(&mut self, src: &Self, start: usize, end: usize) {
         assert_eq!(self.len, src.len, "length mismatch in copy_range_from");
-        assert!(start <= end && end <= self.len, "invalid range {start}..{end}");
+        assert!(
+            start <= end && end <= self.len,
+            "invalid range {start}..{end}"
+        );
         for i in start..end {
             self.set(i, src.get(i));
         }
@@ -245,13 +263,21 @@ impl PackedBits {
 
     /// Iterates over the bits as booleans.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { bits: self, next: 0 }
+        Iter {
+            bits: self,
+            next: 0,
+        }
     }
 }
 
 impl fmt::Debug for PackedBits {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PackedBits(len={}, ones={})", self.len, self.count_ones())
+        write!(
+            f,
+            "PackedBits(len={}, ones={})",
+            self.len,
+            self.count_ones()
+        )
     }
 }
 
@@ -352,7 +378,14 @@ mod tests {
     fn hamming_range_matches_bitwise_count() {
         let a = PackedBits::from_fn(300, |i| i % 5 == 0);
         let b = PackedBits::from_fn(300, |i| i % 7 == 0);
-        for &(s, e) in &[(0usize, 300usize), (10, 200), (63, 65), (64, 128), (299, 300), (50, 50)] {
+        for &(s, e) in &[
+            (0usize, 300usize),
+            (10, 200),
+            (63, 65),
+            (64, 128),
+            (299, 300),
+            (50, 50),
+        ] {
             let expected = (s..e).filter(|&i| a.get(i) != b.get(i)).count();
             assert_eq!(a.hamming_range(&b, s, e), expected, "range {s}..{e}");
         }

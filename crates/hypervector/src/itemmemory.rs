@@ -137,10 +137,7 @@ impl ItemMemory {
 
     /// Iterates over `(name, item)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &BinaryHypervector)> {
-        self.names
-            .iter()
-            .map(String::as_str)
-            .zip(self.items.iter())
+        self.names.iter().map(String::as_str).zip(self.items.iter())
     }
 }
 

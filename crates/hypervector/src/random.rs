@@ -74,7 +74,10 @@ impl HypervectorSampler {
         correlation_length: usize,
     ) -> Vec<BinaryHypervector> {
         assert!(levels > 0, "level_set requires at least one level");
-        assert!(correlation_length > 0, "correlation length must be positive");
+        assert!(
+            correlation_length > 0,
+            "correlation length must be positive"
+        );
         let mut out = Vec::with_capacity(levels);
         let first = self.binary(dim);
         out.push(first);
@@ -136,7 +139,10 @@ impl HypervectorSampler {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn flip_noise(&mut self, hv: &BinaryHypervector, p: f64) -> BinaryHypervector {
-        assert!((0.0..=1.0).contains(&p), "flip probability {p} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability {p} outside [0,1]"
+        );
         let mut out = hv.clone();
         for i in 0..hv.dim() {
             if self.rng.random_bool(p) {
@@ -210,7 +216,10 @@ mod tests {
         assert!(step <= 10_000 / 16 + 50, "adjacent step too large: {step}");
         // Distant levels are near-orthogonal.
         let far = levels[0].hamming_distance(&levels[63]);
-        assert!((4_300..=5_300).contains(&far), "distant levels distance {far}");
+        assert!(
+            (4_300..=5_300).contains(&far),
+            "distant levels distance {far}"
+        );
         // Distance beyond a few correlation lengths saturates rather than
         // growing linearly.
         let mid = levels[0].hamming_distance(&levels[32]);
@@ -229,7 +238,10 @@ mod tests {
             assert!(d0(&w[1]) >= d0(&w[0]), "level distance not monotone");
         }
         let extreme = levels[0].hamming_distance(&levels[10]);
-        assert!((4_500..=5_100).contains(&extreme), "extreme distance {extreme}");
+        assert!(
+            (4_500..=5_100).contains(&extreme),
+            "extreme distance {extreme}"
+        );
     }
 
     #[test]

@@ -161,12 +161,12 @@ impl DpimArchitecture {
     ///
     /// Panics if fewer than two layer sizes or zero-width weights are given.
     pub fn dnn_inference_cost(&self, layer_sizes: &[usize], weight_bits: u64) -> CostReport {
-        assert!(layer_sizes.len() >= 2, "need at least input and output layers");
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output layers"
+        );
         assert!(weight_bits > 0, "weights must have at least one bit");
-        let macs: u64 = layer_sizes
-            .windows(2)
-            .map(|w| (w[0] * w[1]) as u64)
-            .sum();
+        let macs: u64 = layer_sizes.windows(2).map(|w| (w[0] * w[1]) as u64).sum();
         // Each MAC: one multiply plus one accumulate-wide addition.
         let acc_bits = 2 * weight_bits + 8; // accumulator head-room
         let nors = macs * (self.multiply_nors(weight_bits) + self.add_nors(acc_bits));
@@ -181,7 +181,10 @@ impl DpimArchitecture {
     ///
     /// Panics if any argument is zero.
     pub fn hdc_inference_cost(&self, features: usize, dim: usize, classes: usize) -> CostReport {
-        assert!(features > 0 && dim > 0 && classes > 0, "arguments must be positive");
+        assert!(
+            features > 0 && dim > 0 && classes > 0,
+            "arguments must be positive"
+        );
         let (features, dim, classes) = (features as u64, dim as u64, classes as u64);
         // Encoding: bind every feature's level hypervector (XOR), then a
         // majority per dimension — a log2(features)-deep adder over 1-bit

@@ -145,7 +145,11 @@ mod tests {
             errors_per_scrub_interval: 1e-4,
         };
         let at = |raw: f64| scheme.evaluate(raw).residual_error_rate;
-        assert!(at(0.04) > 0.1, "4% raw should overwhelm SECDED: {}", at(0.04));
+        assert!(
+            at(0.04) > 0.1,
+            "4% raw should overwhelm SECDED: {}",
+            at(0.04)
+        );
         assert!(at(0.04) > at(0.001));
     }
 

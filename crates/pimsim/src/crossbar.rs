@@ -69,7 +69,10 @@ impl CrossbarArray {
     }
 
     fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of range"
+        );
         row * self.cols + col
     }
 
@@ -203,7 +206,10 @@ mod tests {
         }
         assert!(a.is_dead(1, 1));
         let value_before = a.read(1, 1);
-        assert!(!a.write(1, 1, !value_before), "write to dead cell must fail");
+        assert!(
+            !a.write(1, 1, !value_before),
+            "write to dead cell must fail"
+        );
         assert_eq!(a.read(1, 1), value_before);
     }
 
@@ -232,7 +238,10 @@ mod tests {
         );
         a.age_uniformly(1000);
         let f = a.dead_fraction();
-        assert!(f > 0.2 && f < 0.8, "dead fraction {f} should straddle the median");
+        assert!(
+            f > 0.2 && f < 0.8,
+            "dead fraction {f} should straddle the median"
+        );
     }
 
     #[test]
@@ -244,6 +253,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive dimensions")]
     fn zero_size_panics() {
-        CrossbarArray::new(0, 8, DeviceParams::default(), EnduranceModel::new(1e9, 0.0, 0));
+        CrossbarArray::new(
+            0,
+            8,
+            DeviceParams::default(),
+            EnduranceModel::new(1e9, 0.0, 0),
+        );
     }
 }

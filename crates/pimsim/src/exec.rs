@@ -211,13 +211,20 @@ mod tests {
         for round in 0..400 {
             // Period 3 vs the 4-row scratch rotation: every scratch row
             // sees both queries and must keep switching.
-            let (query, truth) = if round % 3 == 0 { (&b, truth_b) } else { (&c, truth_c) };
+            let (query, truth) = if round % 3 == 0 {
+                (&b, truth_b)
+            } else {
+                (&c, truth_c)
+            };
             if mem.hamming_distance(0, query) != truth {
                 corrupted = true;
                 break;
             }
         }
-        assert!(corrupted, "dead scratch cells must eventually corrupt results");
+        assert!(
+            corrupted,
+            "dead scratch cells must eventually corrupt results"
+        );
         assert!(mem.array().dead_fraction() > 0.0);
     }
 

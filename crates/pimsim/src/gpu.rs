@@ -58,11 +58,11 @@ impl GpuModel {
     ///
     /// Panics if fewer than two layer sizes are given.
     pub fn dnn_inference_cost(&self, layer_sizes: &[usize]) -> GpuCost {
-        assert!(layer_sizes.len() >= 2, "need at least input and output layers");
-        let macs: f64 = layer_sizes
-            .windows(2)
-            .map(|w| (w[0] * w[1]) as f64)
-            .sum();
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output layers"
+        );
+        let macs: f64 = layer_sizes.windows(2).map(|w| (w[0] * w[1]) as f64).sum();
         GpuCost {
             latency_s: macs / self.dnn_macs_per_s,
             energy_j: macs * self.dnn_j_per_mac,
@@ -76,7 +76,10 @@ impl GpuModel {
     ///
     /// Panics if any argument is zero.
     pub fn hdc_inference_cost(&self, features: usize, dim: usize, classes: usize) -> GpuCost {
-        assert!(features > 0 && dim > 0 && classes > 0, "arguments must be positive");
+        assert!(
+            features > 0 && dim > 0 && classes > 0,
+            "arguments must be positive"
+        );
         let bitops = (features * dim + 2 * classes * dim) as f64;
         GpuCost {
             latency_s: bitops / self.hdc_bitops_per_s,

@@ -49,13 +49,13 @@ pub mod nor;
 pub mod wearlevel;
 
 pub use arch::{CostReport, DpimArchitecture, DpimConfig};
+pub use controller::{ProtectionReport, ProtectionScheme};
 pub use crossbar::CrossbarArray;
 pub use device::DeviceParams;
 pub use dram::DramModel;
-pub use controller::{ProtectionReport, ProtectionScheme};
 pub use ecc::SecdedCodec;
-pub use exec::AssociativeArray;
 pub use endurance::EnduranceModel;
+pub use exec::AssociativeArray;
 pub use gpu::GpuModel;
 pub use lifetime::{LifetimePoint, LifetimeSimulation};
 pub use nor::NorGate;

@@ -184,7 +184,10 @@ mod tests {
         let fragile = s.lifetime_years(0.95, 0.01, 50.0, |ber| 0.95 - 20.0 * ber);
         let robust = s.lifetime_years(0.95, 0.01, 50.0, |ber| 0.95 - 0.3 * ber);
         let (fragile, robust) = (fragile.expect("dies"), robust.expect("dies"));
-        assert!(robust > 1.2 * fragile, "robust {robust} vs fragile {fragile}");
+        assert!(
+            robust > 1.2 * fragile,
+            "robust {robust} vs fragile {fragile}"
+        );
     }
 
     #[test]

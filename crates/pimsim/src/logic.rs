@@ -196,7 +196,10 @@ mod tests {
     fn popcount_matches_native() {
         let mut g = gate();
         for v in [0u64, 1, 0b1011, 0xff, 0xdead_beef] {
-            assert_eq!(popcount(&mut g, v, 32), (v & 0xffff_ffff).count_ones() as u64);
+            assert_eq!(
+                popcount(&mut g, v, 32),
+                (v & 0xffff_ffff).count_ones() as u64
+            );
         }
     }
 

@@ -50,12 +50,7 @@ impl ModelMapping {
     /// # Panics
     ///
     /// Panics if `rows` or `row_bits` is zero.
-    pub fn plan(
-        config: &DpimConfig,
-        rows: usize,
-        row_bits: usize,
-        scratch_per_row: usize,
-    ) -> Self {
+    pub fn plan(config: &DpimConfig, rows: usize, row_bits: usize, scratch_per_row: usize) -> Self {
         assert!(rows > 0 && row_bits > 0, "model must be non-empty");
         let segments_per_row = row_bits.div_ceil(config.cols);
         let physical_rows_per_segment = 1 + scratch_per_row;

@@ -186,8 +186,8 @@ mod tests {
         for _ in 0..1000 {
             leveler.record_write(0);
         }
-        let physical_total: u64 = (0..=8).map(|_| 0).sum::<u64>()
-            + leveler.physical_writes.iter().sum::<u64>();
+        let physical_total: u64 =
+            (0..=8).map(|_| 0).sum::<u64>() + leveler.physical_writes.iter().sum::<u64>();
         // Gap copies add at most 1/period extra writes.
         assert!(physical_total as f64 <= 1000.0 * (1.0 + 1.0 / 4.0) + 1.0);
     }

@@ -226,8 +226,7 @@ mod tests {
     #[test]
     fn generated_dataset_roundtrips() {
         use crate::{DatasetSpec, GeneratorConfig};
-        let data =
-            GeneratorConfig::new(3).generate(&DatasetSpec::pecan().with_sizes(30, 9));
+        let data = GeneratorConfig::new(3).generate(&DatasetSpec::pecan().with_sizes(30, 9));
         let mut buffer = Vec::new();
         write_samples(&mut buffer, &data.train).expect("write");
         let decoded = read_samples(buffer.as_slice()).expect("read");

@@ -152,8 +152,7 @@ impl GeneratorConfig {
                     let own = &means[label][cluster];
                     let z: Vec<f64> = (0..latent).map(|_| standard_normal(rng)).collect();
                     let deviate = |j: usize, rng: &mut StdRng| {
-                        let factor: f64 =
-                            loadings[j].iter().zip(&z).map(|(w, zi)| w * zi).sum();
+                        let factor: f64 = loadings[j].iter().zip(&z).map(|(w, zi)| w * zi).sum();
                         sigma_latent * factor + sigma_iid * standard_normal(rng)
                     };
                     // Boundary samples: interpolate toward another class.

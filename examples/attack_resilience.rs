@@ -28,7 +28,11 @@ fn main() {
     let mlp = Mlp::fit(&MlpConfig::default(), &data.train);
     let mlp_clean = baselines::accuracy(&mlp, &data.test);
 
-    println!("clean accuracy   HDC {:.2}%   DNN {:.2}%", hdc_clean * 100.0, mlp_clean * 100.0);
+    println!(
+        "clean accuracy   HDC {:.2}%   DNN {:.2}%",
+        hdc_clean * 100.0,
+        mlp_clean * 100.0
+    );
     println!("\nerror |        HDC loss |  DNN loss (rnd) |  DNN loss (tgt)");
     println!("{}", "-".repeat(62));
 

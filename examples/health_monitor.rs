@@ -9,8 +9,8 @@
 use faultsim::Attacker;
 use robusthd::diagnostics::{HealthMonitor, HealthVerdict};
 use robusthd::{
-    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
-    SubstitutionMode, TrainedModel,
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine, SubstitutionMode,
+    TrainedModel,
 };
 use synthdata::{DatasetSpec, GeneratorConfig};
 
@@ -24,12 +24,23 @@ fn main() {
         .build()
         .expect("valid configuration");
     let encoder = RecordEncoder::new(&config, spec.features);
-    let train: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train: Vec<_> = data
+        .train
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
-    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let queries: Vec<_> = data
+        .test
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
     let mut model = TrainedModel::train(&train, &train_labels, spec.classes, &config);
-    println!("clean accuracy: {:.2}%", accuracy(&model, &queries, &labels) * 100.0);
+    println!(
+        "clean accuracy: {:.2}%",
+        accuracy(&model, &queries, &labels) * 100.0
+    );
 
     // Calibrate the monitor on known-good traffic at deployment time.
     let mut monitor = HealthMonitor::new(100, 0.6);

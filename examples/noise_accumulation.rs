@@ -10,8 +10,8 @@
 
 use faultsim::{AttackCampaign, ErrorRateSchedule};
 use robusthd::{
-    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
-    SubstitutionMode, TrainedModel,
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine, SubstitutionMode,
+    TrainedModel,
 };
 use synthdata::{DatasetSpec, GeneratorConfig};
 
@@ -25,9 +25,17 @@ fn main() {
         .build()
         .expect("valid configuration");
     let encoder = RecordEncoder::new(&config, spec.features);
-    let train: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train: Vec<_> = data
+        .train
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
-    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let queries: Vec<_> = data
+        .test
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
     let trained = TrainedModel::train(&train, &train_labels, spec.classes, &config);
     let clean = accuracy(&trained, &queries, &labels);

@@ -17,8 +17,14 @@ fn main() {
     // Per-model-bit NOR traffic of each kernel (gate-exact counts): the
     // quadratic fixed-point multiply is the wear monster.
     let kernels = [
-        ("DNN fp32 ", (arch.multiply_nors(32) + arch.add_nors(72)) as f64 / 32.0),
-        ("DNN 8-bit", (arch.multiply_nors(8) + arch.add_nors(24)) as f64 / 8.0),
+        (
+            "DNN fp32 ",
+            (arch.multiply_nors(32) + arch.add_nors(72)) as f64 / 32.0,
+        ),
+        (
+            "DNN 8-bit",
+            (arch.multiply_nors(8) + arch.add_nors(24)) as f64 / 8.0,
+        ),
         ("HDC      ", (XNOR_NORS + FULL_ADDER_NORS) as f64),
     ];
 

@@ -9,8 +9,8 @@
 
 use faultsim::Attacker;
 use robusthd::{
-    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
-    SubstitutionMode, TrainedModel,
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine, SubstitutionMode,
+    TrainedModel,
 };
 use synthdata::{DatasetSpec, GeneratorConfig};
 
@@ -24,9 +24,17 @@ fn main() {
         .build()
         .expect("valid configuration");
     let encoder = RecordEncoder::new(&config, spec.features);
-    let train: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train: Vec<_> = data
+        .train
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
-    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let queries: Vec<_> = data
+        .test
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
     let mut model = TrainedModel::train(&train, &train_labels, spec.classes, &config);
     let clean = accuracy(&model, &queries, &labels);
@@ -38,7 +46,10 @@ fn main() {
     Attacker::seed_from(13).random_flips(image.words_mut(), bits, 0.10);
     image.mask_tail();
     model.load_memory_image(&image);
-    println!("attacked accuracy: {:.2}%", accuracy(&model, &queries, &labels) * 100.0);
+    println!(
+        "attacked accuracy: {:.2}%",
+        accuracy(&model, &queries, &labels) * 100.0
+    );
 
     // RobustHD recovery: confident predictions become pseudo-labels, chunk
     // votes locate the faulty dimensions, and the majority of the trusted
@@ -74,6 +85,7 @@ fn main() {
             m.load_memory_image(&img);
             accuracy(&m, &queries, &labels)
         })
-        .max(0.0) * 100.0
+        .max(0.0)
+            * 100.0
     );
 }

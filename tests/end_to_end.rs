@@ -4,8 +4,8 @@
 
 use faultsim::Attacker;
 use robusthd::{
-    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine,
-    SubstitutionMode, TrainedModel,
+    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine, SubstitutionMode,
+    TrainedModel,
 };
 use synthdata::{DatasetSpec, GeneratorConfig};
 
@@ -29,9 +29,17 @@ fn pipeline_sized(dim: usize, seed: u64, train_size: usize, test_size: usize) ->
         .build()
         .expect("valid config");
     let encoder = RecordEncoder::new(&config, spec.features);
-    let train: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train: Vec<_> = data
+        .train
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
-    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let queries: Vec<_> = data
+        .test
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
     let model = TrainedModel::train(&train, &train_labels, spec.classes, &config);
     Pipeline {
@@ -135,14 +143,21 @@ fn hdc_beats_fixed_point_baselines_under_targeted_attack() {
         .build()
         .expect("valid config");
     let encoder = RecordEncoder::new(&config, spec.features);
-    let train: Vec<_> = data.train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train: Vec<_> = data
+        .train
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
-    let queries: Vec<_> = data.test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let queries: Vec<_> = data
+        .test
+        .iter()
+        .map(|s| encoder.encode(&s.features))
+        .collect();
     let labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
     let model = TrainedModel::train(&train, &train_labels, spec.classes, &config);
     let hdc_clean = accuracy(&model, &queries, &labels);
-    let hdc_loss =
-        (hdc_clean - accuracy(&attack(&model, 0.06, 11), &queries, &labels)).max(0.0);
+    let hdc_loss = (hdc_clean - accuracy(&attack(&model, 0.06, 11), &queries, &labels)).max(0.0);
 
     // Baselines under the 6% targeted (MSB) attack.
     fn targeted_loss<M: Classifier + BitStoredModel + Clone>(
@@ -157,7 +172,10 @@ fn hdc_beats_fixed_point_baselines_under_targeted_attack() {
         (clean - baselines::accuracy(&attacked, test)).max(0.0)
     }
     let mlp_loss = targeted_loss(&Mlp::fit(&MlpConfig::default(), &data.train), &data.test);
-    let svm_loss = targeted_loss(&LinearSvm::fit(&SvmConfig::default(), &data.train), &data.test);
+    let svm_loss = targeted_loss(
+        &LinearSvm::fit(&SvmConfig::default(), &data.train),
+        &data.test,
+    );
 
     assert!(
         hdc_loss < mlp_loss && hdc_loss < svm_loss,

@@ -1,0 +1,260 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness. It implements the API subset the workspace's benches
+//! use — `Criterion::default().sample_size(..)`, `bench_function`,
+//! `benchmark_group`/`bench_with_input`/`finish`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros —
+//! with plain wall-clock timing and stdout reporting instead of upstream's
+//! statistical analysis. Benchmarks stay runnable and comparable in hermetic
+//! (no crates.io) builds, and compile cleanly under `--all-targets`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Times one closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times one benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&id, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Times one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &D),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&id, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Upstream flushes reports here; nothing to do.)
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<D: Display>(function_name: &str, parameter: D) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Builds an id that is just the parameter value.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self(id.to_string())
+    }
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// Ignored by this stand-in: every iteration gets a fresh input.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs; upstream batches many per allocation.
+    SmallInput,
+    /// Large inputs; upstream batches few per allocation.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+    }
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iterations: samples as u64,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up pass, then the measured pass.
+    f(&mut bencher);
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / samples as f64;
+    println!(
+        "{id}: {} per iter ({samples} iters)",
+        format_seconds(per_iter)
+    );
+}
+
+fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut hits = 0u64;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("probe", |b| b.iter(|| hits += 1));
+        // Warm-up + measured pass, 3 iterations each.
+        assert_eq!(hits, 6);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut setups = 0u64;
+        Criterion::default()
+            .sample_size(4)
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                        vec![0u8; 8]
+                    },
+                    |v| v.len(),
+                    BatchSize::SmallInput,
+                )
+            });
+        assert_eq!(setups, 8);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

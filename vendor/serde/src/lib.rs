@@ -1,0 +1,19 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so the
+//! real crates.io `serde` can be swapped back in when a format crate is
+//! eventually needed, but nothing in-tree calls the traits: persistence goes
+//! through the explicit binary format in `robusthd::persist`. This stand-in
+//! keeps the trait names resolvable and the derive invocations compiling in
+//! hermetic (no crates.io) builds.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; no methods are modelled.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`; no methods are modelled.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — it never
+//! serializes through a format crate (persistence uses a hand-rolled binary
+//! format in `robusthd::persist`). These derives therefore accept the input,
+//! register the `#[serde(...)]` helper attribute, and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
