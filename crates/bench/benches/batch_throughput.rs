@@ -1,0 +1,65 @@
+//! Criterion benchmark of the parallel batch engine: batched prediction
+//! throughput vs the sequential per-query loop, across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robusthd::{BatchConfig, BatchEngine};
+use robusthd_bench::{EncodedWorkload, Scale};
+use std::hint::black_box;
+use synthdata::DatasetSpec;
+
+fn bench_batch_predict(c: &mut Criterion) {
+    let workload = EncodedWorkload::build(&DatasetSpec::ucihar(), Scale::Quick, 4096, 1);
+    let mut group = c.benchmark_group("batch_predict");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            workload
+                .test_encoded
+                .iter()
+                .map(|q| workload.model.predict(black_box(q)))
+                .collect::<Vec<_>>()
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let mut engine = BatchEngine::from_env();
+        engine.set_config(
+            BatchConfig::builder()
+                .threads(threads)
+                .shard_size(32)
+                .build()
+                .expect("valid"),
+        );
+        group.bench_with_input(BenchmarkId::new("engine", threads), &threads, |b, _| {
+            b.iter(|| engine.predict_batch(&workload.model, black_box(&workload.test_encoded)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_kernel(c: &mut Criterion) {
+    let workload = EncodedWorkload::build(&DatasetSpec::ucihar(), Scale::Quick, 4096, 1);
+    let packed = hypervector::PackedClasses::from_classes(workload.model.classes());
+    let query = &workload.test_encoded[0];
+    let mut group = c.benchmark_group("similarity_kernel");
+    group.bench_function("per_class_hamming", |b| {
+        b.iter(|| {
+            workload
+                .model
+                .classes()
+                .iter()
+                .map(|class| hypervector::similarity::hamming(black_box(query), class))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("fused_hamming_all", |b| {
+        let mut out = Vec::new();
+        b.iter(|| packed.hamming_all_into(black_box(query), &mut out))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_predict, bench_fused_kernel
+}
+criterion_main!(benches);

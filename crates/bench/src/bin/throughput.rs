@@ -1,0 +1,53 @@
+//! Batched inference throughput sweep of the parallel batch engine.
+//!
+//! Usage: `cargo run --release -p robusthd-bench --bin throughput
+//! [quick|standard|full]`
+//!
+//! Prints a human-readable table, then one JSON line per dataset on stdout
+//! (prefixed `json:`) for machine consumption in CI artifacts.
+
+use robusthd_bench::format::print_header;
+use robusthd_bench::format::print_row;
+use robusthd_bench::{throughput, Scale};
+use synthdata::DatasetSpec;
+
+fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("quick") => Scale::Quick,
+        Some("full") => Scale::Full,
+        _ => Scale::Standard,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let threads = [1usize, 2, 4, 8];
+    println!("Batched inference throughput (D=4096, shard=32, best of 3)");
+    println!("(predictions cross-checked bit-exact against the sequential path)\n");
+    let widths = [10usize, 9, 12, 12, 9];
+    print_header(
+        &["dataset", "threads", "elapsed ms", "queries/s", "speedup"],
+        &widths,
+    );
+    let mut json_lines = Vec::new();
+    for spec in DatasetSpec::all() {
+        let o = throughput::run(&spec, scale, 4096, 1, &threads, 32, 3);
+        for row in &o.rows {
+            print_row(
+                &[
+                    o.name.clone(),
+                    row.threads.to_string(),
+                    format!("{:.2}", row.elapsed_secs * 1e3),
+                    format!("{:.0}", row.queries_per_sec),
+                    format!("{:.2}x", row.speedup),
+                ],
+                &widths,
+            );
+        }
+        json_lines.push(o.to_json());
+    }
+    println!();
+    for line in json_lines {
+        println!("json: {line}");
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`fig4a`]  | Figure 4a — PIM lifetime under endurance wear |
 //! | [`fig4b`]  | Figure 4b — DRAM refresh relaxation |
 //! | [`soak`]   | Extension — chaos soak of the closed-loop resilience supervisor |
+//! | [`throughput`] | Extension — batched inference throughput across thread counts |
 //!
 //! Experiments default to a laptop-scale subsample of the paper's datasets
 //! (exact feature/class geometry, reduced split sizes); see
@@ -33,6 +34,7 @@ pub mod soak;
 pub mod table1;
 pub mod table3;
 pub mod table4;
+pub mod throughput;
 pub mod workload;
 
 pub use workload::{EncodedWorkload, Scale};

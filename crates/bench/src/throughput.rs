@@ -1,0 +1,179 @@
+//! Extension — batched inference throughput of the parallel [`BatchEngine`]
+//! across thread counts.
+//!
+//! The sweep times `predict_batch` over the encoded test split at each
+//! requested thread count, after first cross-checking the engine's
+//! predictions against the sequential `TrainedModel::predict` path — the
+//! reported rates always describe the bit-exact engine, never a faster
+//! approximation.
+
+use crate::workload::{EncodedWorkload, Scale};
+use robusthd::{BatchConfig, BatchEngine};
+use std::fmt::Write as _;
+use std::time::Instant;
+use synthdata::DatasetSpec;
+
+/// One timed point of the thread sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Worker thread count used by the batch engine.
+    pub threads: usize,
+    /// Best elapsed wall-clock seconds over the repeats.
+    pub elapsed_secs: f64,
+    /// Queries classified per second at the best repeat.
+    pub queries_per_sec: f64,
+    /// Speedup relative to the first (baseline) thread count in the sweep.
+    pub speedup: f64,
+}
+
+/// The full sweep result for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputOutcome {
+    /// Dataset name.
+    pub name: String,
+    /// Hypervector dimensionality.
+    pub dim: usize,
+    /// Queries per timed batch.
+    pub queries: usize,
+    /// Shard size in queries.
+    pub shard_size: usize,
+    /// Timed repetitions per thread count (best wins).
+    pub repeats: usize,
+    /// One row per thread count, in sweep order.
+    pub rows: Vec<ThroughputRow>,
+}
+
+impl ThroughputOutcome {
+    /// Hand-written JSON rendering (no serializer dependency), stable field
+    /// order for diffable CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"dataset\": \"{}\", \"dim\": {}, \"queries\": {}, \"shard_size\": {}, \
+             \"repeats\": {}, \"bit_exact\": true, \"sweep\": [",
+            self.name, self.dim, self.queries, self.shard_size, self.repeats
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"threads\": {}, \"elapsed_ms\": {:.3}, \"queries_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}}}",
+                row.threads,
+                row.elapsed_secs * 1e3,
+                row.queries_per_sec,
+                row.speedup
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Runs the thread sweep on one dataset.
+///
+/// # Panics
+///
+/// Panics if the engine's predictions ever diverge from the sequential
+/// path — the sweep refuses to report throughput for a non-bit-exact
+/// configuration.
+pub fn run(
+    spec: &DatasetSpec,
+    scale: Scale,
+    dim: usize,
+    seed: u64,
+    threads: &[usize],
+    shard_size: usize,
+    repeats: usize,
+) -> ThroughputOutcome {
+    assert!(!threads.is_empty(), "thread sweep must not be empty");
+    assert!(shard_size > 0 && repeats > 0, "tuning must be positive");
+    let workload = EncodedWorkload::build(spec, scale, dim, seed);
+    let sequential: Vec<usize> = workload
+        .test_encoded
+        .iter()
+        .map(|q| workload.model.predict(q))
+        .collect();
+
+    let mut engine = BatchEngine::from_env();
+    let mut rows = Vec::with_capacity(threads.len());
+    let mut baseline = None;
+    for &t in threads {
+        engine.set_config(
+            BatchConfig::builder()
+                .threads(t)
+                .shard_size(shard_size)
+                .build()
+                .expect("valid batch config"),
+        );
+        let batched = engine.predict_batch(&workload.model, &workload.test_encoded);
+        assert_eq!(
+            batched, sequential,
+            "batched predictions at {t} threads diverge from the sequential path"
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let out = engine.predict_batch(&workload.model, &workload.test_encoded);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(out.len(), workload.test_encoded.len());
+            best = best.min(elapsed);
+        }
+        let rate = workload.test_encoded.len() as f64 / best;
+        let base = *baseline.get_or_insert(rate);
+        rows.push(ThroughputRow {
+            threads: t,
+            elapsed_secs: best,
+            queries_per_sec: rate,
+            speedup: rate / base,
+        });
+    }
+    ThroughputOutcome {
+        name: spec.name.to_string(),
+        dim,
+        queries: workload.test_encoded.len(),
+        shard_size,
+        repeats,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_row_per_thread_count() {
+        let o = run(&DatasetSpec::pecan(), Scale::Quick, 2048, 3, &[1, 2], 16, 1);
+        assert_eq!(o.rows.len(), 2);
+        assert_eq!(o.rows[0].threads, 1);
+        assert!((o.rows[0].speedup - 1.0).abs() < 1e-12);
+        assert!(o.rows.iter().all(|r| r.queries_per_sec > 0.0));
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let o = ThroughputOutcome {
+            name: "pecan".into(),
+            dim: 2048,
+            queries: 10,
+            shard_size: 4,
+            repeats: 1,
+            rows: vec![ThroughputRow {
+                threads: 1,
+                elapsed_secs: 0.002,
+                queries_per_sec: 5000.0,
+                speedup: 1.0,
+            }],
+        };
+        assert_eq!(
+            o.to_json(),
+            "{\"dataset\": \"pecan\", \"dim\": 2048, \"queries\": 10, \"shard_size\": 4, \
+             \"repeats\": 1, \"bit_exact\": true, \"sweep\": [{\"threads\": 1, \
+             \"elapsed_ms\": 2.000, \"queries_per_sec\": 5000.0, \"speedup\": 1.000}]}"
+        );
+    }
+}

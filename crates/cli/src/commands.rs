@@ -7,8 +7,8 @@ use robusthd::diagnostics::{HealthMonitor, HealthVerdict};
 use robusthd::persist;
 use robusthd::supervisor::{run_soak, ResilienceSupervisor};
 use robusthd::{
-    accuracy, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine, SubstitutionMode,
-    SupervisorConfig, TrainedModel,
+    accuracy, BatchConfig, BatchEngine, Encoder, HdcConfig, RecordEncoder, RecoveryConfig,
+    RecoveryEngine, SubstitutionMode, SupervisorConfig, TrainedModel,
 };
 use std::fmt::Write as _;
 use std::fs::File;
@@ -680,6 +680,140 @@ pub fn soak(argv: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+const THROUGHPUT_HELP: &str = "\
+robusthd throughput — measure batched inference throughput (queries/sec)
+
+Synthesizes a dataset in-process, trains an HDC pipeline, then times the
+parallel batch engine at each requested thread count. Before timing, the
+engine's predictions are cross-checked against the sequential path at
+every thread count, so the reported rates always describe the bit-exact
+engine. Emits one JSON object to stdout.
+
+OPTIONS:
+    --dataset <NAME>   mnist | ucihar | isolet | face | pamap | pecan (default ucihar)
+    --queries <N>      queries per timed batch (default 2000)
+    --dim <N>          HDC dimensionality (default 4096)
+    --threads <LIST>   comma-separated thread counts (default 1,2,4,8)
+    --shard <N>        shard size in queries (default 32)
+    --repeats <N>      timed repetitions per thread count; best rate wins (default 3)
+    --seed <N>         pipeline seed (default 0)";
+
+/// `robusthd throughput` — queries/sec sweep over thread counts.
+pub fn throughput(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "dataset", "queries", "dim", "threads", "shard", "repeats", "seed", "help",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(THROUGHPUT_HELP.to_owned());
+    }
+    let name = args.get("dataset").unwrap_or("ucihar").to_lowercase();
+    let spec = match name.as_str() {
+        "mnist" => DatasetSpec::mnist(),
+        "ucihar" | "uci-har" | "har" => DatasetSpec::ucihar(),
+        "isolet" => DatasetSpec::isolet(),
+        "face" => DatasetSpec::face(),
+        "pamap" => DatasetSpec::pamap(),
+        "pecan" => DatasetSpec::pecan(),
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let queries = args
+        .get_parsed_or("queries", 2000usize)
+        .map_err(|e| e.to_string())?;
+    if queries == 0 {
+        return Err("--queries must be positive".to_owned());
+    }
+    let dim = args
+        .get_parsed_or("dim", 4096usize)
+        .map_err(|e| e.to_string())?;
+    let shard = args
+        .get_parsed_or("shard", 32usize)
+        .map_err(|e| e.to_string())?;
+    let repeats = args
+        .get_parsed_or("repeats", 3usize)
+        .map_err(|e| e.to_string())?;
+    if shard == 0 || repeats == 0 {
+        return Err("--shard and --repeats must be positive".to_owned());
+    }
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
+    let threads: Vec<usize> = args
+        .get("threads")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--threads entry `{t}` is not a positive integer"))
+        })
+        .collect::<Result<_, _>>()?;
+    if threads.is_empty() {
+        return Err("--threads list must not be empty".to_owned());
+    }
+
+    let spec = spec.with_sizes(400, queries);
+    let data = GeneratorConfig::new(seed).generate(&spec);
+    let pipeline = train_pipeline(&data.train, &data.test, dim, seed)?;
+    let sequential: Vec<usize> = pipeline
+        .queries
+        .iter()
+        .map(|q| pipeline.model.predict(q))
+        .collect();
+
+    let mut engine = BatchEngine::from_env();
+    let mut entries = String::new();
+    let mut baseline_rate = None;
+    for (idx, &t) in threads.iter().enumerate() {
+        engine.set_config(
+            BatchConfig::builder()
+                .threads(t)
+                .shard_size(shard)
+                .build()
+                .map_err(|e| e.to_string())?,
+        );
+        let batched = engine.predict_batch(&pipeline.model, &pipeline.queries);
+        if batched != sequential {
+            return Err(format!(
+                "bit-exactness violated: batched predictions at {t} threads diverge \
+                 from the sequential path"
+            ));
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = std::time::Instant::now();
+            let out = engine.predict_batch(&pipeline.model, &pipeline.queries);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(out.len(), pipeline.queries.len());
+            best = best.min(elapsed);
+        }
+        let rate = pipeline.queries.len() as f64 / best;
+        let baseline = *baseline_rate.get_or_insert(rate);
+        if idx > 0 {
+            entries.push_str(",\n");
+        }
+        let _ = write!(
+            entries,
+            "    {{\"threads\": {t}, \"elapsed_ms\": {:.3}, \"queries_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}}",
+            best * 1e3,
+            rate,
+            rate / baseline
+        );
+    }
+
+    Ok(format!(
+        "{{\n  \"dataset\": \"{name}\", \"dim\": {dim}, \"queries\": {queries}, \
+         \"shard_size\": {shard}, \"repeats\": {repeats}, \"seed\": {seed},\n  \
+         \"bit_exact\": true,\n  \"sweep\": [\n{entries}\n  ]\n}}"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -881,9 +1015,77 @@ mod tests {
     }
 
     #[test]
+    fn soak_json_trace_is_deterministic() {
+        let dir = temp_dir();
+        let train_csv = dir.join("det_train.csv");
+        let traffic_csv = dir.join("det_traffic.csv");
+        generate(&argv(&[
+            "--dataset",
+            "pecan",
+            "--train",
+            train_csv.to_str().expect("utf8"),
+            "--test",
+            traffic_csv.to_str().expect("utf8"),
+            "--train-size",
+            "150",
+            "--test-size",
+            "90",
+        ]))
+        .expect("generate succeeds");
+        let soak_args = argv(&[
+            "--train",
+            train_csv.to_str().expect("utf8"),
+            "--traffic",
+            traffic_csv.to_str().expect("utf8"),
+            "--dim",
+            "2048",
+            "--steps",
+            "3",
+            "--peak",
+            "0.06",
+            "--seed",
+            "17",
+            "--json",
+        ]);
+        let first = soak(&soak_args).expect("first soak succeeds");
+        let second = soak(&soak_args).expect("second soak succeeds");
+        assert_eq!(
+            first, second,
+            "same-seed soak traces must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn throughput_emits_bit_exact_sweep_json() {
+        let report = throughput(&argv(&[
+            "--dataset",
+            "pecan",
+            "--queries",
+            "120",
+            "--dim",
+            "2048",
+            "--threads",
+            "1,2",
+            "--repeats",
+            "1",
+        ]))
+        .expect("throughput succeeds");
+        assert!(report.starts_with('{'), "report: {report}");
+        assert!(report.contains("\"bit_exact\": true"), "report: {report}");
+        assert!(report.contains("\"threads\": 2"), "report: {report}");
+        assert!(report.contains("queries_per_sec"), "report: {report}");
+    }
+
+    #[test]
+    fn throughput_rejects_bad_thread_list() {
+        let err = throughput(&argv(&["--threads", "1,zero"])).unwrap_err();
+        assert!(err.contains("not a positive integer"), "err: {err}");
+    }
+
+    #[test]
     fn help_flags_short_circuit() {
         for cmd in [
-            generate, evaluate, attack, recover, train, infer, monitor, soak,
+            generate, evaluate, attack, recover, train, infer, monitor, soak, throughput,
         ] {
             let text = cmd(&argv(&["--help"])).expect("help is ok");
             assert!(text.contains("OPTIONS"));

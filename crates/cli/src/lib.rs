@@ -31,6 +31,7 @@ COMMANDS:
     recover     Attack an HDC model, then repair it from unlabeled traffic
     monitor     Judge a model's health from unlabeled traffic as it corrupts
     soak        Chaos-soak the self-healing serving runtime under an attack campaign
+    throughput  Benchmark batched inference across thread counts (JSON)
 
 Run `robusthd <COMMAND> --help` for per-command options.";
 
@@ -54,6 +55,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "recover" => commands::recover(rest),
         "monitor" => commands::monitor(rest),
         "soak" => commands::soak(rest),
+        "throughput" => commands::throughput(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }

@@ -1,0 +1,476 @@
+//! Parallel batched inference engine.
+//!
+//! RobustHD's serving hot path — Hamming distance of a query against every
+//! class hypervector — is embarrassingly parallel across queries, classes,
+//! and 64-bit words. [`BatchEngine`] exploits the query axis: a batch is
+//! split into fixed-size shards and scoped `std::thread` workers claim
+//! shards from a shared atomic counter, each computing its queries against
+//! a class-major packed copy of the model
+//! ([`hypervector::similarity::PackedClasses`]).
+//!
+//! **Results are bit-identical to the sequential path by construction**,
+//! not by tolerance:
+//!
+//! * per-query work is read-only on the model and independent of every
+//!   other query, so shard assignment cannot influence any result;
+//! * each result is written at its query's position, so worker scheduling
+//!   cannot influence output order;
+//! * distances are exact integer popcounts over the same packed words, and
+//!   the float pipeline (similarity → sharpened softmax → margin) evaluates
+//!   the same expressions in the same order as
+//!   [`TrainedModel::similarities`] + [`Confidence::from_similarities`].
+//!
+//! The differential suite (`tests/batch_differential.rs`) enforces this
+//! across thread counts, shard sizes, and degraded model states.
+//!
+//! Anything RNG-driven — probabilistic substitution, majority voting —
+//! stays strictly sequential in the [`crate::recovery::RecoveryEngine`];
+//! only the read-only parts (prediction, confidence, chunk-fault
+//! localization) route through the engine.
+
+use crate::confidence::Confidence;
+use crate::config::BatchConfig;
+use crate::model::TrainedModel;
+use hypervector::similarity::{chunked_hamming, PackedClasses};
+use hypervector::BinaryHypervector;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything the serving loop needs about one query, computed from a
+/// single pass over the class distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchScore {
+    /// Predicted label, with [`TrainedModel::predict`]'s tie-break (ties
+    /// resolve to the lowest label).
+    pub predicted: usize,
+    /// The confidence assessment, bit-identical to
+    /// [`Confidence::evaluate`] on the same query.
+    pub confidence: Confidence,
+}
+
+/// Result of chunk-fault localization for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultScan {
+    /// Indices of chunks where another class beats the predicted class by
+    /// more than the statistical margin.
+    pub faulty: Vec<usize>,
+    /// Number of non-empty chunks examined.
+    pub inspected: usize,
+}
+
+/// Bit range `[start, end)` of chunk `index` when a `dim`-bit vector is
+/// split into `chunks` spans, splitting as evenly as integer arithmetic
+/// allows. More chunks than dimensions yields empty ranges.
+pub fn chunk_bounds(dim: usize, chunks: usize, index: usize) -> (usize, usize) {
+    (index * dim / chunks, (index + 1) * dim / chunks)
+}
+
+/// Chunk-fault localization (§4.2 of the paper): a chunk is faulty when
+/// some other class beats the predicted class on that chunk by more than
+/// `fault_margin * sqrt(d)` bits.
+///
+/// This is the read-only core the [`crate::recovery::RecoveryEngine`]
+/// shares with [`BatchEngine::scan_faults_batch`]: all per-chunk distances
+/// come from the fused
+/// [`chunked_hamming`](hypervector::similarity::chunked_hamming) kernel
+/// (one XOR pass per class instead of one per class×chunk), and the flag
+/// decision is exact integer arithmetic — bit-identical to the former
+/// per-range scan.
+///
+/// # Panics
+///
+/// Panics if the query dimension differs from the model's, `predicted` is
+/// out of range, or `chunks` is zero.
+pub fn scan_chunk_faults(
+    model: &TrainedModel,
+    query: &BinaryHypervector,
+    predicted: usize,
+    chunks: usize,
+    fault_margin: f64,
+) -> FaultScan {
+    assert!(chunks > 0, "need at least one chunk");
+    let dim = model.dim();
+    let predicted_dists = chunked_hamming(model.class(predicted), query, chunks);
+    let rival_dists: Vec<Vec<usize>> = (0..model.num_classes())
+        .filter(|&c| c != predicted)
+        .map(|c| chunked_hamming(model.class(c), query, chunks))
+        .collect();
+    let mut faulty = Vec::new();
+    let mut inspected = 0usize;
+    for chunk in 0..chunks {
+        let (start, end) = chunk_bounds(dim, chunks, chunk);
+        if start == end {
+            continue;
+        }
+        inspected += 1;
+        let d = end - start;
+        let margin_bits = (fault_margin * (d as f64).sqrt()).round() as usize;
+        let predicted_dist = predicted_dists[chunk];
+        if rival_dists
+            .iter()
+            .any(|rival| rival[chunk] + margin_bits < predicted_dist)
+        {
+            faulty.push(chunk);
+        }
+    }
+    FaultScan { faulty, inspected }
+}
+
+/// First index of the minimum value — [`Iterator::min_by_key`]'s tie-break,
+/// and therefore [`TrainedModel::predict`]'s.
+fn argmin_first(distances: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &d) in distances.iter().enumerate().skip(1) {
+        if d < distances[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Similarities derived from Hamming distances exactly as
+/// [`hypervector::BinaryHypervector::similarity`] computes them, in class
+/// order — the float inputs [`Confidence::from_similarities`] expects.
+fn similarities_from_distances(distances: &[usize], dim: usize) -> Vec<f64> {
+    distances
+        .iter()
+        .map(|&d| {
+            if dim == 0 {
+                1.0
+            } else {
+                1.0 - d as f64 / dim as f64
+            }
+        })
+        .collect()
+}
+
+/// The parallel batched inference engine.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::random::HypervectorSampler;
+/// use robusthd::{BatchConfig, BatchEngine, TrainedModel};
+///
+/// let mut sampler = HypervectorSampler::seed_from(3);
+/// let classes: Vec<_> = (0..4).map(|_| sampler.binary(2048)).collect();
+/// let queries: Vec<_> = (0..100)
+///     .map(|i| sampler.flip_noise(&classes[i % 4], 0.2))
+///     .collect();
+/// let model = TrainedModel::from_classes(classes);
+///
+/// let engine = BatchEngine::new(BatchConfig::builder().threads(4).build()?);
+/// let batched = engine.predict_batch(&model, &queries);
+/// let sequential: Vec<_> = queries.iter().map(|q| model.predict(q)).collect();
+/// assert_eq!(batched, sequential);
+/// # Ok::<(), robusthd::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEngine {
+    config: BatchConfig,
+}
+
+impl BatchEngine {
+    /// Creates an engine with the given tuning.
+    pub fn new(config: BatchConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates an engine tuned from the environment
+    /// ([`BatchConfig::from_env`], honouring `ROBUSTHD_THREADS`).
+    pub fn from_env() -> Self {
+        Self::new(BatchConfig::from_env())
+    }
+
+    /// The engine's tuning.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Replaces the engine's tuning (results are unaffected; see the module
+    /// docs).
+    pub fn set_config(&mut self, config: BatchConfig) {
+        self.config = config;
+    }
+
+    /// Applies a pure per-shard function to `inputs`, fanned out across the
+    /// configured worker threads, and returns the per-item results in input
+    /// order.
+    ///
+    /// `f` maps one shard (a slice of consecutive inputs) to its results
+    /// and may keep per-shard scratch. Workers claim shard indices from an
+    /// atomic counter; each shard's results are placed by shard index, so
+    /// scheduling cannot reorder or alter anything. With one thread (or one
+    /// shard's worth of work) everything runs inline on the caller's
+    /// thread.
+    fn map_shards<Q, R, F>(&self, inputs: &[Q], f: F) -> Vec<R>
+    where
+        Q: Sync,
+        R: Send,
+        F: Fn(&[Q]) -> Vec<R> + Sync,
+    {
+        let shard_size = self.config.shard_size;
+        let num_shards = inputs.len().div_ceil(shard_size);
+        let threads = self.config.threads.min(num_shards);
+        if threads <= 1 {
+            let mut out = Vec::with_capacity(inputs.len());
+            for shard in inputs.chunks(shard_size) {
+                out.extend(f(shard));
+            }
+            return out;
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut by_shard: Vec<(usize, Vec<R>)> = Vec::with_capacity(num_shards);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let shard = next.fetch_add(1, Ordering::Relaxed);
+                            if shard >= num_shards {
+                                break;
+                            }
+                            let lo = shard * shard_size;
+                            let hi = (lo + shard_size).min(inputs.len());
+                            local.push((shard, f(&inputs[lo..hi])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for worker in workers {
+                by_shard.extend(worker.join().expect("batch worker panicked"));
+            }
+        });
+        by_shard.sort_unstable_by_key(|(shard, _)| *shard);
+        by_shard
+            .into_iter()
+            .flat_map(|(_, results)| results)
+            .collect()
+    }
+
+    /// Predicted label for every query, bit-identical to calling
+    /// [`TrainedModel::predict`] per query (ties resolve to the lowest
+    /// label).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimension differs from the model's.
+    pub fn predict_batch(&self, model: &TrainedModel, queries: &[BinaryHypervector]) -> Vec<usize> {
+        let packed = PackedClasses::from_classes(model.classes());
+        self.map_shards(queries, |shard| {
+            let mut distances = Vec::new();
+            shard
+                .iter()
+                .map(|query| {
+                    packed.hamming_all_into(query, &mut distances);
+                    argmin_first(&distances)
+                })
+                .collect()
+        })
+    }
+
+    /// Prediction plus confidence for every query: `predicted` is
+    /// bit-identical to [`TrainedModel::predict`], `confidence` to
+    /// [`Confidence::evaluate`], both computed from one distance pass per
+    /// query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimension differs from the model's, or `beta` is
+    /// not positive and finite.
+    pub fn evaluate_batch(
+        &self,
+        model: &TrainedModel,
+        queries: &[BinaryHypervector],
+        beta: f64,
+    ) -> Vec<BatchScore> {
+        let packed = PackedClasses::from_classes(model.classes());
+        let dim = model.dim();
+        self.map_shards(queries, |shard| {
+            let mut distances = Vec::new();
+            shard
+                .iter()
+                .map(|query| {
+                    packed.hamming_all_into(query, &mut distances);
+                    let similarities = similarities_from_distances(&distances, dim);
+                    BatchScore {
+                        predicted: argmin_first(&distances),
+                        confidence: Confidence::from_similarities(&similarities, beta),
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Chunk-fault localization ([`scan_chunk_faults`]) for every
+    /// `(query, predicted)` pair, sharded across the worker threads.
+    ///
+    /// Localization is read-only, so unlike substitution it parallelizes
+    /// without touching the recovery engine's RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`scan_chunk_faults`], or if
+    /// `queries` and `predictions` have different lengths.
+    pub fn scan_faults_batch(
+        &self,
+        model: &TrainedModel,
+        queries: &[BinaryHypervector],
+        predictions: &[usize],
+        chunks: usize,
+        fault_margin: f64,
+    ) -> Vec<FaultScan> {
+        assert_eq!(
+            queries.len(),
+            predictions.len(),
+            "queries and predictions must align"
+        );
+        let indexed: Vec<(usize, usize)> = predictions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, p))
+            .collect();
+        self.map_shards(&indexed, |shard| {
+            shard
+                .iter()
+                .map(|&(i, predicted)| {
+                    scan_chunk_faults(model, &queries[i], predicted, chunks, fault_margin)
+                })
+                .collect()
+        })
+    }
+}
+
+impl Default for BatchEngine {
+    /// An engine tuned from the environment, like [`BatchEngine::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HdcConfig;
+    use hypervector::random::HypervectorSampler;
+
+    const DIM: usize = 2048;
+
+    fn setup(seed: u64, classes: usize, queries: usize) -> (TrainedModel, Vec<BinaryHypervector>) {
+        let mut sampler = HypervectorSampler::seed_from(seed);
+        let protos: Vec<_> = (0..classes).map(|_| sampler.binary(DIM)).collect();
+        let qs: Vec<_> = (0..queries)
+            .map(|i| sampler.flip_noise(&protos[i % classes], 0.25))
+            .collect();
+        (TrainedModel::from_classes(protos), qs)
+    }
+
+    fn engine(threads: usize, shard_size: usize) -> BatchEngine {
+        BatchEngine::new(
+            BatchConfig::builder()
+                .threads(threads)
+                .shard_size(shard_size)
+                .build()
+                .expect("valid"),
+        )
+    }
+
+    #[test]
+    fn predictions_match_sequential_for_every_tuning() {
+        let (model, queries) = setup(1, 5, 97);
+        let sequential: Vec<_> = queries.iter().map(|q| model.predict(q)).collect();
+        for threads in [1, 2, 4, 8] {
+            for shard_size in [1, 7, 32, 200] {
+                assert_eq!(
+                    engine(threads, shard_size).predict_batch(&model, &queries),
+                    sequential,
+                    "threads={threads} shard={shard_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scores_match_sequential_bit_for_bit() {
+        let (model, queries) = setup(2, 4, 61);
+        let beta = HdcConfig::default().softmax_beta;
+        for threads in [1, 4] {
+            let scores = engine(threads, 8).evaluate_batch(&model, &queries, beta);
+            for (query, score) in queries.iter().zip(&scores) {
+                let reference = Confidence::evaluate(&model, query, beta);
+                assert_eq!(score.confidence, reference);
+                assert_eq!(
+                    score.confidence.confidence.to_bits(),
+                    reference.confidence.to_bits()
+                );
+                assert_eq!(score.predicted, model.predict(query));
+            }
+        }
+    }
+
+    #[test]
+    fn argmin_breaks_ties_to_first() {
+        assert_eq!(argmin_first(&[3, 1, 1, 2]), 1);
+        assert_eq!(argmin_first(&[0, 0]), 0);
+        assert_eq!(argmin_first(&[9]), 0);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_results() {
+        let (model, _) = setup(3, 2, 0);
+        assert!(engine(4, 8).predict_batch(&model, &[]).is_empty());
+        assert!(engine(4, 8).evaluate_batch(&model, &[], 64.0).is_empty());
+    }
+
+    #[test]
+    fn fault_scan_matches_chunk_arithmetic() {
+        let (mut model, queries) = setup(4, 3, 30);
+        // Annihilate chunk 5 of class 0 so class-0 queries flag it.
+        let m = 16;
+        let (start, end) = chunk_bounds(DIM, m, 5);
+        for i in start..end {
+            model.class_mut(0).flip(i);
+        }
+        let query = &queries[0];
+        assert_eq!(model.predict(query), 0);
+        let scan = scan_chunk_faults(&model, query, 0, m, 1.0);
+        assert_eq!(scan.inspected, m);
+        assert!(scan.faulty.contains(&5), "faulty: {:?}", scan.faulty);
+    }
+
+    #[test]
+    fn fault_scan_batch_matches_single_scans() {
+        let (model, queries) = setup(5, 4, 40);
+        let predictions: Vec<_> = queries.iter().map(|q| model.predict(q)).collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .zip(&predictions)
+            .map(|(q, &p)| scan_chunk_faults(&model, q, p, 20, 1.0))
+            .collect();
+        for threads in [1, 2, 8] {
+            let batched =
+                engine(threads, 4).scan_faults_batch(&model, &queries, &predictions, 20, 1.0);
+            assert_eq!(batched, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_chunks_than_dimensions_is_tolerated() {
+        let (model, queries) = setup(6, 2, 4);
+        let scan = scan_chunk_faults(&model, &queries[0], 0, 3 * DIM, 1.0);
+        assert_eq!(scan.inspected, DIM, "empty chunks are skipped");
+    }
+
+    #[test]
+    fn threads_beyond_shards_are_harmless() {
+        let (model, queries) = setup(7, 3, 5);
+        let sequential: Vec<_> = queries.iter().map(|q| model.predict(q)).collect();
+        assert_eq!(
+            engine(64, 2).predict_batch(&model, &queries),
+            sequential,
+            "more threads than shards"
+        );
+    }
+}

@@ -640,6 +640,123 @@ impl SupervisorConfigBuilder {
     }
 }
 
+/// Environment variable read by [`BatchConfig::from_env`] for the worker
+/// thread count of the batched inference engine.
+pub const THREADS_ENV_VAR: &str = "ROBUSTHD_THREADS";
+
+/// Tuning of the batched inference engine
+/// ([`crate::batch::BatchEngine`]): worker thread count and shard size.
+///
+/// Neither knob can change any result — the engine computes the same exact
+/// integer popcounts and the same float expressions as the sequential path
+/// and writes per-query outputs by position — so both are pure throughput
+/// parameters.
+///
+/// # Example
+///
+/// ```
+/// use robusthd::BatchConfig;
+///
+/// let config = BatchConfig::builder().threads(4).shard_size(16).build()?;
+/// assert_eq!(config.threads, 4);
+/// # Ok::<(), robusthd::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Worker threads sharing the batch. `1` runs inline on the caller's
+    /// thread with no spawning at all.
+    pub threads: usize,
+    /// Queries per shard — the unit of work a thread claims at a time.
+    /// Small shards balance better across threads; large shards amortize
+    /// the (tiny) claim overhead.
+    pub shard_size: usize,
+}
+
+impl BatchConfig {
+    /// Starts a builder pre-loaded with defaults (threads = available
+    /// hardware parallelism, shard size 32).
+    pub fn builder() -> BatchConfigBuilder {
+        BatchConfigBuilder::new()
+    }
+
+    /// Builds the default configuration with the thread count overridden by
+    /// the `ROBUSTHD_THREADS` environment variable when it is set to a
+    /// positive integer (anything else falls back to the hardware default).
+    pub fn from_env() -> Self {
+        let threads = parse_threads(std::env::var(THREADS_ENV_VAR).ok().as_deref())
+            .unwrap_or_else(default_threads);
+        Self::builder()
+            .threads(threads)
+            .build()
+            .expect("env-derived batch config is valid")
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Parses a `ROBUSTHD_THREADS`-style value; `None` when absent or not a
+/// positive integer.
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder for [`BatchConfig`].
+#[derive(Debug, Clone)]
+pub struct BatchConfigBuilder {
+    threads: usize,
+    shard_size: usize,
+}
+
+impl BatchConfigBuilder {
+    fn new() -> Self {
+        Self {
+            threads: default_threads(),
+            shard_size: 32,
+        }
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the shard size (queries claimed per unit of work).
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if either count is zero.
+    pub fn build(self) -> Result<BatchConfig, ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::new("threads must be positive"));
+        }
+        if self.shard_size == 0 {
+            return Err(ConfigError::new("shard_size must be positive"));
+        }
+        Ok(BatchConfig {
+            threads: self.threads,
+            shard_size: self.shard_size,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -761,6 +878,38 @@ mod tests {
             .build()
             .expect("default ladder passes validation");
         assert_eq!(config.ladder.len(), 4);
+    }
+
+    #[test]
+    fn batch_defaults_are_valid() {
+        let c = BatchConfig::default();
+        assert!(c.threads >= 1);
+        assert!(c.shard_size >= 1);
+    }
+
+    #[test]
+    fn batch_validation() {
+        assert!(BatchConfig::builder().threads(0).build().is_err());
+        assert!(BatchConfig::builder().shard_size(0).build().is_err());
+        let c = BatchConfig::builder()
+            .threads(8)
+            .shard_size(4)
+            .build()
+            .expect("valid");
+        assert_eq!((c.threads, c.shard_size), (8, 4));
+    }
+
+    #[test]
+    fn thread_env_values_parse_or_fall_back() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-3")), None);
+        assert_eq!(parse_threads(Some("many")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+        // from_env always yields something buildable.
+        assert!(BatchConfig::from_env().threads >= 1);
     }
 
     #[test]

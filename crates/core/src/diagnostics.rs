@@ -138,18 +138,31 @@ impl HealthMonitor {
         queries: &[BinaryHypervector],
         softmax_beta: f64,
     ) {
-        assert!(!queries.is_empty(), "calibration traffic must not be empty");
-        let mut confidence_sum = 0.0;
-        let mut margins = Vec::with_capacity(queries.len());
-        for query in queries {
-            let c = Confidence::evaluate(model, query, softmax_beta);
-            confidence_sum += c.confidence;
-            margins.push(c.margin);
-        }
+        let assessments: Vec<Confidence> = queries
+            .iter()
+            .map(|q| Confidence::evaluate(model, q, softmax_beta))
+            .collect();
+        self.calibrate_from(&assessments);
+    }
+
+    /// Establishes the healthy baseline from already-computed confidence
+    /// assessments (for example a batch the
+    /// [`crate::batch::BatchEngine`] scored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assessments` is empty.
+    pub fn calibrate_from(&mut self, assessments: &[Confidence]) {
+        assert!(
+            !assessments.is_empty(),
+            "calibration traffic must not be empty"
+        );
+        let confidence_sum: f64 = assessments.iter().map(|c| c.confidence).sum();
+        let margins: Vec<f64> = assessments.iter().map(|c| c.margin).collect();
         self.baseline = Some(HealthSnapshot {
-            window: queries.len(),
-            mean_confidence: confidence_sum / queries.len() as f64,
-            mean_margin: margins.iter().sum::<f64>() / queries.len() as f64,
+            window: assessments.len(),
+            mean_confidence: confidence_sum / assessments.len() as f64,
+            mean_margin: margins.iter().sum::<f64>() / assessments.len() as f64,
             median_margin: median(&margins),
         });
     }
@@ -162,12 +175,21 @@ impl HealthMonitor {
     /// Feeds one production query into the window.
     pub fn observe(&mut self, model: &TrainedModel, query: &BinaryHypervector, softmax_beta: f64) {
         let c = Confidence::evaluate(model, query, softmax_beta);
+        self.record(&c);
+    }
+
+    /// Feeds one already-computed confidence assessment into the window —
+    /// the batch-serving entry point: the supervisor scores a whole batch
+    /// through the [`crate::batch::BatchEngine`] and records each result
+    /// here, in query order, with exactly the statistics
+    /// [`HealthMonitor::observe`] would have pushed.
+    pub fn record(&mut self, assessment: &Confidence) {
         if self.confidences.len() == self.window {
             self.confidences.pop_front();
             self.margins.pop_front();
         }
-        self.confidences.push_back(c.confidence);
-        self.margins.push_back(c.margin);
+        self.confidences.push_back(assessment.confidence);
+        self.margins.push_back(assessment.margin);
     }
 
     /// Current window statistics (`None` until any traffic arrives).
@@ -247,17 +269,30 @@ impl HealthMonitor {
         queries: &[BinaryHypervector],
         softmax_beta: f64,
     ) -> HealthVerdict {
-        let baseline = self.baseline.expect("monitor must be calibrated first");
-        if queries.is_empty() {
-            return HealthVerdict::InsufficientTraffic;
-        }
         let margins: Vec<f64> = queries
             .iter()
             .map(|q| Confidence::evaluate(model, q, softmax_beta).margin)
             .collect();
+        self.judge_margins(&margins)
+    }
+
+    /// Judges a set of already-computed raw margins against the calibrated
+    /// baseline, without touching the sliding window — the canary probe
+    /// with batch-computed inputs (see [`HealthMonitor::probe`]).
+    ///
+    /// Returns [`HealthVerdict::InsufficientTraffic`] for an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor was never calibrated.
+    pub fn judge_margins(&self, margins: &[f64]) -> HealthVerdict {
+        let baseline = self.baseline.expect("monitor must be calibrated first");
+        if margins.is_empty() {
+            return HealthVerdict::InsufficientTraffic;
+        }
         let mean = margins.iter().sum::<f64>() / margins.len() as f64;
         if mean < baseline.mean_margin * self.sensitivity
-            || median(&margins) < baseline.median_margin * self.sensitivity
+            || median(margins) < baseline.median_margin * self.sensitivity
         {
             HealthVerdict::Degraded
         } else {

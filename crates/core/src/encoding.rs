@@ -255,8 +255,8 @@ mod tests {
     #[test]
     fn different_inputs_decorrelate() {
         let enc = RecordEncoder::new(&config(8192), 16);
-        let a = enc.encode(&vec![0.1; 16]);
-        let b = enc.encode(&vec![0.9; 16]);
+        let a = enc.encode(&[0.1; 16]);
+        let b = enc.encode(&[0.9; 16]);
         let sim = a.similarity(&b);
         assert!(sim < 0.75, "dissimilar inputs too similar: {sim}");
     }

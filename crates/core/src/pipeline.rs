@@ -1,3 +1,4 @@
+use crate::batch::BatchEngine;
 use crate::config::HdcConfig;
 use crate::encoding::{Encoder, RecordEncoder};
 use crate::model::TrainedModel;
@@ -61,6 +62,7 @@ pub struct HdcClassifier {
     encoder: RecordEncoder,
     model: TrainedModel,
     num_classes: usize,
+    batch: BatchEngine,
 }
 
 impl HdcClassifier {
@@ -81,6 +83,7 @@ impl HdcClassifier {
             encoder,
             model,
             num_classes,
+            batch: BatchEngine::from_env(),
         }
     }
 
@@ -93,18 +96,49 @@ impl HdcClassifier {
         self.model.predict(&self.encoder.encode(features))
     }
 
-    /// Accuracy over labelled samples.
+    /// Predicts labels for a batch of raw feature vectors through the
+    /// sharded [`BatchEngine`]. Bit-identical to mapping [`Self::predict`]
+    /// over the batch, at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any feature count differs from the training data.
+    pub fn predict_batch(&self, features_batch: &[Vec<f64>]) -> Vec<usize> {
+        let encoded: Vec<_> = features_batch
+            .iter()
+            .map(|f| self.encoder.encode(f))
+            .collect();
+        self.batch.predict_batch(&self.model, &encoded)
+    }
+
+    /// Accuracy over labelled samples, scored through the batch engine.
     ///
     /// # Panics
     ///
     /// Panics if `samples` is empty.
     pub fn accuracy<S: Labeled>(&self, samples: &[S]) -> f64 {
         assert!(!samples.is_empty(), "cannot score an empty evaluation set");
-        let correct = samples
+        let encoded: Vec<_> = samples
             .iter()
-            .filter(|s| self.predict(s.features()) == s.label())
+            .map(|s| self.encoder.encode(s.features()))
+            .collect();
+        let predictions = self.batch.predict_batch(&self.model, &encoded);
+        let correct = predictions
+            .iter()
+            .zip(samples.iter())
+            .filter(|(p, s)| **p == s.label())
             .count();
         correct as f64 / samples.len() as f64
+    }
+
+    /// The batch engine used for batched prediction and scoring.
+    pub fn batch_engine(&self) -> &BatchEngine {
+        &self.batch
+    }
+
+    /// Replaces the batch engine's tuning (thread count, shard size).
+    pub fn set_batch_config(&mut self, config: crate::BatchConfig) {
+        self.batch.set_config(config);
     }
 
     /// The encoder (shared by training and inference).
@@ -153,6 +187,36 @@ mod tests {
         assert!(clf.accuracy(&train) > 0.95);
         assert_eq!(clf.predict(&[0.2; 6]), 0);
         assert_eq!(clf.predict(&[0.8; 6]), 1);
+    }
+
+    #[test]
+    fn batched_prediction_matches_sequential() {
+        let train: Vec<(Vec<f64>, usize)> = (0..40)
+            .map(|i| {
+                let label = i % 2;
+                let base = if label == 0 { 0.2 } else { 0.8 };
+                let features = (0..6).map(|j| base + 0.01 * ((i + j) % 5) as f64).collect();
+                (features, label)
+            })
+            .collect();
+        let config = HdcConfig::builder()
+            .dimension(2048)
+            .seed(11)
+            .build()
+            .expect("valid");
+        let mut clf = HdcClassifier::fit(&config, &train);
+        let queries: Vec<Vec<f64>> = train.iter().map(|(f, _)| f.clone()).collect();
+        let sequential: Vec<usize> = queries.iter().map(|f| clf.predict(f)).collect();
+        for threads in [1, 4] {
+            clf.set_batch_config(
+                crate::BatchConfig::builder()
+                    .threads(threads)
+                    .shard_size(5)
+                    .build()
+                    .expect("valid"),
+            );
+            assert_eq!(clf.predict_batch(&queries), sequential);
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! [`crate::TrainedModel::to_memory_image`] and repaired by
 //! [`crate::RecoveryEngine`].
 
-use crate::config::HdcConfig;
+use crate::batch::BatchEngine;
+use crate::config::{BatchConfig, HdcConfig};
 use crate::model::TrainedModel;
 use hypervector::random::HypervectorSampler;
 use hypervector::{BinaryHypervector, SequenceEncoder};
@@ -42,6 +43,7 @@ pub struct StreamClassifier {
     model: TrainedModel,
     alphabet: usize,
     num_classes: usize,
+    batch: BatchEngine,
 }
 
 impl StreamClassifier {
@@ -87,6 +89,7 @@ impl StreamClassifier {
             model,
             alphabet,
             num_classes,
+            batch: BatchEngine::from_env(),
         }
     }
 
@@ -108,18 +111,41 @@ impl StreamClassifier {
         self.model.predict(&self.encode(stream))
     }
 
-    /// Accuracy over labelled streams.
+    /// Predicts the classes of a batch of streams through the sharded
+    /// [`BatchEngine`] — bit-identical to mapping [`Self::predict`] over
+    /// the batch at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stream is shorter than one n-gram.
+    pub fn predict_batch(&self, streams: &[Vec<f64>]) -> Vec<usize> {
+        let encoded: Vec<_> = streams.iter().map(|s| self.encode(s)).collect();
+        self.batch.predict_batch(&self.model, &encoded)
+    }
+
+    /// Accuracy over labelled streams, scored through the batch engine.
     ///
     /// # Panics
     ///
     /// Panics if `streams` is empty or any stream is too short.
     pub fn accuracy(&self, streams: &[(Vec<f64>, usize)]) -> f64 {
         assert!(!streams.is_empty(), "cannot score an empty evaluation set");
-        let correct = streams
+        let encoded: Vec<_> = streams
             .iter()
-            .filter(|(stream, label)| self.predict(stream) == *label)
+            .map(|(stream, _)| self.encode(stream))
+            .collect();
+        let predictions = self.batch.predict_batch(&self.model, &encoded);
+        let correct = predictions
+            .iter()
+            .zip(streams.iter())
+            .filter(|(p, (_, label))| *p == label)
             .count();
         correct as f64 / streams.len() as f64
+    }
+
+    /// Replaces the batch engine's tuning (thread count, shard size).
+    pub fn set_batch_config(&mut self, config: BatchConfig) {
+        self.batch.set_config(config);
     }
 
     /// The trained model (same attack/recovery surface as the tabular
@@ -193,6 +219,7 @@ pub struct MultichannelStreamClassifier {
     alphabet: usize,
     ngram: usize,
     num_classes: usize,
+    batch: BatchEngine,
 }
 
 impl MultichannelStreamClassifier {
@@ -235,6 +262,7 @@ impl MultichannelStreamClassifier {
             alphabet,
             ngram,
             num_classes: 1,
+            batch: BatchEngine::from_env(),
         };
         let encoded: Vec<BinaryHypervector> = streams
             .iter()
@@ -304,18 +332,42 @@ impl MultichannelStreamClassifier {
         self.model.predict(&self.encode(stream))
     }
 
-    /// Accuracy over labelled streams.
+    /// Predicts the classes of a batch of multichannel streams through the
+    /// sharded [`BatchEngine`] — bit-identical to mapping [`Self::predict`]
+    /// over the batch at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`MultichannelStreamClassifier::encode`].
+    pub fn predict_batch(&self, streams: &[Vec<Vec<f64>>]) -> Vec<usize> {
+        let encoded: Vec<_> = streams.iter().map(|s| self.encode(s)).collect();
+        self.batch.predict_batch(&self.model, &encoded)
+    }
+
+    /// Accuracy over labelled streams, scored through the batch engine.
     ///
     /// # Panics
     ///
     /// Panics if `streams` is empty or any stream is invalid.
     pub fn accuracy(&self, streams: &[(Vec<Vec<f64>>, usize)]) -> f64 {
         assert!(!streams.is_empty(), "cannot score an empty evaluation set");
-        let correct = streams
+        let encoded: Vec<_> = streams
             .iter()
-            .filter(|(stream, label)| self.predict(stream) == *label)
+            .map(|(stream, _)| self.encode(stream))
+            .collect();
+        let predictions = self.batch.predict_batch(&self.model, &encoded);
+        let correct = predictions
+            .iter()
+            .zip(streams.iter())
+            .filter(|(p, (_, label))| *p == label)
             .count();
         correct as f64 / streams.len() as f64
+    }
+
+    /// Replaces the batch engine's tuning (thread count, shard size).
+    pub fn set_batch_config(&mut self, config: BatchConfig) {
+        self.batch.set_config(config);
     }
 
     /// The trained model.
@@ -354,7 +406,7 @@ mod tests {
                 let base = match class {
                     0 => (t % 12) as f64 / 12.0, // ramp
                     1 => {
-                        if (t / 6) % 2 == 0 {
+                        if (t / 6).is_multiple_of(2) {
                             0.15
                         } else {
                             0.85
@@ -480,6 +532,40 @@ mod tests {
         assert!(acc > 0.9, "multichannel accuracy only {acc}");
         assert_eq!(classifier.channels(), 2);
         assert_eq!(classifier.num_classes(), 2);
+    }
+
+    #[test]
+    fn stream_batched_prediction_matches_sequential() {
+        let train = waveform_set(30, 10);
+        let mut classifier = StreamClassifier::fit(&config(), 8, 3, &train);
+        let queries: Vec<Vec<f64>> = train.iter().map(|(s, _)| s.clone()).collect();
+        let sequential: Vec<usize> = queries.iter().map(|s| classifier.predict(s)).collect();
+        for threads in [1, 4] {
+            classifier.set_batch_config(
+                BatchConfig::builder()
+                    .threads(threads)
+                    .shard_size(4)
+                    .build()
+                    .expect("valid"),
+            );
+            assert_eq!(classifier.predict_batch(&queries), sequential);
+        }
+    }
+
+    #[test]
+    fn multichannel_batched_prediction_matches_sequential() {
+        let train = gesture_set(20, 11);
+        let mut classifier = MultichannelStreamClassifier::fit(&config(), 8, 3, &train);
+        let queries: Vec<Vec<Vec<f64>>> = train.iter().map(|(s, _)| s.clone()).collect();
+        let sequential: Vec<usize> = queries.iter().map(|s| classifier.predict(s)).collect();
+        classifier.set_batch_config(
+            BatchConfig::builder()
+                .threads(4)
+                .shard_size(3)
+                .build()
+                .expect("valid"),
+        );
+        assert_eq!(classifier.predict_batch(&queries), sequential);
     }
 
     #[test]

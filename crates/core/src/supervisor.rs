@@ -35,7 +35,8 @@
 //! process (e.g. a `faultsim` attack campaign) and emits a JSON trace of
 //! every verdict, escalation, checkpoint, and rollback.
 
-use crate::config::{EscalationLevel, HdcConfig, RecoveryConfig, SupervisorConfig};
+use crate::batch::BatchEngine;
+use crate::config::{BatchConfig, EscalationLevel, HdcConfig, RecoveryConfig, SupervisorConfig};
 use crate::diagnostics::{HealthMonitor, HealthVerdict};
 use crate::model::TrainedModel;
 use crate::persist;
@@ -115,6 +116,7 @@ pub struct ResilienceSupervisor {
     canaries: Vec<BinaryHypervector>,
     canary_answers: Vec<usize>,
     engine: RecoveryEngine,
+    batch: BatchEngine,
     ladder: Vec<EscalationLevel>,
     level: usize,
     healthy_streak: usize,
@@ -167,6 +169,7 @@ impl ResilienceSupervisor {
             canaries: Vec::new(),
             canary_answers: Vec::new(),
             engine,
+            batch: BatchEngine::from_env(),
             ladder,
             level: 0,
             healthy_streak: 0,
@@ -195,13 +198,16 @@ impl ResilienceSupervisor {
     ///
     /// Panics if `clean_queries` is empty.
     pub fn calibrate(&mut self, model: &TrainedModel, clean_queries: &[BinaryHypervector]) {
-        self.monitor
-            .calibrate(model, clean_queries, self.hdc.softmax_beta);
+        let scores = self
+            .batch
+            .evaluate_batch(model, clean_queries, self.hdc.softmax_beta);
+        let assessments: Vec<_> = scores.iter().map(|s| s.confidence.clone()).collect();
+        self.monitor.calibrate_from(&assessments);
         self.canaries = clean_queries.to_vec();
         // Golden answers: the healthy model's own predictions, the
         // self-supervised reference that catches a model whose margins look
         // fine but whose classes were rewritten into a label permutation.
-        self.canary_answers = clean_queries.iter().map(|q| model.predict(q)).collect();
+        self.canary_answers = scores.iter().map(|s| s.predicted).collect();
         self.quarantined = vec![false; model.num_classes()];
         self.checkpoint = Some(self.encode_checkpoint(model));
     }
@@ -238,6 +244,18 @@ impl ResilienceSupervisor {
     /// The health monitor (e.g. for inspecting the baseline).
     pub fn monitor(&self) -> &HealthMonitor {
         &self.monitor
+    }
+
+    /// The batched inference engine serving this supervisor.
+    pub fn batch_engine(&self) -> &BatchEngine {
+        &self.batch
+    }
+
+    /// Replaces the batch engine's tuning (thread count, shard size).
+    /// Pure throughput knobs: every served result is bit-identical across
+    /// tunings (see [`crate::batch`]).
+    pub fn set_batch_config(&mut self, config: BatchConfig) {
+        self.batch.set_config(config);
     }
 
     /// Cumulative statistics of the embedded recovery engine.
@@ -278,16 +296,19 @@ impl ResilienceSupervisor {
         );
         self.step += 1;
         let beta = self.hdc.softmax_beta;
+        // One engine pass scores the whole batch (sharded across worker
+        // threads); each result then feeds the monitor window and the
+        // quarantine gate in query order, exactly as per-query serving did.
+        let scores = self.batch.evaluate_batch(model, queries, beta);
         let mut answers = Vec::with_capacity(queries.len());
         let mut unreliable = 0usize;
-        for query in queries {
-            self.monitor.observe(model, query, beta);
-            let label = model.predict(query);
-            if self.quarantined[label] {
+        for score in &scores {
+            self.monitor.record(&score.confidence);
+            if self.quarantined[score.predicted] {
                 unreliable += 1;
                 answers.push(None);
             } else {
-                answers.push(Some(label));
+                answers.push(Some(score.predicted));
             }
         }
         let (verdict, canary_alarm) = self.judged_verdict(model);
@@ -379,8 +400,11 @@ impl ResilienceSupervisor {
         // canaries to agree — a repair that only overfitted this batch
         // restores the window but not the canaries, and must count as a
         // failed round rather than a recovery.
-        for query in queries {
-            self.monitor.observe(model, query, self.hdc.softmax_beta);
+        for score in self
+            .batch
+            .evaluate_batch(model, queries, self.hdc.softmax_beta)
+        {
+            self.monitor.record(&score.confidence);
         }
         let (post, canary_alarm) = self.judged_verdict(model);
         report.post_verdict = post;
@@ -414,18 +438,20 @@ impl ResilienceSupervisor {
         if live != HealthVerdict::Healthy {
             return (live, false);
         }
-        if self
-            .monitor
-            .probe(model, &self.canaries, self.hdc.softmax_beta)
-            == HealthVerdict::Degraded
-        {
+        // One batched pass over the canaries yields both probe inputs: the
+        // margins for the statistical check and the predictions for the
+        // golden-answer check.
+        let scores = self
+            .batch
+            .evaluate_batch(model, &self.canaries, self.hdc.softmax_beta);
+        let margins: Vec<f64> = scores.iter().map(|s| s.confidence.margin).collect();
+        if self.monitor.judge_margins(&margins) == HealthVerdict::Degraded {
             return (HealthVerdict::Degraded, true);
         }
-        let agreeing = self
-            .canaries
+        let agreeing = scores
             .iter()
             .zip(&self.canary_answers)
-            .filter(|(q, &golden)| model.predict(q) == golden)
+            .filter(|(s, &golden)| s.predicted == golden)
             .count();
         let agreement = agreeing as f64 / self.canary_answers.len().max(1) as f64;
         if agreement < self.policy.canary_agreement_floor {

@@ -1,0 +1,109 @@
+//! Metamorphic tests of batched inference: transformations of the input
+//! with a known effect on the output — permuting the batch, XOR-binding
+//! query and classes with a shared key, complementing every bit — must
+//! change the engine's answers in exactly the predicted way.
+
+use hypervector::random::HypervectorSampler;
+use hypervector::{BinaryHypervector, PackedClasses};
+use robusthd::{BatchConfig, BatchEngine, TrainedModel};
+
+const DIM: usize = 2048;
+
+fn setup(seed: u64, classes: usize, queries: usize) -> (TrainedModel, Vec<BinaryHypervector>) {
+    let mut sampler = HypervectorSampler::seed_from(seed);
+    let protos: Vec<_> = (0..classes).map(|_| sampler.binary(DIM)).collect();
+    let queries = (0..queries)
+        .map(|i| sampler.flip_noise(&protos[i % classes], 0.3))
+        .collect();
+    (TrainedModel::from_classes(protos), queries)
+}
+
+fn engine(threads: usize) -> BatchEngine {
+    let mut engine = BatchEngine::from_env();
+    engine.set_config(
+        BatchConfig::builder()
+            .threads(threads)
+            .shard_size(11)
+            .build()
+            .expect("valid"),
+    );
+    engine
+}
+
+/// Deterministic pseudo-shuffle: maps index `i` to `(i * step) % len` with
+/// `step` coprime to `len`, a full permutation without needing an RNG.
+fn permutation(len: usize) -> Vec<usize> {
+    let step = (0..)
+        .map(|k| 5 + 2 * k)
+        .find(|s| gcd(*s, len) == 1)
+        .expect("coprime exists");
+    (0..len).map(|i| (i * step) % len).collect()
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[test]
+fn batch_order_permutation_permutes_answers() {
+    let (model, queries) = setup(3, 5, 77);
+    let engine = engine(4);
+    let base = engine.predict_batch(&model, &queries);
+    let scores = engine.evaluate_batch(&model, &queries, 128.0);
+
+    let perm = permutation(queries.len());
+    let shuffled: Vec<_> = perm.iter().map(|&i| queries[i].clone()).collect();
+    let shuffled_predictions = engine.predict_batch(&model, &shuffled);
+    let shuffled_scores = engine.evaluate_batch(&model, &shuffled, 128.0);
+    for (pos, &src) in perm.iter().enumerate() {
+        assert_eq!(shuffled_predictions[pos], base[src], "prediction moved");
+        assert_eq!(shuffled_scores[pos], scores[src], "score moved");
+    }
+}
+
+#[test]
+fn binding_queries_and_classes_with_shared_key_preserves_everything() {
+    let (model, queries) = setup(9, 4, 50);
+    let key = HypervectorSampler::seed_from(0xDEAD).binary(DIM);
+
+    let bound_classes: Vec<_> = model.classes().iter().map(|c| c.bind(&key)).collect();
+    let bound_model = TrainedModel::from_classes(bound_classes);
+    let bound_queries: Vec<_> = queries.iter().map(|q| q.bind(&key)).collect();
+
+    let engine = engine(4);
+    // XOR binding is an isometry of Hamming space, so every distance — and
+    // therefore every prediction, confidence, and margin — is unchanged.
+    assert_eq!(
+        engine.evaluate_batch(&bound_model, &bound_queries, 128.0),
+        engine.evaluate_batch(&model, &queries, 128.0)
+    );
+    let packed = PackedClasses::from_classes(model.classes());
+    let bound_packed = PackedClasses::from_classes(bound_model.classes());
+    for (q, bq) in queries.iter().zip(&bound_queries) {
+        assert_eq!(
+            bound_packed.hamming_all(bq),
+            packed.hamming_all(q),
+            "binding moved a raw distance"
+        );
+    }
+}
+
+#[test]
+fn complementing_every_bit_preserves_argmin() {
+    let (model, queries) = setup(27, 6, 60);
+    let ones = BinaryHypervector::ones(DIM);
+    let flipped_classes: Vec<_> = model.classes().iter().map(|c| c.bind(&ones)).collect();
+    let flipped_model = TrainedModel::from_classes(flipped_classes);
+    let flipped_queries: Vec<_> = queries.iter().map(|q| q.bind(&ones)).collect();
+
+    let engine = engine(2);
+    assert_eq!(
+        engine.predict_batch(&flipped_model, &flipped_queries),
+        engine.predict_batch(&model, &queries),
+        "complementing both sides moved an argmin"
+    );
+}

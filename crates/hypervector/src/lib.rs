@@ -17,7 +17,10 @@
 //!   streams.
 //! * [`random`] — seeded generators for base, level, and orthogonal
 //!   hypervector sets.
-//! * [`similarity`] — Hamming / normalized / dot / cosine similarity kernels.
+//! * [`similarity`] — Hamming / normalized / dot / cosine similarity kernels,
+//!   plus the fused all-classes and per-chunk popcount kernels
+//!   ([`PackedClasses`], [`similarity::chunked_hamming`]) behind the batched
+//!   inference engine.
 //!
 //! # Example
 //!
@@ -55,3 +58,4 @@ pub use error::DimensionMismatchError;
 pub use itemmemory::ItemMemory;
 pub use multibit::{IntHypervector, Precision};
 pub use sequence::SequenceEncoder;
+pub use similarity::PackedClasses;

@@ -281,7 +281,7 @@ mod tests {
                             -1
                         }
                     } else {
-                        let span = (prec.max_value() - prec.min_value() + 1) as i32;
+                        let span = prec.max_value() - prec.min_value() + 1;
                         prec.min_value() + (i * 7 % span)
                     }
                 })
@@ -324,7 +324,7 @@ mod tests {
         let hv = IntHypervector::from_values(vec![3, -2, 5, 0], prec);
         let query = BinaryHypervector::from_fn(4, |i| i < 2);
         // one-bits contribute +value, zero-bits -value: +3 - 2 - 5 - 0
-        assert_eq!(hv.dot_binary(&query), 3 - 2 - 5 - 0);
+        assert_eq!(hv.dot_binary(&query), 3 - 2 - 5);
     }
 
     #[test]

@@ -7,6 +7,175 @@
 
 use crate::binary::BinaryHypervector;
 
+/// Class hypervectors packed into one contiguous class-major word buffer.
+///
+/// The inference hot path — Hamming distance of a query against every class
+/// vector — walks the words of each class in turn. Storing all classes in a
+/// single allocation (class 0's words, then class 1's, ...) keeps that walk
+/// sequential in memory, so [`PackedClasses::hamming_all_into`] streams
+/// through the buffer in one pass instead of chasing one heap allocation
+/// per class.
+///
+/// Distances are exact integer popcounts over the same packed words the
+/// per-pair [`BinaryHypervector::hamming_distance`] reads, so results are
+/// bit-identical to calling it per class.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::{similarity::PackedClasses, BinaryHypervector};
+///
+/// let classes = [BinaryHypervector::zeros(8), BinaryHypervector::ones(8)];
+/// let packed = PackedClasses::from_classes(&classes);
+/// let query = BinaryHypervector::from_fn(8, |i| i < 3);
+/// assert_eq!(packed.hamming_all(&query), vec![3, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedClasses {
+    words: Vec<u64>,
+    words_per_class: usize,
+    num_classes: usize,
+    dim: usize,
+}
+
+impl PackedClasses {
+    /// Packs class hypervectors (all of the same dimension) class-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or the dimensions disagree.
+    pub fn from_classes(classes: &[BinaryHypervector]) -> Self {
+        assert!(
+            !classes.is_empty(),
+            "PackedClasses needs at least one class"
+        );
+        let dim = classes[0].dim();
+        let words_per_class = classes[0].bits().words().len();
+        let mut words = Vec::with_capacity(words_per_class * classes.len());
+        for class in classes {
+            assert_eq!(class.dim(), dim, "dimension mismatch in PackedClasses");
+            words.extend_from_slice(class.bits().words());
+        }
+        Self {
+            words,
+            words_per_class,
+            num_classes: classes.len(),
+            dim,
+        }
+    }
+
+    /// Dimension of every packed class.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of packed classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Hamming distance of `query` to every class, written into `out`
+    /// (cleared first) in class order.
+    ///
+    /// Reusing one `out` buffer across queries keeps the per-query cost to
+    /// a single pass over the packed words with no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the packed dimension.
+    pub fn hamming_all_into(&self, query: &BinaryHypervector, out: &mut Vec<usize>) {
+        assert_eq!(
+            query.dim(),
+            self.dim,
+            "dimension mismatch in hamming_all_into"
+        );
+        let query_words = query.bits().words();
+        out.clear();
+        out.reserve(self.num_classes);
+        for class_words in self.words.chunks_exact(self.words_per_class.max(1)) {
+            let distance: usize = class_words
+                .iter()
+                .zip(query_words)
+                .map(|(c, q)| (c ^ q).count_ones() as usize)
+                .sum();
+            out.push(distance);
+        }
+        // Zero-width vectors pack no words at all; chunks_exact(1) over an
+        // empty buffer yields nothing, so emit the zero distances directly.
+        if self.words_per_class == 0 {
+            out.resize(self.num_classes, 0);
+        }
+    }
+
+    /// Hamming distance of `query` to every class, in class order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the packed dimension.
+    pub fn hamming_all(&self, query: &BinaryHypervector) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.hamming_all_into(query, &mut out);
+        out
+    }
+}
+
+/// Per-chunk Hamming distances of `a` vs `b` for `chunks` equal spans, all
+/// from a single pass over the packed words.
+///
+/// Chunk `i` covers bits `[i*dim/chunks, (i+1)*dim/chunks)` — the same
+/// bounds RobustHD's chunk-fault localization uses — and the result is
+/// bit-identical to calling
+/// [`BinaryHypervector::hamming_distance_range`] once per chunk: both are
+/// exact popcounts over the same masked words. The fused form XORs each
+/// word once instead of once per chunk scan.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ or `chunks` is zero.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::{similarity::chunked_hamming, BinaryHypervector};
+///
+/// let a = BinaryHypervector::from_fn(10, |i| i < 4);
+/// let b = BinaryHypervector::zeros(10);
+/// assert_eq!(chunked_hamming(&a, &b, 2), vec![4, 0]);
+/// ```
+pub fn chunked_hamming(a: &BinaryHypervector, b: &BinaryHypervector, chunks: usize) -> Vec<usize> {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch in chunked_hamming");
+    assert!(chunks > 0, "chunked_hamming needs at least one chunk");
+    let dim = a.dim();
+    let xor: Vec<u64> = a
+        .bits()
+        .words()
+        .iter()
+        .zip(b.bits().words())
+        .map(|(x, y)| x ^ y)
+        .collect();
+    let mut out = Vec::with_capacity(chunks);
+    for chunk in 0..chunks {
+        let start = chunk * dim / chunks;
+        let end = (chunk + 1) * dim / chunks;
+        let mut distance = 0usize;
+        let mut i = start;
+        while i < end {
+            let word = i / 64;
+            let bit = i % 64;
+            let span = (64 - bit).min(end - i);
+            let mask = if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            distance += (xor[word] & mask).count_ones() as usize;
+            i += span;
+        }
+        out.push(distance);
+    }
+    out
+}
+
 /// Hamming distance between two binary hypervectors.
 ///
 /// Convenience re-export of [`BinaryHypervector::hamming_distance`] in
@@ -156,6 +325,65 @@ mod tests {
     #[test]
     fn softmax_empty_is_empty() {
         assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn packed_classes_match_pairwise_hamming() {
+        let classes: Vec<BinaryHypervector> = (0..5)
+            .map(|c| BinaryHypervector::from_fn(130, |i| (i * 7 + c * 13) % 11 < 4))
+            .collect();
+        let packed = PackedClasses::from_classes(&classes);
+        assert_eq!(packed.dim(), 130);
+        assert_eq!(packed.num_classes(), 5);
+        let query = BinaryHypervector::from_fn(130, |i| i % 3 == 0);
+        let fused = packed.hamming_all(&query);
+        let pairwise: Vec<usize> = classes.iter().map(|c| c.hamming_distance(&query)).collect();
+        assert_eq!(fused, pairwise);
+    }
+
+    #[test]
+    fn packed_classes_reuse_buffer() {
+        let classes = [BinaryHypervector::zeros(64), BinaryHypervector::ones(64)];
+        let packed = PackedClasses::from_classes(&classes);
+        let mut out = vec![99, 99, 99];
+        packed.hamming_all_into(&BinaryHypervector::zeros(64), &mut out);
+        assert_eq!(out, vec![0, 64]);
+    }
+
+    #[test]
+    fn packed_classes_handle_zero_dim() {
+        let classes = [BinaryHypervector::zeros(0), BinaryHypervector::zeros(0)];
+        let packed = PackedClasses::from_classes(&classes);
+        assert_eq!(packed.hamming_all(&BinaryHypervector::zeros(0)), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn packed_classes_reject_mixed_dims() {
+        let _ = PackedClasses::from_classes(&[
+            BinaryHypervector::zeros(8),
+            BinaryHypervector::zeros(9),
+        ]);
+    }
+
+    #[test]
+    fn chunked_hamming_matches_ranged_distances() {
+        let a = BinaryHypervector::from_fn(257, |i| i % 5 < 2);
+        let b = BinaryHypervector::from_fn(257, |i| i % 7 < 3);
+        for chunks in [1, 2, 3, 20, 64, 257, 300] {
+            let fused = chunked_hamming(&a, &b, chunks);
+            assert_eq!(fused.len(), chunks);
+            for (chunk, &distance) in fused.iter().enumerate() {
+                let start = chunk * 257 / chunks;
+                let end = (chunk + 1) * 257 / chunks;
+                assert_eq!(
+                    distance,
+                    a.hamming_distance_range(&b, start, end),
+                    "chunk {chunk} of {chunks}"
+                );
+            }
+            assert_eq!(fused.iter().sum::<usize>(), a.hamming_distance(&b));
+        }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property-based tests of the hypervector algebra.
 
 use hypervector::random::HypervectorSampler;
-use hypervector::{BinaryHypervector, BundleAccumulator, ItemMemory, PackedBits, SequenceEncoder};
+use hypervector::{
+    BinaryHypervector, BundleAccumulator, IntHypervector, ItemMemory, PackedBits, PackedClasses,
+    Precision, SequenceEncoder,
+};
 use proptest::prelude::*;
 
 fn hv(bits: &[bool]) -> BinaryHypervector {
@@ -107,5 +110,101 @@ proptest! {
         // stays high for long streams.
         let sim = base.similarity(&encoder.encode(&longer));
         prop_assert!(sim > 0.6, "appending one symbol moved encoding too far: {}", sim);
+    }
+
+    /// Metamorphic: XOR-binding both operands with the same hypervector is
+    /// a distance-preserving isometry of Hamming space.
+    #[test]
+    fn binding_both_sides_preserves_hamming(
+        a in prop::collection::vec(any::<bool>(), 1..200),
+        seed in 0u64..1000,
+    ) {
+        let mut sampler = HypervectorSampler::seed_from(seed);
+        let ha = hv(&a);
+        let hb = sampler.binary(a.len());
+        let key = sampler.binary(a.len());
+        prop_assert_eq!(
+            ha.bind(&key).hamming_distance(&hb.bind(&key)),
+            ha.hamming_distance(&hb)
+        );
+    }
+
+    /// Metamorphic: complementing every bit of both operands (binding with
+    /// the all-ones vector) preserves Hamming distance exactly.
+    #[test]
+    fn complement_preserves_hamming(
+        a in prop::collection::vec(any::<bool>(), 1..200),
+        b_seed in 0u64..1000,
+    ) {
+        let ha = hv(&a);
+        let hb = HypervectorSampler::seed_from(b_seed).binary(a.len());
+        let ones = BinaryHypervector::ones(a.len());
+        prop_assert_eq!(
+            ha.bind(&ones).hamming_distance(&hb.bind(&ones)),
+            ha.hamming_distance(&hb)
+        );
+    }
+
+    /// The fused all-classes kernel agrees with pairwise Hamming distance
+    /// for every class, at arbitrary dimensions and class counts.
+    #[test]
+    fn fused_hamming_all_matches_pairwise(
+        dim in 1usize..300,
+        classes in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut sampler = HypervectorSampler::seed_from(seed);
+        let class_hvs: Vec<_> = (0..classes).map(|_| sampler.binary(dim)).collect();
+        let query = sampler.binary(dim);
+        let packed = PackedClasses::from_classes(&class_hvs);
+        let fused = packed.hamming_all(&query);
+        for (i, class) in class_hvs.iter().enumerate() {
+            prop_assert_eq!(fused[i], query.hamming_distance(class), "class {}", i);
+        }
+    }
+
+    /// The fused chunked kernel agrees with per-range Hamming distance for
+    /// every chunk of the standard partition, and the chunks sum to the
+    /// total distance.
+    #[test]
+    fn fused_chunked_hamming_matches_ranges(
+        a in prop::collection::vec(any::<bool>(), 1..260),
+        chunks in 1usize..12,
+        b_seed in 0u64..1000,
+    ) {
+        let ha = hv(&a);
+        let hb = HypervectorSampler::seed_from(b_seed).binary(a.len());
+        let dim = a.len();
+        let per_chunk = hypervector::similarity::chunked_hamming(&ha, &hb, chunks);
+        prop_assert_eq!(per_chunk.len(), chunks);
+        for (i, &d) in per_chunk.iter().enumerate() {
+            let (start, end) = (i * dim / chunks, (i + 1) * dim / chunks);
+            prop_assert_eq!(d, ha.hamming_distance_range(&hb, start, end), "chunk {}", i);
+        }
+        prop_assert_eq!(per_chunk.iter().sum::<usize>(), ha.hamming_distance(&hb));
+    }
+
+    /// Multibit quantization roundtrip is lossless: any vector of in-range
+    /// element values survives pack → from_packed bit-exactly, at every
+    /// precision.
+    #[test]
+    fn multibit_pack_roundtrip_lossless(
+        bits in 1u8..=8,
+        raw in prop::collection::vec(-128i32..=127, 1..64),
+    ) {
+        let precision = Precision::new(bits).expect("valid");
+        // Project arbitrary values into the precision's range; 1-bit
+        // precision stores signs only, so zero is not representable.
+        let values: Vec<i32> = if bits == 1 {
+            raw.iter().map(|&v| if v >= 0 { 1 } else { -1 }).collect()
+        } else {
+            raw.iter()
+                .map(|&v| v.clamp(precision.min_value(), precision.max_value()))
+                .collect()
+        };
+        let original = IntHypervector::from_values(values, precision);
+        let decoded =
+            IntHypervector::from_packed(&original.pack(), original.dim(), precision);
+        prop_assert_eq!(decoded.values(), original.values());
     }
 }
