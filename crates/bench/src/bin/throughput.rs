@@ -1,4 +1,5 @@
-//! Batched inference throughput sweep of the parallel batch engine.
+//! Serving throughput sweep of the parallel batch engine, split into
+//! encode / score / end-to-end phases.
 //!
 //! Usage: `cargo run --release -p robusthd-bench --bin throughput
 //! [quick|standard|full]`
@@ -22,11 +23,18 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     let threads = [1usize, 2, 4, 8];
-    println!("Batched inference throughput (D=4096, shard=32, best of 3)");
-    println!("(predictions cross-checked bit-exact against the sequential path)\n");
-    let widths = [10usize, 9, 12, 12, 9];
+    println!("Serving throughput by phase (D=4096, shard=32, best of 3)");
+    println!("(encoder and predictions cross-checked bit-exact against the reference path)\n");
+    let widths = [10usize, 9, 12, 12, 14, 9];
     print_header(
-        &["dataset", "threads", "elapsed ms", "queries/s", "speedup"],
+        &[
+            "dataset",
+            "threads",
+            "encode q/s",
+            "score q/s",
+            "end-to-end q/s",
+            "speedup",
+        ],
         &widths,
     );
     let mut json_lines = Vec::new();
@@ -37,8 +45,9 @@ fn main() {
                 &[
                     o.name.clone(),
                     row.threads.to_string(),
-                    format!("{:.2}", row.elapsed_secs * 1e3),
-                    format!("{:.0}", row.queries_per_sec),
+                    format!("{:.0}", row.encode_qps),
+                    format!("{:.0}", row.score_qps),
+                    format!("{:.0}", row.end_to_end_qps),
                     format!("{:.2}x", row.speedup),
                 ],
                 &widths,

@@ -1,14 +1,29 @@
-//! Extension — batched inference throughput of the parallel [`BatchEngine`]
-//! across thread counts.
+//! Extension — serving throughput of the parallel [`BatchEngine`] across
+//! thread counts, split into the three phases that actually compose the
+//! serving path:
 //!
-//! The sweep times `predict_batch` over the encoded test split at each
-//! requested thread count, after first cross-checking the engine's
-//! predictions against the sequential `TrainedModel::predict` path — the
-//! reported rates always describe the bit-exact engine, never a faster
+//! * **encode** — raw feature rows → binary hypervectors
+//!   ([`BatchEngine::encode_batch`], bound-pair + carry-save fast path);
+//! * **score** — pre-encoded hypervectors → predictions
+//!   ([`BatchEngine::predict_batch`], fused popcount kernels);
+//! * **end-to-end** — raw feature rows → predictions in one fused pass
+//!   ([`BatchEngine::predict_raw_batch`], no intermediate hypervector
+//!   batch).
+//!
+//! Earlier revisions timed only the score phase and reported it as
+//! "throughput", which flattered the system: on real serving traffic the
+//! queries arrive as raw features and encoding dominates. The three rates
+//! are now reported as separate JSON fields so no phase can masquerade as
+//! the whole pipeline.
+//!
+//! Before any timing, the sweep cross-checks (a) the fast-path encoder
+//! against the scalar reference encoder and (b) the engine's batched and
+//! fused predictions against the sequential `TrainedModel::predict` path —
+//! the reported rates always describe the bit-exact engine, never a faster
 //! approximation.
 
 use crate::workload::{EncodedWorkload, Scale};
-use robusthd::{BatchConfig, BatchEngine};
+use robusthd::{BatchConfig, BatchEngine, EncodeConfig, Encoder, RecordEncoder};
 use std::fmt::Write as _;
 use std::time::Instant;
 use synthdata::DatasetSpec;
@@ -18,11 +33,15 @@ use synthdata::DatasetSpec;
 pub struct ThroughputRow {
     /// Worker thread count used by the batch engine.
     pub threads: usize,
-    /// Best elapsed wall-clock seconds over the repeats.
-    pub elapsed_secs: f64,
-    /// Queries classified per second at the best repeat.
-    pub queries_per_sec: f64,
-    /// Speedup relative to the first (baseline) thread count in the sweep.
+    /// Raw rows encoded per second (best repeat).
+    pub encode_qps: f64,
+    /// Pre-encoded queries scored per second (best repeat).
+    pub score_qps: f64,
+    /// Raw rows served end to end (encode→score, fused) per second (best
+    /// repeat).
+    pub end_to_end_qps: f64,
+    /// End-to-end speedup relative to the first (baseline) thread count in
+    /// the sweep.
     pub speedup: f64,
 }
 
@@ -39,6 +58,8 @@ pub struct ThroughputOutcome {
     pub shard_size: usize,
     /// Timed repetitions per thread count (best wins).
     pub repeats: usize,
+    /// Whether the encoder's bound-pair fast path was active.
+    pub encode_fast: bool,
     /// One row per thread count, in sweep order.
     pub rows: Vec<ThroughputRow>,
 }
@@ -51,8 +72,8 @@ impl ThroughputOutcome {
         let _ = write!(
             out,
             "{{\"dataset\": \"{}\", \"dim\": {}, \"queries\": {}, \"shard_size\": {}, \
-             \"repeats\": {}, \"bit_exact\": true, \"sweep\": [",
-            self.name, self.dim, self.queries, self.shard_size, self.repeats
+             \"repeats\": {}, \"encode_fast\": {}, \"bit_exact\": true, \"sweep\": [",
+            self.name, self.dim, self.queries, self.shard_size, self.repeats, self.encode_fast
         );
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -60,12 +81,9 @@ impl ThroughputOutcome {
             }
             let _ = write!(
                 out,
-                "{{\"threads\": {}, \"elapsed_ms\": {:.3}, \"queries_per_sec\": {:.1}, \
-                 \"speedup\": {:.3}}}",
-                row.threads,
-                row.elapsed_secs * 1e3,
-                row.queries_per_sec,
-                row.speedup
+                "{{\"threads\": {}, \"encode_qps\": {:.1}, \"score_qps\": {:.1}, \
+                 \"end_to_end_qps\": {:.1}, \"speedup\": {:.3}}}",
+                row.threads, row.encode_qps, row.score_qps, row.end_to_end_qps, row.speedup
             );
         }
         out.push_str("]}");
@@ -73,13 +91,26 @@ impl ThroughputOutcome {
     }
 }
 
+/// Best wall-clock rate (items per second) of `f` over `repeats` runs.
+fn best_rate<T>(items: usize, repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_secs_f64();
+        drop(out);
+        best = best.min(elapsed);
+    }
+    items as f64 / best
+}
+
 /// Runs the thread sweep on one dataset.
 ///
 /// # Panics
 ///
-/// Panics if the engine's predictions ever diverge from the sequential
-/// path — the sweep refuses to report throughput for a non-bit-exact
-/// configuration.
+/// Panics if the fast-path encoder or the engine's predictions ever diverge
+/// from the sequential reference path — the sweep refuses to report
+/// throughput for a non-bit-exact configuration.
 pub fn run(
     spec: &DatasetSpec,
     scale: Scale,
@@ -92,6 +123,30 @@ pub fn run(
     assert!(!threads.is_empty(), "thread sweep must not be empty");
     assert!(shard_size > 0 && repeats > 0, "tuning must be positive");
     let workload = EncodedWorkload::build(spec, scale, dim, seed);
+    let rows = workload.test_rows();
+
+    // Cross-check 1: the serving encoder (whatever ROBUSTHD_ENCODE_FAST
+    // selected) against an explicit scalar-reference encoder.
+    let reference_encoder = RecordEncoder::with_encode_config(
+        &workload.config,
+        spec.features,
+        EncodeConfig::reference(),
+    );
+    for (row, encoded) in rows.iter().zip(&workload.test_encoded) {
+        assert_eq!(
+            workload.encoder.encode(row),
+            *encoded,
+            "workload encoding is not reproducible"
+        );
+        assert_eq!(
+            reference_encoder.encode(row),
+            *encoded,
+            "fast-path encoding diverges from the scalar reference"
+        );
+    }
+
+    // Cross-check 2: batched and fused predictions against the sequential
+    // model path.
     let sequential: Vec<usize> = workload
         .test_encoded
         .iter()
@@ -99,7 +154,7 @@ pub fn run(
         .collect();
 
     let mut engine = BatchEngine::from_env();
-    let mut rows = Vec::with_capacity(threads.len());
+    let mut out_rows = Vec::with_capacity(threads.len());
     let mut baseline = None;
     for &t in threads {
         engine.set_config(
@@ -109,35 +164,43 @@ pub fn run(
                 .build()
                 .expect("valid batch config"),
         );
-        let batched = engine.predict_batch(&workload.model, &workload.test_encoded);
         assert_eq!(
-            batched, sequential,
+            engine.predict_batch(&workload.model, &workload.test_encoded),
+            sequential,
             "batched predictions at {t} threads diverge from the sequential path"
         );
-        let mut best = f64::INFINITY;
-        for _ in 0..repeats {
-            let start = Instant::now();
-            let out = engine.predict_batch(&workload.model, &workload.test_encoded);
-            let elapsed = start.elapsed().as_secs_f64();
-            assert_eq!(out.len(), workload.test_encoded.len());
-            best = best.min(elapsed);
-        }
-        let rate = workload.test_encoded.len() as f64 / best;
-        let base = *baseline.get_or_insert(rate);
-        rows.push(ThroughputRow {
+        assert_eq!(
+            engine.predict_raw_batch(&workload.encoder, &workload.model, &rows),
+            sequential,
+            "fused raw predictions at {t} threads diverge from the sequential path"
+        );
+
+        let encode_qps = best_rate(rows.len(), repeats, || {
+            engine.encode_batch(&workload.encoder, &rows)
+        });
+        let score_qps = best_rate(rows.len(), repeats, || {
+            engine.predict_batch(&workload.model, &workload.test_encoded)
+        });
+        let end_to_end_qps = best_rate(rows.len(), repeats, || {
+            engine.predict_raw_batch(&workload.encoder, &workload.model, &rows)
+        });
+        let base = *baseline.get_or_insert(end_to_end_qps);
+        out_rows.push(ThroughputRow {
             threads: t,
-            elapsed_secs: best,
-            queries_per_sec: rate,
-            speedup: rate / base,
+            encode_qps,
+            score_qps,
+            end_to_end_qps,
+            speedup: end_to_end_qps / base,
         });
     }
     ThroughputOutcome {
         name: spec.name.to_string(),
         dim,
-        queries: workload.test_encoded.len(),
+        queries: rows.len(),
         shard_size,
         repeats,
-        rows,
+        encode_fast: workload.encoder.fast_path(),
+        rows: out_rows,
     }
 }
 
@@ -151,7 +214,10 @@ mod tests {
         assert_eq!(o.rows.len(), 2);
         assert_eq!(o.rows[0].threads, 1);
         assert!((o.rows[0].speedup - 1.0).abs() < 1e-12);
-        assert!(o.rows.iter().all(|r| r.queries_per_sec > 0.0));
+        assert!(o
+            .rows
+            .iter()
+            .all(|r| r.encode_qps > 0.0 && r.score_qps > 0.0 && r.end_to_end_qps > 0.0));
     }
 
     #[test]
@@ -162,18 +228,21 @@ mod tests {
             queries: 10,
             shard_size: 4,
             repeats: 1,
+            encode_fast: true,
             rows: vec![ThroughputRow {
                 threads: 1,
-                elapsed_secs: 0.002,
-                queries_per_sec: 5000.0,
+                encode_qps: 1500.0,
+                score_qps: 80000.0,
+                end_to_end_qps: 1400.0,
                 speedup: 1.0,
             }],
         };
         assert_eq!(
             o.to_json(),
             "{\"dataset\": \"pecan\", \"dim\": 2048, \"queries\": 10, \"shard_size\": 4, \
-             \"repeats\": 1, \"bit_exact\": true, \"sweep\": [{\"threads\": 1, \
-             \"elapsed_ms\": 2.000, \"queries_per_sec\": 5000.0, \"speedup\": 1.000}]}"
+             \"repeats\": 1, \"encode_fast\": true, \"bit_exact\": true, \"sweep\": [\
+             {\"threads\": 1, \"encode_qps\": 1500.0, \"score_qps\": 80000.0, \
+             \"end_to_end_qps\": 1400.0, \"speedup\": 1.000}]}"
         );
     }
 }

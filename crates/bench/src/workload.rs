@@ -69,17 +69,11 @@ impl EncodedWorkload {
             .build()
             .expect("valid HDC config");
         let encoder = RecordEncoder::new(&config, spec.features);
-        let train_encoded: Vec<_> = data
-            .train
-            .iter()
-            .map(|s| encoder.encode(&s.features))
-            .collect();
+        let train_rows: Vec<&[f64]> = data.train.iter().map(|s| s.features.as_slice()).collect();
+        let train_encoded = encoder.encode_batch_refs(&train_rows);
         let train_labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
-        let test_encoded: Vec<_> = data
-            .test
-            .iter()
-            .map(|s| encoder.encode(&s.features))
-            .collect();
+        let test_rows: Vec<&[f64]> = data.test.iter().map(|s| s.features.as_slice()).collect();
+        let test_encoded = encoder.encode_batch_refs(&test_rows);
         let test_labels: Vec<_> = data.test.iter().map(|s| s.label).collect();
         let model = TrainedModel::train(&train_encoded, &train_labels, spec.classes, &config);
         Self {
@@ -97,5 +91,15 @@ impl EncodedWorkload {
     /// Test accuracy of the clean model.
     pub fn clean_accuracy(&self) -> f64 {
         robusthd::accuracy(&self.model, &self.test_encoded, &self.test_labels)
+    }
+
+    /// Borrowed raw test-feature rows (the input of the fused
+    /// encode→score serving path).
+    pub fn test_rows(&self) -> Vec<&[f64]> {
+        self.data
+            .test
+            .iter()
+            .map(|s| s.features.as_slice())
+            .collect()
     }
 }

@@ -26,6 +26,7 @@ fn load_samples(path: &str) -> Result<Vec<Sample>, String> {
 
 struct TrainedPipeline {
     model: TrainedModel,
+    encoder: RecordEncoder,
     queries: Vec<hypervector::BinaryHypervector>,
     labels: Vec<usize>,
     config: HdcConfig,
@@ -59,14 +60,17 @@ fn train_pipeline(
         .build()
         .map_err(|e| e.to_string())?;
     let encoder = RecordEncoder::new(&config, features);
-    let encoded_train: Vec<_> = train.iter().map(|s| encoder.encode(&s.features)).collect();
+    let train_rows: Vec<&[f64]> = train.iter().map(|s| s.features.as_slice()).collect();
+    let encoded_train = encoder.encode_batch_refs(&train_rows);
     let train_labels: Vec<_> = train.iter().map(|s| s.label).collect();
-    let queries: Vec<_> = test.iter().map(|s| encoder.encode(&s.features)).collect();
+    let test_rows: Vec<&[f64]> = test.iter().map(|s| s.features.as_slice()).collect();
+    let queries = encoder.encode_batch_refs(&test_rows);
     let labels: Vec<_> = test.iter().map(|s| s.label).collect();
     let model = TrainedModel::train(&encoded_train, &train_labels, classes, &config);
     let clean_accuracy = accuracy(&model, &queries, &labels);
     Ok(TrainedPipeline {
         model,
+        encoder,
         queries,
         labels,
         config,
@@ -681,13 +685,21 @@ pub fn soak(argv: &[String]) -> Result<String, String> {
 }
 
 const THROUGHPUT_HELP: &str = "\
-robusthd throughput — measure batched inference throughput (queries/sec)
+robusthd throughput — measure serving throughput by phase (queries/sec)
 
 Synthesizes a dataset in-process, trains an HDC pipeline, then times the
-parallel batch engine at each requested thread count. Before timing, the
-engine's predictions are cross-checked against the sequential path at
-every thread count, so the reported rates always describe the bit-exact
-engine. Emits one JSON object to stdout.
+parallel batch engine at each requested thread count, reporting three
+rates per point:
+
+    encode_qps       raw feature rows -> hypervectors
+    score_qps        pre-encoded hypervectors -> predictions
+    end_to_end_qps   raw rows -> predictions, fused (no intermediate batch)
+
+Before timing, the encoder is cross-checked against the scalar reference
+path and the engine's predictions against the sequential path at every
+thread count, so the reported rates always describe the bit-exact engine.
+Set ROBUSTHD_ENCODE_FAST=0 to time the reference encoder instead. Emits
+one JSON object to stdout.
 
 OPTIONS:
     --dataset <NAME>   mnist | ucihar | isolet | face | pamap | pecan (default ucihar)
@@ -760,11 +772,39 @@ pub fn throughput(argv: &[String]) -> Result<String, String> {
     let spec = spec.with_sizes(400, queries);
     let data = GeneratorConfig::new(seed).generate(&spec);
     let pipeline = train_pipeline(&data.train, &data.test, dim, seed)?;
+    let rows: Vec<&[f64]> = data.test.iter().map(|s| s.features.as_slice()).collect();
     let sequential: Vec<usize> = pipeline
         .queries
         .iter()
         .map(|q| pipeline.model.predict(q))
         .collect();
+
+    // Cross-check the serving encoder against the explicit scalar
+    // reference before timing anything.
+    let reference_encoder = robusthd::RecordEncoder::with_encode_config(
+        &pipeline.config,
+        rows[0].len(),
+        robusthd::EncodeConfig::reference(),
+    );
+    for (row, encoded) in rows.iter().zip(&pipeline.queries) {
+        if reference_encoder.encode(row) != *encoded {
+            return Err(
+                "bit-exactness violated: fast-path encoding diverges from the scalar reference"
+                    .to_owned(),
+            );
+        }
+    }
+
+    /// Best items-per-second over `repeats` runs of `f`.
+    fn best_rate<T>(items: usize, repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = std::time::Instant::now();
+            let _out = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        items as f64 / best
+    }
 
     let mut engine = BatchEngine::from_env();
     let mut entries = String::new();
@@ -784,33 +824,41 @@ pub fn throughput(argv: &[String]) -> Result<String, String> {
                  from the sequential path"
             ));
         }
-        let mut best = f64::INFINITY;
-        for _ in 0..repeats {
-            let start = std::time::Instant::now();
-            let out = engine.predict_batch(&pipeline.model, &pipeline.queries);
-            let elapsed = start.elapsed().as_secs_f64();
-            assert_eq!(out.len(), pipeline.queries.len());
-            best = best.min(elapsed);
+        let fused = engine.predict_raw_batch(&pipeline.encoder, &pipeline.model, &rows);
+        if fused != sequential {
+            return Err(format!(
+                "bit-exactness violated: fused raw predictions at {t} threads diverge \
+                 from the sequential path"
+            ));
         }
-        let rate = pipeline.queries.len() as f64 / best;
-        let baseline = *baseline_rate.get_or_insert(rate);
+
+        let encode_qps = best_rate(rows.len(), repeats, || {
+            engine.encode_batch(&pipeline.encoder, &rows)
+        });
+        let score_qps = best_rate(rows.len(), repeats, || {
+            engine.predict_batch(&pipeline.model, &pipeline.queries)
+        });
+        let end_to_end_qps = best_rate(rows.len(), repeats, || {
+            engine.predict_raw_batch(&pipeline.encoder, &pipeline.model, &rows)
+        });
+        let baseline = *baseline_rate.get_or_insert(end_to_end_qps);
         if idx > 0 {
             entries.push_str(",\n");
         }
         let _ = write!(
             entries,
-            "    {{\"threads\": {t}, \"elapsed_ms\": {:.3}, \"queries_per_sec\": {:.1}, \
+            "    {{\"threads\": {t}, \"encode_qps\": {encode_qps:.1}, \
+             \"score_qps\": {score_qps:.1}, \"end_to_end_qps\": {end_to_end_qps:.1}, \
              \"speedup\": {:.3}}}",
-            best * 1e3,
-            rate,
-            rate / baseline
+            end_to_end_qps / baseline
         );
     }
 
     Ok(format!(
         "{{\n  \"dataset\": \"{name}\", \"dim\": {dim}, \"queries\": {queries}, \
          \"shard_size\": {shard}, \"repeats\": {repeats}, \"seed\": {seed},\n  \
-         \"bit_exact\": true,\n  \"sweep\": [\n{entries}\n  ]\n}}"
+         \"encode_fast\": {},\n  \"bit_exact\": true,\n  \"sweep\": [\n{entries}\n  ]\n}}",
+        pipeline.encoder.fast_path()
     ))
 }
 
@@ -1072,8 +1120,11 @@ mod tests {
         .expect("throughput succeeds");
         assert!(report.starts_with('{'), "report: {report}");
         assert!(report.contains("\"bit_exact\": true"), "report: {report}");
+        assert!(report.contains("\"encode_fast\": "), "report: {report}");
         assert!(report.contains("\"threads\": 2"), "report: {report}");
-        assert!(report.contains("queries_per_sec"), "report: {report}");
+        assert!(report.contains("encode_qps"), "report: {report}");
+        assert!(report.contains("score_qps"), "report: {report}");
+        assert!(report.contains("end_to_end_qps"), "report: {report}");
     }
 
     #[test]

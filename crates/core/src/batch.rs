@@ -30,6 +30,7 @@
 
 use crate::confidence::Confidence;
 use crate::config::BatchConfig;
+use crate::encoding::Encoder;
 use crate::model::TrainedModel;
 use hypervector::similarity::{chunked_hamming, PackedClasses};
 use hypervector::BinaryHypervector;
@@ -304,6 +305,107 @@ impl BatchEngine {
         })
     }
 
+    /// Encodes a batch of feature slices, sharded across the worker
+    /// threads with index-stable placement — bit-identical to calling
+    /// [`Encoder::encode`] per row, in row order.
+    ///
+    /// Encoding is deterministic and read-only on the encoder, so the
+    /// bit-exactness argument in the module docs applies unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `encoder.features()`.
+    pub fn encode_batch<E: Encoder + Sync + ?Sized>(
+        &self,
+        encoder: &E,
+        batch: &[&[f64]],
+    ) -> Vec<BinaryHypervector> {
+        self.map_shards(batch, |shard| encoder.encode_batch_refs(shard))
+    }
+
+    /// Fused encode→predict over arbitrary inputs: each worker maps an
+    /// input through `encode` and immediately scores it against the packed
+    /// model, so no batch-wide `Vec<BinaryHypervector>` is ever
+    /// materialized. Bit-identical to `model.predict(&encode(input))` per
+    /// input, in input order.
+    ///
+    /// `encode` must be pure (same input → same hypervector); every encoder
+    /// in this crate is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encode` produces a dimension differing from the model's.
+    pub fn predict_fused<Q, F>(&self, model: &TrainedModel, inputs: &[Q], encode: F) -> Vec<usize>
+    where
+        Q: Sync,
+        F: Fn(&Q) -> BinaryHypervector + Sync,
+    {
+        let packed = PackedClasses::from_classes(model.classes());
+        self.map_shards(inputs, |shard| {
+            let mut distances = Vec::new();
+            shard
+                .iter()
+                .map(|input| {
+                    let query = encode(input);
+                    packed.hamming_all_into(&query, &mut distances);
+                    argmin_first(&distances)
+                })
+                .collect()
+        })
+    }
+
+    /// Fused raw-features → prediction ([`BatchEngine::predict_fused`] with
+    /// an [`Encoder`]). Bit-identical to `model.predict(&encoder.encode(row))`
+    /// per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `encoder.features()`, or the
+    /// encoder dimension differs from the model's.
+    pub fn predict_raw_batch<E: Encoder + Sync + ?Sized>(
+        &self,
+        encoder: &E,
+        model: &TrainedModel,
+        batch: &[&[f64]],
+    ) -> Vec<usize> {
+        self.predict_fused(model, batch, |row| encoder.encode(row))
+    }
+
+    /// Fused raw-features → prediction + confidence, the raw-features
+    /// analogue of [`BatchEngine::evaluate_batch`]. Bit-identical (down to
+    /// `f64::to_bits`) to encoding each row and evaluating it sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `encoder.features()`, the
+    /// encoder dimension differs from the model's, or `beta` is not
+    /// positive and finite.
+    pub fn evaluate_raw_batch<E: Encoder + Sync + ?Sized>(
+        &self,
+        encoder: &E,
+        model: &TrainedModel,
+        batch: &[&[f64]],
+        beta: f64,
+    ) -> Vec<BatchScore> {
+        let packed = PackedClasses::from_classes(model.classes());
+        let dim = model.dim();
+        self.map_shards(batch, |shard| {
+            let mut distances = Vec::new();
+            shard
+                .iter()
+                .map(|features| {
+                    let query = encoder.encode(features);
+                    packed.hamming_all_into(&query, &mut distances);
+                    let similarities = similarities_from_distances(&distances, dim);
+                    BatchScore {
+                        predicted: argmin_first(&distances),
+                        confidence: Confidence::from_similarities(&similarities, beta),
+                    }
+                })
+                .collect()
+        })
+    }
+
     /// Chunk-fault localization ([`scan_chunk_faults`]) for every
     /// `(query, predicted)` pair, sharded across the worker threads.
     ///
@@ -461,6 +563,48 @@ mod tests {
         let (model, queries) = setup(6, 2, 4);
         let scan = scan_chunk_faults(&model, &queries[0], 0, 3 * DIM, 1.0);
         assert_eq!(scan.inspected, DIM, "empty chunks are skipped");
+    }
+
+    #[test]
+    fn raw_batch_paths_match_encode_then_score() {
+        use crate::encoding::{Encoder, RecordEncoder};
+        let cfg = HdcConfig::builder()
+            .dimension(1000)
+            .seed(11)
+            .build()
+            .expect("valid");
+        let encoder = RecordEncoder::new(&cfg, 6);
+        let rows: Vec<Vec<f64>> = (0..37)
+            .map(|i| {
+                (0..6)
+                    .map(|k| ((i * 7 + k * 3) % 10) as f64 / 9.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let encoded: Vec<_> = refs.iter().map(|r| encoder.encode(r)).collect();
+        let model = TrainedModel::from_classes(encoded[..3].to_vec());
+        let beta = HdcConfig::default().softmax_beta;
+
+        let seq_pred: Vec<_> = encoded.iter().map(|q| model.predict(q)).collect();
+        let seq_scores: Vec<_> = encoded
+            .iter()
+            .map(|q| Confidence::evaluate(&model, q, beta))
+            .collect();
+
+        for threads in [1, 4] {
+            let eng = engine(threads, 5);
+            assert_eq!(eng.encode_batch(&encoder, &refs), encoded);
+            assert_eq!(eng.predict_raw_batch(&encoder, &model, &refs), seq_pred);
+            let scores = eng.evaluate_raw_batch(&encoder, &model, &refs, beta);
+            for (score, reference) in scores.iter().zip(&seq_scores) {
+                assert_eq!(score.confidence, *reference);
+                assert_eq!(
+                    score.confidence.confidence.to_bits(),
+                    reference.confidence.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

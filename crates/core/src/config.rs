@@ -644,6 +644,78 @@ impl SupervisorConfigBuilder {
 /// thread count of the batched inference engine.
 pub const THREADS_ENV_VAR: &str = "ROBUSTHD_THREADS";
 
+/// Environment variable read by [`EncodeConfig::from_env`]: set to `0`,
+/// `false`, `off`, or `no` (case-insensitive) to disable the bit-sliced
+/// encoding fast path and fall back to the scalar
+/// [`hypervector::BundleAccumulator`] reference loop.
+pub const ENCODE_FAST_ENV_VAR: &str = "ROBUSTHD_ENCODE_FAST";
+
+/// Tuning of the record-encoder execution path
+/// ([`crate::encoding::RecordEncoder`]).
+///
+/// Like [`BatchConfig`], this is a pure throughput knob: the fast path
+/// (precomputed bound-pair codebook + bit-sliced carry-save majority) is
+/// bit-identical to the scalar reference path — the same hypervector comes
+/// out either way, which the differential suite
+/// (`crates/core/tests/encode_differential.rs`) asserts to
+/// `f64::to_bits` through the full pipeline. The switch exists so the
+/// differential tests (and anyone chasing a miscompare) can pin either
+/// implementation explicitly.
+///
+/// # Example
+///
+/// ```
+/// use robusthd::EncodeConfig;
+///
+/// assert!(EncodeConfig::default().fast_path);
+/// assert!(!EncodeConfig::reference().fast_path);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodeConfig {
+    /// When `true` (default) encode through the bound-pair codebook and the
+    /// bit-sliced majority kernel; when `false` run the scalar
+    /// bind-and-count reference loop.
+    pub fast_path: bool,
+}
+
+impl EncodeConfig {
+    /// The fast path: bound-pair codebook + carry-save majority.
+    pub fn fast() -> Self {
+        Self { fast_path: true }
+    }
+
+    /// The scalar reference path (per-feature bind into a
+    /// [`hypervector::BundleAccumulator`]).
+    pub fn reference() -> Self {
+        Self { fast_path: false }
+    }
+
+    /// The default (fast) configuration, overridden by the
+    /// `ROBUSTHD_ENCODE_FAST` environment variable: `0` / `false` / `off` /
+    /// `no` (case-insensitive) select the reference path, anything else —
+    /// including the variable being unset — selects the fast path.
+    pub fn from_env() -> Self {
+        Self {
+            fast_path: parse_encode_fast(std::env::var(ENCODE_FAST_ENV_VAR).ok().as_deref()),
+        }
+    }
+}
+
+impl Default for EncodeConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+/// Parses a `ROBUSTHD_ENCODE_FAST`-style value; only an explicit opt-out
+/// disables the fast path.
+fn parse_encode_fast(raw: Option<&str>) -> bool {
+    !matches!(
+        raw.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
+        Some("0") | Some("false") | Some("off") | Some("no")
+    )
+}
+
 /// Tuning of the batched inference engine
 /// ([`crate::batch::BatchEngine`]): worker thread count and shard size.
 ///
@@ -910,6 +982,25 @@ mod tests {
         assert_eq!(parse_threads(None), None);
         // from_env always yields something buildable.
         assert!(BatchConfig::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn encode_config_defaults_fast() {
+        assert!(EncodeConfig::default().fast_path);
+        assert!(EncodeConfig::fast().fast_path);
+        assert!(!EncodeConfig::reference().fast_path);
+    }
+
+    #[test]
+    fn encode_env_values_parse_as_opt_out() {
+        assert!(!parse_encode_fast(Some("0")));
+        assert!(!parse_encode_fast(Some("false")));
+        assert!(!parse_encode_fast(Some(" OFF ")));
+        assert!(!parse_encode_fast(Some("no")));
+        assert!(parse_encode_fast(Some("1")));
+        assert!(parse_encode_fast(Some("true")));
+        assert!(parse_encode_fast(Some("anything")));
+        assert!(parse_encode_fast(None));
     }
 
     #[test]

@@ -9,10 +9,26 @@
 //!
 //! [`RandomProjectionEncoder`] is an alternative sign-of-projection encoder
 //! used by the encoder ablation.
+//!
+//! # The encoding fast path
+//!
+//! Encoding dominated the raw-features→prediction cost once scoring went
+//! word-parallel (DESIGN.md §11), so [`RecordEncoder`] ships two
+//! bit-identical execution paths selected by [`EncodeConfig`]:
+//!
+//! * **fast** (default): a precomputed *bound-pair codebook*
+//!   `P[k][v] = B_k ⊕ L_v` turns each feature into one packed-word lookup
+//!   (no per-feature bind, no allocation), and bundling runs through the
+//!   bit-sliced carry-save majority kernel
+//!   ([`hypervector::CarrySaveMajority`]) — amortized `O(F)` word ops per
+//!   64-dimension word instead of the scalar loop's `O(64·F)`.
+//! * **reference**: the original per-feature bind into a scalar
+//!   [`BundleAccumulator`], kept as the semantic definition the
+//!   differential suite compares against.
 
-use crate::config::HdcConfig;
+use crate::config::{EncodeConfig, HdcConfig};
 use hypervector::random::HypervectorSampler;
-use hypervector::{BinaryHypervector, BundleAccumulator};
+use hypervector::{BinaryHypervector, BundleAccumulator, CarrySaveMajority, PackedBits};
 
 /// A mapping from raw features in `[0, 1]^n` to binary hypervectors.
 ///
@@ -32,9 +48,18 @@ pub trait Encoder {
     /// Implementations panic if `features.len() != self.features()`.
     fn encode(&self, features: &[f64]) -> BinaryHypervector;
 
-    /// Encodes a batch of feature vectors.
-    fn encode_batch(&self, batch: &[Vec<f64>]) -> Vec<BinaryHypervector> {
+    /// Encodes a batch of borrowed feature slices — the allocation-friendly
+    /// entry point: callers holding columnar or arena-backed features can
+    /// pass views without materializing `Vec<Vec<f64>>`.
+    fn encode_batch_refs(&self, batch: &[&[f64]]) -> Vec<BinaryHypervector> {
         batch.iter().map(|f| self.encode(f)).collect()
+    }
+
+    /// Encodes a batch of owned feature vectors (delegates to
+    /// [`Encoder::encode_batch_refs`]).
+    fn encode_batch(&self, batch: &[Vec<f64>]) -> Vec<BinaryHypervector> {
+        let refs: Vec<&[f64]> = batch.iter().map(Vec::as_slice).collect();
+        self.encode_batch_refs(&refs)
     }
 }
 
@@ -58,6 +83,12 @@ pub trait Encoder {
 pub struct RecordEncoder {
     bases: Vec<BinaryHypervector>,
     levels: Vec<BinaryHypervector>,
+    /// Bound-pair codebook `pairs[k * levels + v] = B_k ⊕ L_v`, built once
+    /// at construction when the fast path is enabled. Costs
+    /// `features × levels × D` bits of memory (e.g. 16 features × 64 levels
+    /// × 8192 dims = 1 MiB) to make every encode a pure packed-word lookup
+    /// with zero per-feature allocation.
+    pairs: Option<Vec<BinaryHypervector>>,
     dim: usize,
 }
 
@@ -65,21 +96,28 @@ impl RecordEncoder {
     /// Builds the encoder's base and level hypervector codebooks for
     /// `features` input features, using the default *locally correlated*
     /// level chain (distant values near-orthogonal — see DESIGN.md §8,
-    /// finding 3).
+    /// finding 3). The execution path comes from [`EncodeConfig::from_env`]
+    /// (fast unless `ROBUSTHD_ENCODE_FAST` opts out).
     ///
     /// # Panics
     ///
     /// Panics if `features` is zero.
     pub fn new(config: &HdcConfig, features: usize) -> Self {
+        Self::with_encode_config(config, features, EncodeConfig::from_env())
+    }
+
+    /// Builds the encoder with an explicit execution-path choice (used by
+    /// the differential suite to pin the fast or reference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is zero.
+    pub fn with_encode_config(config: &HdcConfig, features: usize, encode: EncodeConfig) -> Self {
         assert!(features > 0, "encoder needs at least one feature");
         let mut sampler = HypervectorSampler::seed_from(config.seed);
         let bases = sampler.base_set(features, config.dimension);
         let levels = sampler.level_set(config.levels, config.dimension, config.level_correlation);
-        Self {
-            bases,
-            levels,
-            dim: config.dimension,
-        }
+        Self::assemble(bases, levels, config.dimension, encode)
     }
 
     /// Builds the encoder with the classic *linear* (thermometer) level
@@ -98,11 +136,51 @@ impl RecordEncoder {
         let mut sampler = HypervectorSampler::seed_from(config.seed);
         let bases = sampler.base_set(features, config.dimension);
         let levels = sampler.level_set_linear(config.levels, config.dimension);
-        Self {
+        Self::assemble(bases, levels, config.dimension, EncodeConfig::from_env())
+    }
+
+    fn assemble(
+        bases: Vec<BinaryHypervector>,
+        levels: Vec<BinaryHypervector>,
+        dim: usize,
+        encode: EncodeConfig,
+    ) -> Self {
+        let mut encoder = Self {
             bases,
             levels,
-            dim: config.dimension,
+            pairs: None,
+            dim,
+        };
+        encoder.set_fast_path(encode.fast_path);
+        encoder
+    }
+
+    /// Enables or disables the bound-pair fast path. Enabling (re)builds
+    /// the codebook from the base and level sets; disabling drops it and
+    /// falls back to the scalar reference loop. Results are identical
+    /// either way.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        if !enabled {
+            self.pairs = None;
+            return;
         }
+        if self.pairs.is_some() {
+            return;
+        }
+        let mut pairs = Vec::with_capacity(self.bases.len() * self.levels.len());
+        let mut scratch = BinaryHypervector::zeros(self.dim);
+        for base in &self.bases {
+            for level in &self.levels {
+                base.bind_into(level, &mut scratch);
+                pairs.push(scratch.clone());
+            }
+        }
+        self.pairs = Some(pairs);
+    }
+
+    /// Whether the bound-pair fast path is active.
+    pub fn fast_path(&self) -> bool {
+        self.pairs.is_some()
     }
 
     /// Quantizes a normalized feature into a level index.
@@ -139,12 +217,27 @@ impl Encoder for RecordEncoder {
             self.bases.len(),
             features.len()
         );
-        let mut acc = BundleAccumulator::new(self.dim);
-        for (k, &value) in features.iter().enumerate() {
-            let level = &self.levels[self.level_index(value)];
-            acc.add(&self.bases[k].bind(level));
+        if let Some(pairs) = &self.pairs {
+            // Fast path: one codebook lookup + carry-save word adds per
+            // feature. No binds, no per-feature allocation.
+            let mut acc = CarrySaveMajority::new(self.dim);
+            let levels = self.levels.len();
+            for (k, &value) in features.iter().enumerate() {
+                let pair = &pairs[k * levels + self.level_index(value)];
+                acc.add_words(pair.bits().words());
+            }
+            acc.to_binary()
+        } else {
+            // Reference path: scalar counters, scratch-reused bind.
+            let mut acc = BundleAccumulator::new(self.dim);
+            let mut bound = BinaryHypervector::zeros(self.dim);
+            for (k, &value) in features.iter().enumerate() {
+                let level = &self.levels[self.level_index(value)];
+                self.bases[k].bind_into(level, &mut bound);
+                acc.add(&bound);
+            }
+            acc.to_binary()
         }
-        acc.to_binary()
     }
 }
 
@@ -210,14 +303,25 @@ impl Encoder for RandomProjectionEncoder {
             self.features,
             features.len()
         );
-        BinaryHypervector::from_fn(self.dim, |i| {
-            let sum: f64 = self.taps[i]
-                .iter()
-                // Center features at zero so the signs are balanced.
-                .map(|&(f, sign)| sign * (features[f] - 0.5))
-                .sum();
-            sum > 0.0
-        })
+        // Build packed words directly instead of per-bit `from_fn`: one
+        // 64-bit accumulator per word, committed in bulk.
+        let mut bits = PackedBits::zeros(self.dim);
+        for (word_idx, word) in bits.words_mut().iter_mut().enumerate() {
+            let base = word_idx * 64;
+            let span = 64.min(self.dim - base);
+            let mut acc = 0u64;
+            for (j, taps) in self.taps[base..base + span].iter().enumerate() {
+                let sum: f64 = taps
+                    .iter()
+                    // Center features at zero so the signs are balanced.
+                    .map(|&(f, sign)| sign * (features[f] - 0.5))
+                    .sum();
+                acc |= u64::from(sum > 0.0) << j;
+            }
+            *word = acc;
+        }
+        bits.mask_tail();
+        BinaryHypervector::from_bits(bits)
     }
 }
 
@@ -331,6 +435,56 @@ mod tests {
         let far: Vec<f64> = base.iter().map(|f| 1.0 - f).collect();
         let h = enc.encode(&base);
         assert!(h.similarity(&enc.encode(&near)) > h.similarity(&enc.encode(&far)));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_bit_for_bit() {
+        // Non-multiple-of-64 dimension on purpose.
+        let cfg = config(1000);
+        let fast = RecordEncoder::with_encode_config(&cfg, 7, EncodeConfig::fast());
+        let reference = RecordEncoder::with_encode_config(&cfg, 7, EncodeConfig::reference());
+        assert!(fast.fast_path());
+        assert!(!reference.fast_path());
+        let inputs = [
+            vec![0.0; 7],
+            vec![1.0; 7],
+            vec![0.5; 7],
+            (0..7).map(|i| i as f64 / 6.0).collect::<Vec<_>>(),
+            vec![-0.2, 1.3, 0.01, 0.99, 0.49, 0.51, 0.33],
+        ];
+        for f in &inputs {
+            assert_eq!(fast.encode(f), reference.encode(f), "features {f:?}");
+        }
+    }
+
+    #[test]
+    fn toggling_fast_path_preserves_results() {
+        let cfg = config(513);
+        let mut enc = RecordEncoder::with_encode_config(&cfg, 4, EncodeConfig::fast());
+        let f = [0.1, 0.7, 0.3, 0.9];
+        let with_fast = enc.encode(&f);
+        enc.set_fast_path(false);
+        assert_eq!(enc.encode(&f), with_fast);
+        enc.set_fast_path(true);
+        assert_eq!(enc.encode(&f), with_fast);
+    }
+
+    #[test]
+    fn encode_batch_refs_matches_owned_batch() {
+        let enc = RecordEncoder::new(&config(512), 3);
+        let batch = vec![vec![0.2, 0.4, 0.6], vec![0.9, 0.1, 0.5]];
+        let refs: Vec<&[f64]> = batch.iter().map(Vec::as_slice).collect();
+        assert_eq!(enc.encode_batch_refs(&refs), enc.encode_batch(&batch));
+    }
+
+    #[test]
+    fn projection_encoder_even_feature_count_tie_cases() {
+        // All-0.5 features make every projection sum exactly 0.0 — the
+        // packed-word rewrite must keep the strict `> 0.0` threshold.
+        let cfg = config(130);
+        let enc = RandomProjectionEncoder::new(&cfg, 6, 4);
+        let h = enc.encode(&[0.5; 6]);
+        assert_eq!(h, BinaryHypervector::zeros(130));
     }
 
     #[test]

@@ -76,14 +76,18 @@ impl HdcClassifier {
         let features = train[0].features().len();
         let num_classes = train.iter().map(|s| s.label()).max().expect("nonempty") + 1;
         let encoder = RecordEncoder::new(config, features);
-        let encoded: Vec<_> = train.iter().map(|s| encoder.encode(s.features())).collect();
+        let batch = BatchEngine::from_env();
+        // Collect feature views first so the encoding shards over the batch
+        // engine without requiring `S: Sync`.
+        let rows: Vec<&[f64]> = train.iter().map(|s| s.features()).collect();
+        let encoded = batch.encode_batch(&encoder, &rows);
         let labels: Vec<_> = train.iter().map(|s| s.label()).collect();
         let model = TrainedModel::train(&encoded, &labels, num_classes, config);
         Self {
             encoder,
             model,
             num_classes,
-            batch: BatchEngine::from_env(),
+            batch,
         }
     }
 
@@ -97,32 +101,43 @@ impl HdcClassifier {
     }
 
     /// Predicts labels for a batch of raw feature vectors through the
-    /// sharded [`BatchEngine`]. Bit-identical to mapping [`Self::predict`]
-    /// over the batch, at any thread count.
+    /// fused encode→score path of the sharded [`BatchEngine`] — no
+    /// intermediate `Vec<BinaryHypervector>` is materialized.
+    /// Bit-identical to mapping [`Self::predict`] over the batch, at any
+    /// thread count.
     ///
     /// # Panics
     ///
     /// Panics if any feature count differs from the training data.
     pub fn predict_batch(&self, features_batch: &[Vec<f64>]) -> Vec<usize> {
-        let encoded: Vec<_> = features_batch
-            .iter()
-            .map(|f| self.encoder.encode(f))
-            .collect();
-        self.batch.predict_batch(&self.model, &encoded)
+        let rows: Vec<&[f64]> = features_batch.iter().map(Vec::as_slice).collect();
+        self.batch
+            .predict_raw_batch(&self.encoder, &self.model, &rows)
     }
 
-    /// Accuracy over labelled samples, scored through the batch engine.
+    /// Fused raw-features → prediction over borrowed feature slices
+    /// (avoids cloning rows out of columnar or arena-backed storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any feature count differs from the training data.
+    pub fn predict_raw_batch(&self, rows: &[&[f64]]) -> Vec<usize> {
+        self.batch
+            .predict_raw_batch(&self.encoder, &self.model, rows)
+    }
+
+    /// Accuracy over labelled samples, scored through the fused batch
+    /// path.
     ///
     /// # Panics
     ///
     /// Panics if `samples` is empty.
     pub fn accuracy<S: Labeled>(&self, samples: &[S]) -> f64 {
         assert!(!samples.is_empty(), "cannot score an empty evaluation set");
-        let encoded: Vec<_> = samples
-            .iter()
-            .map(|s| self.encoder.encode(s.features()))
-            .collect();
-        let predictions = self.batch.predict_batch(&self.model, &encoded);
+        let rows: Vec<&[f64]> = samples.iter().map(|s| s.features()).collect();
+        let predictions = self
+            .batch
+            .predict_raw_batch(&self.encoder, &self.model, &rows);
         let correct = predictions
             .iter()
             .zip(samples.iter())

@@ -111,30 +111,30 @@ impl StreamClassifier {
         self.model.predict(&self.encode(stream))
     }
 
-    /// Predicts the classes of a batch of streams through the sharded
-    /// [`BatchEngine`] — bit-identical to mapping [`Self::predict`] over
-    /// the batch at any thread count.
+    /// Predicts the classes of a batch of streams through the fused
+    /// encode→score path of the sharded [`BatchEngine`] (no intermediate
+    /// `Vec<BinaryHypervector>`) — bit-identical to mapping
+    /// [`Self::predict`] over the batch at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if any stream is shorter than one n-gram.
     pub fn predict_batch(&self, streams: &[Vec<f64>]) -> Vec<usize> {
-        let encoded: Vec<_> = streams.iter().map(|s| self.encode(s)).collect();
-        self.batch.predict_batch(&self.model, &encoded)
+        self.batch
+            .predict_fused(&self.model, streams, |s| self.encode(s))
     }
 
-    /// Accuracy over labelled streams, scored through the batch engine.
+    /// Accuracy over labelled streams, scored through the fused batch
+    /// path.
     ///
     /// # Panics
     ///
     /// Panics if `streams` is empty or any stream is too short.
     pub fn accuracy(&self, streams: &[(Vec<f64>, usize)]) -> f64 {
         assert!(!streams.is_empty(), "cannot score an empty evaluation set");
-        let encoded: Vec<_> = streams
-            .iter()
-            .map(|(stream, _)| self.encode(stream))
-            .collect();
-        let predictions = self.batch.predict_batch(&self.model, &encoded);
+        let predictions = self
+            .batch
+            .predict_fused(&self.model, streams, |(stream, _)| self.encode(stream));
         let correct = predictions
             .iter()
             .zip(streams.iter())
@@ -276,7 +276,9 @@ impl MultichannelStreamClassifier {
     }
 
     /// Encodes one time step: bundle over channels of
-    /// `channel_base ⊕ symbol(value)`.
+    /// `channel_base ⊕ symbol(value)`, through the fused XOR+carry-save
+    /// kernel (no per-channel bind allocation; bit-identical to the scalar
+    /// accumulator — see `hypervector/tests/bitslice_props.rs`).
     fn encode_step(&self, step: &[f64]) -> BinaryHypervector {
         assert_eq!(
             step.len(),
@@ -286,10 +288,13 @@ impl MultichannelStreamClassifier {
             step.len()
         );
         let dim = self.channel_bases[0].dim();
-        let mut acc = hypervector::BundleAccumulator::new(dim);
+        let mut acc = hypervector::CarrySaveMajority::new(dim);
         for (channel, &value) in step.iter().enumerate() {
             let symbol = StreamClassifier::symbol(value, self.alphabet);
-            acc.add(&self.channel_bases[channel].bind(&self.symbols[symbol]));
+            acc.add_xor_words(
+                self.channel_bases[channel].bits().words(),
+                self.symbols[symbol].bits().words(),
+            );
         }
         acc.to_binary()
     }
@@ -333,30 +338,30 @@ impl MultichannelStreamClassifier {
     }
 
     /// Predicts the classes of a batch of multichannel streams through the
-    /// sharded [`BatchEngine`] — bit-identical to mapping [`Self::predict`]
-    /// over the batch at any thread count.
+    /// fused encode→score path of the sharded [`BatchEngine`] —
+    /// bit-identical to mapping [`Self::predict`] over the batch at any
+    /// thread count.
     ///
     /// # Panics
     ///
     /// Panics under the same conditions as
     /// [`MultichannelStreamClassifier::encode`].
     pub fn predict_batch(&self, streams: &[Vec<Vec<f64>>]) -> Vec<usize> {
-        let encoded: Vec<_> = streams.iter().map(|s| self.encode(s)).collect();
-        self.batch.predict_batch(&self.model, &encoded)
+        self.batch
+            .predict_fused(&self.model, streams, |s| self.encode(s))
     }
 
-    /// Accuracy over labelled streams, scored through the batch engine.
+    /// Accuracy over labelled streams, scored through the fused batch
+    /// path.
     ///
     /// # Panics
     ///
     /// Panics if `streams` is empty or any stream is invalid.
     pub fn accuracy(&self, streams: &[(Vec<Vec<f64>>, usize)]) -> f64 {
         assert!(!streams.is_empty(), "cannot score an empty evaluation set");
-        let encoded: Vec<_> = streams
-            .iter()
-            .map(|(stream, _)| self.encode(stream))
-            .collect();
-        let predictions = self.batch.predict_batch(&self.model, &encoded);
+        let predictions = self
+            .batch
+            .predict_fused(&self.model, streams, |(stream, _)| self.encode(stream));
         let correct = predictions
             .iter()
             .zip(streams.iter())

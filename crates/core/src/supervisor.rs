@@ -38,10 +38,12 @@
 use crate::batch::BatchEngine;
 use crate::config::{BatchConfig, EscalationLevel, HdcConfig, RecoveryConfig, SupervisorConfig};
 use crate::diagnostics::{HealthMonitor, HealthVerdict};
+use crate::encoding::Encoder;
 use crate::model::TrainedModel;
 use crate::persist;
 use crate::recovery::{RecoveryEngine, RecoveryStats};
 use hypervector::BinaryHypervector;
+use std::borrow::Cow;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -285,6 +287,55 @@ impl ResilienceSupervisor {
         model: &mut TrainedModel,
         queries: &[BinaryHypervector],
     ) -> BatchReport {
+        let beta = self.hdc.softmax_beta;
+        // One engine pass scores the whole batch (sharded across worker
+        // threads); each result then feeds the monitor window and the
+        // quarantine gate in query order, exactly as per-query serving did.
+        let scores = self.batch.evaluate_batch(model, queries, beta);
+        self.serve_scored(model, scores, || Cow::Borrowed(queries))
+    }
+
+    /// Serves one batch of *raw feature rows* through the same closed loop
+    /// as [`ResilienceSupervisor::serve_batch`], via the fused
+    /// encode→score path: on the healthy hot path no intermediate
+    /// `Vec<BinaryHypervector>` is ever materialized. Only a degraded
+    /// verdict — where the repair engine needs the encoded queries —
+    /// triggers a (sharded) encoding pass.
+    ///
+    /// Bit-identical to encoding `rows` yourself and calling
+    /// [`ResilienceSupervisor::serve_batch`], at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`ResilienceSupervisor::serve_batch`], or if any row's length
+    /// differs from `encoder.features()`.
+    pub fn serve_raw_batch<E: Encoder + Sync + ?Sized>(
+        &mut self,
+        encoder: &E,
+        model: &mut TrainedModel,
+        rows: &[&[f64]],
+    ) -> BatchReport {
+        let beta = self.hdc.softmax_beta;
+        let scores = self.batch.evaluate_raw_batch(encoder, model, rows, beta);
+        // Clone the engine (config-only) so the lazy encode closure does
+        // not borrow `self` across the `&mut self` call below.
+        let batch = self.batch.clone();
+        self.serve_scored(model, scores, move || {
+            Cow::Owned(batch.encode_batch(encoder, rows))
+        })
+    }
+
+    /// The closed loop shared by [`ResilienceSupervisor::serve_batch`] and
+    /// [`ResilienceSupervisor::serve_raw_batch`]: `scores` is the batch's
+    /// engine pass, `encoded` lazily produces the encoded queries and is
+    /// invoked only on a degraded verdict.
+    fn serve_scored<'q>(
+        &mut self,
+        model: &mut TrainedModel,
+        scores: Vec<crate::batch::BatchScore>,
+        encoded: impl FnOnce() -> Cow<'q, [BinaryHypervector]>,
+    ) -> BatchReport {
         assert!(
             self.monitor.baseline().is_some(),
             "supervisor must be calibrated before serving"
@@ -295,12 +346,7 @@ impl ResilienceSupervisor {
             "model class count changed after calibration"
         );
         self.step += 1;
-        let beta = self.hdc.softmax_beta;
-        // One engine pass scores the whole batch (sharded across worker
-        // threads); each result then feeds the monitor window and the
-        // quarantine gate in query order, exactly as per-query serving did.
-        let scores = self.batch.evaluate_batch(model, queries, beta);
-        let mut answers = Vec::with_capacity(queries.len());
+        let mut answers = Vec::with_capacity(scores.len());
         let mut unreliable = 0usize;
         for score in &scores {
             self.monitor.record(&score.confidence);
@@ -329,7 +375,10 @@ impl ResilienceSupervisor {
         };
         match verdict {
             HealthVerdict::Healthy => self.handle_healthy(model, &mut report),
-            HealthVerdict::Degraded => self.handle_degraded(model, queries, &mut report),
+            HealthVerdict::Degraded => {
+                let queries = encoded();
+                self.handle_degraded(model, &queries, &mut report);
+            }
             HealthVerdict::InsufficientTraffic => {}
         }
         report.level = self.level;

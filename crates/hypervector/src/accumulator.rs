@@ -119,6 +119,11 @@ impl BundleAccumulator {
     /// A component becomes 1 when its bipolar count is positive; exact ties
     /// (possible with an even number of bundled vectors) resolve to the
     /// component's parity so the result is deterministic without an RNG.
+    ///
+    /// This threshold — including the parity tie-break — is the contract
+    /// the bit-sliced fast path ([`crate::CarrySaveMajority::to_binary`])
+    /// reproduces bit for bit; the accumulator remains the reference
+    /// implementation the differential suite compares against.
     pub fn to_binary(&self) -> BinaryHypervector {
         BinaryHypervector::from_fn(self.dim(), |i| {
             let c = self.counts[i];

@@ -135,6 +135,17 @@ impl BinaryHypervector {
         self.bits.xor_assign(&other.bits);
     }
 
+    /// Binding into a caller-provided scratch vector: `out = self ⊕ other`
+    /// with no allocation. Encoder hot loops reuse one scratch vector per
+    /// batch instead of allocating a fresh bind per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three dimensions differ.
+    pub fn bind_into(&self, other: &Self, out: &mut Self) {
+        out.bits.xor_from(&self.bits, &other.bits);
+    }
+
     /// Permutation: cyclic rotation by `shift` positions. Encodes sequence
     /// order; a permuted vector is nearly orthogonal to the original.
     pub fn permute(&self, shift: usize) -> Self {

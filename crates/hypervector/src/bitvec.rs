@@ -150,6 +150,20 @@ impl PackedBits {
         }
     }
 
+    /// Overwrites `self` with `a ^ b` without allocating — the scratch-reuse
+    /// primitive under [`crate::BinaryHypervector::bind_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three lengths differ.
+    pub fn xor_from(&mut self, a: &Self, b: &Self) {
+        assert_eq!(self.len, a.len, "length mismatch in xor_from");
+        assert_eq!(self.len, b.len, "length mismatch in xor_from");
+        for ((out, &x), &y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *out = x ^ y;
+        }
+    }
+
     /// Number of positions where `self` and `other` differ.
     ///
     /// # Panics

@@ -11,6 +11,9 @@
 //!   multi-bit model-precision study (Table 1 of the paper).
 //! * [`BundleAccumulator`] — element-wise counters used to bundle (add) many
 //!   binary hypervectors and threshold them back to a binary model.
+//! * [`CarrySaveMajority`] ([`bitslice`]) — the word-parallel bit-sliced
+//!   majority kernel behind the encoding fast path, bit-identical to the
+//!   accumulator's threshold including its tie-break.
 //! * [`ItemMemory`] — the associative cleanup memory of classic HDC
 //!   systems.
 //! * [`SequenceEncoder`] — order-sensitive n-gram encoding of symbol
@@ -43,6 +46,7 @@
 
 mod accumulator;
 mod binary;
+pub mod bitslice;
 mod bitvec;
 mod error;
 mod itemmemory;
@@ -53,6 +57,7 @@ pub mod similarity;
 
 pub use accumulator::BundleAccumulator;
 pub use binary::BinaryHypervector;
+pub use bitslice::CarrySaveMajority;
 pub use bitvec::PackedBits;
 pub use error::DimensionMismatchError;
 pub use itemmemory::ItemMemory;

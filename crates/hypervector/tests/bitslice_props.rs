@@ -1,0 +1,169 @@
+//! Differential + property suite proving the bit-sliced carry-save majority
+//! kernel ([`CarrySaveMajority`]) equals the scalar [`BundleAccumulator`]
+//! reference bit for bit: across non-multiple-of-64 dimensions, feature
+//! counts 1..=257, and adversarial tie patterns.
+
+use hypervector::random::HypervectorSampler;
+use hypervector::{bitslice, BinaryHypervector, BundleAccumulator, CarrySaveMajority};
+
+/// Dimensions straddling word boundaries, deliberately including
+/// non-multiples of 64.
+const DIMS: &[usize] = &[1, 2, 63, 64, 65, 127, 128, 130, 191, 257, 1000];
+
+fn bundle_both(dim: usize, inputs: &[BinaryHypervector]) -> (BinaryHypervector, BinaryHypervector) {
+    let mut reference = BundleAccumulator::new(dim);
+    let mut fast = CarrySaveMajority::new(dim);
+    for hv in inputs {
+        reference.add(hv);
+        fast.add(hv);
+    }
+    assert_eq!(fast.added(), inputs.len() as u64);
+    (reference.to_binary(), fast.to_binary())
+}
+
+#[test]
+fn every_feature_count_up_to_257_matches_reference() {
+    // The full range the record encoder sees across the paper's datasets
+    // (largest feature count is 617 for ISOLET, but 1..=257 crosses every
+    // plane-growth boundary: 1, 2, 4, ..., 256).
+    let mut sampler = HypervectorSampler::seed_from(101);
+    let dim = 193;
+    let pool: Vec<_> = (0..257).map(|_| sampler.binary(dim)).collect();
+    for count in 1..=257usize {
+        let (reference, fast) = bundle_both(dim, &pool[..count]);
+        assert_eq!(fast, reference, "diverged at feature count {count}");
+    }
+}
+
+#[test]
+fn random_bundles_match_across_dimensions() {
+    let mut sampler = HypervectorSampler::seed_from(102);
+    for &dim in DIMS {
+        for count in [1usize, 2, 3, 5, 16, 31, 64, 100] {
+            let inputs: Vec<_> = (0..count).map(|_| sampler.binary(dim)).collect();
+            let (reference, fast) = bundle_both(dim, &inputs);
+            assert_eq!(fast, reference, "dim={dim} count={count}");
+        }
+    }
+}
+
+#[test]
+fn correlated_bundles_match() {
+    // Noisy copies of one prototype: counts pile up near the extremes,
+    // exercising the high planes rather than the balanced middle.
+    let mut sampler = HypervectorSampler::seed_from(103);
+    for &dim in &[65usize, 130, 1000] {
+        let proto = sampler.binary(dim);
+        for count in [2usize, 9, 32, 57] {
+            let inputs: Vec<_> = (0..count)
+                .map(|_| sampler.flip_noise(&proto, 0.3))
+                .collect();
+            let (reference, fast) = bundle_both(dim, &inputs);
+            assert_eq!(fast, reference, "dim={dim} count={count}");
+        }
+    }
+}
+
+#[test]
+fn all_tie_bundle_matches_parity_tie_break() {
+    // Complement pairs force an exact tie in every dimension — the
+    // hardest case for threshold extraction.
+    for &dim in DIMS {
+        for pairs in [1usize, 2, 5] {
+            let mut sampler = HypervectorSampler::seed_from(104 + pairs as u64);
+            let mut inputs = Vec::new();
+            for _ in 0..pairs {
+                let a = sampler.binary(dim);
+                let b = BinaryHypervector::from_fn(dim, |i| !a.get(i));
+                inputs.push(a);
+                inputs.push(b);
+            }
+            let (reference, fast) = bundle_both(dim, &inputs);
+            assert_eq!(fast, reference, "dim={dim} pairs={pairs}");
+            for i in 0..dim {
+                assert_eq!(fast.get(i), i % 2 == 0, "dim={dim} bit {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn partial_tie_patterns_match() {
+    // Structured inputs where some dimensions tie and others do not.
+    for &dim in &[64usize, 100, 130] {
+        for count in [2usize, 4, 6, 8] {
+            let inputs: Vec<_> = (0..count)
+                .map(|v| BinaryHypervector::from_fn(dim, |i| (i + v) % (count / 2 + 1) == 0))
+                .collect();
+            let (reference, fast) = bundle_both(dim, &inputs);
+            assert_eq!(fast, reference, "dim={dim} count={count}");
+        }
+    }
+}
+
+#[test]
+fn extreme_inputs_match() {
+    for &dim in &[63usize, 64, 65] {
+        for count in [1usize, 2, 3, 4] {
+            let ones = vec![BinaryHypervector::ones(dim); count];
+            let (reference, fast) = bundle_both(dim, &ones);
+            assert_eq!(fast, reference, "all-ones dim={dim} count={count}");
+            assert_eq!(fast, BinaryHypervector::ones(dim));
+
+            let zeros = vec![BinaryHypervector::zeros(dim); count];
+            let (reference, fast) = bundle_both(dim, &zeros);
+            assert_eq!(fast, reference, "all-zeros dim={dim} count={count}");
+            assert_eq!(fast, BinaryHypervector::zeros(dim));
+        }
+    }
+}
+
+#[test]
+fn fused_xor_add_equals_bind_then_add() {
+    let mut sampler = HypervectorSampler::seed_from(105);
+    for &dim in &[65usize, 193] {
+        for count in [1usize, 7, 33] {
+            let pairs: Vec<_> = (0..count)
+                .map(|_| (sampler.binary(dim), sampler.binary(dim)))
+                .collect();
+            let mut reference = BundleAccumulator::new(dim);
+            let mut fused = CarrySaveMajority::new(dim);
+            for (a, b) in &pairs {
+                reference.add(&a.bind(b));
+                fused.add_xor_words(a.bits().words(), b.bits().words());
+            }
+            assert_eq!(
+                fused.to_binary(),
+                reference.to_binary(),
+                "dim={dim} count={count}"
+            );
+        }
+    }
+}
+
+#[test]
+fn majority_helper_equals_reference() {
+    let mut sampler = HypervectorSampler::seed_from(106);
+    let inputs: Vec<_> = (0..13).map(|_| sampler.binary(257)).collect();
+    let refs: Vec<&BinaryHypervector> = inputs.iter().collect();
+    let (reference, _) = bundle_both(257, &inputs);
+    assert_eq!(bitslice::majority(&refs), reference);
+}
+
+#[test]
+fn interleaved_word_and_vector_adds_match() {
+    // Mixing the add entry points must not perturb the planes.
+    let mut sampler = HypervectorSampler::seed_from(107);
+    let inputs: Vec<_> = (0..21).map(|_| sampler.binary(130)).collect();
+    let mut reference = BundleAccumulator::new(130);
+    let mut fast = CarrySaveMajority::new(130);
+    for (i, hv) in inputs.iter().enumerate() {
+        reference.add(hv);
+        if i % 2 == 0 {
+            fast.add(hv);
+        } else {
+            fast.add_words(hv.bits().words());
+        }
+    }
+    assert_eq!(fast.to_binary(), reference.to_binary());
+}
