@@ -18,6 +18,7 @@
 //! | [`fig4b`]  | Figure 4b — DRAM refresh relaxation |
 //! | [`soak`]   | Extension — chaos soak of the closed-loop resilience supervisor |
 //! | [`throughput`] | Extension — batched inference throughput across thread counts |
+//! | [`trainbench`] | Extension — bit-sliced training throughput (bundle/retrain) across thread counts |
 //!
 //! Experiments default to a laptop-scale subsample of the paper's datasets
 //! (exact feature/class geometry, reduced split sizes); see
@@ -35,6 +36,7 @@ pub mod table1;
 pub mod table3;
 pub mod table4;
 pub mod throughput;
+pub mod trainbench;
 pub mod workload;
 
 pub use workload::{EncodedWorkload, Scale};

@@ -6,9 +6,10 @@ use faultsim::{AttackCampaign, Attacker, ErrorRateSchedule};
 use robusthd::diagnostics::{HealthMonitor, HealthVerdict};
 use robusthd::persist;
 use robusthd::supervisor::{run_soak, ResilienceSupervisor};
+use robusthd::train::train_accumulators;
 use robusthd::{
     accuracy, BatchConfig, BatchEngine, Encoder, HdcConfig, RecordEncoder, RecoveryConfig,
-    RecoveryEngine, SubstitutionMode, SupervisorConfig, TrainedModel,
+    RecoveryEngine, SubstitutionMode, SupervisorConfig, TrainConfig, TrainedModel,
 };
 use std::fmt::Write as _;
 use std::fs::File;
@@ -862,6 +863,205 @@ pub fn throughput(argv: &[String]) -> Result<String, String> {
     ))
 }
 
+const TRAINBENCH_HELP: &str = "\
+robusthd trainbench — measure training throughput by phase (samples/sec)
+
+Synthesizes a dataset in-process, encodes its training split, then times
+the bit-sliced training engine at each requested thread count, reporting
+three figures per point:
+
+    bundle_qps       samples bundled/sec (one-shot carry-save bundling)
+    retrain_qps      sample-updates/sec across the retraining epochs
+    fit_seconds      full fit wall-clock (bundle + retrain)
+
+Before timing, the fast training path is cross-checked against the
+sequential scalar reference at every thread count — raw accumulator
+counts included — so the reported rates always describe the bit-exact
+engine. Set ROBUSTHD_TRAIN_FAST=0 to time the reference path instead.
+Emits one JSON object to stdout.
+
+OPTIONS:
+    --dataset <NAME>   mnist | ucihar | isolet | face | pamap | pecan (default ucihar)
+    --samples <N>      training samples per fit (default 400)
+    --dim <N>          HDC dimensionality (default 4096)
+    --epochs <N>       retraining epoch budget (default 2)
+    --threads <LIST>   comma-separated thread counts (default 1,2,4,8)
+    --shard <N>        shard size in samples (default 32)
+    --repeats <N>      timed repetitions per thread count; best time wins (default 3)
+    --seed <N>         pipeline seed (default 0)";
+
+/// `robusthd trainbench` — training samples/sec sweep over thread counts.
+pub fn trainbench(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "dataset", "samples", "dim", "epochs", "threads", "shard", "repeats", "seed", "help",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(TRAINBENCH_HELP.to_owned());
+    }
+    let name = args.get("dataset").unwrap_or("ucihar").to_lowercase();
+    let spec = match name.as_str() {
+        "mnist" => DatasetSpec::mnist(),
+        "ucihar" | "uci-har" | "har" => DatasetSpec::ucihar(),
+        "isolet" => DatasetSpec::isolet(),
+        "face" => DatasetSpec::face(),
+        "pamap" => DatasetSpec::pamap(),
+        "pecan" => DatasetSpec::pecan(),
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let samples = args
+        .get_parsed_or("samples", 400usize)
+        .map_err(|e| e.to_string())?;
+    if samples == 0 {
+        return Err("--samples must be positive".to_owned());
+    }
+    let dim = args
+        .get_parsed_or("dim", 4096usize)
+        .map_err(|e| e.to_string())?;
+    let epochs = args
+        .get_parsed_or("epochs", 2usize)
+        .map_err(|e| e.to_string())?;
+    let shard = args
+        .get_parsed_or("shard", 32usize)
+        .map_err(|e| e.to_string())?;
+    let repeats = args
+        .get_parsed_or("repeats", 3usize)
+        .map_err(|e| e.to_string())?;
+    if shard == 0 || repeats == 0 {
+        return Err("--shard and --repeats must be positive".to_owned());
+    }
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
+    let threads: Vec<usize> = args
+        .get("threads")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--threads entry `{t}` is not a positive integer"))
+        })
+        .collect::<Result<_, _>>()?;
+    if threads.is_empty() {
+        return Err("--threads list must not be empty".to_owned());
+    }
+
+    let spec = spec.with_sizes(samples, 1);
+    let data = GeneratorConfig::new(seed).generate(&spec);
+    let classes = spec.classes;
+    let cfg_fit = HdcConfig::builder()
+        .dimension(dim)
+        .retrain_epochs(epochs)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut cfg_bundle = cfg_fit.clone();
+    cfg_bundle.retrain_epochs = 0;
+    let encoder = RecordEncoder::new(&cfg_fit, spec.features);
+    let mut engine = BatchEngine::from_env();
+    let batch_config = |t: usize| {
+        BatchConfig::builder()
+            .threads(t)
+            .shard_size(shard)
+            .build()
+            .map_err(|e| e.to_string())
+    };
+    engine.set_config(batch_config(1)?);
+    let rows: Vec<&[f64]> = data.train.iter().map(|s| s.features.as_slice()).collect();
+    let encoded = engine.encode_batch(&encoder, &rows);
+    let labels: Vec<usize> = data.train.iter().map(|s| s.label).collect();
+
+    // Cross-check the fast path against one sequential scalar-reference
+    // fit at every swept thread count — raw accumulator counts included —
+    // before timing anything.
+    let reference = train_accumulators(
+        &encoded,
+        &labels,
+        classes,
+        &cfg_fit,
+        &TrainConfig::reference(),
+        &engine,
+    );
+    for &t in &threads {
+        engine.set_config(batch_config(t)?);
+        let fast = train_accumulators(
+            &encoded,
+            &labels,
+            classes,
+            &cfg_fit,
+            &TrainConfig::fast(),
+            &engine,
+        );
+        if fast != reference {
+            return Err(format!(
+                "bit-exactness violated: fast-path training at {t} threads diverges \
+                 from the sequential scalar reference"
+            ));
+        }
+    }
+
+    /// Best wall-clock seconds over `repeats` runs of `f`.
+    fn best_seconds<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = std::time::Instant::now();
+            let _out = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    // Time whatever path ROBUSTHD_TRAIN_FAST selected — proven bit-exact
+    // above.
+    let train = TrainConfig::from_env();
+    let mut entries = String::new();
+    let mut baseline_rate = None;
+    for (idx, &t) in threads.iter().enumerate() {
+        engine.set_config(batch_config(t)?);
+        let bundle_seconds = best_seconds(repeats, || {
+            train_accumulators(&encoded, &labels, classes, &cfg_bundle, &train, &engine)
+        });
+        let fit_seconds = best_seconds(repeats, || {
+            TrainedModel::from_accumulators(&train_accumulators(
+                &encoded, &labels, classes, &cfg_fit, &train, &engine,
+            ))
+        });
+        let bundle_qps = encoded.len() as f64 / bundle_seconds;
+        let retrain_seconds = fit_seconds - bundle_seconds;
+        let retrain_qps = if epochs == 0 || retrain_seconds <= 0.0 {
+            0.0
+        } else {
+            (encoded.len() * epochs) as f64 / retrain_seconds
+        };
+        let baseline = *baseline_rate.get_or_insert(bundle_qps);
+        if idx > 0 {
+            entries.push_str(",\n");
+        }
+        let _ = write!(
+            entries,
+            "    {{\"threads\": {t}, \"bundle_qps\": {bundle_qps:.1}, \
+             \"retrain_qps\": {retrain_qps:.1}, \"fit_seconds\": {fit_seconds:.4}, \
+             \"speedup\": {:.3}}}",
+            bundle_qps / baseline
+        );
+    }
+
+    Ok(format!(
+        "{{\n  \"dataset\": \"{name}\", \"dim\": {dim}, \"samples\": {}, \"classes\": {classes}, \
+         \"epochs\": {epochs}, \"shard_size\": {shard}, \"repeats\": {repeats}, \
+         \"seed\": {seed},\n  \"train_fast\": {},\n  \"bit_exact\": true,\n  \
+         \"sweep\": [\n{entries}\n  ]\n}}",
+        encoded.len(),
+        train.fast_path
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1134,9 +1334,42 @@ mod tests {
     }
 
     #[test]
+    fn trainbench_emits_bit_exact_sweep_json() {
+        let report = trainbench(&argv(&[
+            "--dataset",
+            "pecan",
+            "--samples",
+            "90",
+            "--dim",
+            "2048",
+            "--epochs",
+            "1",
+            "--threads",
+            "1,2",
+            "--repeats",
+            "1",
+        ]))
+        .expect("trainbench succeeds");
+        assert!(report.starts_with('{'), "report: {report}");
+        assert!(report.contains("\"bit_exact\": true"), "report: {report}");
+        assert!(report.contains("\"train_fast\": "), "report: {report}");
+        assert!(report.contains("\"threads\": 2"), "report: {report}");
+        assert!(report.contains("bundle_qps"), "report: {report}");
+        assert!(report.contains("retrain_qps"), "report: {report}");
+        assert!(report.contains("fit_seconds"), "report: {report}");
+    }
+
+    #[test]
+    fn trainbench_rejects_bad_thread_list() {
+        let err = trainbench(&argv(&["--threads", "1,zero"])).unwrap_err();
+        assert!(err.contains("not a positive integer"), "err: {err}");
+    }
+
+    #[test]
     fn help_flags_short_circuit() {
         for cmd in [
             generate, evaluate, attack, recover, train, infer, monitor, soak, throughput,
+            trainbench,
         ] {
             let text = cmd(&argv(&["--help"])).expect("help is ok");
             assert!(text.contains("OPTIONS"));

@@ -32,6 +32,7 @@ COMMANDS:
     monitor     Judge a model's health from unlabeled traffic as it corrupts
     soak        Chaos-soak the self-healing serving runtime under an attack campaign
     throughput  Benchmark batched inference across thread counts (JSON)
+    trainbench  Benchmark bit-sliced training (bundle/retrain) across thread counts (JSON)
 
 Run `robusthd <COMMAND> --help` for per-command options.";
 
@@ -56,6 +57,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "monitor" => commands::monitor(rest),
         "soak" => commands::soak(rest),
         "throughput" => commands::throughput(rest),
+        "trainbench" => commands::trainbench(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }

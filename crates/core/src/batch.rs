@@ -31,8 +31,8 @@
 use crate::confidence::Confidence;
 use crate::config::BatchConfig;
 use crate::encoding::Encoder;
-use crate::model::TrainedModel;
-use hypervector::similarity::{chunked_hamming, PackedClasses};
+use crate::model::{argmin_first, TrainedModel};
+use hypervector::similarity::chunked_hamming;
 use hypervector::BinaryHypervector;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -114,18 +114,6 @@ pub fn scan_chunk_faults(
         }
     }
     FaultScan { faulty, inspected }
-}
-
-/// First index of the minimum value — [`Iterator::min_by_key`]'s tie-break,
-/// and therefore [`TrainedModel::predict`]'s.
-fn argmin_first(distances: &[usize]) -> usize {
-    let mut best = 0;
-    for (i, &d) in distances.iter().enumerate().skip(1) {
-        if d < distances[best] {
-            best = i;
-        }
-    }
-    best
 }
 
 /// Similarities derived from Hamming distances exactly as
@@ -251,6 +239,63 @@ impl BatchEngine {
             .collect()
     }
 
+    /// Folds `inputs` into per-worker partial states, fanned out across the
+    /// configured worker threads, and returns the states in worker-index
+    /// order.
+    ///
+    /// Each worker starts from `init()` and calls `fold(&mut state, shard)`
+    /// for every shard it claims from the shared atomic counter. Which
+    /// shards land in which state is scheduling-dependent, so this is only
+    /// deterministic for *commutative, associative* folds (integer
+    /// accumulation, counting) whose merged total is independent of the
+    /// partition — exactly the shape of one-shot bundling in
+    /// [`crate::train`]. With one thread (or at most one shard of work)
+    /// everything runs inline and a single state is returned.
+    pub fn fold_shards<Q, S, I, F>(&self, inputs: &[Q], init: I, fold: F) -> Vec<S>
+    where
+        Q: Sync,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &[Q]) + Sync,
+    {
+        let shard_size = self.config.shard_size;
+        let num_shards = inputs.len().div_ceil(shard_size);
+        let threads = self.config.threads.min(num_shards);
+        if threads <= 1 {
+            let mut state = init();
+            for shard in inputs.chunks(shard_size) {
+                fold(&mut state, shard);
+            }
+            return vec![state];
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut states: Vec<S> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut state = init();
+                        loop {
+                            let shard = next.fetch_add(1, Ordering::Relaxed);
+                            if shard >= num_shards {
+                                break;
+                            }
+                            let lo = shard * shard_size;
+                            let hi = (lo + shard_size).min(inputs.len());
+                            fold(&mut state, &inputs[lo..hi]);
+                        }
+                        state
+                    })
+                })
+                .collect();
+            for worker in workers {
+                states.push(worker.join().expect("batch worker panicked"));
+            }
+        });
+        states
+    }
+
     /// Predicted label for every query, bit-identical to calling
     /// [`TrainedModel::predict`] per query (ties resolve to the lowest
     /// label).
@@ -259,7 +304,7 @@ impl BatchEngine {
     ///
     /// Panics if any query dimension differs from the model's.
     pub fn predict_batch(&self, model: &TrainedModel, queries: &[BinaryHypervector]) -> Vec<usize> {
-        let packed = PackedClasses::from_classes(model.classes());
+        let packed = model.packed();
         self.map_shards(queries, |shard| {
             let mut distances = Vec::new();
             shard
@@ -287,7 +332,7 @@ impl BatchEngine {
         queries: &[BinaryHypervector],
         beta: f64,
     ) -> Vec<BatchScore> {
-        let packed = PackedClasses::from_classes(model.classes());
+        let packed = model.packed();
         let dim = model.dim();
         self.map_shards(queries, |shard| {
             let mut distances = Vec::new();
@@ -340,7 +385,7 @@ impl BatchEngine {
         Q: Sync,
         F: Fn(&Q) -> BinaryHypervector + Sync,
     {
-        let packed = PackedClasses::from_classes(model.classes());
+        let packed = model.packed();
         self.map_shards(inputs, |shard| {
             let mut distances = Vec::new();
             shard
@@ -387,7 +432,7 @@ impl BatchEngine {
         batch: &[&[f64]],
         beta: f64,
     ) -> Vec<BatchScore> {
-        let packed = PackedClasses::from_classes(model.classes());
+        let packed = model.packed();
         let dim = model.dim();
         self.map_shards(batch, |shard| {
             let mut distances = Vec::new();
@@ -605,6 +650,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fold_shards_totals_are_partition_independent() {
+        let inputs: Vec<u64> = (1..=1000).collect();
+        let expected: u64 = inputs.iter().sum();
+        for threads in [1, 2, 4, 8] {
+            for shard_size in [1, 7, 32, 2000] {
+                let partials = engine(threads, shard_size).fold_shards(
+                    &inputs,
+                    || 0u64,
+                    |state, shard| *state += shard.iter().sum::<u64>(),
+                );
+                assert!(partials.len() <= threads.max(1));
+                assert_eq!(
+                    partials.iter().sum::<u64>(),
+                    expected,
+                    "threads={threads} shard={shard_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_shards_on_empty_input_returns_one_untouched_state() {
+        let partials = engine(4, 8).fold_shards(&[] as &[u64], || 7u64, |_, _| unreachable!());
+        assert_eq!(partials, vec![7]);
     }
 
     #[test]

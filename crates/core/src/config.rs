@@ -696,7 +696,7 @@ impl EncodeConfig {
     /// including the variable being unset — selects the fast path.
     pub fn from_env() -> Self {
         Self {
-            fast_path: parse_encode_fast(std::env::var(ENCODE_FAST_ENV_VAR).ok().as_deref()),
+            fast_path: parse_fast_flag(std::env::var(ENCODE_FAST_ENV_VAR).ok().as_deref()),
         }
     }
 }
@@ -707,13 +707,77 @@ impl Default for EncodeConfig {
     }
 }
 
-/// Parses a `ROBUSTHD_ENCODE_FAST`-style value; only an explicit opt-out
-/// disables the fast path.
-fn parse_encode_fast(raw: Option<&str>) -> bool {
+/// Parses a `ROBUSTHD_ENCODE_FAST` / `ROBUSTHD_TRAIN_FAST`-style value;
+/// only an explicit opt-out disables the fast path.
+fn parse_fast_flag(raw: Option<&str>) -> bool {
     !matches!(
         raw.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
         Some("0") | Some("false") | Some("off") | Some("no")
     )
+}
+
+/// Environment variable read by [`TrainConfig::from_env`]: set to `0`,
+/// `false`, `off`, or `no` (case-insensitive) to disable the bit-sliced
+/// parallel training engine and fall back to the sequential scalar
+/// reference trainer.
+pub const TRAIN_FAST_ENV_VAR: &str = "ROBUSTHD_TRAIN_FAST";
+
+/// Tuning of the model-training execution path
+/// ([`crate::train`], used by [`crate::TrainedModel::train`] and every
+/// `fit` entry point).
+///
+/// Like [`EncodeConfig`], this is a pure throughput knob: the fast path
+/// (sharded carry-save one-shot bundling + batch-scored retraining epochs)
+/// is bit-identical to the sequential scalar reference trainer — identical
+/// accumulator counts, identical mistakes, identical early-exit, at any
+/// thread count — which the differential suite
+/// (`crates/core/tests/train_differential.rs`) asserts down to the raw
+/// `i64` counters. The switch exists so the differential tests (and anyone
+/// chasing a miscompare) can pin either implementation explicitly.
+///
+/// # Example
+///
+/// ```
+/// use robusthd::TrainConfig;
+///
+/// assert!(TrainConfig::default().fast_path);
+/// assert!(!TrainConfig::reference().fast_path);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// When `true` (default) train through the sharded bit-sliced bundling
+    /// kernel and batch-scored retraining; when `false` run the sequential
+    /// scalar reference loop.
+    pub fast_path: bool,
+}
+
+impl TrainConfig {
+    /// The fast path: sharded carry-save bundling + batch-scored epochs.
+    pub fn fast() -> Self {
+        Self { fast_path: true }
+    }
+
+    /// The sequential scalar reference path (per-sample accumulator adds,
+    /// per-sample snapshot predictions).
+    pub fn reference() -> Self {
+        Self { fast_path: false }
+    }
+
+    /// The default (fast) configuration, overridden by the
+    /// `ROBUSTHD_TRAIN_FAST` environment variable: `0` / `false` / `off` /
+    /// `no` (case-insensitive) select the reference path, anything else —
+    /// including the variable being unset — selects the fast path.
+    pub fn from_env() -> Self {
+        Self {
+            fast_path: parse_fast_flag(std::env::var(TRAIN_FAST_ENV_VAR).ok().as_deref()),
+        }
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
 }
 
 /// Tuning of the batched inference engine
@@ -993,14 +1057,21 @@ mod tests {
 
     #[test]
     fn encode_env_values_parse_as_opt_out() {
-        assert!(!parse_encode_fast(Some("0")));
-        assert!(!parse_encode_fast(Some("false")));
-        assert!(!parse_encode_fast(Some(" OFF ")));
-        assert!(!parse_encode_fast(Some("no")));
-        assert!(parse_encode_fast(Some("1")));
-        assert!(parse_encode_fast(Some("true")));
-        assert!(parse_encode_fast(Some("anything")));
-        assert!(parse_encode_fast(None));
+        assert!(!parse_fast_flag(Some("0")));
+        assert!(!parse_fast_flag(Some("false")));
+        assert!(!parse_fast_flag(Some(" OFF ")));
+        assert!(!parse_fast_flag(Some("no")));
+        assert!(parse_fast_flag(Some("1")));
+        assert!(parse_fast_flag(Some("true")));
+        assert!(parse_fast_flag(Some("anything")));
+        assert!(parse_fast_flag(None));
+    }
+
+    #[test]
+    fn train_config_defaults_fast() {
+        assert!(TrainConfig::default().fast_path);
+        assert!(TrainConfig::fast().fast_path);
+        assert!(!TrainConfig::reference().fast_path);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Class-hypervector models: one-shot bundling, retraining, prediction, and
 //! the raw memory image that fault injection targets.
 
-use crate::config::HdcConfig;
+use crate::batch::BatchEngine;
+use crate::config::{HdcConfig, TrainConfig};
+use hypervector::similarity::PackedClasses;
 use hypervector::{BinaryHypervector, BundleAccumulator, IntHypervector, PackedBits, Precision};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
 
 /// A trained binary HDC model: one class hypervector per label.
 ///
@@ -40,10 +41,35 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(model.predict(&encoded[1]), 1);
 /// # Ok::<(), robusthd::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct TrainedModel {
     classes: Vec<BinaryHypervector>,
     dim: usize,
+    /// Lazily built class-major packed copy of the model, shared by
+    /// [`TrainedModel::predict`] / [`TrainedModel::similarities`] and the
+    /// batch engine's scoring paths. Dropped whenever a class mutates
+    /// ([`TrainedModel::class_mut`], [`TrainedModel::load_memory_image`])
+    /// and never serialized — the stored form stays `classes` + `dim`.
+    #[serde(skip)]
+    packed: OnceLock<PackedClasses>,
+}
+
+impl PartialEq for TrainedModel {
+    fn eq(&self, other: &Self) -> bool {
+        // The packed cache is derived state; equality is the classes.
+        self.classes == other.classes && self.dim == other.dim
+    }
+}
+
+impl Eq for TrainedModel {}
+
+impl fmt::Debug for TrainedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrainedModel")
+            .field("classes", &self.classes)
+            .field("dim", &self.dim)
+            .finish()
+    }
 }
 
 impl TrainedModel {
@@ -51,6 +77,11 @@ impl TrainedModel {
     /// its class accumulator, followed by `config.retrain_epochs` perceptron
     /// passes (mispredicted samples are added to their true class and
     /// subtracted from the predicted one).
+    ///
+    /// Runs through the parallel bit-sliced training engine
+    /// ([`crate::train`]) configured from the environment
+    /// (`ROBUSTHD_TRAIN_FAST`, `ROBUSTHD_THREADS`); the result is
+    /// bit-identical at any setting.
     ///
     /// # Panics
     ///
@@ -62,7 +93,34 @@ impl TrainedModel {
         num_classes: usize,
         config: &HdcConfig,
     ) -> Self {
-        let accumulators = train_accumulators(encoded, labels, num_classes, config);
+        Self::train_with(
+            encoded,
+            labels,
+            num_classes,
+            config,
+            &TrainConfig::from_env(),
+            &BatchEngine::from_env(),
+        )
+    }
+
+    /// [`TrainedModel::train`] with an explicit training path and batch
+    /// engine — the entry point for callers that already hold an engine
+    /// (the pipeline and stream classifiers) and for differential tests
+    /// pinning the fast and reference paths against each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TrainedModel::train`].
+    pub fn train_with(
+        encoded: &[BinaryHypervector],
+        labels: &[usize],
+        num_classes: usize,
+        config: &HdcConfig,
+        train: &TrainConfig,
+        engine: &BatchEngine,
+    ) -> Self {
+        let accumulators =
+            crate::train::train_accumulators(encoded, labels, num_classes, config, train, engine);
         Self::from_accumulators(&accumulators)
     }
 
@@ -75,7 +133,11 @@ impl TrainedModel {
         assert!(!accumulators.is_empty(), "need at least one class");
         let classes: Vec<BinaryHypervector> = accumulators.iter().map(|a| a.to_binary()).collect();
         let dim = classes[0].dim();
-        Self { classes, dim }
+        Self {
+            classes,
+            dim,
+            packed: OnceLock::new(),
+        }
     }
 
     /// Builds a model directly from class hypervectors.
@@ -90,7 +152,11 @@ impl TrainedModel {
             classes.iter().all(|c| c.dim() == dim),
             "class hypervectors must share one dimension"
         );
-        Self { classes, dim }
+        Self {
+            classes,
+            dim,
+            packed: OnceLock::new(),
+        }
     }
 
     /// Hypervector dimensionality `D`.
@@ -124,50 +190,69 @@ impl TrainedModel {
     ///
     /// Panics if `label` is out of range.
     pub fn class_mut(&mut self, label: usize) -> &mut BinaryHypervector {
+        // The caller may rewrite stored bits; the packed scoring copy is
+        // stale the moment they do.
+        self.packed.take();
         &mut self.classes[label]
     }
 
-    /// Normalized similarity of `query` to every class, in class order.
+    /// The class-major packed copy of the model used by the fused scoring
+    /// kernel ([`PackedClasses::hamming_all_into`]), built on first use and
+    /// cached until a class mutates.
+    pub fn packed(&self) -> &PackedClasses {
+        self.packed
+            .get_or_init(|| PackedClasses::from_classes(&self.classes))
+    }
+
+    /// Normalized similarity of `query` to every class, in class order —
+    /// computed from one fused pass over the packed classes, with the same
+    /// float expression as [`BinaryHypervector::similarity`].
     ///
     /// # Panics
     ///
     /// Panics if the query dimension differs from the model's.
     pub fn similarities(&self, query: &BinaryHypervector) -> Vec<f64> {
-        self.classes.iter().map(|c| c.similarity(query)).collect()
+        let distances = self.packed().hamming_all(query);
+        distances
+            .iter()
+            .map(|&d| {
+                if self.dim == 0 {
+                    1.0
+                } else {
+                    1.0 - d as f64 / self.dim as f64
+                }
+            })
+            .collect()
     }
 
     /// Predicted label: the class with the highest Hamming similarity (ties
-    /// resolve to the lowest label).
+    /// resolve to the lowest label), scored through the fused
+    /// [`PackedClasses::hamming_all_into`] kernel.
     ///
     /// # Panics
     ///
     /// Panics if the query dimension differs from the model's.
     pub fn predict(&self, query: &BinaryHypervector) -> usize {
-        self.classes
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| c.hamming_distance(query))
-            .map(|(i, _)| i)
-            .expect("model has at least one class")
+        let mut distances = Vec::with_capacity(self.classes.len());
+        self.packed().hamming_all_into(query, &mut distances);
+        argmin_first(&distances)
     }
 
     /// Serializes the model into its stored form: the bit-concatenation of
     /// all class hypervectors (`k × D` bits). This is the image a memory
-    /// attack corrupts.
+    /// attack corrupts. Each class is spliced in with a word-level copy
+    /// ([`PackedBits::write_bits`]), not bit by bit.
     pub fn to_memory_image(&self) -> PackedBits {
         let mut image = PackedBits::zeros(self.num_classes() * self.dim);
         for (c, class) in self.classes.iter().enumerate() {
-            for i in 0..self.dim {
-                if class.get(i) {
-                    image.set(c * self.dim + i, true);
-                }
-            }
+            image.write_bits(c * self.dim, class.bits());
         }
         image
     }
 
     /// Replaces the model contents from a (possibly corrupted) memory image
-    /// produced by [`TrainedModel::to_memory_image`].
+    /// produced by [`TrainedModel::to_memory_image`], extracting each class
+    /// with a word-level copy ([`PackedBits::extract_bits`]).
     ///
     /// # Panics
     ///
@@ -180,12 +265,23 @@ impl TrainedModel {
             image.len(),
             self.num_classes() * self.dim
         );
+        self.packed.take();
         for (c, class) in self.classes.iter_mut().enumerate() {
-            for i in 0..class.dim() {
-                class.set(i, image.get(c * class.dim() + i));
-            }
+            *class = BinaryHypervector::from_bits(image.extract_bits(c * self.dim, self.dim));
         }
     }
+}
+
+/// First index of the minimum value — [`Iterator::min_by_key`]'s tie-break,
+/// and therefore the lowest-label rule every prediction path shares.
+pub(crate) fn argmin_first(distances: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &d) in distances.iter().enumerate().skip(1) {
+        if d < distances[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// A low-precision integer HDC model (the 2-bit rows of Table 1).
@@ -214,7 +310,34 @@ impl IntModel {
         config: &HdcConfig,
         precision: Precision,
     ) -> Self {
-        let accumulators = train_accumulators(encoded, labels, num_classes, config);
+        Self::train_with(
+            encoded,
+            labels,
+            num_classes,
+            config,
+            precision,
+            &TrainConfig::from_env(),
+            &BatchEngine::from_env(),
+        )
+    }
+
+    /// [`IntModel::train`] with an explicit training path and batch engine
+    /// (see [`TrainedModel::train_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TrainedModel::train`].
+    pub fn train_with(
+        encoded: &[BinaryHypervector],
+        labels: &[usize],
+        num_classes: usize,
+        config: &HdcConfig,
+        precision: Precision,
+        train: &TrainConfig,
+        engine: &BatchEngine,
+    ) -> Self {
+        let accumulators =
+            crate::train::train_accumulators(encoded, labels, num_classes, config, train, engine);
         let classes: Vec<IntHypervector> =
             accumulators.iter().map(|a| a.to_int(precision)).collect();
         let dim = classes[0].dim();
@@ -261,23 +384,20 @@ impl IntModel {
     }
 
     /// Serializes the model's stored form: `k × D × b` bits of packed
-    /// `b`-bit fields.
+    /// `b`-bit fields, each class spliced in with a word-level copy
+    /// ([`PackedBits::write_bits`]).
     pub fn to_memory_image(&self) -> PackedBits {
         let bits_per_class = self.dim * self.precision.bits() as usize;
         let mut image = PackedBits::zeros(self.num_classes() * bits_per_class);
         for (c, class) in self.classes.iter().enumerate() {
-            let packed = class.pack();
-            for i in 0..packed.len() {
-                if packed.get(i) {
-                    image.set(c * bits_per_class + i, true);
-                }
-            }
+            image.write_bits(c * bits_per_class, &class.pack());
         }
         image
     }
 
     /// Replaces the model from a (possibly corrupted) image produced by
-    /// [`IntModel::to_memory_image`].
+    /// [`IntModel::to_memory_image`], extracting each class's packed fields
+    /// with a word-level copy ([`PackedBits::extract_bits`]).
     ///
     /// # Panics
     ///
@@ -290,69 +410,10 @@ impl IntModel {
             "memory image size mismatch"
         );
         for (c, class) in self.classes.iter_mut().enumerate() {
-            let mut packed = PackedBits::zeros(bits_per_class);
-            for i in 0..bits_per_class {
-                if image.get(c * bits_per_class + i) {
-                    packed.set(i, true);
-                }
-            }
+            let packed = image.extract_bits(c * bits_per_class, bits_per_class);
             *class = IntHypervector::from_packed(&packed, self.dim, self.precision);
         }
     }
-}
-
-/// Shared training core: one-shot bundling plus perceptron retraining over
-/// the accumulators.
-fn train_accumulators(
-    encoded: &[BinaryHypervector],
-    labels: &[usize],
-    num_classes: usize,
-    config: &HdcConfig,
-) -> Vec<BundleAccumulator> {
-    assert!(!encoded.is_empty(), "training set must not be empty");
-    assert_eq!(
-        encoded.len(),
-        labels.len(),
-        "encoded samples and labels must align"
-    );
-    assert!(num_classes > 0, "need at least one class");
-    let dim = encoded[0].dim();
-    for (i, hv) in encoded.iter().enumerate() {
-        assert_eq!(hv.dim(), dim, "sample {i} has dimension {}", hv.dim());
-    }
-    for (i, &l) in labels.iter().enumerate() {
-        assert!(l < num_classes, "label {l} of sample {i} out of range");
-    }
-
-    // One-shot bundling.
-    let mut accumulators: Vec<BundleAccumulator> = (0..num_classes)
-        .map(|_| BundleAccumulator::new(dim))
-        .collect();
-    for (hv, &label) in encoded.iter().zip(labels) {
-        accumulators[label].add(hv);
-    }
-
-    // Perceptron-style retraining against a per-epoch binary snapshot.
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37_79b9));
-    let mut order: Vec<usize> = (0..encoded.len()).collect();
-    for _ in 0..config.retrain_epochs {
-        let snapshot = TrainedModel::from_accumulators(&accumulators);
-        order.shuffle(&mut rng);
-        let mut mistakes = 0usize;
-        for &idx in &order {
-            let predicted = snapshot.predict(&encoded[idx]);
-            let truth = labels[idx];
-            if predicted != truth {
-                accumulators[truth].add(&encoded[idx]);
-                accumulators[predicted].subtract(&encoded[idx]);
-                mistakes += 1;
-            }
-        }
-        if mistakes == 0 {
-            break;
-        }
-    }
-    accumulators
 }
 
 #[cfg(test)]
@@ -453,6 +514,83 @@ mod tests {
     }
 
     #[test]
+    fn fused_predict_ties_match_per_class_reference() {
+        // Equidistant and duplicate classes: the fused kernel must keep
+        // min_by_key's first-minimum tie-break exactly.
+        let mut sampler = HypervectorSampler::seed_from(40);
+        let a = sampler.binary(130);
+        let classes = vec![a.clone(), a.clone(), sampler.binary(130), a.clone()];
+        let model = TrainedModel::from_classes(classes.clone());
+        for _ in 0..50 {
+            let query = sampler.binary(130);
+            let reference = classes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.hamming_distance(&query))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            assert_eq!(model.predict(&query), reference);
+        }
+    }
+
+    #[test]
+    fn fused_similarities_match_per_class_reference_bitwise() {
+        let (encoded, labels) = toy_task(4, 10, 193, 0.25, 41);
+        let model = TrainedModel::train(&encoded, &labels, 4, &config(193));
+        for hv in encoded.iter().take(10) {
+            let fused = model.similarities(hv);
+            let reference: Vec<f64> = model.classes().iter().map(|c| c.similarity(hv)).collect();
+            assert_eq!(fused.len(), reference.len());
+            for (f, r) in fused.iter().zip(&reference) {
+                assert_eq!(f.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cache_invalidates_on_mutation() {
+        let mut sampler = HypervectorSampler::seed_from(42);
+        let classes: Vec<_> = (0..2).map(|_| sampler.binary(256)).collect();
+        let query = classes[1].clone();
+        let mut model = TrainedModel::from_classes(classes);
+        assert_eq!(model.predict(&query), 1); // builds the packed cache
+        *model.class_mut(0) = query.clone(); // must drop it
+        assert_eq!(model.predict(&query), 0, "stale packed cache survived");
+        let image =
+            TrainedModel::from_classes(vec![query.clone(), sampler.binary(256)]).to_memory_image();
+        model.load_memory_image(&image); // must drop it again
+        assert_eq!(model.predict(&query), 0);
+    }
+
+    #[test]
+    fn unaligned_memory_image_roundtrips_and_localizes_attacks() {
+        // dim % 64 != 0 puts every class after the first at an unaligned
+        // image offset — the hard case for the word-level splicing.
+        let (encoded, labels) = toy_task(3, 8, 193, 0.2, 43);
+        let model = TrainedModel::train(&encoded, &labels, 3, &config(193));
+        let image = model.to_memory_image();
+        assert_eq!(image.len(), 3 * 193);
+        // The image must equal the bit-by-bit concatenation.
+        for c in 0..3 {
+            for i in 0..193 {
+                assert_eq!(image.get(c * 193 + i), model.class(c).get(i), "c={c} i={i}");
+            }
+        }
+        let mut copy = model.clone();
+        copy.load_memory_image(&image);
+        assert_eq!(copy, model);
+        // An attacked bit lands in exactly the right class and dimension.
+        let mut attacked = image.clone();
+        attacked.flip(193 + 64); // class 1, dimension 64
+        let mut corrupted = model.clone();
+        corrupted.load_memory_image(&attacked);
+        assert_eq!(corrupted.class(0), model.class(0));
+        assert_eq!(corrupted.class(2), model.class(2));
+        assert_eq!(corrupted.class(1).hamming_distance(model.class(1)), 1);
+        assert_ne!(corrupted.class(1).get(64), model.class(1).get(64));
+    }
+
+    #[test]
     fn similarities_align_with_prediction() {
         let (encoded, labels) = toy_task(5, 10, 2048, 0.25, 5);
         let model = TrainedModel::train(&encoded, &labels, 5, &config(2048));
@@ -511,6 +649,33 @@ mod tests {
         corrupted.load_memory_image(&image);
         let delta = (corrupted.classes()[0].values()[0] - model.classes()[0].values()[0]).abs();
         assert_eq!(delta, 8, "MSB flip must move a 4-bit element by 2^3");
+    }
+
+    #[test]
+    fn int_model_unaligned_image_roundtrips_and_localizes_attacks() {
+        // 193 dims × 2 bits = 386 bits per class: every class boundary in
+        // the image is unaligned.
+        let (encoded, labels) = toy_task(3, 8, 193, 0.2, 44);
+        let p = Precision::new(2).expect("valid");
+        let model = IntModel::train(&encoded, &labels, 3, &config(193), p);
+        let image = model.to_memory_image();
+        assert_eq!(image.len(), 3 * 386);
+        for (c, class) in model.classes().iter().enumerate() {
+            let packed = class.pack();
+            for i in 0..386 {
+                assert_eq!(image.get(c * 386 + i), packed.get(i), "c={c} i={i}");
+            }
+        }
+        let mut copy = model.clone();
+        copy.load_memory_image(&image);
+        assert_eq!(copy, model);
+        let mut attacked = image.clone();
+        attacked.flip(386 + 2); // class 1, element 1's low bit
+        let mut corrupted = model.clone();
+        corrupted.load_memory_image(&attacked);
+        assert_eq!(corrupted.classes()[0], model.classes()[0]);
+        assert_eq!(corrupted.classes()[2], model.classes()[2]);
+        assert_ne!(corrupted.classes()[1], model.classes()[1]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! [`crate::RecoveryEngine`].
 
 use crate::batch::BatchEngine;
-use crate::config::{BatchConfig, HdcConfig};
+use crate::config::{BatchConfig, HdcConfig, TrainConfig};
 use crate::model::TrainedModel;
 use hypervector::random::HypervectorSampler;
 use hypervector::{BinaryHypervector, SequenceEncoder};
@@ -83,13 +83,21 @@ impl StreamClassifier {
             .collect();
         let labels: Vec<usize> = streams.iter().map(|(_, l)| *l).collect();
         let num_classes = labels.iter().copied().max().expect("non-empty") + 1;
-        let model = TrainedModel::train(&encoded, &labels, num_classes, config);
+        let batch = BatchEngine::from_env();
+        let model = TrainedModel::train_with(
+            &encoded,
+            &labels,
+            num_classes,
+            config,
+            &TrainConfig::from_env(),
+            &batch,
+        );
         Self {
             encoder,
             model,
             alphabet,
             num_classes,
-            batch: BatchEngine::from_env(),
+            batch,
         }
     }
 
@@ -270,7 +278,14 @@ impl MultichannelStreamClassifier {
             .collect();
         let labels: Vec<usize> = streams.iter().map(|(_, l)| *l).collect();
         let num_classes = labels.iter().copied().max().expect("non-empty") + 1;
-        this.model = TrainedModel::train(&encoded, &labels, num_classes, config);
+        this.model = TrainedModel::train_with(
+            &encoded,
+            &labels,
+            num_classes,
+            config,
+            &TrainConfig::from_env(),
+            &this.batch,
+        );
         this.num_classes = num_classes;
         this
     }

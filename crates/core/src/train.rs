@@ -1,0 +1,236 @@
+//! Parallel bit-sliced training engine.
+//!
+//! Training a RobustHD model (paper §3) is one-shot bundling — add every
+//! encoded sample into its class accumulator — followed by perceptron
+//! retraining epochs that predict each sample against a *frozen* binary
+//! snapshot of the accumulators and add/subtract mispredicted samples.
+//! Both stages parallelize without changing a single bit:
+//!
+//! * **Bundling** is integer addition, which commutes: shard the samples
+//!   across the [`BatchEngine`]'s scoped workers, let each worker fold its
+//!   shards into per-class [`CarrySaveMajority`] bit-plane counters (a
+//!   sample costs amortized `O(1)` word operations per 64 dimensions
+//!   instead of 64 scalar counter updates), then fold every worker's
+//!   planes back into the signed [`BundleAccumulator`] counters in
+//!   worker-index order. Which worker claimed which shard is
+//!   scheduling-dependent, but the merged totals are not — each class
+//!   count is the same sum of the same terms.
+//! * **Retraining** already predicts the whole epoch against a snapshot
+//!   that never changes mid-epoch, so the epoch's predictions can be
+//!   batch-scored in parallel through [`BatchEngine::predict_batch`]
+//!   (itself bit-identical to sequential [`TrainedModel::predict`]); the
+//!   add/subtract updates are then applied sequentially in shuffle order —
+//!   identical mistakes, identical counts, identical early-exit, at any
+//!   thread count. The shuffle RNG is consumed identically on both paths
+//!   (one shuffle per epoch, drawn before the early-exit check).
+//!
+//! The differential suite (`crates/core/tests/train_differential.rs`)
+//! pins fast == reference down to the raw `i64` accumulator counts across
+//! thread counts, epochs, and dimensions straddling word boundaries.
+
+use crate::batch::BatchEngine;
+use crate::config::{HdcConfig, TrainConfig};
+use crate::model::TrainedModel;
+use hypervector::{BinaryHypervector, BundleAccumulator, CarrySaveMajority};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shared training core: one-shot bundling plus perceptron retraining over
+/// the accumulators. `train.fast_path` selects the parallel bit-sliced
+/// engine or the sequential scalar reference loop — the returned
+/// accumulators (and therefore the thresholded model) are bit-identical
+/// either way.
+///
+/// Public so the differential suite can compare raw accumulator counts,
+/// not just the thresholded models.
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, lengths differ, a label is out of
+/// range, or an encoded vector has the wrong dimension.
+pub fn train_accumulators(
+    encoded: &[BinaryHypervector],
+    labels: &[usize],
+    num_classes: usize,
+    config: &HdcConfig,
+    train: &TrainConfig,
+    engine: &BatchEngine,
+) -> Vec<BundleAccumulator> {
+    assert!(!encoded.is_empty(), "training set must not be empty");
+    assert_eq!(
+        encoded.len(),
+        labels.len(),
+        "encoded samples and labels must align"
+    );
+    assert!(num_classes > 0, "need at least one class");
+    let dim = encoded[0].dim();
+    for (i, hv) in encoded.iter().enumerate() {
+        assert_eq!(hv.dim(), dim, "sample {i} has dimension {}", hv.dim());
+    }
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < num_classes, "label {l} of sample {i} out of range");
+    }
+
+    // One-shot bundling.
+    let mut accumulators = if train.fast_path {
+        bundle_sharded(encoded, labels, num_classes, dim, engine)
+    } else {
+        bundle_reference(encoded, labels, num_classes, dim)
+    };
+
+    // Perceptron-style retraining against a per-epoch binary snapshot. The
+    // snapshot is frozen for the whole epoch, so each sample's prediction
+    // is independent of the epoch's updates — the fast path scores the
+    // entire epoch in parallel up front, then applies updates sequentially
+    // in the identical shuffle order.
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37_79b9));
+    let mut order: Vec<usize> = (0..encoded.len()).collect();
+    for _ in 0..config.retrain_epochs {
+        let snapshot = TrainedModel::from_accumulators(&accumulators);
+        order.shuffle(&mut rng);
+        let mut mistakes = 0usize;
+        if train.fast_path {
+            let predictions = engine.predict_batch(&snapshot, encoded);
+            for &idx in &order {
+                let predicted = predictions[idx];
+                let truth = labels[idx];
+                if predicted != truth {
+                    accumulators[truth].add(&encoded[idx]);
+                    accumulators[predicted].subtract(&encoded[idx]);
+                    mistakes += 1;
+                }
+            }
+        } else {
+            for &idx in &order {
+                let predicted = snapshot.predict(&encoded[idx]);
+                let truth = labels[idx];
+                if predicted != truth {
+                    accumulators[truth].add(&encoded[idx]);
+                    accumulators[predicted].subtract(&encoded[idx]);
+                    mistakes += 1;
+                }
+            }
+        }
+        if mistakes == 0 {
+            break;
+        }
+    }
+    accumulators
+}
+
+/// The scalar reference bundling loop: one [`BundleAccumulator::add`] per
+/// sample.
+fn bundle_reference(
+    encoded: &[BinaryHypervector],
+    labels: &[usize],
+    num_classes: usize,
+    dim: usize,
+) -> Vec<BundleAccumulator> {
+    let mut accumulators: Vec<BundleAccumulator> = (0..num_classes)
+        .map(|_| BundleAccumulator::new(dim))
+        .collect();
+    for (hv, &label) in encoded.iter().zip(labels) {
+        accumulators[label].add(hv);
+    }
+    accumulators
+}
+
+/// Sharded carry-save bundling: per-worker bit-plane partials folded back
+/// into signed counters in worker-index order. Counts are identical to
+/// [`bundle_reference`] because bundling is commutative integer addition.
+fn bundle_sharded(
+    encoded: &[BinaryHypervector],
+    labels: &[usize],
+    num_classes: usize,
+    dim: usize,
+    engine: &BatchEngine,
+) -> Vec<BundleAccumulator> {
+    let items: Vec<(usize, &BinaryHypervector)> =
+        labels.iter().copied().zip(encoded.iter()).collect();
+    let partials = engine.fold_shards(
+        &items,
+        || -> Vec<CarrySaveMajority> {
+            (0..num_classes)
+                .map(|_| CarrySaveMajority::new(dim))
+                .collect()
+        },
+        |state, shard| {
+            for &(label, hv) in shard {
+                state[label].add(hv);
+            }
+        },
+    );
+    let mut accumulators: Vec<BundleAccumulator> = (0..num_classes)
+        .map(|_| BundleAccumulator::new(dim))
+        .collect();
+    for partial in &partials {
+        for (accumulator, planes) in accumulators.iter_mut().zip(partial) {
+            accumulator.absorb(planes);
+        }
+    }
+    accumulators
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatchConfig;
+    use hypervector::random::HypervectorSampler;
+
+    fn toy(k: usize, n: usize, dim: usize, seed: u64) -> (Vec<BinaryHypervector>, Vec<usize>) {
+        let mut sampler = HypervectorSampler::seed_from(seed);
+        let protos: Vec<_> = (0..k).map(|_| sampler.binary(dim)).collect();
+        let mut encoded = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % k;
+            encoded.push(sampler.flip_noise(&protos[class], 0.3));
+            labels.push(class);
+        }
+        (encoded, labels)
+    }
+
+    #[test]
+    fn fast_equals_reference_for_small_smoke() {
+        let (encoded, labels) = toy(3, 50, 193, 21);
+        let config = HdcConfig::builder()
+            .dimension(193)
+            .retrain_epochs(2)
+            .build()
+            .expect("valid");
+        let reference = train_accumulators(
+            &encoded,
+            &labels,
+            3,
+            &config,
+            &TrainConfig::reference(),
+            &BatchEngine::new(BatchConfig::builder().threads(1).build().expect("valid")),
+        );
+        for threads in [1, 4] {
+            let engine = BatchEngine::new(
+                BatchConfig::builder()
+                    .threads(threads)
+                    .shard_size(7)
+                    .build()
+                    .expect("valid"),
+            );
+            let fast =
+                train_accumulators(&encoded, &labels, 3, &config, &TrainConfig::fast(), &engine);
+            assert_eq!(fast, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_training_set_panics() {
+        train_accumulators(
+            &[],
+            &[],
+            1,
+            &HdcConfig::default(),
+            &TrainConfig::fast(),
+            &BatchEngine::from_env(),
+        );
+    }
+}

@@ -1,4 +1,5 @@
 use crate::binary::BinaryHypervector;
+use crate::bitslice::CarrySaveMajority;
 use crate::multibit::{IntHypervector, Precision};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -95,6 +96,59 @@ impl BundleAccumulator {
         } else {
             self.added = self.added.saturating_sub((-weight) as u64);
         }
+    }
+
+    /// Bundles a whole batch of hypervectors in one bit-sliced pass,
+    /// with counts identical to calling [`BundleAccumulator::add`] once
+    /// per vector (in any order — bundling is integer addition).
+    ///
+    /// The batch is routed through a [`CarrySaveMajority`] plane counter:
+    /// each vector costs amortized `O(1)` word operations per 64
+    /// dimensions instead of the scalar path's 64 counter updates, and the
+    /// plane counts are folded back into the signed counters once at the
+    /// end via [`CarrySaveMajority::accumulate_bipolar`]. This is the
+    /// one-shot bundling kernel of the parallel training engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension differs.
+    pub fn add_batch<'a, I>(&mut self, hvs: I)
+    where
+        I: IntoIterator<Item = &'a BinaryHypervector>,
+    {
+        let mut planes = CarrySaveMajority::new(self.dim());
+        for hv in hvs {
+            planes.add(hv);
+        }
+        self.absorb(&planes);
+    }
+
+    /// Folds a bit-sliced partial bundle into the signed counters:
+    /// equivalent to having [`BundleAccumulator::add`]ed every vector the
+    /// planes bundled. Used to merge per-worker partial accumulators after
+    /// a sharded one-shot bundling pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn absorb(&mut self, planes: &CarrySaveMajority) {
+        assert_eq!(self.dim(), planes.dim(), "dimension mismatch in absorb");
+        planes.accumulate_bipolar(&mut self.counts);
+        self.added += planes.added();
+    }
+
+    /// Merges another accumulator's counts into this one, as if every
+    /// vector bundled into `other` had been bundled here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in merge");
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.added += other.added;
     }
 
     /// Adds `weight` to every one-bit's counter and `-weight` to every

@@ -173,6 +173,43 @@ impl CarrySaveMajority {
         }
     }
 
+    /// Adds each dimension's *bipolar* count — `2·ones − added`, i.e. +1
+    /// per bundled one-bit and −1 per bundled zero-bit — into `counts`.
+    ///
+    /// This is the bridge from the bit-sliced representation back to the
+    /// exact signed counters of [`crate::BundleAccumulator`]: bundling a
+    /// set of vectors here and accumulating into zeroed counts yields
+    /// *exactly* the accumulator's `counts()`, because the per-dimension
+    /// ones-count is recovered losslessly from the planes and the bipolar
+    /// identity is plain integer arithmetic. The reconstruction costs
+    /// `O(planes)` word reads per word — amortized `O(log F)` per
+    /// dimension after bundling `F` vectors — so it is a rounding error
+    /// next to the adds it summarizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != dim()`.
+    pub fn accumulate_bipolar(&self, counts: &mut [i64]) {
+        assert_eq!(
+            counts.len(),
+            self.dim,
+            "count buffer length mismatch in accumulate_bipolar"
+        );
+        let added = self.added as i64;
+        for w in 0..self.words {
+            let base = w * WORD_BITS;
+            let span = WORD_BITS.min(self.dim - base);
+            let slot = &mut counts[base..base + span];
+            for (d, c) in slot.iter_mut().enumerate() {
+                let mut ones = 0i64;
+                for (j, plane) in self.planes.iter().enumerate() {
+                    ones |= (((plane[w] >> d) & 1) as i64) << j;
+                }
+                *c += 2 * ones - added;
+            }
+        }
+    }
+
     /// Majority threshold, bit-identical to
     /// [`crate::BundleAccumulator::to_binary`] over the same inputs: a
     /// dimension becomes 1 when its ones-count exceeds half the vectors

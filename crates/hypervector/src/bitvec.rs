@@ -226,6 +226,100 @@ impl PackedBits {
         }
     }
 
+    /// Writes all of `src`'s bits into `self` starting at bit `offset`,
+    /// using word-level shifts instead of per-bit copies.
+    ///
+    /// Bits outside `offset..offset + src.len()` are untouched. This is the
+    /// splicing primitive under the word-level memory-image writers: a class
+    /// hypervector lands at an arbitrary (often unaligned) bit offset of the
+    /// image in `O(words)` operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len() > self.len()`.
+    pub fn write_bits(&mut self, offset: usize, src: &Self) {
+        assert!(
+            offset + src.len <= self.len,
+            "write_bits range {offset}..{} out of range {}",
+            offset + src.len,
+            self.len
+        );
+        if src.len == 0 {
+            return;
+        }
+        // Clear the destination range, then OR in the shifted source words.
+        // Source ghost bits past `src.len()` are zero by invariant, so the
+        // OR never spills outside the cleared range.
+        let end = offset + src.len;
+        let mut i = offset;
+        while i < end {
+            let word = i / WORD_BITS;
+            let bit = i % WORD_BITS;
+            let span = (WORD_BITS - bit).min(end - i);
+            let mask = if span == WORD_BITS {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            self.words[word] &= !mask;
+            i += span;
+        }
+        let w0 = offset / WORD_BITS;
+        let shift = offset % WORD_BITS;
+        if shift == 0 {
+            for (i, &w) in src.words.iter().enumerate() {
+                self.words[w0 + i] |= w;
+            }
+        } else {
+            for (i, &w) in src.words.iter().enumerate() {
+                self.words[w0 + i] |= w << shift;
+                let spill = w >> (WORD_BITS - shift);
+                if spill != 0 {
+                    self.words[w0 + i + 1] |= spill;
+                }
+            }
+        }
+    }
+
+    /// Extracts the bit range `start..start + len` into a new buffer, using
+    /// word-level shifts instead of per-bit copies.
+    ///
+    /// Inverse of [`PackedBits::write_bits`]; the memory-image readers use
+    /// it to slice class hypervectors back out of a packed image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()`.
+    pub fn extract_bits(&self, start: usize, len: usize) -> Self {
+        assert!(
+            start + len <= self.len,
+            "extract_bits range {start}..{} out of range {}",
+            start + len,
+            self.len
+        );
+        let mut out = Self::zeros(len);
+        if len == 0 {
+            return out;
+        }
+        let w0 = start / WORD_BITS;
+        let shift = start % WORD_BITS;
+        let out_words = out.words.len();
+        if shift == 0 {
+            out.words.copy_from_slice(&self.words[w0..w0 + out_words]);
+        } else {
+            for (j, out_word) in out.words.iter_mut().enumerate() {
+                let lo = self.words[w0 + j] >> shift;
+                let hi = match self.words.get(w0 + j + 1) {
+                    Some(&w) => w << (WORD_BITS - shift),
+                    None => 0,
+                };
+                *out_word = lo | hi;
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
     /// Rotates the whole buffer left by `shift` bit positions (bit `i` moves
     /// to `(i + shift) % len`).
     pub fn rotate_left_bits(&mut self, shift: usize) {
@@ -450,6 +544,63 @@ mod tests {
         bits.mask_tail();
         assert_eq!(bits.count_ones(), 1);
         assert!(bits.get(64));
+    }
+
+    #[test]
+    fn write_extract_roundtrip_at_any_alignment() {
+        let src = PackedBits::from_fn(100, |i| i % 3 == 0);
+        for &offset in &[0usize, 1, 37, 63, 64, 65, 127, 200] {
+            let mut dst = PackedBits::ones(300);
+            dst.write_bits(offset, &src);
+            assert_eq!(dst.extract_bits(offset, 100), src, "offset {offset}");
+            for i in 0..300 {
+                let expected = if i < offset || i >= offset + 100 {
+                    true
+                } else {
+                    src.get(i - offset)
+                };
+                assert_eq!(dst.get(i), expected, "bit {i} at offset {offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_bits_matches_per_bit_sets() {
+        let src = PackedBits::from_fn(193, |i| i % 7 < 3);
+        let mut fast = PackedBits::from_fn(500, |i| i % 2 == 0);
+        let mut slow = fast.clone();
+        fast.write_bits(131, &src);
+        for i in 0..193 {
+            slow.set(131 + i, src.get(i));
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn write_bits_keeps_tail_invariant() {
+        let mut dst = PackedBits::zeros(130);
+        dst.write_bits(65, &PackedBits::ones(65));
+        assert_eq!(dst.count_ones(), 65);
+        assert_eq!(dst.words()[2] >> 2, 0, "ghost bits past len must stay 0");
+    }
+
+    #[test]
+    fn extract_bits_of_zero_length_is_empty() {
+        let bits = PackedBits::ones(64);
+        assert!(bits.extract_bits(10, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_bits_out_of_range_panics() {
+        let mut dst = PackedBits::zeros(64);
+        dst.write_bits(1, &PackedBits::zeros(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn extract_bits_out_of_range_panics() {
+        PackedBits::zeros(64).extract_bits(1, 64);
     }
 
     #[test]

@@ -151,6 +151,119 @@ fn majority_helper_equals_reference() {
 }
 
 #[test]
+fn accumulate_bipolar_recovers_exact_counts() {
+    // Absorbing the planes into a fresh accumulator must reproduce the
+    // scalar accumulator's signed counters exactly — the invariant the
+    // bit-sliced training engine rests on.
+    let mut sampler = HypervectorSampler::seed_from(108);
+    for &dim in DIMS {
+        for count in [1usize, 2, 63, 64, 65, 129] {
+            let inputs: Vec<_> = (0..count).map(|_| sampler.binary(dim)).collect();
+            let mut reference = BundleAccumulator::new(dim);
+            let mut planes = CarrySaveMajority::new(dim);
+            for hv in &inputs {
+                reference.add(hv);
+                planes.add(hv);
+            }
+            let mut absorbed = BundleAccumulator::new(dim);
+            absorbed.absorb(&planes);
+            assert_eq!(absorbed, reference, "dim={dim} count={count}");
+        }
+    }
+}
+
+#[test]
+fn add_batch_equals_per_sample_adds() {
+    let mut sampler = HypervectorSampler::seed_from(109);
+    for &dim in &[1usize, 65, 127, 128, 193, 1000] {
+        for count in [0usize, 1, 5, 64, 100] {
+            let inputs: Vec<_> = (0..count).map(|_| sampler.binary(dim)).collect();
+            let mut reference = BundleAccumulator::new(dim);
+            for hv in &inputs {
+                reference.add(hv);
+            }
+            let mut batched = BundleAccumulator::new(dim);
+            batched.add_batch(&inputs);
+            assert_eq!(batched, reference, "dim={dim} count={count}");
+        }
+    }
+}
+
+#[test]
+fn add_batch_composes_with_prior_and_later_adds() {
+    // A batch landing in a non-empty accumulator, followed by scalar
+    // retraining-style updates, must equal the fully scalar history.
+    let mut sampler = HypervectorSampler::seed_from(110);
+    let dim = 130;
+    let before: Vec<_> = (0..7).map(|_| sampler.binary(dim)).collect();
+    let batch: Vec<_> = (0..40).map(|_| sampler.binary(dim)).collect();
+    let after: Vec<_> = (0..3).map(|_| sampler.binary(dim)).collect();
+    let mut reference = BundleAccumulator::new(dim);
+    let mut fast = BundleAccumulator::new(dim);
+    for hv in &before {
+        reference.add(hv);
+        fast.add(hv);
+    }
+    for hv in &batch {
+        reference.add(hv);
+    }
+    fast.add_batch(&batch);
+    for hv in &after {
+        reference.add(hv);
+        reference.subtract(&before[0]);
+        fast.add(hv);
+        fast.subtract(&before[0]);
+    }
+    assert_eq!(fast, reference);
+}
+
+#[test]
+fn merge_equals_sequential_adds() {
+    // Sharded bundling: partial accumulators merged in any order equal
+    // one accumulator fed every sample (integer addition commutes).
+    let mut sampler = HypervectorSampler::seed_from(111);
+    let dim = 257;
+    let inputs: Vec<_> = (0..90).map(|_| sampler.binary(dim)).collect();
+    let mut reference = BundleAccumulator::new(dim);
+    for hv in &inputs {
+        reference.add(hv);
+    }
+    let mut partials: Vec<BundleAccumulator> = Vec::new();
+    for shard in inputs.chunks(32) {
+        let mut partial = BundleAccumulator::new(dim);
+        partial.add_batch(shard);
+        partials.push(partial);
+    }
+    let mut merged = BundleAccumulator::new(dim);
+    for partial in &partials {
+        merged.merge(partial);
+    }
+    assert_eq!(merged, reference);
+    // Reverse merge order: identical result.
+    let mut reversed = BundleAccumulator::new(dim);
+    for partial in partials.iter().rev() {
+        reversed.merge(partial);
+    }
+    assert_eq!(reversed, reference);
+}
+
+#[test]
+#[should_panic(expected = "dimension mismatch")]
+fn merge_with_mismatched_dim_panics() {
+    let mut a = BundleAccumulator::new(64);
+    let b = BundleAccumulator::new(65);
+    a.merge(&b);
+}
+
+#[test]
+#[should_panic(expected = "dimension mismatch")]
+fn absorb_with_mismatched_dim_panics() {
+    let mut a = BundleAccumulator::new(64);
+    let planes = CarrySaveMajority::new(65);
+    a.absorb(&planes);
+}
+
+#[test]
 fn interleaved_word_and_vector_adds_match() {
     // Mixing the add entry points must not perturb the planes.
     let mut sampler = HypervectorSampler::seed_from(107);
