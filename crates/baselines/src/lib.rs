@@ -29,6 +29,7 @@
 //! assert!(accuracy > 0.7);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -24,6 +24,8 @@
 //! (exact feature/class geometry, reduced split sizes); see
 //! [`workload::Scale`].
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod attack;
 pub mod fig2;

@@ -685,6 +685,69 @@ pub fn soak(argv: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+const FLAGS_HELP: &str = "\
+robusthd flags — print the ROBUSTHD_* environment-flag registry as JSON
+
+Every runtime flag the suite reads is registered centrally in
+robusthd::FlagRegistry; this command dumps that registry, so the output
+is definitionally complete: a flag that does not appear here does not
+exist (the repo lints fail any environment read that bypasses the
+registry). Per flag: the variable name, the config struct that parses
+it, its default, whether it is currently set, the raw value, and the
+effective parsed value.
+
+OPTIONS:
+    --help             show this help";
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `robusthd flags` — the flag registry as one JSON object.
+pub fn flags(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(argv, &["help"]).map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(FLAGS_HELP.to_owned());
+    }
+    let mut entries = String::new();
+    for (idx, flag) in robusthd::FlagRegistry::flags().iter().enumerate() {
+        if idx > 0 {
+            entries.push_str(",\n");
+        }
+        let raw = match &flag.raw {
+            Some(value) => format!("\"{}\"", json_escape(value)),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            entries,
+            "    {{\"name\": \"{}\", \"owner\": \"{}\", \"default\": \"{}\", \
+             \"set\": {}, \"raw\": {raw}, \"effective\": \"{}\", \"doc\": \"{}\"}}",
+            json_escape(flag.name),
+            json_escape(flag.owner),
+            json_escape(flag.default),
+            flag.raw.is_some(),
+            json_escape(&flag.effective),
+            json_escape(flag.doc),
+        );
+    }
+    Ok(format!("{{\n  \"flags\": [\n{entries}\n  ]\n}}"))
+}
+
 const THROUGHPUT_HELP: &str = "\
 robusthd throughput — measure serving throughput by phase (queries/sec)
 
@@ -1108,6 +1171,39 @@ mod tests {
         ]))
         .expect("evaluate succeeds");
         assert!(report.contains("accuracy"), "report: {report}");
+    }
+
+    #[test]
+    fn flags_prints_every_registered_flag() {
+        let report = flags(&argv(&[])).expect("flags succeeds");
+        for flag in robusthd::FlagRegistry::flags() {
+            assert!(
+                report.contains(&format!("\"name\": \"{}\"", flag.name)),
+                "registry flag {} missing from `robusthd flags` output: {report}",
+                flag.name
+            );
+            assert!(
+                report.contains(&format!("\"owner\": \"{}\"", flag.owner)),
+                "owner {} missing: {report}",
+                flag.owner
+            );
+        }
+        assert!(report.contains("\"effective\""));
+    }
+
+    #[test]
+    fn flags_help_and_option_validation() {
+        let help = flags(&argv(&["--help"])).expect("help");
+        assert!(help.contains("FlagRegistry"));
+        assert!(flags(&argv(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\t"), "line\\nbreak\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! Datasets move through the CSV convention of [`synthdata::csv`]: features
 //! first, integer label last, optional header.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -33,6 +34,7 @@ COMMANDS:
     soak        Chaos-soak the self-healing serving runtime under an attack campaign
     throughput  Benchmark batched inference across thread counts (JSON)
     trainbench  Benchmark bit-sliced training (bundle/retrain) across thread counts (JSON)
+    flags       Print the ROBUSTHD_* environment-flag registry (JSON)
 
 Run `robusthd <COMMAND> --help` for per-command options.";
 
@@ -58,6 +60,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "soak" => commands::soak(rest),
         "throughput" => commands::throughput(rest),
         "trainbench" => commands::trainbench(rest),
+        "flags" => commands::flags(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }

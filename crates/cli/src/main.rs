@@ -1,5 +1,7 @@
 //! The `robusthd` binary: parse `std::env::args`, dispatch, print.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match robusthd_cli::run(&argv) {

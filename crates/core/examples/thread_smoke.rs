@@ -1,0 +1,67 @@
+//! Thread smoke binary for the sanitizer CI lane: drives the real
+//! `BatchEngine` (scoped workers + `AtomicUsize` shard claiming) across
+//! several thread counts and verifies against the sequential path, so a
+//! ThreadSanitizer build has genuine cross-thread traffic to observe.
+//!
+//! Run under TSan with nightly:
+//! `RUSTFLAGS="-Zsanitizer=thread" cargo +nightly run -Zbuild-std
+//!  --target x86_64-unknown-linux-gnu -p robusthd --example thread_smoke`
+//!
+//! Exits nonzero (panics) on any divergence, so the lane fails on either
+//! a sanitizer report or a wrong answer.
+
+use hypervector::random::HypervectorSampler;
+use hypervector::BinaryHypervector;
+use robusthd::{BatchConfig, BatchEngine, TrainedModel};
+
+const DIM: usize = 2048;
+const CLASSES: usize = 6;
+const QUERIES: usize = 96;
+
+fn setup(seed: u64) -> (TrainedModel, Vec<BinaryHypervector>) {
+    let mut sampler = HypervectorSampler::seed_from(seed);
+    let protos: Vec<_> = (0..CLASSES).map(|_| sampler.binary(DIM)).collect();
+    let queries = (0..QUERIES)
+        .map(|i| sampler.flip_noise(&protos[i % CLASSES], 0.25))
+        .collect();
+    (TrainedModel::from_classes(protos), queries)
+}
+
+fn main() {
+    let (model, queries) = setup(0xC0FFEE);
+    let sequential: Vec<usize> = queries.iter().map(|q| model.predict(q)).collect();
+    for threads in [1, 2, 3, 4, 8] {
+        for shard_size in [1, 7, 32] {
+            let mut engine = BatchEngine::from_env();
+            engine.set_config(
+                BatchConfig::builder()
+                    .threads(threads)
+                    .shard_size(shard_size)
+                    .build()
+                    .expect("valid tuning"),
+            );
+            let parallel = engine.predict_batch(&model, &queries);
+            assert_eq!(
+                parallel, sequential,
+                "predictions diverge at threads={threads} shard_size={shard_size}"
+            );
+            let scores = engine.evaluate_batch(&model, &queries, 128.0);
+            let scored: Vec<usize> = scores.iter().map(|s| s.predicted).collect();
+            assert_eq!(
+                scored, sequential,
+                "evaluate_batch diverges at threads={threads} shard_size={shard_size}"
+            );
+            // Exercise the fold path (per-worker accumulation) too.
+            let counts =
+                engine.fold_shards(&queries, || 0usize, |count, shard| *count += shard.len());
+            let total: usize = counts.into_iter().sum();
+            assert_eq!(
+                total, QUERIES,
+                "fold_shards lost queries at threads={threads}"
+            );
+        }
+    }
+    println!(
+        "thread_smoke: OK ({QUERIES} queries x {CLASSES} classes, threads 1-8, bit-identical)"
+    );
+}

@@ -104,7 +104,7 @@ pub fn scan_chunk_faults(
         }
         inspected += 1;
         let d = end - start;
-        let margin_bits = (fault_margin * (d as f64).sqrt()).round() as usize;
+        let margin_bits = hypervector::cast::round_to_usize(fault_margin * (d as f64).sqrt());
         let predicted_dist = predicted_dists[chunk];
         if rival_dists
             .iter()
@@ -229,7 +229,13 @@ impl BatchEngine {
                 })
                 .collect();
             for worker in workers {
-                by_shard.extend(worker.join().expect("batch worker panicked"));
+                // Re-raise a worker panic on the caller's thread instead of
+                // `expect`ing: the original payload and message survive.
+                by_shard.extend(
+                    worker
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+                );
             }
         });
         by_shard.sort_unstable_by_key(|(shard, _)| *shard);
@@ -290,7 +296,11 @@ impl BatchEngine {
                 })
                 .collect();
             for worker in workers {
-                states.push(worker.join().expect("batch worker panicked"));
+                states.push(
+                    worker
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+                );
             }
         });
         states

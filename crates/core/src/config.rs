@@ -709,7 +709,12 @@ impl Default for EncodeConfig {
 
 /// Parses a `ROBUSTHD_ENCODE_FAST` / `ROBUSTHD_TRAIN_FAST`-style value;
 /// only an explicit opt-out disables the fast path.
-fn parse_fast_flag(raw: Option<&str>) -> bool {
+///
+/// This is the single sanctioned decoder for fast-path opt-out flags: the
+/// repo-native lints (`cargo xtask lint`) fail any `ROBUSTHD_*`
+/// environment read that bypasses this module, so every flag keeps one
+/// parser, one default, and one [`FlagRegistry`] entry.
+pub fn parse_fast_flag(raw: Option<&str>) -> bool {
     !matches!(
         raw.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
         Some("0") | Some("false") | Some("off") | Some("no")
@@ -845,6 +850,91 @@ fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// One registered `ROBUSTHD_*` environment flag: its name, owner, default,
+/// the raw environment value (if set), and the value the owning config
+/// actually parsed from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagInfo {
+    /// Environment variable name (`ROBUSTHD_*`).
+    pub name: &'static str,
+    /// Config struct whose `from_env` reads the flag.
+    pub owner: &'static str,
+    /// Human-readable default when the variable is unset.
+    pub default: &'static str,
+    /// One-line semantics of the flag.
+    pub doc: &'static str,
+    /// The raw environment value, if the variable is currently set.
+    pub raw: Option<String>,
+    /// The effective parsed value the owning config resolves to right now.
+    pub effective: String,
+}
+
+/// Central registry of every `ROBUSTHD_*` environment flag.
+///
+/// This is the one place a runtime flag may be born: each entry names the
+/// variable, the config struct whose `from_env` consumes it, its default,
+/// and its currently-effective parsed value. The repo-native lints
+/// (`cargo xtask lint`) enforce that every `*_ENV_VAR` constant in this
+/// module is registered here, that `README.md` documents exactly the
+/// registered set, and that no other module reads a `ROBUSTHD_*` variable
+/// directly — so the registry, the docs, and the `robusthd flags` CLI
+/// output cannot drift apart in any direction.
+///
+/// # Example
+///
+/// ```
+/// use robusthd::FlagRegistry;
+///
+/// let flags = FlagRegistry::flags();
+/// assert!(flags.iter().any(|f| f.name == "ROBUSTHD_THREADS"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FlagRegistry;
+
+impl FlagRegistry {
+    /// Every registered flag, with its current raw and effective values.
+    pub fn flags() -> Vec<FlagInfo> {
+        vec![
+            FlagInfo {
+                name: THREADS_ENV_VAR,
+                owner: "BatchConfig",
+                default: "available hardware parallelism",
+                doc: "Worker thread count of the batched inference/training engine; \
+                      a pure throughput knob, results are bit-identical at any value.",
+                raw: std::env::var(THREADS_ENV_VAR).ok(),
+                effective: BatchConfig::from_env().threads.to_string(),
+            },
+            FlagInfo {
+                name: ENCODE_FAST_ENV_VAR,
+                owner: "EncodeConfig",
+                default: "fast",
+                doc: "Set to 0/false/off/no to swap the bit-sliced encoding fast path \
+                      for the scalar reference loop; both paths are bit-identical.",
+                raw: std::env::var(ENCODE_FAST_ENV_VAR).ok(),
+                effective: if EncodeConfig::from_env().fast_path {
+                    "fast".to_owned()
+                } else {
+                    "reference".to_owned()
+                },
+            },
+            FlagInfo {
+                name: TRAIN_FAST_ENV_VAR,
+                owner: "TrainConfig",
+                default: "fast",
+                doc: "Set to 0/false/off/no to swap the sharded bit-sliced training \
+                      engine for the sequential scalar trainer; both paths are \
+                      bit-identical.",
+                raw: std::env::var(TRAIN_FAST_ENV_VAR).ok(),
+                effective: if TrainConfig::from_env().fast_path {
+                    "fast".to_owned()
+                } else {
+                    "reference".to_owned()
+                },
+            },
+        ]
+    }
 }
 
 /// Builder for [`BatchConfig`].
@@ -1072,6 +1162,27 @@ mod tests {
         assert!(TrainConfig::default().fast_path);
         assert!(TrainConfig::fast().fast_path);
         assert!(!TrainConfig::reference().fast_path);
+    }
+
+    #[test]
+    fn flag_registry_covers_every_env_var_const() {
+        let flags = FlagRegistry::flags();
+        let names: Vec<&str> = flags.iter().map(|f| f.name).collect();
+        for expected in [THREADS_ENV_VAR, ENCODE_FAST_ENV_VAR, TRAIN_FAST_ENV_VAR] {
+            assert!(names.contains(&expected), "{expected} not registered");
+        }
+        assert_eq!(names.len(), 3, "new flags must be registered exactly once");
+    }
+
+    #[test]
+    fn flag_registry_entries_are_well_formed() {
+        for flag in FlagRegistry::flags() {
+            assert!(flag.name.starts_with("ROBUSTHD_"), "{}", flag.name);
+            assert!(flag.owner.ends_with("Config"), "{}", flag.owner);
+            assert!(!flag.default.is_empty());
+            assert!(!flag.doc.is_empty());
+            assert!(!flag.effective.is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Exhaustive concurrency model of `BatchEngine`'s shard-claiming loop
+//! (`crates/core/src/batch.rs`, `map_shards`/`fold_shards`): scoped
+//! workers draw shard indices from a shared `AtomicUsize` with
+//! `fetch_add(1, Ordering::Relaxed)`, process their shard, and the
+//! spawning thread assembles results by shard index after joining.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p robusthd --test
+//! loom_batch --release`. Every interleaving at the modeled sizes is
+//! explored; the properties proved:
+//!
+//! 1. **No shard is double-claimed or skipped** — the multiset of claims
+//!    across workers is exactly `{0, …, num_shards-1}`, in every
+//!    interleaving, even though the claims use `Relaxed` (RMW atomicity
+//!    alone is sufficient; no ordering is needed for uniqueness).
+//! 2. **By-index placement is race-free** — each claimed shard's result
+//!    slot is written by exactly one worker, and the post-join read on
+//!    the spawning thread is ordered by the join happens-before edge
+//!    (the vendored loom's `UnsafeCell` checker would panic otherwise).
+//!
+//! Worker/shard sizes are kept small (≤ 3 workers, ≤ 4 shards) so the
+//! exhaustive enumeration stays in the thousands of executions; the
+//! claim protocol is size-generic, so these sizes cover its decision
+//! structure (contended claim, exhausted counter, overshooting workers).
+
+#![cfg(loom)]
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// The claim loop of `BatchEngine::map_shards`, verbatim in miniature:
+/// draw until the counter runs past `num_shards`.
+fn claim_shards(next: &AtomicUsize, num_shards: usize, mut on_shard: impl FnMut(usize)) {
+    loop {
+        let shard = next.fetch_add(1, Ordering::Relaxed);
+        if shard >= num_shards {
+            break;
+        }
+        on_shard(shard);
+    }
+}
+
+/// Property 1: every shard claimed exactly once, no interleaving excepted.
+fn check_unique_claims(workers: usize, num_shards: usize) {
+    loom::model(move || {
+        let next = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                thread::spawn(move || {
+                    let mut claimed = Vec::new();
+                    claim_shards(&next, num_shards, |shard| claimed.push(shard));
+                    claimed
+                })
+            })
+            .collect();
+        let mut all_claims = Vec::new();
+        for handle in handles {
+            all_claims.extend(handle.join().expect("worker result"));
+        }
+        all_claims.sort_unstable();
+        let expected: Vec<usize> = (0..num_shards).collect();
+        assert_eq!(
+            all_claims, expected,
+            "a shard was double-claimed or skipped"
+        );
+    });
+}
+
+/// Property 2: by-index result placement — one writer per slot, and the
+/// spawning thread's post-join reads are ordered by the join edge.
+fn check_placement(workers: usize, num_shards: usize) {
+    loom::model(move || {
+        let next = Arc::new(AtomicUsize::new(0));
+        let slots: Arc<Vec<UnsafeCell<Option<usize>>>> =
+            Arc::new((0..num_shards).map(|_| UnsafeCell::new(None)).collect());
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let next = Arc::clone(&next);
+                let slots = Arc::clone(&slots);
+                thread::spawn(move || {
+                    claim_shards(&next, num_shards, |shard| {
+                        slots[shard].with_mut(|slot| {
+                            assert!(slot.is_none(), "slot {shard} written twice");
+                            // Tag the result with worker and shard so the
+                            // readback can verify by-index placement.
+                            *slot = Some(worker * 100 + shard);
+                        });
+                    });
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker result");
+        }
+        for (shard, slot) in slots.iter().enumerate() {
+            slot.with(|value| {
+                let tagged = value.unwrap_or_else(|| panic!("shard {shard} never placed"));
+                assert_eq!(tagged % 100, shard, "result landed in the wrong slot");
+            });
+        }
+    });
+}
+
+#[test]
+fn claims_unique_one_worker() {
+    check_unique_claims(1, 4);
+}
+
+#[test]
+fn claims_unique_two_workers() {
+    check_unique_claims(2, 3);
+}
+
+#[test]
+fn claims_unique_three_workers() {
+    check_unique_claims(3, 2);
+}
+
+#[test]
+fn placement_race_free_one_worker() {
+    check_placement(1, 4);
+}
+
+#[test]
+fn placement_race_free_two_workers() {
+    check_placement(2, 3);
+}
+
+#[test]
+fn placement_race_free_three_workers() {
+    // Cell accesses add schedule points on top of the claim loop, so the
+    // 3-worker placement model uses a single shard to keep the exhaustive
+    // enumeration within budget; 3-worker × 2-shard claim contention is
+    // already fully covered by `claims_unique_three_workers`, and the
+    // placement protocol itself is shard-count-independent.
+    check_placement(3, 1);
+}
+
+/// Sanity check that the model is not vacuous: breaking the protocol
+/// (non-atomic load-then-store claiming) must be caught as a duplicate
+/// claim in some interleaving.
+#[test]
+#[should_panic(expected = "loom model failed")]
+fn broken_claim_protocol_is_rejected() {
+    loom::model(|| {
+        let next = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                thread::spawn(move || {
+                    let mut claimed = Vec::new();
+                    loop {
+                        // The bug: a torn read-modify-write.
+                        let shard = next.load(Ordering::Relaxed);
+                        next.store(shard + 1, Ordering::Relaxed);
+                        if shard >= 2 {
+                            break;
+                        }
+                        claimed.push(shard);
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        let mut all_claims = Vec::new();
+        for handle in handles {
+            all_claims.extend(handle.join().expect("worker result"));
+        }
+        all_claims.sort_unstable();
+        assert_eq!(all_claims, vec![0, 1], "duplicate or skipped claim");
+    });
+}

@@ -229,7 +229,7 @@ impl BundleAccumulator {
             self.counts
                 .iter()
                 .map(|&c| {
-                    let scaled = (c as f64 / max_mag as f64 * hi).round() as i32;
+                    let scaled = crate::cast::round_to_i32(c as f64 / max_mag as f64 * hi);
                     scaled.clamp(precision.min_value(), precision.max_value())
                 })
                 .collect()

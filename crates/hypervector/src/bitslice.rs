@@ -267,7 +267,9 @@ impl CarrySaveMajority {
 /// assert!(bitslice::majority(&refs).similarity(&proto) > 0.8);
 /// ```
 pub fn majority(inputs: &[&BinaryHypervector]) -> BinaryHypervector {
-    let first = inputs.first().expect("majority of an empty set");
+    let Some(first) = inputs.first() else {
+        panic!("majority of an empty set");
+    };
     let mut acc = CarrySaveMajority::new(first.dim());
     for hv in inputs {
         acc.add(hv);

@@ -1,0 +1,103 @@
+//! Checked numeric conversions for the bit-level kernels.
+//!
+//! The repo-native lints (`cargo xtask lint`) ban raw truncating `as`
+//! casts — float→integer and wide→narrow integer — inside the hot-path
+//! kernel modules (`bitvec`, `bitslice`, `similarity`, `accumulator`,
+//! `batch`, `train`): a silently wrapping cast in a popcount or a
+//! threshold is exactly the kind of bit-level bug RobustHD's graceful
+//! degradation story cannot tolerate in the code that manipulates the
+//! model bits. Kernel code routes every such conversion through this
+//! module instead, where the domain invariants are stated once and
+//! checked, and the single `as` each helper performs is scrutinized in
+//! one place.
+
+/// Rounds a finite, non-negative float to the nearest `usize`.
+///
+/// This is the sanctioned route for margin/threshold arithmetic of the
+/// form `(rate * (d as f64).sqrt()).round()`, whose result is a small
+/// bit count by construction.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite, is negative, or exceeds what a `usize`
+/// can hold exactly.
+pub fn round_to_usize(x: f64) -> usize {
+    assert!(x.is_finite(), "round_to_usize of non-finite value {x}");
+    assert!(x >= 0.0, "round_to_usize of negative value {x}");
+    let rounded = x.round();
+    // 2^53 is the largest width over which f64 holds every integer
+    // exactly; kernel bit counts are far below it.
+    assert!(
+        rounded <= 9_007_199_254_740_992.0,
+        "round_to_usize of value {x} beyond exact integer range"
+    );
+    rounded as usize
+}
+
+/// Rounds a finite float to the nearest `i32`, panicking instead of
+/// truncating when the value lies outside `i32`'s range.
+///
+/// This is the sanctioned route for quantization arithmetic of the form
+/// `(count / max * hi).round()`, whose magnitude is bounded by `hi` by
+/// construction.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite or its rounded value does not fit in an
+/// `i32`.
+pub fn round_to_i32(x: f64) -> i32 {
+    assert!(x.is_finite(), "round_to_i32 of non-finite value {x}");
+    let rounded = x.round();
+    assert!(
+        (f64::from(i32::MIN)..=f64::from(i32::MAX)).contains(&rounded),
+        "round_to_i32 of value {x} outside i32 range"
+    );
+    rounded as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_to_usize_rounds_to_nearest() {
+        assert_eq!(round_to_usize(0.0), 0);
+        assert_eq!(round_to_usize(0.49), 0);
+        assert_eq!(round_to_usize(0.5), 1);
+        assert_eq!(round_to_usize(12.3), 12);
+        assert_eq!(round_to_usize(12.7), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn round_to_usize_rejects_negative() {
+        round_to_usize(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn round_to_usize_rejects_nan() {
+        round_to_usize(f64::NAN);
+    }
+
+    #[test]
+    fn round_to_i32_rounds_and_covers_range() {
+        assert_eq!(round_to_i32(-2.5), -3);
+        assert_eq!(round_to_i32(-2.4), -2);
+        assert_eq!(round_to_i32(2.6), 3);
+        assert_eq!(round_to_i32(f64::from(i32::MAX)), i32::MAX);
+        assert_eq!(round_to_i32(f64::from(i32::MIN)), i32::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside i32 range")]
+    fn round_to_i32_rejects_overflow() {
+        round_to_i32(f64::from(i32::MAX) * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn round_to_i32_rejects_infinity() {
+        round_to_i32(f64::INFINITY);
+    }
+}

@@ -41,6 +41,7 @@
 //! assert_eq!(bound.bind(&b), a);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -48,6 +49,7 @@ mod accumulator;
 mod binary;
 pub mod bitslice;
 mod bitvec;
+pub mod cast;
 mod error;
 mod itemmemory;
 mod multibit;

@@ -225,10 +225,12 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the lengths differ.
 pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
     let denom = dot(a, a).sqrt() * dot(b, b).sqrt();
-    if denom == 0.0 {
-        0.0
-    } else {
+    // Strict `> 0.0` instead of a float `==` guard: it rejects the exact
+    // zero of an all-zero vector and any NaN denominator in one branch.
+    if denom > 0.0 {
         dot(a, b) / denom
+    } else {
+        0.0
     }
 }
 

@@ -30,6 +30,7 @@
 //! *ratios* the figures report are operation-count driven (see DESIGN.md
 //! §4).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

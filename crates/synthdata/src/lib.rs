@@ -24,6 +24,7 @@
 //! assert_eq!(data.test[0].features.len(), spec.features);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

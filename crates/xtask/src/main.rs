@@ -1,0 +1,78 @@
+//! `cargo xtask lint` — run the repo-native invariant lints.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--root PATH]   Run the workspace invariant lints (default root:
+                       the workspace this xtask binary was built from).
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("lint") => lint(&argv[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // The alias runs us from the workspace root; CARGO_MANIFEST_DIR keeps
+    // this correct when invoked as a bare binary from anywhere.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    match xtask::run_all(&root) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("xtask lint: clean ({} invariant families)", 4);
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            println!("xtask lint: {} violation(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("xtask lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

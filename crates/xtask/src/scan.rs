@@ -1,0 +1,409 @@
+//! Lossless-position source scanning: comment/string stripping and
+//! `#[cfg(test)]` region tracking.
+//!
+//! The lint passes need to ask questions like "does the token `unsafe`
+//! appear in code?" without being fooled by doc comments, string
+//! literals, or test modules. Instead of a full parser, this module
+//! produces two *blanked views* of each file — same byte length, same
+//! line structure, offending regions replaced by spaces — plus a per-line
+//! mask of `#[cfg(test)]` regions:
+//!
+//! * [`SourceFile::code`] — comments **and** string/char literal contents
+//!   blanked; use for token-level lints (`unsafe`, `.unwrap()`, `as`
+//!   casts, float `==`).
+//! * [`SourceFile::nocomment`] — only comments blanked, literals kept;
+//!   use for lints that must see string contents (`env::var("ROBUSTHD_*")`).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One scanned source file with its blanked views and test-region mask.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path as loaded (kept workspace-relative by the caller).
+    pub path: PathBuf,
+    /// The raw text.
+    pub raw: String,
+    /// Comments and literal contents blanked with spaces.
+    pub code: String,
+    /// Comments blanked, literal contents kept.
+    pub nocomment: String,
+    /// `in_test[i]` — line `i` (0-based) lies inside a `#[cfg(test)]`
+    /// region (attribute line through the close of the braced item).
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    /// String literal; the payload is the number of `#` marks for raw
+    /// strings (`None` for ordinary escaped strings).
+    Str(Option<u32>),
+    CharLit,
+}
+
+impl SourceFile {
+    /// Loads and scans one file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be read.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Ok(Self::from_text(
+            path.to_path_buf(),
+            fs::read_to_string(path)?,
+        ))
+    }
+
+    /// Scans already-loaded text (used by the fixture tests).
+    pub fn from_text(path: PathBuf, raw: String) -> Self {
+        let (code, nocomment) = blank_views(&raw);
+        let in_test = test_mask(&code);
+        Self {
+            path,
+            raw,
+            code,
+            nocomment,
+            in_test,
+        }
+    }
+
+    /// 1-based line number of a byte offset into this file.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.raw[..offset.min(self.raw.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// Whether the (1-based) line lies inside a `#[cfg(test)]` region.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        line.checked_sub(1)
+            .and_then(|i| self.in_test.get(i))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Replaces every non-newline character of `text[start..end]` with a
+/// space in `out`.
+fn blank(out: &mut [u8], start: usize, end: usize) {
+    let end = end.min(out.len());
+    for byte in &mut out[start..end] {
+        if *byte != b'\n' {
+            *byte = b' ';
+        }
+    }
+}
+
+/// Produces the `(code, nocomment)` blanked views of `raw`.
+#[allow(clippy::too_many_lines)]
+fn blank_views(raw: &str) -> (String, String) {
+    let bytes = raw.as_bytes();
+    let mut code = bytes.to_vec();
+    let mut nocomment = bytes.to_vec();
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Normal => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    blank(&mut code, i, i + 2);
+                    blank(&mut nocomment, i, i + 2);
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    blank(&mut code, i, i + 2);
+                    blank(&mut nocomment, i, i + 2);
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str(None);
+                    i += 1; // keep the opening quote in both views
+                } else if (b == b'r' || b == b'b') && !prev_is_ident(bytes, i) {
+                    // Possible raw/byte string: r"", r#""#, b"", br#""#.
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') && (b != b'b' || j > i + 1 || hashes == 0) {
+                        state = State::Str(if hashes > 0 || bytes[i] == b'r' || j > i + 1 {
+                            Some(hashes)
+                        } else {
+                            None
+                        });
+                        i = j + 1;
+                    } else {
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Char literal or lifetime: '\x' / 'c' close with a
+                    // quote; a lifetime never does.
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        state = State::CharLit;
+                        i += 1; // land on the backslash; CharLit skips the escape pair
+                    } else if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\'') {
+                        blank(&mut code, i + 1, i + 2);
+                        i += 3;
+                    } else {
+                        i += 1; // lifetime
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Normal;
+                } else {
+                    blank(&mut code, i, i + 1);
+                    blank(&mut nocomment, i, i + 1);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    blank(&mut code, i, i + 2);
+                    blank(&mut nocomment, i, i + 2);
+                    i += 2;
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    blank(&mut code, i, i + 2);
+                    blank(&mut nocomment, i, i + 2);
+                    i += 2;
+                } else {
+                    blank(&mut code, i, i + 1);
+                    blank(&mut nocomment, i, i + 1);
+                    i += 1;
+                }
+            }
+            State::Str(None) => {
+                if b == b'\\' {
+                    blank(&mut code, i, i + 2);
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Normal;
+                    i += 1; // keep the closing quote
+                } else {
+                    blank(&mut code, i, i + 1);
+                    i += 1;
+                }
+            }
+            State::Str(Some(hashes)) => {
+                let closes =
+                    b == b'"' && (0..hashes as usize).all(|k| bytes.get(i + 1 + k) == Some(&b'#'));
+                if closes {
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    blank(&mut code, i, i + 1);
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if b == b'\\' {
+                    blank(&mut code, i, i + 2);
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    blank(&mut code, i, i + 1);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (
+        String::from_utf8_lossy(&code).into_owned(),
+        String::from_utf8_lossy(&nocomment).into_owned(),
+    )
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i.checked_sub(1)
+        .and_then(|p| bytes.get(p))
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Per-line `#[cfg(test)]` mask over the code (blanked) view: from each
+/// `cfg(test` attribute through the matching close brace of the item it
+/// annotates.
+fn test_mask(code: &str) -> Vec<bool> {
+    let lines: Vec<&str> = code.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut line = 0;
+    while line < lines.len() {
+        if lines[line].contains("cfg(test") && lines[line].contains("#[") {
+            let start = line;
+            // Find the opening brace of the annotated item, then match it.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut end = lines.len().saturating_sub(1);
+            'outer: for (scan_idx, scan_line) in lines.iter().enumerate().skip(start) {
+                for ch in scan_line.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened => {
+                            // Attribute annotated a braceless item.
+                            end = scan_idx;
+                            break 'outer;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    end = scan_idx;
+                    break;
+                }
+            }
+            for flag in &mut mask[start..=end] {
+                *flag = true;
+            }
+            line = end + 1;
+        } else {
+            line += 1;
+        }
+    }
+    mask
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target`,
+/// `fixtures`, and hidden directories. Results are sorted for
+/// deterministic diagnostics.
+pub fn collect_rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile::from_text(PathBuf::from("mem.rs"), text.to_owned())
+    }
+
+    #[test]
+    fn comments_are_blanked_in_both_views() {
+        let f = file("let x = 1; // unsafe here\n/* unsafe too */ let y = 2;\n");
+        assert!(!f.code.contains("unsafe"));
+        assert!(!f.nocomment.contains("unsafe"));
+        assert!(f.code.contains("let y = 2;"));
+        assert_eq!(f.code.len(), f.raw.len());
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let f = file("/// calls .unwrap() liberally\nfn a() {}\n//! env::var(\"X\")\n");
+        assert!(!f.code.contains("unwrap"));
+        assert!(!f.nocomment.contains("env::var"));
+        assert!(f.code.contains("fn a() {}"));
+    }
+
+    #[test]
+    fn string_contents_blank_in_code_but_stay_in_nocomment() {
+        let f = file("let s = \"unsafe env::var\"; let t = 1;\n");
+        assert!(!f.code.contains("unsafe"));
+        assert!(f.nocomment.contains("unsafe env::var"));
+        assert!(f.code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_handled() {
+        let f = file("let a = r#\"unsafe \"quoted\" text\"#; let b = \"esc\\\"unsafe\"; done();\n");
+        assert!(!f.code.contains("unsafe"));
+        assert!(f.code.contains("done();"));
+        assert!(f.nocomment.contains("quoted"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let f = file("fn f<'a>(x: &'a str) { let c = 'u'; let d = '\\''; }\n");
+        assert!(f.code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!f.code.contains("'u'") || f.code.contains("' '"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f = file("/* outer /* inner */ still comment */ fn live() {}\n");
+        assert!(!f.code.contains("inner"));
+        assert!(!f.code.contains("still"));
+        assert!(f.code.contains("fn live() {}"));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_do_not_start_comments() {
+        let f = file("let url = \"https://example.com\"; fn after() {}\n");
+        assert!(f.code.contains("fn after() {}"));
+        assert!(f.nocomment.contains("https://example.com"));
+    }
+
+    #[test]
+    fn test_regions_are_masked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = file(src);
+        assert!(!f.line_in_test(1));
+        assert!(f.line_in_test(2));
+        assert!(f.line_in_test(3));
+        assert!(f.line_in_test(4));
+        assert!(f.line_in_test(5));
+        assert!(!f.line_in_test(6));
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let f = file("a\nb\nc\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(4), 3);
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_test_mask() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}\";\n    fn t() {}\n}\nfn live() {}\n";
+        let f = file(src);
+        assert!(f.line_in_test(4));
+        assert!(!f.line_in_test(6));
+    }
+}

@@ -1,0 +1,8 @@
+//! A minimal workspace that satisfies every invariant: the crate root
+//! forbids unsafe, no environment reads, no kernel modules, no flags.
+#![forbid(unsafe_code)]
+
+/// Adds one. Entirely above suspicion.
+pub fn succ(x: u64) -> u64 {
+    x.saturating_add(1)
+}

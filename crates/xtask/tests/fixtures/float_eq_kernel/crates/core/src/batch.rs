@@ -1,0 +1,5 @@
+//! Violation: float equality inside a kernel module.
+
+pub fn is_degenerate(denom: f64) -> bool {
+    denom == 0.0
+}

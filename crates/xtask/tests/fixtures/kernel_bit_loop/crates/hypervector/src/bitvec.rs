@@ -1,0 +1,12 @@
+//! Violation: bit-at-a-time access in a kernel module where word-level
+//! kernels exist.
+
+pub fn count_set(v: &crate::BitVector, d: usize) -> usize {
+    let mut n = 0;
+    for i in 0..d {
+        if v.get_bit(i) {
+            n += 1;
+        }
+    }
+    n
+}

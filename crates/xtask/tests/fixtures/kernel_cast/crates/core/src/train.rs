@@ -1,0 +1,6 @@
+//! Violation: a float→integer truncating cast inside a kernel module —
+//! must go through `hypervector::cast::round_to_*` instead.
+
+pub fn scaled_count(x: f64) -> usize {
+    (x * 100.0).round() as usize
+}

@@ -1,0 +1,16 @@
+//! Violation: `unwrap()` on a kernel hot path — a panic here takes the
+//! serving worker down with it.
+
+pub fn first_score(scores: &[f64]) -> f64 {
+    *scores.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // unwrap() is fine in test code; this must NOT fire.
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let xs = [1.0_f64];
+        assert!((xs.first().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,6 @@
+//! Violation: a crate root without `#![forbid(unsafe_code)]`. No unsafe
+//! code anywhere, so only the missing attribute fires.
+
+pub fn succ(x: u64) -> u64 {
+    x.saturating_add(1)
+}

@@ -1,0 +1,12 @@
+//! Flag module for the readme-drift fixture: one flag, correctly
+//! registered. The drift is on the README side.
+
+pub const WIDGETS_ENV_VAR: &str = "ROBUSTHD_WIDGETS";
+
+pub struct FlagRegistry;
+
+impl FlagRegistry {
+    pub fn flags() -> Vec<&'static str> {
+        vec![WIDGETS_ENV_VAR]
+    }
+}

@@ -1,0 +1,12 @@
+//! Violation: a config toggle that selects an execution path with no
+//! differential or property test pinning it to the reference path.
+
+pub struct FooConfig {
+    pub fast_path: bool,
+}
+
+impl FooConfig {
+    pub fn reference() -> Self {
+        Self { fast_path: false }
+    }
+}

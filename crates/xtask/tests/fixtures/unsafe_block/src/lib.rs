@@ -1,0 +1,8 @@
+//! Violation: an `unsafe` block in workspace code. The crate root does
+//! carry the forbid attribute, so exactly one diagnostic fires — the
+//! token scan, which also covers files an attribute cannot reach.
+#![forbid(unsafe_code)]
+
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}

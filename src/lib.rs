@@ -15,6 +15,8 @@
 //! See `README.md` for the quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use faultsim;
 pub use hypervector;

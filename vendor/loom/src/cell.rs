@@ -1,0 +1,80 @@
+//! Race-checked cell: the stand-in for `loom::cell::UnsafeCell`.
+
+use crate::rt::{self, Clock};
+use std::sync::Mutex;
+
+#[derive(Debug)]
+struct Access {
+    tid: usize,
+    clock: Clock,
+    write: bool,
+}
+
+/// Shared mutable storage with data-race *detection* instead of data-race
+/// UB: every access is a schedule point, recorded with the accessing
+/// thread's vector clock, and a conflicting pair (at least one write)
+/// that is not ordered by happens-before panics the model — even when
+/// the executed interleaving happened to produce a plausible value.
+///
+/// Divergence from real loom: `with`/`with_mut` hand the closure `&T` /
+/// `&mut T` rather than raw pointers, so code under test stays free of
+/// `unsafe` (this workspace forbids it).
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T> {
+    data: Mutex<T>,
+    history: Mutex<Vec<Access>>,
+}
+
+impl<T> UnsafeCell<T> {
+    /// A new cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            data: Mutex::new(value),
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn check(&self, write: bool) {
+        let (sched, tid) = rt::ctx();
+        sched.yield_point(tid);
+        let my_clock = sched.thread_clock(tid);
+        let mut history = self.history.lock().unwrap_or_else(|e| e.into_inner());
+        for prior in history.iter() {
+            if prior.tid == tid || !(prior.write || write) {
+                continue;
+            }
+            // `prior` happened-before us iff our clock has seen the
+            // event counter of `prior`'s thread at `prior`'s access.
+            let prior_event = prior.clock.get(prior.tid).copied().unwrap_or(0);
+            let seen = my_clock.get(prior.tid).copied().unwrap_or(0);
+            if prior_event > seen {
+                let message = format!(
+                    "data race on UnsafeCell: {} by thread {tid} is concurrent \
+                     with {} by thread {}",
+                    if write { "write" } else { "read" },
+                    if prior.write { "write" } else { "read" },
+                    prior.tid,
+                );
+                drop(history);
+                panic!("{message}");
+            }
+        }
+        history.push(Access {
+            tid,
+            clock: my_clock,
+            write,
+        });
+    }
+
+    /// Immutable access; a schedule point and a recorded read.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.check(false);
+        f(&self.data.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Mutable access; a schedule point and a recorded write.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.check(true);
+        f(&mut self.data.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker,
+//! covering the API subset this workspace uses: [`model`],
+//! [`thread::spawn`]/[`thread::JoinHandle::join`],
+//! [`sync::atomic::AtomicUsize`], [`sync::Arc`], and [`cell::UnsafeCell`].
+//!
+//! # What it actually checks
+//!
+//! [`model`] runs the closure under a cooperative scheduler that holds a
+//! single run token: exactly one model thread executes at a time, and at
+//! every *schedule point* (atomic operation, [`cell::UnsafeCell`] access,
+//! spawn, join, exit, [`thread::yield_now`]) the scheduler decides who
+//! runs next. Decisions are recorded only where ≥ 2 threads are
+//! runnable; after each execution the recorded path is advanced like an
+//! odometer and the closure re-run, until the whole decision tree has
+//! been explored — a depth-first **exhaustive enumeration of thread
+//! interleavings**.
+//!
+//! Happens-before is tracked with vector clocks: spawn and join edges,
+//! plus `Acquire`/`Release`/`AcqRel`/`SeqCst` edges through atomics
+//! (`Relaxed` transfers no clocks, though read-modify-write atomicity is
+//! always preserved). [`cell::UnsafeCell`] keeps an access history and
+//! panics on the first pair of causally-unordered conflicting accesses —
+//! a data race under the C++11 model — even when the interleaving that
+//! was executed happened to produce the "right" value.
+//!
+//! # Divergences from real loom
+//!
+//! - **Interleavings, not weak memory.** Atomics here are a single
+//!   modification order; stale `Relaxed` loads and store buffering are
+//!   not simulated. Races are still caught (via the clocks above), but
+//!   weak-memory *value* behaviours are not explored.
+//! - **`UnsafeCell` takes safe closures** — `with(|&T|)` /
+//!   `with_mut(|&mut T|)` instead of raw pointers, so code under test
+//!   needs no `unsafe` (this workspace forbids it).
+//! - **Any panic fails the whole model** with the panicking thread's
+//!   message; `JoinHandle::join` never returns `Err`.
+//!
+//! Executions are capped at [`MAX_EXECUTIONS`]; exceeding the cap panics
+//! rather than looping forever on a state-space explosion.
+
+pub mod cell;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+/// Upper bound on explored executions before the model panics.
+pub const MAX_EXECUTIONS: u64 = 500_000;
+
+/// Exhaustively explores every interleaving of the model closure.
+///
+/// Panics (after restoring the panic hook) if any execution panics,
+/// deadlocks, or detects a data race; the failure message includes the
+/// execution index so a failing schedule is identifiable.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::run_model(std::sync::Arc::new(f));
+}

@@ -1,0 +1,447 @@
+//! The cooperative scheduler: run-token handoff, depth-first path
+//! exploration, vector clocks, panic and deadlock plumbing.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Vector clock: `clock[tid]` counts events thread `tid` has performed.
+pub(crate) type Clock = Vec<u64>;
+
+pub(crate) fn merge(into: &mut Clock, from: &Clock) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (i, &v) in from.iter().enumerate() {
+        if v > into[i] {
+            into[i] = v;
+        }
+    }
+}
+
+/// Sentinel panic payload: "this execution was aborted, unwind quietly".
+pub(crate) struct Abort;
+
+/// One recorded scheduling decision (taken where ≥ 2 threads were runnable).
+#[derive(Debug, Clone)]
+struct Choice {
+    options: usize,
+    chosen: usize,
+}
+
+#[derive(Debug)]
+struct ThreadSlot {
+    runnable: bool,
+    finished: bool,
+    clock: Clock,
+    /// Clock at exit, merged into joiners (the join happens-before edge).
+    final_clock: Clock,
+    /// Threads blocked in `join` on this one.
+    joiners: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    threads: Vec<ThreadSlot>,
+    /// The run token: which tid may execute.
+    current: usize,
+    path: Vec<Choice>,
+    cursor: usize,
+    /// Threads spawned and not yet finished.
+    live: usize,
+    /// All threads ran to completion.
+    done: bool,
+    /// A panic/deadlock/race ended this execution early.
+    aborted: bool,
+    failure: Option<String>,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+struct Ctx {
+    sched: Arc<Scheduler>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling model thread's scheduler handle and tid.
+pub(crate) fn ctx() -> (Arc<Scheduler>, usize) {
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        let ctx = borrow
+            .as_ref()
+            .expect("loom primitives may only be used inside loom::model");
+        (Arc::clone(&ctx.sched), ctx.tid)
+    })
+}
+
+impl Scheduler {
+    fn new(path: Vec<Choice>) -> Self {
+        Self {
+            state: Mutex::new(State {
+                path,
+                ..State::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new model thread, inheriting `parent`'s clock
+    /// (the spawn happens-before edge). Returns its tid.
+    pub(crate) fn register(&self, parent: Option<usize>) -> usize {
+        let mut s = self.lock();
+        let tid = s.threads.len();
+        let mut clock = match parent {
+            Some(p) => s.threads[p].clock.clone(),
+            None => Clock::new(),
+        };
+        if clock.len() <= tid {
+            clock.resize(tid + 1, 0);
+        }
+        s.threads.push(ThreadSlot {
+            runnable: true,
+            finished: false,
+            clock,
+            final_clock: Clock::new(),
+            joiners: Vec::new(),
+        });
+        s.live += 1;
+        tid
+    }
+
+    /// Picks the next thread to run and hands it the token. Records a
+    /// decision iff ≥ 2 threads are runnable; declares completion or
+    /// deadlock when none are.
+    fn reschedule(s: &mut State, cv: &Condvar) {
+        let runnable: Vec<usize> = (0..s.threads.len())
+            .filter(|&t| s.threads[t].runnable && !s.threads[t].finished)
+            .collect();
+        let chosen = match runnable.len() {
+            0 => {
+                if s.live == 0 {
+                    s.done = true;
+                } else {
+                    s.aborted = true;
+                    s.failure.get_or_insert_with(|| {
+                        "deadlock: live threads but none runnable".to_owned()
+                    });
+                }
+                cv.notify_all();
+                return;
+            }
+            1 => runnable[0],
+            n => {
+                let idx = if s.cursor < s.path.len() {
+                    s.path[s.cursor].chosen.min(n - 1)
+                } else {
+                    s.path.push(Choice {
+                        options: n,
+                        chosen: 0,
+                    });
+                    0
+                };
+                s.cursor += 1;
+                if s.cursor > 100_000 {
+                    // A single execution should never need this many
+                    // decisions; a spin loop in the model would otherwise
+                    // hang the DFS forever.
+                    s.aborted = true;
+                    s.failure.get_or_insert_with(|| {
+                        "execution exceeded 100000 scheduling decisions (livelock? \
+                         spin loops are not supported by this loom stand-in)"
+                            .to_owned()
+                    });
+                    cv.notify_all();
+                    return;
+                }
+                runnable[idx]
+            }
+        };
+        s.current = chosen;
+        cv.notify_all();
+    }
+
+    /// Blocks `tid` until it holds the run token (or the execution
+    /// aborts, in which case it unwinds with the [`Abort`] sentinel).
+    fn wait_for_token(&self, mut s: MutexGuard<'_, State>, tid: usize) {
+        loop {
+            if s.aborted {
+                drop(s);
+                panic::panic_any(Abort);
+            }
+            if s.current == tid && s.threads[tid].runnable {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A schedule point: one event on `tid`'s clock, then a scheduling
+    /// decision. Returns with `tid` holding the run token again.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut s = self.lock();
+        if s.aborted {
+            drop(s);
+            panic::panic_any(Abort);
+        }
+        s.threads[tid].clock[tid] += 1;
+        Self::reschedule(&mut s, &self.cv);
+        self.wait_for_token(s, tid);
+    }
+
+    /// Snapshot of `tid`'s vector clock.
+    pub(crate) fn thread_clock(&self, tid: usize) -> Clock {
+        self.lock().threads[tid].clock.clone()
+    }
+
+    /// Acquire edge: merge an atomic's clock into `tid`'s clock.
+    pub(crate) fn acquire(&self, tid: usize, from: &Clock) {
+        merge(&mut self.lock().threads[tid].clock, from);
+    }
+
+    /// Release edge: merge `tid`'s clock into an atomic's clock.
+    pub(crate) fn release(&self, tid: usize, into: &mut Clock) {
+        merge(into, &self.lock().threads[tid].clock);
+    }
+
+    /// Blocks `tid` until `child` finishes, then merges the join edge.
+    pub(crate) fn join_wait(&self, tid: usize, child: usize) {
+        let mut s = self.lock();
+        if s.aborted {
+            drop(s);
+            panic::panic_any(Abort);
+        }
+        s.threads[tid].clock[tid] += 1;
+        if !s.threads[child].finished {
+            s.threads[tid].runnable = false;
+            s.threads[child].joiners.push(tid);
+            Self::reschedule(&mut s, &self.cv);
+            self.wait_for_token(s, tid);
+            s = self.lock();
+        }
+        let final_clock = s.threads[child].final_clock.clone();
+        merge(&mut s.threads[tid].clock, &final_clock);
+    }
+
+    /// Normal thread exit: wake joiners, hand the token on.
+    pub(crate) fn exit(&self, tid: usize) {
+        let mut s = self.lock();
+        s.threads[tid].clock[tid] += 1;
+        let clock = s.threads[tid].clock.clone();
+        s.threads[tid].final_clock = clock;
+        s.threads[tid].finished = true;
+        s.threads[tid].runnable = false;
+        s.live -= 1;
+        let joiners = std::mem::take(&mut s.threads[tid].joiners);
+        for j in joiners {
+            s.threads[j].runnable = true;
+        }
+        if !s.aborted {
+            Self::reschedule(&mut s, &self.cv);
+        } else if s.live == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Exit of a thread that unwound after the execution aborted.
+    fn exit_silent(&self, tid: usize) {
+        let mut s = self.lock();
+        s.threads[tid].finished = true;
+        s.threads[tid].runnable = false;
+        s.live -= 1;
+        self.cv.notify_all();
+    }
+
+    /// First wait of a freshly spawned model thread: its body must not
+    /// run until the scheduler hands it the token.
+    fn wait_initial(&self, tid: usize) {
+        let s = self.lock();
+        self.wait_for_token(s, tid);
+    }
+
+    /// Records the first real failure and aborts the execution.
+    pub(crate) fn abort_with(&self, message: String) {
+        let mut s = self.lock();
+        s.aborted = true;
+        s.failure.get_or_insert(message);
+        self.cv.notify_all();
+    }
+}
+
+/// Entry point of every model OS thread: installs the thread-local
+/// context, runs the body, and routes panics into the scheduler.
+pub(crate) fn run_thread(sched: Arc<Scheduler>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            sched: Arc::clone(&sched),
+            tid,
+        });
+    });
+    let sched_for_body = Arc::clone(&sched);
+    let result = panic::catch_unwind(AssertUnwindSafe(move || {
+        sched_for_body.wait_initial(tid);
+        body();
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(()) => sched.exit(tid),
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_none() {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "thread panicked (non-string payload)".to_owned());
+                sched.abort_with(format!("thread {tid} panicked: {message}"));
+            }
+            sched.exit_silent(tid);
+        }
+    }
+}
+
+/// Spawns a model thread (used by `thread::spawn`); registration happens
+/// here so the child is schedulable before the parent's next decision.
+pub(crate) fn spawn_model_thread(
+    sched: &Arc<Scheduler>,
+    parent: usize,
+    body: impl FnOnce() + Send + 'static,
+) -> usize {
+    {
+        // The spawn is an event on the parent's clock, so the child
+        // inherits a clock that dominates everything the parent did.
+        let mut s = sched.lock();
+        s.threads[parent].clock[parent] += 1;
+    }
+    let tid = sched.register(Some(parent));
+    let sched2 = Arc::clone(sched);
+    std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn(move || run_thread(Arc::clone(&sched2), tid, body))
+        .expect("spawn loom model thread");
+    // Hand the scheduler a decision: parent keeps running or child starts.
+    sched.yield_point(parent);
+    tid
+}
+
+/// Advances the decision path like an odometer; false when exhausted.
+fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Panic hook that silences [`Abort`] sentinels, chaining to the
+/// previous hook for real panics (so user-visible diagnostics survive).
+fn install_quiet_hook() -> Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync> {
+    let previous = panic::take_hook();
+    let chained = Arc::new(previous);
+    let for_hook = Arc::clone(&chained);
+    panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<Abort>().is_none() {
+            for_hook(info);
+        }
+    }));
+    Box::new(move |info| chained(info))
+}
+
+/// Serializes concurrent `loom::model` calls (the test harness runs
+/// `#[test]`s on several threads; the scheduler context is per-model).
+static MODEL_GATE: Mutex<()> = Mutex::new(());
+
+pub(crate) fn run_model(f: Arc<dyn Fn() + Send + Sync>) {
+    let _gate = MODEL_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let restore_hook = install_quiet_hook();
+    let mut path: Vec<Choice> = Vec::new();
+    let mut executions: u64 = 0;
+    let failure = loop {
+        executions += 1;
+        assert!(
+            executions <= crate::MAX_EXECUTIONS,
+            "loom model exceeded {} executions — state space too large",
+            crate::MAX_EXECUTIONS
+        );
+        let sched = Arc::new(Scheduler::new(path.clone()));
+        let tid = sched.register(None);
+        let sched2 = Arc::clone(&sched);
+        let f2 = Arc::clone(&f);
+        let root = std::thread::Builder::new()
+            .name("loom-model-0".to_owned())
+            .spawn(move || run_thread(sched2, tid, move || f2()))
+            .expect("spawn loom root thread");
+        // Wait for the execution to run to completion or abort fully
+        // (every model thread unwound), then reap the root OS thread.
+        {
+            let mut s = sched.lock();
+            while !(s.done || (s.aborted && s.live == 0)) {
+                s = sched.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let _ = root.join();
+        let s = sched.lock();
+        if let Some(message) = s.failure.clone() {
+            break Some((message, executions));
+        }
+        path = s.path.clone();
+        drop(s);
+        if !advance(&mut path) {
+            break None;
+        }
+    };
+    // Restore the ambient panic hook before reporting.
+    panic::set_hook(restore_hook);
+    if let Some((message, execution)) = failure {
+        panic!("loom model failed on execution {execution}: {message}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_elementwise_max() {
+        let mut a = vec![3, 0, 1];
+        merge(&mut a, &vec![1, 5]);
+        assert_eq!(a, vec![3, 5, 1]);
+        let mut b = vec![1];
+        merge(&mut b, &vec![0, 2, 4]);
+        assert_eq!(b, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn advance_walks_the_tree_depth_first() {
+        let mut path = vec![
+            Choice {
+                options: 2,
+                chosen: 0,
+            },
+            Choice {
+                options: 3,
+                chosen: 2,
+            },
+        ];
+        assert!(advance(&mut path)); // inner exhausted, bump outer
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].chosen, 1);
+        assert!(!advance(&mut vec![Choice {
+            options: 2,
+            chosen: 1
+        }]));
+        assert!(!advance(&mut Vec::new()));
+    }
+}

@@ -1,0 +1,100 @@
+//! Synchronization primitives whose every operation is a schedule point.
+
+pub use std::sync::Arc;
+
+/// Model-checked atomics.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt::{self, Clock};
+    use std::sync::Mutex;
+
+    fn acquires(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    fn releases(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    /// A `usize` atomic with one modification order and vector-clock
+    /// release/acquire edges. `Relaxed` operations transfer no clocks
+    /// (so they synchronize nothing), but read-modify-write atomicity
+    /// is always preserved.
+    #[derive(Debug, Default)]
+    pub struct AtomicUsize {
+        inner: Mutex<(usize, Clock)>,
+    }
+
+    impl AtomicUsize {
+        /// A new atomic holding `value`.
+        pub fn new(value: usize) -> Self {
+            Self {
+                inner: Mutex::new((value, Clock::new())),
+            }
+        }
+
+        fn op<R>(&self, order: Ordering, apply: impl FnOnce(&mut usize) -> R) -> R {
+            let (sched, tid) = rt::ctx();
+            // The schedule decision happens before the operation; the
+            // operation itself is indivisible (no thread runs between
+            // the decision and the update).
+            sched.yield_point(tid);
+            let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let (value, clock) = &mut *guard;
+            if acquires(order) {
+                sched.acquire(tid, clock);
+            }
+            let out = apply(value);
+            if releases(order) {
+                sched.release(tid, clock);
+            }
+            out
+        }
+
+        /// Loads the current value.
+        pub fn load(&self, order: Ordering) -> usize {
+            self.op(order, |v| *v)
+        }
+
+        /// Stores `value`.
+        pub fn store(&self, value: usize, order: Ordering) {
+            self.op(order, |v| *v = value);
+        }
+
+        /// Atomically adds `n`, returning the previous value.
+        pub fn fetch_add(&self, n: usize, order: Ordering) -> usize {
+            self.op(order, |v| {
+                let old = *v;
+                *v = old.wrapping_add(n);
+                old
+            })
+        }
+
+        /// Atomically compares and swaps, returning `Ok(previous)` on
+        /// success and `Err(actual)` on failure.
+        pub fn compare_exchange(
+            &self,
+            current: usize,
+            new: usize,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<usize, usize> {
+            let _ = failure;
+            self.op(success, |v| {
+                if *v == current {
+                    *v = new;
+                    Ok(current)
+                } else {
+                    Err(*v)
+                }
+            })
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Model-thread spawning and cooperative joining.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a model thread; `join` blocks cooperatively through the
+/// scheduler so every join order is part of the explored state space.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Unlike `std`, a panicking model thread fails the whole model run,
+    /// so this never returns `Err`; the `Result` is kept for API
+    /// compatibility with `std::thread::JoinHandle`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, tid) = rt::ctx();
+        sched.join_wait(tid, self.tid);
+        let value = self
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined thread produced no value");
+        Ok(value)
+    }
+}
+
+/// Spawns a new model thread under the current `loom::model` scheduler.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, parent) = rt::ctx();
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let tid = rt::spawn_model_thread(&sched, parent, move || {
+        let value = f();
+        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+    });
+    JoinHandle { tid, slot }
+}
+
+/// An explicit schedule point with no side effects.
+pub fn yield_now() {
+    let (sched, tid) = rt::ctx();
+    sched.yield_point(tid);
+}

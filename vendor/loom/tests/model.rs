@@ -1,0 +1,150 @@
+//! The stand-in must actually *find* bad interleavings and *prove* good
+//! ones — these tests pin both directions.
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use std::collections::HashSet;
+use std::sync::Mutex as StdMutex;
+
+/// A split load/store increment is not atomic: across the explored
+/// interleavings BOTH final values {1, 2} must be observed. A scheduler
+/// that only ever runs threads back-to-back would see {2} alone.
+#[test]
+fn explores_both_outcomes_of_a_lost_update() {
+    let outcomes: Arc<StdMutex<HashSet<usize>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let sink = Arc::clone(&outcomes);
+    loom::model(move || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let seen = counter.load(Ordering::Relaxed);
+                    counter.store(seen + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        sink.lock().unwrap().insert(counter.load(Ordering::Relaxed));
+    });
+    assert_eq!(*outcomes.lock().unwrap(), HashSet::from([1, 2]));
+}
+
+/// fetch_add is indivisible even at Relaxed: two workers draining a
+/// counter can never claim the same ticket in any interleaving.
+#[test]
+fn fetch_add_tickets_are_unique_in_every_interleaving() {
+    loom::model(|| {
+        let next = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let ticket = next.fetch_add(1, Ordering::Relaxed);
+                        if ticket >= 3 {
+                            break;
+                        }
+                        got.push(ticket);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for handle in handles {
+            all.extend(handle.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    });
+}
+
+/// Two unsynchronized writes to the same cell are a data race in every
+/// interleaving — the checker must refuse them even though each executed
+/// order produces a plausible value.
+#[test]
+#[should_panic(expected = "data race")]
+fn detects_unsynchronized_concurrent_writes() {
+    loom::model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let child_cell = Arc::clone(&cell);
+        let child = thread::spawn(move || child_cell.with_mut(|v| *v += 1));
+        cell.with_mut(|v| *v += 1);
+        child.join().unwrap();
+    });
+}
+
+/// join() is a happens-before edge: parent reads after joining the
+/// writing child are race-free and see the written value.
+#[test]
+fn join_edge_orders_cell_accesses() {
+    loom::model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let child_cell = Arc::clone(&cell);
+        let child = thread::spawn(move || child_cell.with_mut(|v| *v = 7));
+        child.join().unwrap();
+        cell.with(|v| assert_eq!(*v, 7));
+    });
+}
+
+/// Release store → Acquire load is a happens-before edge: once the flag
+/// is observed, the cell write before it is visible and race-free.
+#[test]
+fn release_acquire_publishes_a_cell_write() {
+    loom::model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (child_cell, child_flag) = (Arc::clone(&cell), Arc::clone(&flag));
+        let child = thread::spawn(move || {
+            child_cell.with_mut(|v| *v = 9);
+            child_flag.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            cell.with(|v| assert_eq!(*v, 9));
+        }
+        child.join().unwrap();
+    });
+}
+
+/// An assertion failing in ANY interleaving fails the model, with the
+/// execution index in the message.
+#[test]
+#[should_panic(expected = "loom model failed on execution")]
+fn a_failing_interleaving_fails_the_model() {
+    loom::model(|| {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let child_flag = Arc::clone(&flag);
+        let child = thread::spawn(move || child_flag.store(1, Ordering::Relaxed));
+        // Fails only in interleavings where the child has already run.
+        assert_eq!(flag.load(Ordering::Relaxed), 0, "child ran first");
+        child.join().unwrap();
+    });
+}
+
+/// compare_exchange: exactly one of two racing claimants wins in every
+/// interleaving.
+#[test]
+fn compare_exchange_has_one_winner() {
+    loom::model(|| {
+        let owner = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (1..=2)
+            .map(|id| {
+                let owner = Arc::clone(&owner);
+                thread::spawn(move || {
+                    owner
+                        .compare_exchange(0, id, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                })
+            })
+            .collect();
+        let wins: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(wins.iter().filter(|&&w| w).count(), 1);
+        assert_ne!(owner.load(Ordering::Acquire), 0);
+    });
+}
