@@ -1,0 +1,351 @@
+//! HDXplore-style differential disagreement hunting.
+//!
+//! HDXplore (arXiv 2105.12770) finds a classifier's blind spots without
+//! labels by mutating inputs until *model variants* disagree — any
+//! disagreement is a guaranteed error in at least one variant. This repo
+//! gets its variants for free: the one-shot bundled model vs its
+//! retrained refinement, and the clean model vs a memory-attacked copy.
+//!
+//! The hunter is a seeded hill climb in raw feature space: each round
+//! mutates the current row into a batch of candidates (a few features
+//! nudged by `feature_step`, clamped to `[0, 1]`), encodes them once
+//! through the batched fast path, scores them under every variant, and
+//! either records a disagreement (and moves to the next seed row) or
+//! descends toward the candidate with the smallest *worst-case* margin —
+//! the direction in which some variant's decision boundary is nearest.
+
+use crate::corpus::{DisagreementCase, DisagreementCorpus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robusthd::encoding::Encoder;
+use robusthd::{BatchEngine, TrainedModel};
+
+/// Odd 64-bit multiplier decorrelating per-seed-row mutation streams
+/// (golden-ratio constant, as in SplitMix64).
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The hunter's resources: rounds per seed row, mutants per round, the
+/// per-feature mutation step, and the base seed.
+///
+/// # Example
+///
+/// ```
+/// use advsim::HuntBudget;
+///
+/// let budget = HuntBudget::new(8, 16).with_feature_step(0.1).with_seed(3);
+/// assert_eq!((budget.rounds, budget.mutants, budget.seed), (8, 16, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HuntBudget {
+    /// Hill-climb rounds spent per seed row before giving up on it.
+    pub rounds: usize,
+    /// Mutated candidates generated (and batch-scored) per round.
+    pub mutants: usize,
+    /// Magnitude of one feature nudge; mutated values clamp to `[0, 1]`.
+    pub feature_step: f64,
+    /// Base seed; per-seed-row streams derive from it and the row index.
+    pub seed: u64,
+}
+
+impl HuntBudget {
+    /// A budget of `rounds` hill-climb rounds of `mutants` candidates
+    /// each, with the default feature step (half a typical quantization
+    /// level at 64 levels: 0.05) and seed 0.
+    pub fn new(rounds: usize, mutants: usize) -> Self {
+        Self {
+            rounds,
+            mutants: mutants.max(1),
+            feature_step: 0.05,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the feature mutation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_step` is not positive and finite.
+    pub fn with_feature_step(mut self, feature_step: f64) -> Self {
+        assert!(
+            feature_step.is_finite() && feature_step > 0.0,
+            "feature_step must be positive and finite"
+        );
+        self.feature_step = feature_step;
+        self
+    }
+
+    /// Replaces the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Differential disagreement hunter (see the module docs).
+///
+/// Deterministic: for a fixed budget the produced corpus is a pure
+/// function of `(variants, seed_rows, beta)`, at any engine thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisagreementHunter {
+    budget: HuntBudget,
+}
+
+impl DisagreementHunter {
+    /// Creates a hunter with the given budget.
+    pub fn new(budget: HuntBudget) -> Self {
+        Self { budget }
+    }
+
+    /// The hunter's budget.
+    pub fn budget(&self) -> &HuntBudget {
+        &self.budget
+    }
+
+    /// Hunts for rows on which the `variants` disagree, starting from
+    /// each of `seed_rows` in turn. All variants must share the encoder's
+    /// dimensionality; `beta` is the confidence softmax inverse
+    /// temperature.
+    ///
+    /// Returns the corpus of every disagreement found (at most one per
+    /// seed row — the hunt moves on once a row's neighbourhood yields a
+    /// disagreement, maximizing corpus diversity over depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two variants are given, a seed row's length
+    /// differs from `encoder.features()`, or a variant's dimensionality
+    /// differs from the encoder's.
+    pub fn hunt<E: Encoder + Sync + ?Sized>(
+        &self,
+        engine: &BatchEngine,
+        encoder: &E,
+        variants: &[(&str, &TrainedModel)],
+        seed_rows: &[Vec<f64>],
+        beta: f64,
+    ) -> DisagreementCorpus {
+        assert!(
+            variants.len() >= 2,
+            "disagreement needs at least two model variants"
+        );
+        let features = encoder.features();
+        for (name, model) in variants {
+            assert_eq!(
+                model.dim(),
+                encoder.dim(),
+                "variant {name} dimensionality differs from the encoder's"
+            );
+        }
+
+        let mut corpus = DisagreementCorpus::new(
+            variants
+                .iter()
+                .map(|(name, _)| (*name).to_owned())
+                .collect(),
+        );
+        for (seed_index, row) in seed_rows.iter().enumerate() {
+            assert_eq!(row.len(), features, "seed row {seed_index} feature count");
+            let mut rng = StdRng::seed_from_u64(
+                self.budget.seed ^ (seed_index as u64).wrapping_mul(SEED_STRIDE),
+            );
+
+            let (verdicts, mut fitness) =
+                self.judge(engine, encoder, variants, &[row.clone()], beta)[0].clone();
+            if !all_equal(&verdicts) {
+                corpus.cases.push(DisagreementCase {
+                    seed_index,
+                    round: 0,
+                    row: row.clone(),
+                    verdicts,
+                });
+                continue;
+            }
+
+            let mut current = row.clone();
+            'rounds: for round in 1..=self.budget.rounds {
+                let candidates: Vec<Vec<f64>> = (0..self.budget.mutants)
+                    .map(|_| self.mutate(&current, &mut rng))
+                    .collect();
+                let judged = self.judge(engine, encoder, variants, &candidates, beta);
+                for (i, (verdicts, _)) in judged.iter().enumerate() {
+                    if !all_equal(verdicts) {
+                        corpus.cases.push(DisagreementCase {
+                            seed_index,
+                            round,
+                            row: candidates[i].clone(),
+                            verdicts: verdicts.clone(),
+                        });
+                        break 'rounds;
+                    }
+                }
+                // No disagreement this round: descend toward the candidate
+                // whose weakest variant margin is smallest (strict
+                // improvement, lowest index on ties).
+                let mut best: Option<(usize, f64)> = None;
+                for (i, (_, candidate_fitness)) in judged.iter().enumerate() {
+                    let improves = match best {
+                        None => *candidate_fitness < fitness,
+                        Some((_, so_far)) => *candidate_fitness < so_far,
+                    };
+                    if improves {
+                        best = Some((i, *candidate_fitness));
+                    }
+                }
+                if let Some((i, candidate_fitness)) = best {
+                    current = candidates[i].clone();
+                    fitness = candidate_fitness;
+                }
+            }
+        }
+        corpus
+    }
+
+    /// Encodes `rows` once through the batched fast path and scores them
+    /// under every variant; per row, returns the variants' predicted
+    /// labels and the minimum margin across variants (the hunt fitness).
+    fn judge<E: Encoder + Sync + ?Sized>(
+        &self,
+        engine: &BatchEngine,
+        encoder: &E,
+        variants: &[(&str, &TrainedModel)],
+        rows: &[Vec<f64>],
+        beta: f64,
+    ) -> Vec<(Vec<usize>, f64)> {
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let encoded = engine.encode_batch(encoder, &refs);
+        let per_variant: Vec<_> = variants
+            .iter()
+            .map(|(_, model)| engine.evaluate_batch(model, &encoded, beta))
+            .collect();
+        (0..rows.len())
+            .map(|i| {
+                let verdicts: Vec<usize> = per_variant
+                    .iter()
+                    .map(|scores| scores[i].predicted)
+                    .collect();
+                let fitness = per_variant
+                    .iter()
+                    .map(|scores| scores[i].confidence.margin)
+                    .fold(f64::INFINITY, f64::min);
+                (verdicts, fitness)
+            })
+            .collect()
+    }
+
+    /// One mutant: 1–3 features nudged by ±`feature_step`, clamped to the
+    /// encoder's `[0, 1]` input domain.
+    fn mutate(&self, row: &[f64], rng: &mut StdRng) -> Vec<f64> {
+        let mut mutant = row.to_vec();
+        let nudges = rng.random_range(1..=3usize).min(mutant.len());
+        for _ in 0..nudges {
+            let feature = rng.random_range(0..mutant.len());
+            let step = if rng.random_bool(0.5) {
+                self.budget.feature_step
+            } else {
+                -self.budget.feature_step
+            };
+            mutant[feature] = (mutant[feature] + step).clamp(0.0, 1.0);
+        }
+        mutant
+    }
+}
+
+fn all_equal(verdicts: &[usize]) -> bool {
+    verdicts.windows(2).all(|pair| pair[0] == pair[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robusthd::encoding::RecordEncoder;
+    use robusthd::HdcConfig;
+
+    fn fixture() -> (
+        HdcConfig,
+        RecordEncoder,
+        TrainedModel,
+        TrainedModel,
+        Vec<Vec<f64>>,
+    ) {
+        let config = HdcConfig::builder()
+            .dimension(1024)
+            .seed(13)
+            .build()
+            .expect("valid");
+        let refined = HdcConfig::builder()
+            .dimension(1024)
+            .seed(13)
+            .retrain_epochs(3)
+            .build()
+            .expect("valid");
+        let encoder = RecordEncoder::new(&config, 6);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let base = if i % 2 == 0 { 0.25 } else { 0.75 };
+            let row: Vec<f64> = (0..6)
+                .map(|f| base + 0.02 * (f as f64) * if i % 3 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            rows.push(row);
+            labels.push(i % 2);
+        }
+        let encoded = encoder.encode_batch(&rows);
+        let one_shot = TrainedModel::train(&encoded, &labels, 2, &config);
+        let retrained = TrainedModel::train(&encoded, &labels, 2, &refined);
+        (config, encoder, one_shot, retrained, rows)
+    }
+
+    #[test]
+    fn hunt_is_deterministic_per_seed() {
+        let (config, encoder, one_shot, retrained, rows) = fixture();
+        let engine = BatchEngine::from_env();
+        let hunter = DisagreementHunter::new(HuntBudget::new(4, 8).with_seed(21));
+        let variants = [("one-shot", &one_shot), ("retrained", &retrained)];
+        let a = hunter.hunt(
+            &engine,
+            &encoder,
+            &variants,
+            &rows[..6],
+            config.softmax_beta,
+        );
+        let b = hunter.hunt(
+            &engine,
+            &encoder,
+            &variants,
+            &rows[..6],
+            config.softmax_beta,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_verdicts_actually_disagree() {
+        let (config, encoder, one_shot, retrained, rows) = fixture();
+        let engine = BatchEngine::from_env();
+        let hunter =
+            DisagreementHunter::new(HuntBudget::new(10, 16).with_seed(2).with_feature_step(0.15));
+        let variants = [("one-shot", &one_shot), ("retrained", &retrained)];
+        let corpus = hunter.hunt(&engine, &encoder, &variants, &rows, config.softmax_beta);
+        for case in &corpus.cases {
+            assert!(!all_equal(&case.verdicts), "case is not a disagreement");
+            // Verdicts replay against the live variants.
+            let hv = encoder.encode(&case.row);
+            assert_eq!(one_shot.predict(&hv), case.verdicts[0]);
+            assert_eq!(retrained.predict(&hv), case.verdicts[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two model variants")]
+    fn single_variant_panics() {
+        let (config, encoder, one_shot, _, rows) = fixture();
+        let engine = BatchEngine::from_env();
+        let hunter = DisagreementHunter::new(HuntBudget::new(1, 1));
+        hunter.hunt(
+            &engine,
+            &encoder,
+            &[("solo", &one_shot)],
+            &rows[..1],
+            config.softmax_beta,
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Adversarial scenario engine: input-space attack synthesis and
+//! differential disagreement hunting for RobustHD classifiers.
+//!
+//! Every fault model in [`faultsim`] corrupts *stored model memory* — the
+//! threat the paper evaluates. This crate attacks from the direction the
+//! paper never measured: the *queries*. Two engines, both strictly
+//! blackbox (they observe only per-class similarity margins through
+//! [`robusthd::Confidence`], never model internals):
+//!
+//! * [`MarginAttacker`] — gradient-free query-space attack synthesis in
+//!   the style of adversarial attacks on HDC classifiers (Yang & Ren,
+//!   arXiv 2006.05594): a greedy bit-flip search inside a hard Hamming
+//!   ball, guided only by the confidence margin, with every candidate
+//!   round scored in one batched [`robusthd::BatchEngine`] pass so the
+//!   search itself runs on the serving fast path.
+//! * [`DisagreementHunter`] — HDXplore-style differential testing
+//!   (arXiv 2105.12770): a seeded mutator evolves raw feature rows to
+//!   minimize the weakest margin across several model *variants* (one-shot
+//!   vs retrained, clean vs attacked) until they disagree, producing a
+//!   persisted, replayable [`DisagreementCorpus`].
+//!
+//! The [`soak`] module closes the loop: [`run_adv_soak`] interleaves
+//! memory corruption ([`faultsim::AttackCampaign`]) with input-space
+//! attacks and measures whether the resilience supervisor's confidence
+//! gate ([`robusthd::Confidence::is_trusted`]) detects adversarial
+//! queries the way its health monitor detects bit-rot.
+//!
+//! Everything is deterministic per seed: for a fixed [`AttackBudget`] /
+//! [`HuntBudget`] the whole campaign is a pure function of its inputs, at
+//! any engine thread count (pinned by `tests/advsim_props.rs` and
+//! `tests/advsim_differential.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use advsim::{AttackBudget, MarginAttacker};
+//! use hypervector::random::HypervectorSampler;
+//! use robusthd::{BatchEngine, TrainedModel};
+//!
+//! let mut sampler = HypervectorSampler::seed_from(5);
+//! let classes: Vec<_> = (0..3).map(|_| sampler.binary(2048)).collect();
+//! let query = sampler.flip_noise(&classes[0], 0.2);
+//! let model = TrainedModel::from_classes(classes);
+//! let engine = BatchEngine::from_env();
+//!
+//! let attacker = MarginAttacker::new(AttackBudget::new(64).with_seed(7));
+//! let attack = attacker.attack(&engine, &model, &query, 64.0, 0);
+//! assert!(attack.flipped_bits.len() <= 64); // hard Hamming budget
+//! assert_eq!(query.hamming_distance(&attack.adversarial), attack.flipped_bits.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attack;
+pub mod corpus;
+pub mod hunter;
+pub mod soak;
+
+pub use attack::{AttackBudget, MarginAttacker, QueryAttack};
+pub use corpus::{CorpusError, DisagreementCase, DisagreementCorpus, ReplayReport};
+pub use hunter::{DisagreementHunter, HuntBudget};
+pub use soak::{
+    budget_curve, run_adv_soak, AdvSoakConfig, AdvSoakReport, AdvSoakStep, BudgetPoint,
+};

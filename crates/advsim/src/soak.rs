@@ -1,0 +1,393 @@
+//! Joint memory + input attack soak: the closed loop under fire from both
+//! directions at once.
+//!
+//! The chaos soak (`bench::soak`) corrupts *stored memory* and lets the
+//! resilience supervisor repair it; this module additionally corrupts the
+//! *traffic*: each step, a [`faultsim::AttackCampaign`] advances the
+//! memory corruption, a seeded fraction of the served queries is replaced
+//! by [`crate::MarginAttacker`] outputs synthesized against the current
+//! (corrupted) model, and the mixed batch is served through
+//! [`robusthd::supervisor::ResilienceSupervisor::serve_batch_with_scores`].
+//!
+//! The question the report answers: does the confidence gate
+//! ([`robusthd::Confidence::is_trusted`]) *detect* adversarial queries —
+//! refuse to trust them — the way the health monitor detects bit-rot?
+//! Detection here is per-query (an attacked query served below the trust
+//! threshold), measured alongside the false-alarm rate on clean queries
+//! and the end-to-end accuracy under the joint attack.
+
+use crate::attack::{AttackBudget, MarginAttacker};
+use faultsim::{AttackCampaign, ErrorRateSchedule};
+use hypervector::BinaryHypervector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robusthd::supervisor::ResilienceSupervisor;
+use robusthd::{BatchEngine, TrainedModel};
+use std::fmt::Write as _;
+
+/// Configuration of one joint adversarial soak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvSoakConfig {
+    /// Cumulative memory-corruption schedule (one entry per soak step).
+    pub schedule: ErrorRateSchedule,
+    /// The input-space attacker's budget (radius, candidate width, seed).
+    pub budget: AttackBudget,
+    /// Fraction of each step's served queries replaced by adversarial
+    /// versions (rounded to a count; clamped to `[0, 1]`).
+    pub attack_fraction: f64,
+    /// The supervisor's trust threshold `T_C` — the detection boundary
+    /// the report measures against.
+    pub trust_threshold: f64,
+}
+
+/// One step of the joint soak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvSoakStep {
+    /// 1-based step.
+    pub step: usize,
+    /// Memory bits flipped into the model image this step.
+    pub memory_bits_flipped: usize,
+    /// Cumulative injected memory corruption (fraction of the image).
+    pub cumulative_error_rate: f64,
+    /// Queries attacked this step.
+    pub attacked: usize,
+    /// Attacks that flipped the (corrupted) model's prediction before
+    /// serving.
+    pub attack_successes: usize,
+    /// Successful attacks served *below* the trust threshold — the
+    /// confidence gate caught them.
+    pub detected_successes: usize,
+    /// Clean (un-attacked) queries served below the trust threshold —
+    /// the gate's false alarms this step.
+    pub clean_false_alarms: usize,
+    /// Clean queries served this step.
+    pub clean: usize,
+    /// Mean bits flipped per attacked query.
+    pub mean_flips: f64,
+    /// Accuracy over the mixed batch against the true labels (unreliable
+    /// answers count as wrong).
+    pub accuracy: f64,
+    /// Supervisor escalation level after the step.
+    pub level: usize,
+    /// Whether the supervisor escalated this step.
+    pub escalated: bool,
+    /// Whether the supervisor rolled back to a checkpoint this step.
+    pub rolled_back: bool,
+}
+
+/// Full trace of a joint adversarial soak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvSoakReport {
+    /// Accuracy of the clean model on the clean traffic.
+    pub clean_accuracy: f64,
+    /// The trust threshold the detection numbers refer to.
+    pub trust_threshold: f64,
+    /// Per-step trace.
+    pub steps: Vec<AdvSoakStep>,
+}
+
+impl AdvSoakReport {
+    /// Accuracy at the last step (clean accuracy when no steps ran).
+    pub fn final_accuracy(&self) -> f64 {
+        self.steps
+            .last()
+            .map_or(self.clean_accuracy, |s| s.accuracy)
+    }
+
+    /// Attack success rate across the whole run (0 when nothing was
+    /// attacked).
+    pub fn attack_success_rate(&self) -> f64 {
+        ratio(
+            self.steps.iter().map(|s| s.attack_successes).sum(),
+            self.steps.iter().map(|s| s.attacked).sum(),
+        )
+    }
+
+    /// Fraction of successful attacks the confidence gate served below
+    /// the trust threshold (0 when no attack succeeded).
+    pub fn detection_rate(&self) -> f64 {
+        ratio(
+            self.steps.iter().map(|s| s.detected_successes).sum(),
+            self.steps.iter().map(|s| s.attack_successes).sum(),
+        )
+    }
+
+    /// False-alarm rate of the gate on clean queries across the run.
+    pub fn false_alarm_rate(&self) -> f64 {
+        ratio(
+            self.steps.iter().map(|s| s.clean_false_alarms).sum(),
+            self.steps.iter().map(|s| s.clean).sum(),
+        )
+    }
+
+    /// Serializes the trace as one JSON object (hand-written, like
+    /// [`robusthd::SoakReport::to_json`], so the format is identical with
+    /// or without external serialization crates).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"clean_accuracy\":{},\"final_accuracy\":{},\"trust_threshold\":{},\
+             \"attack_success_rate\":{},\"detection_rate\":{},\"false_alarm_rate\":{},\
+             \"steps\":[",
+            self.clean_accuracy,
+            self.final_accuracy(),
+            self.trust_threshold,
+            self.attack_success_rate(),
+            self.detection_rate(),
+            self.false_alarm_rate(),
+        );
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"step\":{},\"memory_bits_flipped\":{},\"cumulative_error_rate\":{},\
+                 \"attacked\":{},\"attack_successes\":{},\"detected_successes\":{},\
+                 \"clean_false_alarms\":{},\"clean\":{},\"mean_flips\":{},\
+                 \"accuracy\":{},\"level\":{},\"escalated\":{},\"rolled_back\":{}}}",
+                s.step,
+                s.memory_bits_flipped,
+                s.cumulative_error_rate,
+                s.attacked,
+                s.attack_successes,
+                s.detected_successes,
+                s.clean_false_alarms,
+                s.clean,
+                s.mean_flips,
+                s.accuracy,
+                s.level,
+                s.escalated,
+                s.rolled_back,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One point of an attack-success-vs-budget curve (clean model, no
+/// memory corruption): what a Hamming radius buys the adversary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetPoint {
+    /// The Hamming-ball radius evaluated.
+    pub radius: usize,
+    /// Queries attacked.
+    pub attacks: usize,
+    /// Attacks that flipped the prediction.
+    pub successes: usize,
+    /// Successful attacks whose final confidence fell below the trust
+    /// threshold (the gate would have caught them).
+    pub detected: usize,
+    /// Mean bits actually flipped per attack (≤ radius).
+    pub mean_flips: f64,
+    /// Mean blackbox queries spent per attack.
+    pub mean_queries: f64,
+}
+
+/// Sweeps the attacker's Hamming budget over `radii` against a clean
+/// model: one [`BudgetPoint`] per radius, each attacking every query.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty or `beta` is invalid.
+pub fn budget_curve(
+    engine: &BatchEngine,
+    model: &TrainedModel,
+    queries: &[BinaryHypervector],
+    beta: f64,
+    radii: &[usize],
+    budget: &AttackBudget,
+    trust_threshold: f64,
+) -> Vec<BudgetPoint> {
+    assert!(!queries.is_empty(), "budget curve needs queries");
+    radii
+        .iter()
+        .map(|&radius| {
+            let attacker = MarginAttacker::new(AttackBudget { radius, ..*budget });
+            let attacks = attacker.attack_batch(engine, model, queries, beta);
+            let successes = attacks.iter().filter(|a| a.success).count();
+            let detected = attacks
+                .iter()
+                .filter(|a| a.success && a.is_detected(trust_threshold))
+                .count();
+            let total_flips: usize = attacks.iter().map(|a| a.flipped_bits.len()).sum();
+            let total_queries: usize = attacks.iter().map(|a| a.queries_spent).sum();
+            BudgetPoint {
+                radius,
+                attacks: attacks.len(),
+                successes,
+                detected,
+                mean_flips: total_flips as f64 / attacks.len() as f64,
+                mean_queries: total_queries as f64 / attacks.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Runs one joint memory + input attack soak (see the module docs).
+///
+/// The supervisor must already be calibrated; `queries`/`labels` are the
+/// served traffic, re-served (freshly attacked) every step. Input attacks
+/// are synthesized against the *current corrupted* model — the adversary
+/// observes the same degraded blackbox the defender serves.
+///
+/// # Panics
+///
+/// Panics if `queries` and `labels` lengths differ, `queries` is empty,
+/// `attack_fraction` is outside `[0, 1]`, or the supervisor was never
+/// calibrated.
+pub fn run_adv_soak(
+    supervisor: &mut ResilienceSupervisor,
+    model: &mut TrainedModel,
+    queries: &[BinaryHypervector],
+    labels: &[usize],
+    config: &AdvSoakConfig,
+) -> AdvSoakReport {
+    assert_eq!(queries.len(), labels.len(), "queries and labels must align");
+    assert!(!queries.is_empty(), "soak needs traffic");
+    assert!(
+        (0.0..=1.0).contains(&config.attack_fraction),
+        "attack_fraction must lie in [0, 1]"
+    );
+    let beta = supervisor.hdc_config().softmax_beta;
+    let clean_accuracy = robusthd::metrics::accuracy(model, queries, labels);
+    let model_bits = model.num_classes() * model.dim();
+    let mut campaign = AttackCampaign::new(config.schedule.clone(), model_bits, config.budget.seed);
+    let engine = supervisor.batch_engine().clone();
+    let attacker = MarginAttacker::new(config.budget);
+    let attacked_per_step =
+        hypervector::cast::round_to_usize(config.attack_fraction * queries.len() as f64)
+            .min(queries.len());
+
+    let mut steps = Vec::new();
+    let mut injected = 0usize;
+    let mut step = 0usize;
+    loop {
+        // Memory attack: advance the campaign over the model image.
+        let mut image = model.to_memory_image();
+        let Some(memory_bits_flipped) = campaign.advance(image.words_mut()) else {
+            break;
+        };
+        image.mask_tail();
+        model.load_memory_image(&image);
+        step += 1;
+        injected += memory_bits_flipped;
+
+        // Input attack: a seeded per-step subset of the traffic, attacked
+        // against the corrupted model the defender is about to serve.
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .budget
+                .seed
+                .wrapping_add(step as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut targets: Vec<usize> = Vec::with_capacity(attacked_per_step);
+        let mut chosen = vec![false; queries.len()];
+        while targets.len() < attacked_per_step {
+            let i = rng.random_range(0..queries.len());
+            if !chosen[i] {
+                chosen[i] = true;
+                targets.push(i);
+            }
+        }
+        targets.sort_unstable();
+
+        let mut mixed: Vec<BinaryHypervector> = queries.to_vec();
+        let mut attack_successes = 0usize;
+        let mut detected_successes = 0usize;
+        let mut total_flips = 0usize;
+        for (k, &i) in targets.iter().enumerate() {
+            let attack =
+                attacker.attack(&engine, model, &queries[i], beta, step * queries.len() + k);
+            if attack.success {
+                attack_successes += 1;
+                // The attack's final confidence is bit-identical to what
+                // the serving pass computes for this query (same model
+                // state, same engine kernels), so the gate's verdict can
+                // be read off the attack itself.
+                if attack.is_detected(config.trust_threshold) {
+                    detected_successes += 1;
+                }
+            }
+            total_flips += attack.flipped_bits.len();
+            mixed[i] = attack.adversarial;
+        }
+
+        // Serve the mixed batch through the closed loop; the returned
+        // scores give the gate's view of the clean traffic.
+        let (report, scores) = supervisor.serve_batch_with_scores(model, &mixed);
+        let mut clean_false_alarms = 0usize;
+        for (i, score) in scores.iter().enumerate() {
+            if !chosen[i] && !score.confidence.is_trusted(config.trust_threshold) {
+                clean_false_alarms += 1;
+            }
+        }
+        let correct = report
+            .answers
+            .iter()
+            .zip(labels)
+            .filter(|(answer, label)| **answer == Some(**label))
+            .count();
+
+        steps.push(AdvSoakStep {
+            step,
+            memory_bits_flipped,
+            cumulative_error_rate: injected as f64 / model_bits as f64,
+            attacked: targets.len(),
+            attack_successes,
+            detected_successes,
+            clean_false_alarms,
+            clean: queries.len() - targets.len(),
+            mean_flips: if targets.is_empty() {
+                0.0
+            } else {
+                total_flips as f64 / targets.len() as f64
+            },
+            accuracy: correct as f64 / labels.len() as f64,
+            level: report.level,
+            escalated: report.escalated,
+            rolled_back: report.rolled_back,
+        });
+    }
+    AdvSoakReport {
+        clean_accuracy,
+        trust_threshold: config.trust_threshold,
+        steps,
+    }
+}
+
+fn ratio(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypervector::random::HypervectorSampler;
+
+    #[test]
+    fn budget_curve_success_is_monotone_in_radius() {
+        let mut sampler = HypervectorSampler::seed_from(31);
+        let classes: Vec<_> = (0..3).map(|_| sampler.binary(1024)).collect();
+        let queries: Vec<_> = (0..10)
+            .map(|i| sampler.flip_noise(&classes[i % 3], 0.2))
+            .collect();
+        let model = TrainedModel::from_classes(classes);
+        let engine = BatchEngine::from_env();
+        let budget = AttackBudget::new(0).with_candidates(16).with_seed(5);
+        let curve = budget_curve(&engine, &model, &queries, 64.0, &[0, 32, 512], &budget, 0.5);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].successes, 0, "zero radius flips nothing");
+        assert!(curve[2].successes >= curve[1].successes);
+        for point in &curve {
+            assert!(point.mean_flips <= point.radius as f64);
+        }
+    }
+}

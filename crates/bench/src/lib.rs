@@ -19,6 +19,7 @@
 //! | [`soak`]   | Extension — chaos soak of the closed-loop resilience supervisor |
 //! | [`throughput`] | Extension — batched inference throughput across thread counts |
 //! | [`trainbench`] | Extension — bit-sliced training throughput (bundle/retrain) across thread counts |
+//! | [`advsim`] | Extension — adversarial input-space attacks, disagreement hunting, joint soak |
 //!
 //! Experiments default to a laptop-scale subsample of the paper's datasets
 //! (exact feature/class geometry, reduced split sizes); see
@@ -27,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod advsim;
 pub mod attack;
 pub mod fig2;
 pub mod fig3;

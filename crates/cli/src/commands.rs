@@ -1,6 +1,9 @@
 //! The four subcommands, each a pure function from argv to a text report.
 
 use crate::args::ParsedArgs;
+use advsim::{
+    run_adv_soak, AdvSoakConfig, AttackBudget, DisagreementCorpus, DisagreementHunter, HuntBudget,
+};
 use baselines::{BitStoredModel, Mlp, MlpConfig};
 use faultsim::{AttackCampaign, Attacker, ErrorRateSchedule};
 use robusthd::diagnostics::{HealthMonitor, HealthVerdict};
@@ -8,8 +11,8 @@ use robusthd::persist;
 use robusthd::supervisor::{run_soak, ResilienceSupervisor};
 use robusthd::train::train_accumulators;
 use robusthd::{
-    accuracy, BatchConfig, BatchEngine, Encoder, HdcConfig, RecordEncoder, RecoveryConfig,
-    RecoveryEngine, SubstitutionMode, SupervisorConfig, TrainConfig, TrainedModel,
+    accuracy, AdvConfig, BatchConfig, BatchEngine, EncodeConfig, Encoder, HdcConfig, RecordEncoder,
+    RecoveryConfig, RecoveryEngine, SubstitutionMode, SupervisorConfig, TrainConfig, TrainedModel,
 };
 use std::fmt::Write as _;
 use std::fs::File;
@@ -681,6 +684,282 @@ pub fn soak(argv: &[String]) -> Result<String, String> {
         report.peak_error_rate() * 100.0,
         report.escalations(),
         report.rollbacks()
+    );
+    Ok(out)
+}
+
+const ADVSOAK_HELP: &str = "\
+robusthd advsoak — joint memory + input adversarial soak
+
+Trains a pipeline, calibrates the resilience supervisor on the first half
+of the traffic (canaries), then serves the second half while an attack
+campaign corrupts stored memory AND a blackbox margin-guided attacker
+perturbs a fraction of the queries inside a hard Hamming budget. Reports
+whether the confidence gate detects the adversarial queries. Also hunts a
+disagreement corpus across model variants (one-shot vs retrained vs
+memory-attacked) that can be persisted and later replayed bit-exactly.
+
+OPTIONS:
+    --train <PATH>     training CSV (required)
+    --traffic <PATH>   traffic CSV (labels used only to report accuracy) (required)
+    --steps <N>        attack-campaign steps (default 6)
+    --peak <F>         cumulative memory corruption at the last step (default 0.08)
+    --tcam             derive the memory-corruption schedule from the FeFET/TCAM
+                       retention model (Vth drift) instead of the linear ramp
+    --horizon <F>      TCAM retention horizon in seconds (default 1e8)
+    --radius <N>       input-attack Hamming budget per query (default 64)
+    --candidates <N>   candidate bits scored per attack round
+                       (default: ROBUSTHD_ADV_CANDIDATES)
+    --attack-frac <F>  fraction of served queries attacked per step (default 0.15)
+    --trust <F>        confidence trust threshold T_C (default 0.45)
+    --corpus <PATH>    persist the disagreement corpus (ADVC1 text) here
+    --replay <PATH>    replay a saved corpus against the rebuilt pipeline and
+                       report exactness instead of running the soak
+    --dim <N>          HDC dimensionality (default 4096)
+    --seed <N>         pipeline/attack seed (default: ROBUSTHD_ADV_SEED)
+    --json             emit the full JSON report instead of a text report";
+
+/// Rebuilds the hunt's model variants deterministically from a pipeline:
+/// the one-shot model, a 2-epoch retrained refinement, and a 5%
+/// memory-attacked copy.
+fn adv_variants(
+    pipeline: &TrainedPipeline,
+    train: &[Sample],
+    seed: u64,
+) -> (TrainedModel, TrainedModel) {
+    let train_rows: Vec<&[f64]> = train.iter().map(|s| s.features.as_slice()).collect();
+    let encoded_train = pipeline.encoder.encode_batch_refs(&train_rows);
+    let train_labels: Vec<_> = train.iter().map(|s| s.label).collect();
+    let classes = pipeline.model.num_classes();
+    let mut refined = pipeline.config.clone();
+    refined.retrain_epochs = 2;
+    let retrained = TrainedModel::train(&encoded_train, &train_labels, classes, &refined);
+    let attacked = attack_model(&pipeline.model, 0.05, seed ^ 0xBAD);
+    (retrained, attacked)
+}
+
+/// `robusthd advsoak` — adversarial scenario soak (input + memory attacks).
+pub fn advsoak(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "train",
+            "traffic",
+            "steps",
+            "peak",
+            "tcam",
+            "horizon",
+            "radius",
+            "candidates",
+            "attack-frac",
+            "trust",
+            "corpus",
+            "replay",
+            "dim",
+            "seed",
+            "json",
+            "help",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(ADVSOAK_HELP.to_owned());
+    }
+    let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
+    let traffic = load_samples(args.require("traffic").map_err(|e| e.to_string())?)?;
+    let steps = args
+        .get_parsed_or("steps", 6usize)
+        .map_err(|e| e.to_string())?;
+    if steps == 0 {
+        return Err("--steps must be positive".to_owned());
+    }
+    let peak = args
+        .get_parsed_or("peak", 0.08f64)
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&peak) {
+        return Err(format!("--peak {peak} outside [0, 1]"));
+    }
+    let horizon = args
+        .get_parsed_or("horizon", 1e8f64)
+        .map_err(|e| e.to_string())?;
+    let adv = AdvConfig::from_env();
+    let radius = args
+        .get_parsed_or("radius", 64usize)
+        .map_err(|e| e.to_string())?;
+    let candidates = args
+        .get_parsed_or("candidates", adv.candidates)
+        .map_err(|e| e.to_string())?;
+    let attack_frac = args
+        .get_parsed_or("attack-frac", 0.15f64)
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&attack_frac) {
+        return Err(format!("--attack-frac {attack_frac} outside [0, 1]"));
+    }
+    let trust = args
+        .get_parsed_or("trust", 0.45f64)
+        .map_err(|e| e.to_string())?;
+    let dim = args
+        .get_parsed_or("dim", 4096usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", adv.seed)
+        .map_err(|e| e.to_string())?;
+
+    let pipeline = train_pipeline(&train, &traffic, dim, seed)?;
+    let features = train[0].features.len();
+    let engine = BatchEngine::from_env();
+    let beta = pipeline.config.softmax_beta;
+    let (retrained, attacked) = adv_variants(&pipeline, &train, seed);
+    let variants = [
+        ("one-shot", &pipeline.model),
+        ("retrained", &retrained),
+        ("attacked", &attacked),
+    ];
+
+    // Replay mode: verify a previously persisted corpus bit-exactly
+    // against the rebuilt pipeline, then stop.
+    if let Some(path) = args.get("replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let corpus = DisagreementCorpus::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+        let fast =
+            RecordEncoder::with_encode_config(&pipeline.config, features, EncodeConfig::fast());
+        let reference = RecordEncoder::with_encode_config(
+            &pipeline.config,
+            features,
+            EncodeConfig::reference(),
+        );
+        let report = corpus.replay(&engine, &fast, &reference, &variants, beta);
+        if args.flag("json") {
+            return Ok(format!(
+                "{{\"cases\":{},\"encode_mismatches\":{},\"score_mismatches\":{},\
+                 \"verdict_mismatches\":{},\"clean\":{}}}",
+                report.cases,
+                report.encode_mismatches,
+                report.score_mismatches,
+                report.verdict_mismatches,
+                report.is_clean()
+            ));
+        }
+        return Ok(format!(
+            "replayed {} cases: {} encode, {} score, {} verdict mismatches — {}",
+            report.cases,
+            report.encode_mismatches,
+            report.score_mismatches,
+            report.verdict_mismatches,
+            if report.is_clean() {
+                "bit-exact"
+            } else {
+                "NOT REPRODUCIBLE"
+            }
+        ));
+    }
+
+    // Disagreement hunt over the traffic's raw feature rows.
+    let hunt_rows: Vec<Vec<f64>> = traffic
+        .iter()
+        .take(32)
+        .map(|s| s.features.clone())
+        .collect();
+    let hunter = DisagreementHunter::new(HuntBudget::new(6, 12).with_seed(seed));
+    let corpus = hunter.hunt(&engine, &pipeline.encoder, &variants, &hunt_rows, beta);
+    let mut corpus_note = format!("{} disagreements", corpus.cases.len());
+    if let Some(path) = args.get("corpus") {
+        std::fs::write(path, corpus.to_text()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = write!(corpus_note, " (persisted to {path})");
+    }
+
+    // Joint soak: memory campaign + input attacks through the closed loop.
+    let half = (pipeline.queries.len() / 2).max(1);
+    let (canaries, served) = pipeline.queries.split_at(half);
+    let served_labels = &pipeline.labels[half..];
+    if served.is_empty() {
+        return Err("traffic file too small to split into canaries and served queries".to_owned());
+    }
+    let base = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(seed ^ 0x50AC)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let policy = SupervisorConfig::builder()
+        .window(served.len())
+        .sensitivity(0.9)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut supervisor = ResilienceSupervisor::new(&pipeline.config, base, policy, features);
+    let mut model = pipeline.model.clone();
+    supervisor.calibrate(&model, canaries);
+
+    let schedule = if args.flag("tcam") {
+        if !(horizon.is_finite() && horizon >= 0.0) {
+            return Err(format!(
+                "--horizon {horizon} must be non-negative and finite"
+            ));
+        }
+        ErrorRateSchedule::from_cumulative(
+            pimsim::TcamBerModel::default().cumulative_rates(steps, horizon),
+        )
+    } else {
+        ErrorRateSchedule::from_cumulative(
+            (1..=steps)
+                .map(|i| peak * i as f64 / steps as f64)
+                .collect(),
+        )
+    };
+    let config = AdvSoakConfig {
+        schedule,
+        budget: AttackBudget::new(radius)
+            .with_candidates(candidates)
+            .with_seed(seed ^ 0xADF0),
+        attack_fraction: attack_frac,
+        trust_threshold: trust,
+    };
+    let report = run_adv_soak(&mut supervisor, &mut model, served, served_labels, &config);
+
+    if args.flag("json") {
+        return Ok(format!(
+            "{{\"corpus_cases\":{},\"radius\":{},\"soak\":{}}}",
+            corpus.cases.len(),
+            radius,
+            report.to_json()
+        ));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "calibrated on {} canaries, serving {} queries per step",
+        canaries.len(),
+        served.len()
+    );
+    let _ = writeln!(out, "hunt: {corpus_note}");
+    for s in &report.steps {
+        let _ = writeln!(
+            out,
+            "step {}: +{} memory flips ({:.1}% cumulative), {}/{} attacks succeeded \
+             ({} caught), {} false alarms, accuracy {:.2}%, level {}{}{}",
+            s.step,
+            s.memory_bits_flipped,
+            s.cumulative_error_rate * 100.0,
+            s.attack_successes,
+            s.attacked,
+            s.detected_successes,
+            s.clean_false_alarms,
+            s.accuracy * 100.0,
+            s.level,
+            if s.escalated { ", ESCALATED" } else { "" },
+            if s.rolled_back { ", ROLLED BACK" } else { "" },
+        );
+    }
+    let _ = write!(
+        out,
+        "advsoak: clean {:.2}% -> final {:.2}%, attack success {:.1}%, \
+         detection {:.1}%, false alarms {:.1}%",
+        report.clean_accuracy * 100.0,
+        report.final_accuracy() * 100.0,
+        report.attack_success_rate() * 100.0,
+        report.detection_rate() * 100.0,
+        report.false_alarm_rate() * 100.0
     );
     Ok(out)
 }

@@ -32,6 +32,7 @@ COMMANDS:
     recover     Attack an HDC model, then repair it from unlabeled traffic
     monitor     Judge a model's health from unlabeled traffic as it corrupts
     soak        Chaos-soak the self-healing serving runtime under an attack campaign
+    advsoak     Joint memory + input adversarial soak with disagreement hunting
     throughput  Benchmark batched inference across thread counts (JSON)
     trainbench  Benchmark bit-sliced training (bundle/retrain) across thread counts (JSON)
     flags       Print the ROBUSTHD_* environment-flag registry (JSON)
@@ -58,6 +59,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "recover" => commands::recover(rest),
         "monitor" => commands::monitor(rest),
         "soak" => commands::soak(rest),
+        "advsoak" => commands::advsoak(rest),
         "throughput" => commands::throughput(rest),
         "trainbench" => commands::trainbench(rest),
         "flags" => commands::flags(rest),

@@ -88,6 +88,26 @@ impl Confidence {
     pub fn is_trusted(&self, threshold: f64) -> bool {
         self.confidence >= threshold
     }
+
+    /// The runner-up label: the class with the second-highest softmax
+    /// probability, or `None` for single-class models.
+    ///
+    /// The margin-guided attack search uses this as the natural flip
+    /// target — the rival the query is already closest to — so the search
+    /// needs only blackbox probabilities, never model internals.
+    pub fn runner_up(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &p) in self.probabilities.iter().enumerate() {
+            if i == self.label {
+                continue;
+            }
+            match best {
+                Some((_, bp)) if p <= bp => {}
+                _ => best = Some((i, p)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +151,17 @@ mod tests {
         let c = Confidence::from_similarities(&[0.9], 64.0);
         assert!(c.is_trusted(1.0));
         assert!(!c.is_trusted(1.0 + 1e-9));
+    }
+
+    #[test]
+    fn runner_up_is_second_best_class() {
+        let c = Confidence::from_similarities(&[0.50, 0.71, 0.60], 64.0);
+        assert_eq!(c.label, 1);
+        assert_eq!(c.runner_up(), Some(2));
+        let single = Confidence::from_similarities(&[0.9], 64.0);
+        assert_eq!(single.runner_up(), None);
+        let pair = Confidence::from_similarities(&[0.55, 0.72], 64.0);
+        assert_eq!(pair.runner_up(), Some(0));
     }
 
     #[test]

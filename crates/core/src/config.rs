@@ -852,6 +852,75 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Environment variable read by [`AdvConfig::from_env`]: candidate bit
+/// flips scored per greedy search round of the adversarial query-space
+/// attack engine (`advsim`). Must be a positive integer; anything else
+/// falls back to the default.
+pub const ADV_CANDIDATES_ENV_VAR: &str = "ROBUSTHD_ADV_CANDIDATES";
+
+/// Environment variable read by [`AdvConfig::from_env`]: base seed of the
+/// adversarial search (attack synthesis and disagreement hunting). Must
+/// parse as a `u64`; anything else falls back to the default of 0.
+pub const ADV_SEED_ENV_VAR: &str = "ROBUSTHD_ADV_SEED";
+
+/// Tuning of the adversarial scenario engine (the `advsim` crate): the
+/// candidate batch width of the greedy margin-guided search and the base
+/// seed of every seeded mutation stream.
+///
+/// Unlike [`EncodeConfig`]/[`TrainConfig`] this is not a fast/reference
+/// switch — both knobs change *which adversarial examples are found*, not
+/// how a fixed computation is executed. What is pinned by the advsim
+/// property suites instead: for a fixed `AdvConfig` the whole search is a
+/// pure function of its inputs (bit-identical outcomes at any thread
+/// count, because every candidate batch is scored through the
+/// deterministic [`crate::batch::BatchEngine`]).
+///
+/// # Example
+///
+/// ```
+/// use robusthd::AdvConfig;
+///
+/// let config = AdvConfig::default();
+/// assert!(config.candidates > 0);
+/// assert_eq!(config.seed, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdvConfig {
+    /// Candidate bit flips scored per greedy search round (one batched
+    /// engine pass per round). Wider searches find stronger attacks per
+    /// round at proportional query cost.
+    pub candidates: usize,
+    /// Base seed for the adversarial search streams; per-query and
+    /// per-step streams are derived from it deterministically.
+    pub seed: u64,
+}
+
+impl AdvConfig {
+    /// The default configuration overridden by the `ROBUSTHD_ADV_CANDIDATES`
+    /// and `ROBUSTHD_ADV_SEED` environment variables (each falls back to
+    /// its default when unset or unparsable).
+    pub fn from_env() -> Self {
+        let defaults = Self::default();
+        Self {
+            candidates: parse_threads(std::env::var(ADV_CANDIDATES_ENV_VAR).ok().as_deref())
+                .unwrap_or(defaults.candidates),
+            seed: std::env::var(ADV_SEED_ENV_VAR)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(defaults.seed),
+        }
+    }
+}
+
+impl Default for AdvConfig {
+    fn default() -> Self {
+        Self {
+            candidates: 64,
+            seed: 0,
+        }
+    }
+}
+
 /// One registered `ROBUSTHD_*` environment flag: its name, owner, default,
 /// the raw environment value (if set), and the value the owning config
 /// actually parsed from it.
@@ -932,6 +1001,27 @@ impl FlagRegistry {
                 } else {
                     "reference".to_owned()
                 },
+            },
+            FlagInfo {
+                name: ADV_CANDIDATES_ENV_VAR,
+                owner: "AdvConfig",
+                default: "64",
+                doc: "Candidate bit flips scored per greedy round of the advsim \
+                      query-space attack search; wider searches find stronger \
+                      attacks at proportional blackbox query cost.",
+                raw: std::env::var(ADV_CANDIDATES_ENV_VAR).ok(),
+                effective: AdvConfig::from_env().candidates.to_string(),
+            },
+            FlagInfo {
+                name: ADV_SEED_ENV_VAR,
+                owner: "AdvConfig",
+                default: "0",
+                doc: "Base seed of the advsim attack-synthesis and \
+                      disagreement-hunting streams; for a fixed seed the whole \
+                      adversarial campaign is bit-reproducible at any thread \
+                      count.",
+                raw: std::env::var(ADV_SEED_ENV_VAR).ok(),
+                effective: AdvConfig::from_env().seed.to_string(),
             },
         ]
     }
@@ -1168,10 +1258,25 @@ mod tests {
     fn flag_registry_covers_every_env_var_const() {
         let flags = FlagRegistry::flags();
         let names: Vec<&str> = flags.iter().map(|f| f.name).collect();
-        for expected in [THREADS_ENV_VAR, ENCODE_FAST_ENV_VAR, TRAIN_FAST_ENV_VAR] {
+        for expected in [
+            THREADS_ENV_VAR,
+            ENCODE_FAST_ENV_VAR,
+            TRAIN_FAST_ENV_VAR,
+            ADV_CANDIDATES_ENV_VAR,
+            ADV_SEED_ENV_VAR,
+        ] {
             assert!(names.contains(&expected), "{expected} not registered");
         }
-        assert_eq!(names.len(), 3, "new flags must be registered exactly once");
+        assert_eq!(names.len(), 5, "new flags must be registered exactly once");
+    }
+
+    #[test]
+    fn adv_config_defaults_and_env_fallback() {
+        let c = AdvConfig::default();
+        assert_eq!((c.candidates, c.seed), (64, 0));
+        // from_env falls back to defaults on unset/garbage values, so it
+        // always yields a usable search width.
+        assert!(AdvConfig::from_env().candidates > 0);
     }
 
     #[test]

@@ -253,6 +253,13 @@ impl ResilienceSupervisor {
         &self.batch
     }
 
+    /// The HDC hyperparameters this supervisor serves with (e.g. the
+    /// confidence softmax `beta` external harnesses must score with to
+    /// stay bit-identical to the serving path).
+    pub fn hdc_config(&self) -> &HdcConfig {
+        &self.hdc
+    }
+
     /// Replaces the batch engine's tuning (thread count, shard size).
     /// Pure throughput knobs: every served result is bit-identical across
     /// tunings (see [`crate::batch`]).
@@ -293,6 +300,33 @@ impl ResilienceSupervisor {
         // quarantine gate in query order, exactly as per-query serving did.
         let scores = self.batch.evaluate_batch(model, queries, beta);
         self.serve_scored(model, scores, || Cow::Borrowed(queries))
+    }
+
+    /// Serves one batch exactly like [`ResilienceSupervisor::serve_batch`]
+    /// and additionally returns the per-query [`crate::batch::BatchScore`]s
+    /// the closed loop acted on (the scores of the *pre-repair* model, in
+    /// query order).
+    ///
+    /// The adversarial soak harness (`advsim`) uses the scores to measure
+    /// the confidence gate as a detector: an adversarial query counts as
+    /// *detected* when its served confidence fails
+    /// [`crate::Confidence::is_trusted`] at the supervisor's trust
+    /// threshold — the input-space analogue of the health monitor flagging
+    /// bit-rot.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`ResilienceSupervisor::serve_batch`].
+    pub fn serve_batch_with_scores(
+        &mut self,
+        model: &mut TrainedModel,
+        queries: &[BinaryHypervector],
+    ) -> (BatchReport, Vec<crate::batch::BatchScore>) {
+        let beta = self.hdc.softmax_beta;
+        let scores = self.batch.evaluate_batch(model, queries, beta);
+        let report = self.serve_scored(model, scores.clone(), || Cow::Borrowed(queries));
+        (report, scores)
     }
 
     /// Serves one batch of *raw feature rows* through the same closed loop

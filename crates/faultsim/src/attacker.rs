@@ -297,6 +297,88 @@ mod tests {
     }
 
     #[test]
+    fn row_burst_is_deterministic_per_seed() {
+        let mut a = vec![0u64; 8];
+        let mut b = vec![0u64; 8];
+        Attacker::seed_from(77).row_burst(&mut a, 512, 32, 5);
+        Attacker::seed_from(77).row_burst(&mut b, 512, 32, 5);
+        assert_eq!(a, b);
+        let mut c = vec![0u64; 8];
+        Attacker::seed_from(78).row_burst(&mut c, 512, 32, 5);
+        assert_ne!(a, c, "different seeds must pick different rows");
+    }
+
+    #[test]
+    fn row_burst_truncates_the_tail_row_at_bit_len() {
+        // bit_len 100 with 64-bit rows: row 0 is full, row 1 holds only
+        // bits 64..100. Bursting both rows flips exactly 100 bits and
+        // never writes past the boundary.
+        let mut image = vec![0u64; 4];
+        let report = Attacker::seed_from(11).row_burst(&mut image, 100, 64, 2);
+        assert_eq!(report.flipped_bits, 100);
+        assert_eq!(ones(&image), 100);
+        assert_eq!(image[0], u64::MAX);
+        assert_eq!(image[1], (1u64 << 36) - 1);
+        assert_eq!(image[2], 0);
+        assert_eq!(image[3], 0);
+        assert!((report.requested_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_burst_single_bit_tail_row() {
+        // bit_len 65: the second row is a single bit. Whichever rows are
+        // chosen, no position at or above 65 may flip.
+        for seed in 0..16 {
+            let mut image = vec![0u64; 2];
+            let report = Attacker::seed_from(seed).row_burst(&mut image, 65, 64, 1);
+            assert!(report.flipped_bits == 64 || report.flipped_bits == 1);
+            assert_eq!(ones(&image), report.flipped_bits);
+            assert_eq!(image[1] & !1, 0, "bits above 65 flipped (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn row_burst_caps_rows_at_available() {
+        // Asking for more rows than exist flips the entire image, once.
+        let mut image = vec![0u64; 2];
+        let report = Attacker::seed_from(12).row_burst(&mut image, 128, 32, 100);
+        assert_eq!(report.flipped_bits, 128);
+        assert_eq!(ones(&image), 128);
+    }
+
+    #[test]
+    fn stuck_at_is_deterministic_per_seed() {
+        let mut a: Vec<u64> = (0..8).map(|i| 0xA5A5_5A5A_u64.rotate_left(i)).collect();
+        let mut b = a.clone();
+        Attacker::seed_from(91).stuck_at(&mut a, 512, 0.3, false);
+        Attacker::seed_from(91).stuck_at(&mut b, 512, 0.3, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stuck_at_exact_change_accounting() {
+        // Alternating bits, full coverage, stuck at one: exactly the
+        // zero half changes and the image saturates.
+        let mut image = vec![0x5555_5555_5555_5555u64; 2];
+        let report = Attacker::seed_from(13).stuck_at(&mut image, 128, 1.0, true);
+        assert_eq!(report.flipped_bits, 64);
+        assert_eq!(ones(&image), 128);
+    }
+
+    #[test]
+    fn stuck_at_respects_bit_len_boundary() {
+        // Sticking 100 of 256 capacity bits at one must leave everything
+        // from bit 100 upward untouched.
+        let mut image = vec![0u64; 4];
+        let report = Attacker::seed_from(14).stuck_at(&mut image, 100, 1.0, true);
+        assert_eq!(report.flipped_bits, 100);
+        assert_eq!(ones(&image), 100);
+        assert_eq!(image[1] >> 36, 0);
+        assert_eq!(image[2], 0);
+        assert_eq!(image[3], 0);
+    }
+
+    #[test]
     fn stuck_at_counts_only_changes() {
         let mut image = vec![u64::MAX; 2];
         let report = Attacker::seed_from(9).stuck_at(&mut image, 128, 0.5, true);

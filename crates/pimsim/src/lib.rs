@@ -24,6 +24,10 @@
 //!   above (Figure 4a).
 //! * [`dram`] — refresh-interval / retention-error / energy model
 //!   (Figure 4b).
+//! * [`tcam`] — FeFET/TCAM bit-error-rate model (`V_th` variation +
+//!   retention drift, per arXiv 2202.04789) whose cumulative sweeps feed
+//!   `faultsim::ErrorRateSchedule::from_cumulative`, so soak campaigns
+//!   can draw corruption rates from a device model.
 //!
 //! Cost constants are calibrated from the paper's device parameters;
 //! absolute joules differ from the authors' HSPICE testbed but the
@@ -47,6 +51,7 @@ pub mod lifetime;
 pub mod logic;
 pub mod mapping;
 pub mod nor;
+pub mod tcam;
 pub mod wearlevel;
 
 pub use arch::{CostReport, DpimArchitecture, DpimConfig};
@@ -60,4 +65,5 @@ pub use exec::AssociativeArray;
 pub use gpu::GpuModel;
 pub use lifetime::{LifetimePoint, LifetimeSimulation};
 pub use nor::NorGate;
+pub use tcam::TcamBerModel;
 pub use wearlevel::WearLeveler;

@@ -1,0 +1,211 @@
+//! FeFET/TCAM bit-error-rate model for search-in-memory reliability.
+//!
+//! Hyperdimensional search-in-memory architectures store hypervectors in
+//! ternary content-addressable memories (TCAMs) built from FeFETs, whose
+//! reliability is bounded by threshold-voltage (`V_th`) variation and
+//! retention drift (see the FeFET TCAM reliability analysis of
+//! arXiv 2202.04789). A stored bit reads wrong when the device's drifted
+//! `V_th` crosses the sense margin, so the raw bit error rate is the
+//! Gaussian tail probability
+//!
+//! ```text
+//! BER(t) = ½ · erfc( (margin − drift(t)) / (σ·√2) )
+//! ```
+//!
+//! with `drift(t) = drift_coefficient · log10(1 + t)` (the classic
+//! log-time retention loss) and an Arrhenius-flavoured temperature
+//! acceleration on σ. [`TcamBerModel::cumulative_rates`] turns the model
+//! into a monotone cumulative error-rate sweep, the exact shape
+//! `faultsim::ErrorRateSchedule::from_cumulative` consumes — so soak
+//! campaigns can draw their corruption rates from a device model instead
+//! of a hand-picked constant. (The glue lives at the call sites; this
+//! crate stays independent of `faultsim`.)
+
+use serde::{Deserialize, Serialize};
+
+/// Device-level FeFET/TCAM reliability parameters.
+///
+/// Defaults follow the regime reported for 28 nm HKMG FeFET TCAMs:
+/// a memory window of ~1 V read with a ~0.4 V sense margin, `V_th`
+/// variation σ of ~54 mV, and retention drift of tens of millivolts per
+/// decade of time.
+///
+/// # Example
+///
+/// ```
+/// use pimsim::TcamBerModel;
+///
+/// let model = TcamBerModel::default();
+/// let fresh = model.bit_error_rate(0.0);
+/// let aged = model.bit_error_rate(1e6);
+/// assert!(fresh < aged, "drift can only raise the error rate");
+/// assert!((0.0..=0.5).contains(&fresh));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcamBerModel {
+    /// Sense margin between the stored state's `V_th` and the read
+    /// reference, in volts.
+    pub sense_margin_v: f64,
+    /// `V_th` variation (one standard deviation) at the reference
+    /// temperature, in volts.
+    pub vth_sigma_v: f64,
+    /// Retention drift per decade of seconds, in volts: the margin lost
+    /// as `drift_per_decade_v * log10(1 + t_seconds)`.
+    pub drift_per_decade_v: f64,
+    /// Operating-temperature acceleration on σ (1.0 = reference
+    /// temperature; >1 widens the `V_th` distribution).
+    pub temperature_factor: f64,
+}
+
+impl TcamBerModel {
+    /// Raw bit error rate after `seconds` of retention: the Gaussian tail
+    /// of the drifted `V_th` past the sense margin, clamped to `[0, ½]`
+    /// (a fully drifted cell is a coin flip, not an inverter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    pub fn bit_error_rate(&self, seconds: f64) -> f64 {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "retention time must be non-negative and finite"
+        );
+        let sigma = (self.vth_sigma_v * self.temperature_factor).max(f64::MIN_POSITIVE);
+        let drift = self.drift_per_decade_v * (1.0 + seconds).log10();
+        let effective_margin = self.sense_margin_v - drift;
+        let z = effective_margin / (sigma * std::f64::consts::SQRT_2);
+        (0.5 * erfc(z)).clamp(0.0, 0.5)
+    }
+
+    /// A cumulative error-rate sweep of `steps` points spanning
+    /// `[0, horizon_seconds]` in equal time steps — monotone
+    /// non-decreasing and within `[0, 1]` by construction, i.e. directly
+    /// consumable by `faultsim::ErrorRateSchedule::from_cumulative`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero or `horizon_seconds` is negative or not
+    /// finite.
+    pub fn cumulative_rates(&self, steps: usize, horizon_seconds: f64) -> Vec<f64> {
+        assert!(steps > 0, "need at least one step");
+        assert!(
+            horizon_seconds.is_finite() && horizon_seconds >= 0.0,
+            "horizon must be non-negative and finite"
+        );
+        let mut floor = 0.0f64;
+        (1..=steps)
+            .map(|i| {
+                let t = horizon_seconds * i as f64 / steps as f64;
+                // Numerically the tail is already monotone in drift, but
+                // clamp against the running floor so downstream schedule
+                // validation can never trip on rounding.
+                floor = self.bit_error_rate(t).max(floor);
+                floor
+            })
+            .collect()
+    }
+}
+
+impl Default for TcamBerModel {
+    fn default() -> Self {
+        Self {
+            sense_margin_v: 0.4,
+            vth_sigma_v: 0.054,
+            drift_per_decade_v: 0.03,
+            temperature_factor: 1.0,
+        }
+    }
+}
+
+/// Complementary error function via the Abramowitz–Stegun 7.1.26
+/// rational approximation (|error| < 1.5e-7), mirrored for negative
+/// arguments. `std` has no `erfc`; this precision is far below the
+/// device-parameter uncertainty it feeds.
+fn erfc(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let tail = poly * (-x * x).exp();
+    if x >= 0.0 {
+        tail
+    } else {
+        2.0 - tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_matches_known_values() {
+        // erfc(0) = 1, erfc(∞) → 0, erfc(−x) = 2 − erfc(x).
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!(erfc(4.0) < 2e-8);
+        for x in [0.1, 0.5, 1.0, 2.0] {
+            assert!((erfc(-x) - (2.0 - erfc(x))).abs() < 1e-6);
+        }
+        // Reference: erfc(1) ≈ 0.157299, erfc(0.5) ≈ 0.479500.
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        assert!((erfc(0.5) - 0.479500).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fresh_cells_are_nearly_error_free() {
+        let ber = TcamBerModel::default().bit_error_rate(0.0);
+        assert!(ber < 1e-9, "fresh BER {ber}");
+    }
+
+    #[test]
+    fn error_rate_grows_with_retention_time() {
+        let model = TcamBerModel::default();
+        let mut prev = 0.0;
+        for &t in &[0.0, 1.0, 1e3, 1e6, 1e9, 1e12] {
+            let ber = model.bit_error_rate(t);
+            assert!(ber >= prev, "BER fell from {prev} to {ber} at t={t}");
+            assert!((0.0..=0.5).contains(&ber));
+            prev = ber;
+        }
+    }
+
+    #[test]
+    fn temperature_widens_the_tail() {
+        let cool = TcamBerModel::default();
+        let hot = TcamBerModel {
+            temperature_factor: 2.0,
+            ..cool
+        };
+        assert!(hot.bit_error_rate(1e6) > cool.bit_error_rate(1e6));
+    }
+
+    #[test]
+    fn cumulative_rates_are_schedule_shaped() {
+        let model = TcamBerModel {
+            drift_per_decade_v: 0.04, // ages visibly without saturating at ½
+            ..TcamBerModel::default()
+        };
+        let rates = model.cumulative_rates(16, 1e9);
+        assert_eq!(rates.len(), 16);
+        for pair in rates.windows(2) {
+            assert!(pair[1] >= pair[0], "not monotone: {pair:?}");
+        }
+        assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
+        assert!(
+            *rates.last().expect("non-empty") > rates[0],
+            "horizon produced a flat schedule"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_retention_time_panics() {
+        TcamBerModel::default().bit_error_rate(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        TcamBerModel::default().cumulative_rates(0, 1.0);
+    }
+}

@@ -53,6 +53,7 @@ pub const KERNEL_MODULES: &[&str] = &[
     "crates/hypervector/src/accumulator.rs",
     "crates/core/src/batch.rs",
     "crates/core/src/train.rs",
+    "crates/advsim/src/attack.rs",
 ];
 
 /// The one module allowed to read `ROBUSTHD_*` environment variables.
