@@ -20,6 +20,7 @@
 //! | [`throughput`] | Extension — batched inference throughput across thread counts |
 //! | [`trainbench`] | Extension — bit-sliced training throughput (bundle/retrain) across thread counts |
 //! | [`advsim`] | Extension — adversarial input-space attacks, disagreement hunting, joint soak |
+//! | [`serve`]  | Extension — coalesced vs sequential `robusthdd` daemon serving on loopback |
 //!
 //! Experiments default to a laptop-scale subsample of the paper's datasets
 //! (exact feature/class geometry, reduced split sizes); see
@@ -35,6 +36,7 @@ pub mod fig3;
 pub mod fig4a;
 pub mod fig4b;
 pub mod format;
+pub mod serve;
 pub mod soak;
 pub mod table1;
 pub mod table3;

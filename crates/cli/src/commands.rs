@@ -1404,6 +1404,471 @@ pub fn trainbench(argv: &[String]) -> Result<String, String> {
     ))
 }
 
+/// Resolves a dataset name to its synthetic spec (shared by the serving
+/// subcommands; `throughput`/`trainbench` predate it and inline the same
+/// match).
+fn dataset_spec(name: &str) -> Result<DatasetSpec, String> {
+    match name {
+        "mnist" => Ok(DatasetSpec::mnist()),
+        "ucihar" | "uci-har" | "har" => Ok(DatasetSpec::ucihar()),
+        "isolet" => Ok(DatasetSpec::isolet()),
+        "face" => Ok(DatasetSpec::face()),
+        "pamap" => Ok(DatasetSpec::pamap()),
+        "pecan" => Ok(DatasetSpec::pecan()),
+        other => Err(format!("unknown dataset `{other}`")),
+    }
+}
+
+/// The daemon tuning shared by `serve` and `servebench`: each knob starts
+/// from its `ROBUSTHD_SERVE_*` environment value (via
+/// [`robusthd::ServeConfig::from_env`]) and may be overridden on the
+/// command line.
+fn serve_config_from(args: &ParsedArgs) -> Result<robusthd::ServeConfig, String> {
+    let env = robusthd::ServeConfig::from_env();
+    let window_us = args
+        .get_parsed_or("window-us", env.window_us)
+        .map_err(|e| e.to_string())?;
+    let max_batch = args
+        .get_parsed_or("max-batch", env.max_batch)
+        .map_err(|e| e.to_string())?;
+    let queue_depth = args
+        .get_parsed_or("queue-depth", env.queue_depth)
+        .map_err(|e| e.to_string())?;
+    robusthd::ServeConfig::builder()
+        .window_us(window_us)
+        .max_batch(max_batch)
+        .queue_depth(queue_depth)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+/// Renders the daemon's counter snapshot as the serve/loadgen report body.
+fn stats_lines(stats: &robusthd_serve::StatsSnapshot) -> String {
+    let mean_batch = if stats.batches == 0 {
+        0.0
+    } else {
+        stats.coalesced as f64 / stats.batches as f64
+    };
+    format!(
+        "connections {}, results {}, overloaded {}, errors {}\n\
+         batches {}, mean batch {:.2}, max batch {}, final level {}, quarantined {}",
+        stats.connections,
+        stats.results,
+        stats.overloaded,
+        stats.errors,
+        stats.batches,
+        mean_batch,
+        stats.max_batch,
+        stats.level,
+        stats.quarantined,
+    )
+}
+
+const SERVE_HELP: &str = "\
+robusthd serve — run robusthdd, the network serving daemon
+
+Trains a pipeline from CSV, calibrates the resilience supervisor on the
+traffic file (its rows become the retained canaries), then listens for
+newline-delimited JSON requests. Concurrent classify requests coalesce
+into micro-batches that drain through the fused batch engine under the
+supervisor — bit-exact with in-process serving. The daemon announces its
+address on stderr, blocks until a client sends {\"type\":\"shutdown\"},
+drains gracefully (every accepted query is answered), and prints the
+final counters.
+
+Protocol (one JSON object per line, unknown fields ignored):
+    {\"type\":\"classify\",\"id\":1,\"features\":[...]}  -> result | overloaded
+    {\"type\":\"stats\"} | {\"type\":\"health\"} | {\"type\":\"ping\"} | {\"type\":\"shutdown\"}
+
+OPTIONS:
+    --train <PATH>        training CSV (required)
+    --traffic <PATH>      calibration/canary CSV (required)
+    --addr <ADDR>         listen address (default 127.0.0.1:7878)
+    --dim <N>             HDC dimensionality (default 4096)
+    --seed <N>            pipeline seed (default 0)
+    --window-us <N>       coalescing window, µs (default ROBUSTHD_SERVE_WINDOW_US or 1000)
+    --max-batch <N>       micro-batch ceiling (default ROBUSTHD_SERVE_MAX_BATCH or 64)
+    --queue-depth <N>     admission queue bound (default ROBUSTHD_SERVE_QUEUE_DEPTH or 1024)
+    --monitor-window <N>  supervisor verdict window in queries (default 64)
+    --checkpoint <N>      checkpoint every N healthy batches (default 16)
+    --threads <N>         batch-engine worker threads (default ROBUSTHD_THREADS)
+    --shard <N>           batch-engine shard size (default 32)";
+
+/// `robusthd serve` — run the serving daemon until a protocol shutdown.
+pub fn serve(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "train",
+            "traffic",
+            "addr",
+            "dim",
+            "seed",
+            "window-us",
+            "max-batch",
+            "queue-depth",
+            "monitor-window",
+            "checkpoint",
+            "threads",
+            "shard",
+            "help",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(SERVE_HELP.to_owned());
+    }
+    let train = load_samples(args.require("train").map_err(|e| e.to_string())?)?;
+    let traffic = load_samples(args.require("traffic").map_err(|e| e.to_string())?)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_owned();
+    let dim = args
+        .get_parsed_or("dim", 4096usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
+    let monitor_window = args
+        .get_parsed_or("monitor-window", 64usize)
+        .map_err(|e| e.to_string())?;
+    let checkpoint = args
+        .get_parsed_or("checkpoint", 16usize)
+        .map_err(|e| e.to_string())?;
+    let config = serve_config_from(&args)?;
+
+    let pipeline = train_pipeline(&train, &traffic, dim, seed)?;
+    let features = train[0].features.len();
+    let engine = build_serve_engine(
+        &pipeline,
+        features,
+        seed,
+        monitor_window,
+        checkpoint,
+        batch_config_from(&args)?,
+    )?;
+
+    let handle = robusthd_serve::serve(addr.as_str(), config, engine)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    // The banner goes to stderr while the daemon runs; the returned report
+    // (stdout) only exists once the drain completes.
+    eprintln!(
+        "robusthdd listening on {} ({} features, {} classes, dim {}, window {}us, \
+         max batch {}, queue {})",
+        handle.addr(),
+        features,
+        pipeline.model.num_classes(),
+        dim,
+        config.window_us,
+        config.max_batch,
+        config.queue_depth,
+    );
+    let (engine, stats) = handle.wait();
+    Ok(format!(
+        "robusthdd drained: clean accuracy {:.2}%, final level {}\n{}",
+        pipeline.clean_accuracy * 100.0,
+        engine.level(),
+        stats_lines(&stats)
+    ))
+}
+
+/// Optional `--threads`/`--shard` overrides on top of the environment's
+/// batch-engine tuning.
+fn batch_config_from(args: &ParsedArgs) -> Result<Option<BatchConfig>, String> {
+    if args.get("threads").is_none() && args.get("shard").is_none() {
+        return Ok(None);
+    }
+    let env = BatchConfig::from_env();
+    let threads = args
+        .get_parsed_or("threads", env.threads)
+        .map_err(|e| e.to_string())?;
+    let shard = args
+        .get_parsed_or("shard", env.shard_size)
+        .map_err(|e| e.to_string())?;
+    BatchConfig::builder()
+        .threads(threads)
+        .shard_size(shard)
+        .build()
+        .map(Some)
+        .map_err(|e| e.to_string())
+}
+
+/// Builds one calibrated [`robusthd_serve::ServeEngine`] deployment from a
+/// trained pipeline: fresh supervisor, recovery policy at the soak
+/// defaults, canaries = the pipeline's (traffic) queries.
+fn build_serve_engine(
+    pipeline: &TrainedPipeline,
+    features: usize,
+    seed: u64,
+    monitor_window: usize,
+    checkpoint: usize,
+    batch: Option<BatchConfig>,
+) -> Result<robusthd_serve::ServeEngine, String> {
+    let base = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(seed ^ 0x5EE4)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let policy = SupervisorConfig::builder()
+        .window(monitor_window)
+        .checkpoint_interval(checkpoint)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut supervisor = ResilienceSupervisor::new(&pipeline.config, base, policy, features);
+    let model = pipeline.model.clone();
+    supervisor.calibrate(&model, &pipeline.queries);
+    let mut engine = robusthd_serve::ServeEngine::new(pipeline.encoder.clone(), model, supervisor);
+    if let Some(batch) = batch {
+        engine.set_batch_config(batch);
+    }
+    Ok(engine)
+}
+
+const LOADGEN_HELP: &str = "\
+robusthd loadgen — drive concurrent classify load at a running robusthdd
+
+Connects --clients concurrent NDJSON connections to the daemon, each
+sending --requests classify requests (cycling through the traffic CSV's
+feature rows) with up to --pipeline in flight, and reports latency
+percentiles and throughput. overloaded responses are tallied, not fatal.
+
+OPTIONS:
+    --addr <ADDR>      daemon address (required)
+    --traffic <PATH>   CSV whose feature rows become query payloads (required)
+    --clients <N>      concurrent connections (default 8)
+    --requests <N>     classify requests per connection (default 64)
+    --pipeline <N>     max requests in flight per connection (default 4)
+    --json             emit one JSON object instead of text";
+
+/// `robusthd loadgen` — pipelined load against a running daemon.
+pub fn loadgen(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "addr", "traffic", "clients", "requests", "pipeline", "json", "help",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(LOADGEN_HELP.to_owned());
+    }
+    let addr_raw = args.require("addr").map_err(|e| e.to_string())?;
+    let addr = std::net::ToSocketAddrs::to_socket_addrs(addr_raw)
+        .map_err(|e| format!("cannot resolve {addr_raw}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr_raw} resolves to no address"))?;
+    let traffic = load_samples(args.require("traffic").map_err(|e| e.to_string())?)?;
+    let clients = args
+        .get_parsed_or("clients", 8usize)
+        .map_err(|e| e.to_string())?;
+    let requests = args
+        .get_parsed_or("requests", 64usize)
+        .map_err(|e| e.to_string())?;
+    let pipeline = args
+        .get_parsed_or("pipeline", 4usize)
+        .map_err(|e| e.to_string())?;
+    if clients == 0 || requests == 0 || pipeline == 0 {
+        return Err("--clients, --requests, and --pipeline must be positive".to_owned());
+    }
+    let rows: Vec<Vec<f64>> = traffic.iter().map(|s| s.features.clone()).collect();
+    let report = robusthd_serve::run_loadgen(
+        addr,
+        &rows,
+        robusthd_serve::LoadOptions {
+            clients,
+            requests_per_client: requests,
+            pipeline,
+        },
+    )
+    .map_err(|e| format!("loadgen against {addr}: {e}"))?;
+    if args.flag("json") {
+        return Ok(format!(
+            "{{\"clients\": {clients}, \"requests_per_client\": {requests}, \
+             \"pipeline\": {pipeline}, \"sent\": {}, \"results\": {}, \
+             \"overloaded\": {}, \"errors\": {}, \"elapsed_s\": {:.4}, \
+             \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"max_ms\": {:.3}}}",
+            report.sent,
+            report.results,
+            report.overloaded,
+            report.errors,
+            report.elapsed_s,
+            report.qps,
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+            report.mean_ms,
+            report.max_ms,
+        ));
+    }
+    Ok(format!(
+        "{} clients x {} requests (pipeline {}): {} results, {} overloaded, {} errors\n\
+         {:.1} q/s over {:.2}s; latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms mean {:.2}ms max {:.2}ms",
+        clients,
+        requests,
+        pipeline,
+        report.results,
+        report.overloaded,
+        report.errors,
+        report.qps,
+        report.elapsed_s,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.mean_ms,
+        report.max_ms,
+    ))
+}
+
+const SERVEBENCH_HELP: &str = "\
+robusthd servebench — coalesced vs sequential serving benchmark (JSON)
+
+Synthesizes a dataset in-process, trains a pipeline, then runs three
+phases against fresh identically-calibrated daemons on loopback:
+
+    1. bit-exactness  every row served over the wire must match the
+                      reference engine label-for-label and confidence
+                      bit-for-bit (f64::to_bits through the JSON roundtrip)
+    2. sequential     one lockstep client, concurrency*requests queries:
+                      every query pays the canary probe and checkpoint
+                      cadence alone
+    3. coalesced      --concurrency pipelined clients; the coalescer
+                      amortises that per-batch overhead
+
+Emits one JSON object (the BENCH_serve.json body); `speedup` is
+coalesced qps over sequential qps.
+
+OPTIONS:
+    --dataset <NAME>      mnist | ucihar | isolet | face | pamap | pecan (default ucihar)
+    --queries <N>         distinct benchmark rows (default 256)
+    --dim <N>             HDC dimensionality (default 2048)
+    --seed <N>            pipeline seed (default 0)
+    --concurrency <N>     clients in the coalesced phase (default 32)
+    --requests <N>        requests per client in the coalesced phase (default 32)
+    --pipeline <N>        max in flight per client (default 4)
+    --window-us <N>       coalescing window, µs (default ROBUSTHD_SERVE_WINDOW_US or 1000)
+    --max-batch <N>       micro-batch ceiling (default ROBUSTHD_SERVE_MAX_BATCH or 64)
+    --queue-depth <N>     admission queue bound (default ROBUSTHD_SERVE_QUEUE_DEPTH or 1024)
+    --monitor-window <N>  supervisor verdict window (default 64)
+    --checkpoint <N>      checkpoint every N healthy batches (default 16)
+    --canaries <N>        retained canary queries (default 128)
+    --threads <N>         batch-engine worker threads (default ROBUSTHD_THREADS)
+    --shard <N>           batch-engine shard size (default 32)";
+
+/// `robusthd servebench` — the three-phase serving benchmark.
+pub fn servebench(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "dataset",
+            "queries",
+            "dim",
+            "seed",
+            "concurrency",
+            "requests",
+            "pipeline",
+            "window-us",
+            "max-batch",
+            "queue-depth",
+            "monitor-window",
+            "checkpoint",
+            "canaries",
+            "threads",
+            "shard",
+            "help",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(SERVEBENCH_HELP.to_owned());
+    }
+    let name = args.get("dataset").unwrap_or("ucihar").to_lowercase();
+    let spec = dataset_spec(&name)?;
+    let queries = args
+        .get_parsed_or("queries", 256usize)
+        .map_err(|e| e.to_string())?;
+    let dim = args
+        .get_parsed_or("dim", 2048usize)
+        .map_err(|e| e.to_string())?;
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
+    let concurrency = args
+        .get_parsed_or("concurrency", 32usize)
+        .map_err(|e| e.to_string())?;
+    let requests = args
+        .get_parsed_or("requests", 32usize)
+        .map_err(|e| e.to_string())?;
+    let pipeline_depth = args
+        .get_parsed_or("pipeline", 4usize)
+        .map_err(|e| e.to_string())?;
+    let monitor_window = args
+        .get_parsed_or("monitor-window", 64usize)
+        .map_err(|e| e.to_string())?;
+    let checkpoint = args
+        .get_parsed_or("checkpoint", 16usize)
+        .map_err(|e| e.to_string())?;
+    let canaries = args
+        .get_parsed_or("canaries", 128usize)
+        .map_err(|e| e.to_string())?;
+    if queries == 0 || concurrency == 0 || requests == 0 || pipeline_depth == 0 || canaries == 0 {
+        return Err(
+            "--queries, --concurrency, --requests, --pipeline, and --canaries must be positive"
+                .to_owned(),
+        );
+    }
+    let config = serve_config_from(&args)?;
+    let batch = batch_config_from(&args)?;
+
+    // The canaries ride along as extra test rows so the benchmark rows
+    // themselves are never also calibration data.
+    let spec = spec.with_sizes(400, queries + canaries);
+    let data = GeneratorConfig::new(seed).generate(&spec);
+    let pipeline = train_pipeline(&data.train, &data.test, dim, seed)?;
+    let features = data.train[0].features.len();
+    let canary_queries: Vec<hypervector::BinaryHypervector> = pipeline.queries[queries..].to_vec();
+    let rows: Vec<Vec<f64>> = data.test[..queries]
+        .iter()
+        .map(|s| s.features.clone())
+        .collect();
+
+    let threads_label = batch.clone().unwrap_or_else(BatchConfig::from_env).threads;
+    let mk_engine = || -> robusthd_serve::ServeEngine {
+        let calibration = TrainedPipeline {
+            model: pipeline.model.clone(),
+            encoder: pipeline.encoder.clone(),
+            queries: canary_queries.clone(),
+            labels: Vec::new(),
+            config: pipeline.config.clone(),
+            clean_accuracy: pipeline.clean_accuracy,
+        };
+        build_serve_engine(
+            &calibration,
+            features,
+            seed,
+            monitor_window,
+            checkpoint,
+            batch.clone(),
+        )
+        .expect("engine construction is deterministic and already validated")
+    };
+
+    let outcome = robusthd_serve::run_servebench(
+        &mk_engine,
+        &rows,
+        &robusthd_serve::BenchOptions {
+            dataset: name,
+            concurrency,
+            requests_per_client: requests,
+            pipeline: pipeline_depth,
+            config,
+            threads: threads_label,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(outcome.to_json())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

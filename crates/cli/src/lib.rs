@@ -33,6 +33,9 @@ COMMANDS:
     monitor     Judge a model's health from unlabeled traffic as it corrupts
     soak        Chaos-soak the self-healing serving runtime under an attack campaign
     advsoak     Joint memory + input adversarial soak with disagreement hunting
+    serve       Run robusthdd, the coalescing NDJSON serving daemon
+    loadgen     Drive concurrent classify load at a running robusthdd
+    servebench  Benchmark coalesced vs sequential daemon serving (JSON)
     throughput  Benchmark batched inference across thread counts (JSON)
     trainbench  Benchmark bit-sliced training (bundle/retrain) across thread counts (JSON)
     flags       Print the ROBUSTHD_* environment-flag registry (JSON)
@@ -60,6 +63,9 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "monitor" => commands::monitor(rest),
         "soak" => commands::soak(rest),
         "advsoak" => commands::advsoak(rest),
+        "serve" => commands::serve(rest),
+        "loadgen" => commands::loadgen(rest),
+        "servebench" => commands::servebench(rest),
         "throughput" => commands::throughput(rest),
         "trainbench" => commands::trainbench(rest),
         "flags" => commands::flags(rest),

@@ -921,6 +921,159 @@ impl Default for AdvConfig {
     }
 }
 
+/// Environment variable read by [`ServeConfig::from_env`]: coalescing
+/// window of the serving daemon's request batcher, in microseconds. A
+/// micro-batch drains as soon as it is full *or* this long after its first
+/// query arrived, whichever comes first. `0` drains immediately (every
+/// queued query still joins the drained batch). Must parse as a `u64`;
+/// anything else falls back to the default.
+pub const SERVE_WINDOW_ENV_VAR: &str = "ROBUSTHD_SERVE_WINDOW_US";
+
+/// Environment variable read by [`ServeConfig::from_env`]: maximum queries
+/// coalesced into one micro-batch (one fused engine pass) by the serving
+/// daemon. Must be a positive integer; anything else falls back to the
+/// default.
+pub const SERVE_MAX_BATCH_ENV_VAR: &str = "ROBUSTHD_SERVE_MAX_BATCH";
+
+/// Environment variable read by [`ServeConfig::from_env`]: admission-queue
+/// depth of the serving daemon. A classify request arriving while this many
+/// queries are already queued is refused with a structured `overloaded`
+/// response instead of being buffered without bound. Must be a positive
+/// integer; anything else falls back to the default.
+pub const SERVE_QUEUE_DEPTH_ENV_VAR: &str = "ROBUSTHD_SERVE_QUEUE_DEPTH";
+
+/// Tuning of the serving daemon's request coalescer (the `robusthd-serve`
+/// crate): how long a micro-batch may wait for company, how large it may
+/// grow, and how many queries the admission queue holds before shedding
+/// load.
+///
+/// Like [`BatchConfig`], these are pure latency/throughput knobs — a query
+/// served through a coalesced batch produces the same answer bits as the
+/// same query served alone, which the serving differential suite
+/// (`crates/serve/tests/serve_differential.rs`) pins to `f64::to_bits`
+/// through the wire protocol. What the knobs trade is *when* answers
+/// arrive: wider windows and deeper batches amortize the per-batch
+/// supervisor overhead (canary probe, checkpointing) across more queries,
+/// at up to one window of added queueing latency.
+///
+/// # Example
+///
+/// ```
+/// use robusthd::ServeConfig;
+///
+/// let config = ServeConfig::builder()
+///     .window_us(500)
+///     .max_batch(128)
+///     .queue_depth(2048)
+///     .build()?;
+/// assert_eq!(config.max_batch, 128);
+/// # Ok::<(), robusthd::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Coalescing window in microseconds: how long the drain loop waits
+    /// after a batch's first query for more to arrive. `0` drains
+    /// immediately.
+    pub window_us: u64,
+    /// Maximum queries per coalesced micro-batch (one fused engine pass).
+    pub max_batch: usize,
+    /// Bounded admission-queue depth; arrivals beyond it are refused with
+    /// an `overloaded` response (load shedding, never silent drops).
+    pub queue_depth: usize,
+}
+
+impl ServeConfig {
+    /// Starts a builder pre-loaded with the defaults (1 ms window, 64-query
+    /// batches, 1024-query queue).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::new()
+    }
+
+    /// The default configuration with each knob overridden by its
+    /// environment variable (`ROBUSTHD_SERVE_WINDOW_US`,
+    /// `ROBUSTHD_SERVE_MAX_BATCH`, `ROBUSTHD_SERVE_QUEUE_DEPTH`) when set
+    /// to a value of the right shape; anything else falls back to the
+    /// default.
+    pub fn from_env() -> Self {
+        let defaults = Self::default();
+        let window_us = std::env::var(SERVE_WINDOW_ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(defaults.window_us);
+        let max_batch = parse_threads(std::env::var(SERVE_MAX_BATCH_ENV_VAR).ok().as_deref())
+            .unwrap_or(defaults.max_batch);
+        let queue_depth = parse_threads(std::env::var(SERVE_QUEUE_DEPTH_ENV_VAR).ok().as_deref())
+            .unwrap_or(defaults.queue_depth);
+        Self::builder()
+            .window_us(window_us)
+            .max_batch(max_batch)
+            .queue_depth(queue_depth)
+            .build()
+            .expect("env-derived serve config is valid")
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    window_us: u64,
+    max_batch: usize,
+    queue_depth: usize,
+}
+
+impl ServeConfigBuilder {
+    fn new() -> Self {
+        Self {
+            window_us: 1_000,
+            max_batch: 64,
+            queue_depth: 1_024,
+        }
+    }
+
+    /// Sets the coalescing window in microseconds (`0` drains immediately).
+    pub fn window_us(mut self, window_us: u64) -> Self {
+        self.window_us = window_us;
+        self
+    }
+
+    /// Sets the maximum queries per coalesced micro-batch.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the bounded admission-queue depth.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `max_batch` or `queue_depth` is zero.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        if self.max_batch == 0 {
+            return Err(ConfigError::new("max_batch must be positive"));
+        }
+        if self.queue_depth == 0 {
+            return Err(ConfigError::new("queue_depth must be positive"));
+        }
+        Ok(ServeConfig {
+            window_us: self.window_us,
+            max_batch: self.max_batch,
+            queue_depth: self.queue_depth,
+        })
+    }
+}
+
 /// One registered `ROBUSTHD_*` environment flag: its name, owner, default,
 /// the raw environment value (if set), and the value the owning config
 /// actually parsed from it.
@@ -1011,6 +1164,37 @@ impl FlagRegistry {
                       attacks at proportional blackbox query cost.",
                 raw: std::env::var(ADV_CANDIDATES_ENV_VAR).ok(),
                 effective: AdvConfig::from_env().candidates.to_string(),
+            },
+            FlagInfo {
+                name: SERVE_WINDOW_ENV_VAR,
+                owner: "ServeConfig",
+                default: "1000",
+                doc: "Coalescing window of the serving daemon in microseconds: a \
+                      micro-batch drains when full or this long after its first \
+                      query, whichever comes first; a pure latency/throughput \
+                      knob, answers are bit-identical at any value.",
+                raw: std::env::var(SERVE_WINDOW_ENV_VAR).ok(),
+                effective: ServeConfig::from_env().window_us.to_string(),
+            },
+            FlagInfo {
+                name: SERVE_MAX_BATCH_ENV_VAR,
+                owner: "ServeConfig",
+                default: "64",
+                doc: "Maximum queries the serving daemon coalesces into one fused \
+                      engine pass; deeper batches amortize per-batch supervisor \
+                      overhead at up to one window of queueing latency.",
+                raw: std::env::var(SERVE_MAX_BATCH_ENV_VAR).ok(),
+                effective: ServeConfig::from_env().max_batch.to_string(),
+            },
+            FlagInfo {
+                name: SERVE_QUEUE_DEPTH_ENV_VAR,
+                owner: "ServeConfig",
+                default: "1024",
+                doc: "Admission-queue depth of the serving daemon; classify \
+                      requests beyond it are refused with a structured \
+                      `overloaded` response instead of buffering without bound.",
+                raw: std::env::var(SERVE_QUEUE_DEPTH_ENV_VAR).ok(),
+                effective: ServeConfig::from_env().queue_depth.to_string(),
             },
             FlagInfo {
                 name: ADV_SEED_ENV_VAR,
@@ -1264,10 +1448,13 @@ mod tests {
             TRAIN_FAST_ENV_VAR,
             ADV_CANDIDATES_ENV_VAR,
             ADV_SEED_ENV_VAR,
+            SERVE_WINDOW_ENV_VAR,
+            SERVE_MAX_BATCH_ENV_VAR,
+            SERVE_QUEUE_DEPTH_ENV_VAR,
         ] {
             assert!(names.contains(&expected), "{expected} not registered");
         }
-        assert_eq!(names.len(), 5, "new flags must be registered exactly once");
+        assert_eq!(names.len(), 8, "new flags must be registered exactly once");
     }
 
     #[test]
@@ -1288,6 +1475,22 @@ mod tests {
             assert!(!flag.doc.is_empty());
             assert!(!flag.effective.is_empty());
         }
+    }
+
+    #[test]
+    fn serve_config_defaults_and_validation() {
+        let c = ServeConfig::default();
+        assert_eq!(
+            (c.window_us, c.max_batch, c.queue_depth),
+            (1_000, 64, 1_024)
+        );
+        assert!(ServeConfig::builder().max_batch(0).build().is_err());
+        assert!(ServeConfig::builder().queue_depth(0).build().is_err());
+        // A zero window is valid: it means "drain immediately".
+        let zero = ServeConfig::builder().window_us(0).build().expect("valid");
+        assert_eq!(zero.window_us, 0);
+        // from_env always yields something buildable.
+        assert!(ServeConfig::from_env().max_batch >= 1);
     }
 
     #[test]

@@ -360,6 +360,56 @@ impl ResilienceSupervisor {
         })
     }
 
+    /// Serves one batch of raw feature rows exactly like
+    /// [`ResilienceSupervisor::serve_raw_batch`] and additionally returns
+    /// the per-query [`crate::batch::BatchScore`]s the closed loop acted on
+    /// (the scores of the *pre-repair* model, in query order).
+    ///
+    /// This is the serving daemon's entry point: the coalescer needs both
+    /// the quarantine-gated answers (from the [`BatchReport`]) and the
+    /// per-query confidences (from the scores) to fill one wire response
+    /// per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`ResilienceSupervisor::serve_raw_batch`].
+    pub fn serve_raw_batch_with_scores<E: Encoder + Sync + ?Sized>(
+        &mut self,
+        encoder: &E,
+        model: &mut TrainedModel,
+        rows: &[&[f64]],
+    ) -> (BatchReport, Vec<crate::batch::BatchScore>) {
+        let beta = self.hdc.softmax_beta;
+        let scores = self.batch.evaluate_raw_batch(encoder, model, rows, beta);
+        let batch = self.batch.clone();
+        let report = self.serve_scored(model, scores.clone(), move || {
+            Cow::Owned(batch.encode_batch(encoder, rows))
+        });
+        (report, scores)
+    }
+
+    /// Operator override: quarantines `class` (or clears its quarantine)
+    /// directly, without waiting for the fault-evidence loop to reach the
+    /// same conclusion. Serving daemons expose this as an admin control —
+    /// e.g. fencing a class whose upstream labels are known-bad — and the
+    /// serving differential suite uses it to pin a quarantined state.
+    ///
+    /// The flag obeys the same lifecycle as evidence-driven quarantine:
+    /// a healthy verdict, a rollback, or contrary fault evidence clears it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ResilienceSupervisor::calibrate`] was never called or
+    /// `class` is out of range for the calibrated model.
+    pub fn set_quarantine(&mut self, class: usize, quarantined: bool) {
+        assert!(
+            class < self.quarantined.len(),
+            "class {class} out of range for the calibrated model"
+        );
+        self.quarantined[class] = quarantined;
+    }
+
     /// The closed loop shared by [`ResilienceSupervisor::serve_batch`] and
     /// [`ResilienceSupervisor::serve_raw_batch`]: `scores` is the batch's
     /// engine pass, `encoded` lazily produces the encoded queries and is

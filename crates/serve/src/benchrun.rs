@@ -1,0 +1,328 @@
+//! `servebench`: the serving benchmark harness behind `BENCH_serve.json`.
+//!
+//! Three phases, each against a **fresh** daemon built by the caller's
+//! engine factory (identical construction → identical initial state):
+//!
+//! 1. **Bit-exactness cross-check** — every benchmark row is served once
+//!    through the wire (pipelined NDJSON client) and once through a
+//!    reference engine's sequential single-query path; labels must match
+//!    and confidences must be [`f64::to_bits`]-identical *through the JSON
+//!    roundtrip*. The timing phases refuse to run if this fails: a fast
+//!    wrong daemon is not a result.
+//! 2. **Sequential baseline** — one client, one request in flight: every
+//!    query pays the full per-call supervisor overhead (canary probe,
+//!    checkpoint cadence) alone.
+//! 3. **Coalesced run** — `concurrency` pipelined clients; the coalescer
+//!    amortises that per-call overhead across each micro-batch.
+//!
+//! The headline number is `speedup = coalesced.qps / sequential.qps`; the
+//! CI gate expects ≥ 2 at concurrency ≥ 32.
+
+use crate::json::Json;
+use crate::loadgen::{run_loadgen, LoadOptions, LoadReport};
+use crate::protocol::{self, Request, Response};
+use crate::server::serve;
+use crate::ServeEngine;
+use robusthd::ServeConfig;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Benchmark shape. `config` tunes the daemon; the rest tunes the load.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Dataset label for the report.
+    pub dataset: String,
+    /// Concurrent clients in the coalesced phase.
+    pub concurrency: usize,
+    /// Classify requests per client in the coalesced phase (the
+    /// sequential phase serves `concurrency * requests_per_client`
+    /// requests on one connection, so both phases do identical work).
+    pub requests_per_client: usize,
+    /// Requests in flight per client in the coalesced phase.
+    pub pipeline: usize,
+    /// Daemon tuning (window, batch ceiling, queue depth).
+    pub config: ServeConfig,
+    /// Batch-engine worker threads, echoed into the report.
+    pub threads: usize,
+}
+
+/// One timed phase of the benchmark.
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// Requests sent.
+    pub requests: u64,
+    /// `result` responses (must equal `requests` for a clean phase).
+    pub results: u64,
+    /// `overloaded` responses (admission sheds).
+    pub overloaded: u64,
+    /// Responses per second.
+    pub qps: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean queries per drained micro-batch (1.0 for the sequential phase).
+    pub mean_batch: f64,
+}
+
+/// The full `BENCH_serve.json` payload.
+#[derive(Debug, Clone)]
+pub struct ServeBenchOutcome {
+    /// Dataset label.
+    pub dataset: String,
+    /// Hypervector dimensionality of the deployment.
+    pub dim: usize,
+    /// Feature count per query.
+    pub features: usize,
+    /// Class count.
+    pub classes: usize,
+    /// Concurrent clients in the coalesced phase.
+    pub concurrency: usize,
+    /// Coalescing window, microseconds.
+    pub window_us: u64,
+    /// Batch ceiling.
+    pub max_batch: usize,
+    /// Admission queue depth.
+    pub queue_depth: usize,
+    /// Batch-engine worker threads.
+    pub threads: usize,
+    /// Whether the wire answers matched the reference engine bit-for-bit.
+    pub bit_exact: bool,
+    /// One-client, lockstep phase.
+    pub sequential: PhaseOutcome,
+    /// Many-client, pipelined phase.
+    pub coalesced: PhaseOutcome,
+    /// `coalesced.qps / sequential.qps`.
+    pub speedup: f64,
+}
+
+impl PhaseOutcome {
+    fn from_load(report: &LoadReport, mean_batch: f64) -> Self {
+        Self {
+            requests: report.sent,
+            results: report.results,
+            overloaded: report.overloaded,
+            qps: report.qps,
+            p50_ms: report.p50_ms,
+            p95_ms: report.p95_ms,
+            p99_ms: report.p99_ms,
+            mean_batch,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("requests".to_owned(), Json::Number(self.requests as f64)),
+            ("results".to_owned(), Json::Number(self.results as f64)),
+            (
+                "overloaded".to_owned(),
+                Json::Number(self.overloaded as f64),
+            ),
+            ("qps".to_owned(), Json::Number(self.qps)),
+            ("p50_ms".to_owned(), Json::Number(self.p50_ms)),
+            ("p95_ms".to_owned(), Json::Number(self.p95_ms)),
+            ("p99_ms".to_owned(), Json::Number(self.p99_ms)),
+            ("mean_batch".to_owned(), Json::Number(self.mean_batch)),
+        ])
+    }
+}
+
+impl ServeBenchOutcome {
+    /// Serialises the outcome as the single-line `BENCH_serve.json` body.
+    pub fn to_json(&self) -> String {
+        Json::Object(vec![
+            ("dataset".to_owned(), Json::String(self.dataset.clone())),
+            ("dim".to_owned(), Json::Number(self.dim as f64)),
+            ("features".to_owned(), Json::Number(self.features as f64)),
+            ("classes".to_owned(), Json::Number(self.classes as f64)),
+            (
+                "concurrency".to_owned(),
+                Json::Number(self.concurrency as f64),
+            ),
+            ("window_us".to_owned(), Json::Number(self.window_us as f64)),
+            ("max_batch".to_owned(), Json::Number(self.max_batch as f64)),
+            (
+                "queue_depth".to_owned(),
+                Json::Number(self.queue_depth as f64),
+            ),
+            ("threads".to_owned(), Json::Number(self.threads as f64)),
+            ("bit_exact".to_owned(), Json::Bool(self.bit_exact)),
+            ("sequential".to_owned(), self.sequential.to_json()),
+            ("coalesced".to_owned(), self.coalesced.to_json()),
+            ("speedup".to_owned(), Json::Number(self.speedup)),
+        ])
+        .to_string_compact()
+    }
+}
+
+/// Sends every row once over one pipelined connection and returns the
+/// `(label, confidence)` pairs in request order, as decoded off the wire.
+fn wire_answers(
+    addr: SocketAddr,
+    rows: &[Vec<f64>],
+    pipeline: usize,
+) -> io::Result<Vec<(Option<usize>, f64)>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut answers = Vec::with_capacity(rows.len());
+    let mut sent = 0usize;
+    let mut line = String::new();
+    while answers.len() < rows.len() {
+        while sent < rows.len() && sent - answers.len() < pipeline.max(1) {
+            let mut msg = protocol::encode_request(&Request::Classify {
+                id: sent as u64,
+                features: rows[sent].clone(),
+            });
+            msg.push('\n');
+            writer.write_all(msg.as_bytes())?;
+            sent += 1;
+        }
+        writer.flush()?;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed",
+            ));
+        }
+        match protocol::decode_response(line.trim_end()) {
+            Ok(Response::Result {
+                id,
+                label,
+                confidence,
+            }) => {
+                if id != answers.len() as u64 {
+                    return Err(io::Error::other(format!(
+                        "out-of-order response: expected id {}, got {id}",
+                        answers.len()
+                    )));
+                }
+                answers.push((label, confidence));
+            }
+            Ok(other) => {
+                return Err(io::Error::other(format!(
+                    "expected a result response, got {}",
+                    protocol::encode_response(&other)
+                )))
+            }
+            Err(e) => {
+                return Err(io::Error::other(format!(
+                    "undecodable response: {}",
+                    e.message
+                )))
+            }
+        }
+    }
+    Ok(answers)
+}
+
+fn mean_batch_of(stats: &crate::protocol::StatsSnapshot) -> f64 {
+    if stats.batches == 0 {
+        0.0
+    } else {
+        stats.coalesced as f64 / stats.batches as f64
+    }
+}
+
+/// Runs the three-phase serving benchmark. `mk_engine` must build a fresh,
+/// identically calibrated [`ServeEngine`] on every call — each phase gets
+/// its own daemon so earlier traffic cannot leak supervisor state into
+/// later timings.
+///
+/// # Errors
+///
+/// Returns an error if any daemon fails to start, any client connection
+/// fails, or — most importantly — the wire answers diverge from the
+/// reference engine's sequential answers.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty.
+pub fn run_servebench(
+    mk_engine: &dyn Fn() -> ServeEngine,
+    rows: &[Vec<f64>],
+    opts: &BenchOptions,
+) -> io::Result<ServeBenchOutcome> {
+    assert!(!rows.is_empty(), "servebench needs at least one query row");
+
+    // Phase 1: bit-exactness through the wire, before any timing.
+    let mut reference = mk_engine();
+    let (dim, features, classes) = (
+        reference.dim(),
+        reference.features(),
+        reference.num_classes(),
+    );
+    let handle = serve(("127.0.0.1", 0), opts.config, mk_engine())?;
+    let wire = wire_answers(handle.addr(), rows, opts.pipeline)?;
+    drop(handle.shutdown());
+    for (i, (row, (wire_label, wire_confidence))) in rows.iter().zip(&wire).enumerate() {
+        let expected = reference.serve(&[row.as_slice()]);
+        let expected = expected[0];
+        if expected.label != *wire_label
+            || expected.confidence.to_bits() != wire_confidence.to_bits()
+        {
+            return Err(io::Error::other(format!(
+                "bit-exactness violation at row {i}: wire ({wire_label:?}, {:#018x}) vs \
+                 reference ({:?}, {:#018x})",
+                wire_confidence.to_bits(),
+                expected.label,
+                expected.confidence.to_bits(),
+            )));
+        }
+    }
+
+    let total_requests = opts.concurrency * opts.requests_per_client;
+
+    // Phase 2: sequential baseline — one lockstep client, same total work.
+    let handle = serve(("127.0.0.1", 0), opts.config, mk_engine())?;
+    let sequential_load = run_loadgen(
+        handle.addr(),
+        rows,
+        LoadOptions {
+            clients: 1,
+            requests_per_client: total_requests,
+            pipeline: 1,
+        },
+    )?;
+    let (_engine, sequential_stats) = handle.shutdown();
+    let sequential = PhaseOutcome::from_load(&sequential_load, mean_batch_of(&sequential_stats));
+
+    // Phase 3: coalesced — concurrent pipelined clients.
+    let handle = serve(("127.0.0.1", 0), opts.config, mk_engine())?;
+    let coalesced_load = run_loadgen(
+        handle.addr(),
+        rows,
+        LoadOptions {
+            clients: opts.concurrency,
+            requests_per_client: opts.requests_per_client,
+            pipeline: opts.pipeline,
+        },
+    )?;
+    let (_engine, coalesced_stats) = handle.shutdown();
+    let coalesced = PhaseOutcome::from_load(&coalesced_load, mean_batch_of(&coalesced_stats));
+
+    let speedup = if sequential.qps > 0.0 {
+        coalesced.qps / sequential.qps
+    } else {
+        0.0
+    };
+    Ok(ServeBenchOutcome {
+        dataset: opts.dataset.clone(),
+        dim,
+        features,
+        classes,
+        concurrency: opts.concurrency,
+        window_us: opts.config.window_us,
+        max_batch: opts.config.max_batch,
+        queue_depth: opts.config.queue_depth,
+        threads: opts.threads,
+        bit_exact: true,
+        sequential,
+        coalesced,
+        speedup,
+    })
+}

@@ -1,0 +1,253 @@
+//! The request coalescer: concurrent single-query requests queue into a
+//! time/size-bounded micro-batch and drain in one fused engine pass.
+//!
+//! # State machine
+//!
+//! The queue has three regimes, governed by [`robusthd::ServeConfig`]:
+//!
+//! * **Empty** — the drain loop sleeps on a condvar until a query arrives
+//!   (or a drain begins).
+//! * **Filling** — the first query in the queue starts a window of
+//!   `window_us`; the drain loop sleeps until the window expires, the
+//!   queue reaches `max_batch`, or a drain begins — whichever comes first
+//!   — then takes up to `max_batch` queries FIFO.
+//! * **Shedding** — a query arriving while `queue_depth` are already
+//!   waiting is refused with [`SubmitError::Overloaded`]; the caller turns
+//!   that into a structured wire response. Load is shed at admission,
+//!   never silently dropped after being accepted.
+//!
+//! Once a query is accepted, its answer is guaranteed: on graceful drain
+//! the loop keeps taking batches until the queue is empty, and only then
+//! reports exhaustion. Accepted-but-unanswered is not a reachable state
+//! (short of the process dying).
+//!
+//! FIFO order within a batch is load-bearing for determinism: a batch's
+//! composition depends on arrival timing, but each query's *answer* does
+//! not (the engine computes per-query results), so coalescing is invisible
+//! in the response bits — the property `serve_differential.rs` pins.
+
+use crate::engine::QueryAnswer;
+use robusthd::ServeConfig;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at `queue_depth`; the query was shed.
+    Overloaded,
+    /// A graceful drain is in progress; new work is refused.
+    Draining,
+}
+
+/// One accepted query waiting for its micro-batch: the feature row and the
+/// channel its answer travels back on.
+#[derive(Debug)]
+pub struct PendingQuery {
+    /// The raw feature row to serve.
+    pub features: Vec<f64>,
+    /// Where the drain loop sends the answer.
+    pub answer_tx: mpsc::Sender<QueryAnswer>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<(PendingQuery, Instant)>,
+    draining: bool,
+}
+
+/// The bounded, windowed admission queue between connection threads and
+/// the drain loop.
+#[derive(Debug)]
+pub struct Coalescer {
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+    config: ServeConfig,
+}
+
+impl Coalescer {
+    /// Creates an empty coalescer with the given tuning.
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            arrived: Condvar::new(),
+            config,
+        }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Queries currently waiting.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("coalescer lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a graceful drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().expect("coalescer lock poisoned").draining
+    }
+
+    /// Submits one query for coalesced serving. On acceptance, returns the
+    /// receiver its answer will arrive on (exactly one answer is
+    /// guaranteed, even across a graceful drain).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when `queue_depth` queries are already
+    /// waiting, [`SubmitError::Draining`] once a drain has begun.
+    pub fn submit(&self, features: Vec<f64>) -> Result<mpsc::Receiver<QueryAnswer>, SubmitError> {
+        let mut state = self.state.lock().expect("coalescer lock poisoned");
+        if state.draining {
+            return Err(SubmitError::Draining);
+        }
+        if state.queue.len() >= self.config.queue_depth {
+            return Err(SubmitError::Overloaded);
+        }
+        let (answer_tx, answer_rx) = mpsc::channel();
+        state.queue.push_back((
+            PendingQuery {
+                features,
+                answer_tx,
+            },
+            Instant::now(),
+        ));
+        drop(state);
+        self.arrived.notify_all();
+        Ok(answer_rx)
+    }
+
+    /// Begins a graceful drain: subsequent [`Coalescer::submit`] calls are
+    /// refused, and [`Coalescer::next_batch`] flushes the remaining queue
+    /// (in `max_batch` chunks, ignoring the window) before reporting
+    /// exhaustion. Idempotent.
+    pub fn begin_drain(&self) {
+        self.state.lock().expect("coalescer lock poisoned").draining = true;
+        self.arrived.notify_all();
+    }
+
+    /// Blocks until a micro-batch is ready and takes it (up to `max_batch`
+    /// queries, FIFO). Returns `None` only when a drain has begun *and*
+    /// the queue is empty — the drain loop's exit condition.
+    pub fn next_batch(&self) -> Option<Vec<PendingQuery>> {
+        let window = Duration::from_micros(self.config.window_us);
+        let mut state = self.state.lock().expect("coalescer lock poisoned");
+        loop {
+            if state.queue.is_empty() {
+                if state.draining {
+                    return None;
+                }
+                state = self.arrived.wait(state).expect("coalescer lock poisoned");
+                continue;
+            }
+            // Filling: leave as soon as the batch is full, the window has
+            // expired for the oldest query, or a drain flushes everything.
+            if state.queue.len() >= self.config.max_batch || state.draining {
+                break;
+            }
+            let deadline = state.queue.front().expect("non-empty").1 + window;
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            state = self
+                .arrived
+                .wait_timeout(state, deadline - now)
+                .expect("coalescer lock poisoned")
+                .0;
+        }
+        let take = state.queue.len().min(self.config.max_batch);
+        Some(state.queue.drain(..take).map(|(q, _)| q).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(window_us: u64, max_batch: usize, queue_depth: usize) -> ServeConfig {
+        ServeConfig::builder()
+            .window_us(window_us)
+            .max_batch(max_batch)
+            .queue_depth(queue_depth)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn full_batch_drains_without_waiting_for_the_window() {
+        // A very long window must not delay a full batch.
+        let c = Coalescer::new(config(60_000_000, 2, 8));
+        let _a = c.submit(vec![0.0]).expect("accepted");
+        let _b = c.submit(vec![1.0]).expect("accepted");
+        let start = Instant::now();
+        let batch = c.next_batch().expect("not draining");
+        assert_eq!(batch.len(), 2);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "waited the window"
+        );
+        // FIFO composition.
+        assert_eq!(batch[0].features, vec![0.0]);
+        assert_eq!(batch[1].features, vec![1.0]);
+    }
+
+    #[test]
+    fn window_expiry_drains_a_partial_batch() {
+        let c = Coalescer::new(config(1_000, 64, 8));
+        let _a = c.submit(vec![0.5]).expect("accepted");
+        let batch = c.next_batch().expect("not draining");
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn overload_is_refused_at_admission() {
+        let c = Coalescer::new(config(1_000, 4, 2));
+        let _a = c.submit(vec![0.0]).expect("accepted");
+        let _b = c.submit(vec![1.0]).expect("accepted");
+        assert_eq!(c.submit(vec![2.0]).unwrap_err(), SubmitError::Overloaded);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn drain_flushes_in_chunks_then_exhausts() {
+        let c = Coalescer::new(config(60_000_000, 2, 8));
+        let rxs: Vec<_> = (0..5)
+            .map(|i| c.submit(vec![f64::from(i)]).expect("accepted"))
+            .collect();
+        c.begin_drain();
+        assert_eq!(c.submit(vec![9.0]).unwrap_err(), SubmitError::Draining);
+        let mut sizes = Vec::new();
+        while let Some(batch) = c.next_batch() {
+            sizes.push(batch.len());
+            for q in batch {
+                q.answer_tx
+                    .send(QueryAnswer {
+                        label: Some(0),
+                        confidence: 1.0,
+                    })
+                    .expect("receiver alive");
+            }
+        }
+        assert_eq!(sizes, vec![2, 2, 1], "max_batch chunks, ignoring window");
+        for rx in rxs {
+            assert!(rx.recv().is_ok(), "every accepted query was answered");
+        }
+    }
+}

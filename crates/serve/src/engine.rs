@@ -1,0 +1,114 @@
+//! The daemon's serving core: one deployment (encoder + model) under the
+//! closed-loop resilience supervisor, consumed a micro-batch at a time.
+//!
+//! [`ServeEngine`] is deliberately thin: it owns the pieces in-process
+//! callers already use ([`RecordEncoder`], [`TrainedModel`],
+//! [`ResilienceSupervisor`]) and funnels every drained micro-batch through
+//! [`ResilienceSupervisor::serve_raw_batch_with_scores`] — the same fused
+//! encode→score path, the same health monitoring, escalation, checkpoint,
+//! rollback, and quarantine behaviour as solo serving. The daemon adds
+//! batching and a wire format around it; it never adds numerics, which is
+//! what makes the serving differential suite's `f64::to_bits` comparisons
+//! possible.
+
+use robusthd::supervisor::ResilienceSupervisor;
+use robusthd::{BatchConfig, Encoder, RecordEncoder, TrainedModel};
+
+/// The per-query slice of a served micro-batch: what one wire `result`
+/// response carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryAnswer {
+    /// Predicted label, or `None` when the predicted class is quarantined
+    /// (served as unreliable instead of silently wrong).
+    pub label: Option<usize>,
+    /// Softmax confidence of the (pre-quarantine) prediction.
+    pub confidence: f64,
+}
+
+/// One model deployment behind the daemon: encoder, mutable model, and the
+/// resilience supervisor that serves (and repairs) it.
+#[derive(Debug)]
+pub struct ServeEngine {
+    encoder: RecordEncoder,
+    model: TrainedModel,
+    supervisor: ResilienceSupervisor,
+}
+
+impl ServeEngine {
+    /// Wraps a calibrated deployment. The supervisor must already have been
+    /// [`ResilienceSupervisor::calibrate`]d against `model`.
+    pub fn new(
+        encoder: RecordEncoder,
+        model: TrainedModel,
+        supervisor: ResilienceSupervisor,
+    ) -> Self {
+        Self {
+            encoder,
+            model,
+            supervisor,
+        }
+    }
+
+    /// Feature count every classify request must supply.
+    pub fn features(&self) -> usize {
+        self.encoder.features()
+    }
+
+    /// Hypervector dimensionality of the deployment.
+    pub fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+
+    /// Class count of the deployed model.
+    pub fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    /// Current supervisor escalation level.
+    pub fn level(&self) -> usize {
+        self.supervisor.level()
+    }
+
+    /// Classes currently quarantined.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.supervisor.quarantined_classes()
+    }
+
+    /// The supervisor, for state inspection or operator overrides
+    /// ([`ResilienceSupervisor::set_quarantine`]).
+    pub fn supervisor_mut(&mut self) -> &mut ResilienceSupervisor {
+        &mut self.supervisor
+    }
+
+    /// Replaces the batch engine tuning (thread count, shard size) — a
+    /// pure throughput knob, answers are bit-identical at any value.
+    pub fn set_batch_config(&mut self, config: BatchConfig) {
+        self.supervisor.set_batch_config(config);
+    }
+
+    /// Serves one micro-batch of raw feature rows through the full closed
+    /// loop, returning one answer per row in row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's length differs from [`ServeEngine::features`] —
+    /// the daemon validates lengths at admission, so a panic here means a
+    /// coalescer bug, not a client mistake.
+    pub fn serve(&mut self, rows: &[&[f64]]) -> Vec<QueryAnswer> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let (report, scores) =
+            self.supervisor
+                .serve_raw_batch_with_scores(&self.encoder, &mut self.model, rows);
+        report
+            .answers
+            .iter()
+            .zip(&scores)
+            .map(|(answer, score)| QueryAnswer {
+                label: *answer,
+                confidence: score.confidence.confidence,
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,565 @@
+//! A minimal, dependency-free JSON layer for the wire protocol.
+//!
+//! The serving protocol needs exactly four things from JSON, and this
+//! module provides exactly those:
+//!
+//! 1. **Bit-exact `f64` round-trips.** Numbers are written with Rust's
+//!    shortest-round-trip `Display` formatting and parsed back with
+//!    `f64::from_str`, so `write → parse` reproduces the original bits for
+//!    every finite value — the property the serving differential suite
+//!    leans on when it compares daemon responses against in-process
+//!    serving to `f64::to_bits`.
+//! 2. **Unknown-field tolerance.** Objects parse into an ordered list of
+//!    `(key, value)` pairs; the protocol layer looks fields up by name and
+//!    ignores the rest, so newer clients can add fields without breaking
+//!    older daemons (and vice versa).
+//! 3. **Hostile-input safety.** The parser is recursive descent with an
+//!    explicit depth cap and never panics on malformed input — garbage,
+//!    truncation, stray bytes, and deep nesting all surface as
+//!    [`JsonError`] values.
+//! 4. **Stable output.** The writer emits fields in insertion order with
+//!    no whitespace, so protocol encodings are deterministic and diffable.
+//!
+//! Not supported (deliberately): non-finite numbers (JSON has no syntax
+//! for them; the writer emits `null` and the protocol layer never produces
+//! them), duplicate-key detection (last write wins on lookup, matching
+//! common JSON parsers), and pretty-printing.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser will follow before giving up — deep
+/// enough for any protocol message, shallow enough that adversarial
+/// `[[[[…]]]]` input cannot exhaust the stack.
+pub const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Number(f64),
+    /// A string (escapes already decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object as ordered `(key, value)` pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks a field up by name in an object (`None` for non-objects and
+    /// missing fields). When a hostile peer sends duplicate keys, the last
+    /// occurrence wins — the same rule most production parsers apply.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that is one.
+    ///
+    /// JSON numbers travel as `f64`, so integers are exact only up to
+    /// 2^53; larger values are rejected rather than silently rounded.
+    pub fn as_u64(&self) -> Option<u64> {
+        const EXACT_MAX: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Json::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= EXACT_MAX => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a usize, if it is a number that is one.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value as compact JSON (no whitespace, insertion
+    /// order preserved). Non-finite numbers — which the protocol never
+    /// produces — are written as `null` so the output is always valid
+    /// JSON.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(n) => {
+                if n.is_finite() {
+                    // Shortest representation that round-trips to the same
+                    // f64 — the bit-exactness contract of the protocol.
+                    let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes into a fresh string.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+}
+
+/// Writes a JSON string literal with all required escapes.
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a parse failed, with the byte offset where it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON value from `input`, rejecting trailing
+/// non-whitespace — a protocol line must be exactly one message.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] for any malformed input: bad syntax, unterminated
+/// strings, invalid escapes, non-finite or malformed numbers, nesting
+/// beyond [`MAX_DEPTH`], or trailing garbage. Never panics.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(input, bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err("trailing characters after JSON value", pos));
+    }
+    Ok(value)
+}
+
+fn err(message: &str, at: usize) -> JsonError {
+    JsonError {
+        message: message.to_owned(),
+        at,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(
+    input: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(err("nesting too deep", *pos));
+    }
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(input, bytes, pos).map(Json::String),
+        Some(b'[') => parse_array(input, bytes, pos, depth),
+        Some(b'{') => parse_object(input, bytes, pos, depth),
+        Some(b'-' | b'0'..=b'9') => parse_number(input, bytes, pos),
+        Some(_) => Err(err("unexpected character", *pos)),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(err("invalid literal", *pos))
+    }
+}
+
+fn parse_number(input: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_from = *pos;
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    if *pos == digits_from {
+        return Err(err("malformed number", start));
+    }
+    let token = &input[start..*pos];
+    // The token charset excludes the letters of "inf"/"NaN", so from_str
+    // can only produce a non-finite value via overflow (e.g. "1e999") —
+    // rejected below to keep the non-finite ban airtight.
+    match token.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Json::Number(v)),
+        Ok(_) => Err(err("number overflows f64", start)),
+        Err(_) => Err(err("malformed number", start)),
+    }
+}
+
+fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let c = parse_unicode_escape(bytes, pos)?;
+                        out.push(c);
+                        continue; // parse_unicode_escape advanced past the escape
+                    }
+                    _ => return Err(err("invalid escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => return Err(err("control character in string", *pos)),
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: the input is a &str, so the sequence is
+                // valid — copy the whole scalar.
+                let c = input[*pos..].chars().next().ok_or_else(|| {
+                    // Unreachable for &str input; kept as an error (not a
+                    // panic) to honour the never-panic contract.
+                    err("invalid UTF-8 sequence", *pos)
+                })?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parses the `XXXX` of a `\uXXXX` escape (and a low surrogate when the
+/// first unit is a high surrogate); `pos` is advanced past all consumed
+/// hex digits.
+fn parse_unicode_escape(bytes: &[u8], pos: &mut usize) -> Result<char, JsonError> {
+    let unit = parse_hex4(bytes, pos)?;
+    if (0xD800..0xDC00).contains(&unit) {
+        // High surrogate: require a following \uXXXX low surrogate.
+        if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u') {
+            return Err(err("unpaired surrogate", *pos));
+        }
+        *pos += 2;
+        let low = parse_hex4(bytes, pos)?;
+        if !(0xDC00..0xE000).contains(&low) {
+            return Err(err("unpaired surrogate", *pos));
+        }
+        let code = 0x10000 + ((u32::from(unit) - 0xD800) << 10) + (u32::from(low) - 0xDC00);
+        char::from_u32(code).ok_or_else(|| err("invalid surrogate pair", *pos))
+    } else if (0xDC00..0xE000).contains(&unit) {
+        Err(err("unpaired surrogate", *pos))
+    } else {
+        char::from_u32(u32::from(unit)).ok_or_else(|| err("invalid unicode escape", *pos))
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u16, JsonError> {
+    let mut value: u16 = 0;
+    for _ in 0..4 {
+        let digit = match bytes.get(*pos) {
+            Some(&b @ b'0'..=b'9') => b - b'0',
+            Some(&b @ b'a'..=b'f') => b - b'a' + 10,
+            Some(&b @ b'A'..=b'F') => b - b'A' + 10,
+            _ => return Err(err("invalid \\u escape", *pos)),
+        };
+        value = (value << 4) | u16::from(digit);
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_array(
+    input: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<Json, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(input, bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(err("expected `,` or `]` in array", *pos)),
+        }
+    }
+}
+
+fn parse_object(
+    input: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<Json, JsonError> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err("expected string key in object", *pos));
+        }
+        let key = parse_string(input, bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err("expected `:` after object key", *pos));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(input, bytes, pos, depth + 1)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(err("expected `,` or `}` in object", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::Number(0.0)),
+            ("-1.5", Json::Number(-1.5)),
+            ("\"hi\"", Json::String("hi".to_owned())),
+        ] {
+            assert_eq!(parse(text).expect(text), value);
+            assert_eq!(parse(&value.to_string_compact()).expect(text), value);
+        }
+    }
+
+    #[test]
+    fn f64_bits_survive_write_parse() {
+        for &v in &[
+            0.1,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            2e-308, // subnormal territory
+            123_456_789.123_456_79,
+        ] {
+            let text = Json::Number(v).to_string_compact();
+            let back = parse(&text).expect(&text).as_f64().expect("number");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {text}");
+        }
+    }
+
+    #[test]
+    fn object_lookup_ignores_unknown_and_prefers_last() {
+        let parsed = parse("{\"a\":1,\"b\":2,\"a\":3}").expect("valid");
+        assert_eq!(parsed.get("a"), Some(&Json::Number(3.0)));
+        assert_eq!(parsed.get("missing"), None);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\nbreak \"quoted\" back\\slash tab\t nul\u{1} é 猫 \u{1f600}";
+        let text = Json::String(original.to_owned()).to_string_compact();
+        assert_eq!(
+            parse(&text).expect("valid").as_str(),
+            Some(original),
+            "via {text}"
+        );
+        // Explicit \u escapes, including a surrogate pair.
+        assert_eq!(
+            parse("\"\\u00e9\\ud83d\\ude00\"").expect("valid").as_str(),
+            Some("é\u{1f600}")
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panic() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\"}",
+            "{\"a\":}",
+            "nul",
+            "truex",
+            "1 2",
+            "{\"a\":1}x",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "1e999",
+            "--1",
+            "+1",
+            ".5",
+            "Infinity",
+            "NaN",
+            "\u{7}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_deep_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integers_extract_exactly() {
+        assert_eq!(parse("7").expect("valid").as_u64(), Some(7));
+        assert_eq!(parse("7.5").expect("valid").as_u64(), None);
+        assert_eq!(parse("-7").expect("valid").as_u64(), None);
+        // 2^53 is the last exactly-representable integer.
+        assert_eq!(
+            parse("9007199254740992").expect("valid").as_u64(),
+            Some(9_007_199_254_740_992)
+        );
+        assert_eq!(parse("9007199254740994").expect("valid").as_u64(), None);
+    }
+}

@@ -1,0 +1,231 @@
+//! Self-contained load generator for `robusthdd`.
+//!
+//! Spawns `clients` concurrent connections, each sending
+//! `requests_per_client` classify requests with up to `pipeline` in
+//! flight, and measures per-request latency plus aggregate throughput.
+//! Because the daemon answers each connection in request order, latency
+//! is measured by pairing send times (a FIFO of `Instant`s) with
+//! responses as they arrive — no per-request bookkeeping beyond the id.
+
+use crate::protocol::{self, Request, Response};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load-generation shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadOptions {
+    /// Concurrent connections.
+    pub clients: usize,
+    /// Classify requests each connection sends.
+    pub requests_per_client: usize,
+    /// Maximum requests in flight per connection (1 = strict
+    /// request/response lockstep).
+    pub pipeline: usize,
+}
+
+/// What one client observed.
+#[derive(Debug, Default, Clone)]
+struct ClientTally {
+    results: u64,
+    overloaded: u64,
+    errors: u64,
+    /// Per-request latencies in seconds (all responses, whatever kind).
+    latencies: Vec<f64>,
+    /// label of the last `result` response, for spot checks.
+    last_label: Option<usize>,
+}
+
+/// Aggregate load report across all clients.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Classify requests sent (all clients).
+    pub sent: u64,
+    /// `result` responses received.
+    pub results: u64,
+    /// `overloaded` responses received (shed at admission).
+    pub overloaded: u64,
+    /// `error` responses received.
+    pub errors: u64,
+    /// Wall-clock span of the run in seconds.
+    pub elapsed_s: f64,
+    /// Responses per second over the wall-clock span.
+    pub qps: f64,
+    /// Latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Maximum latency, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Sorted-percentile helper (nearest-rank on a sorted slice).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs one client: pipelined classify requests, FIFO latency pairing.
+fn run_client(
+    addr: SocketAddr,
+    rows: &[Vec<f64>],
+    requests: usize,
+    pipeline: usize,
+) -> io::Result<ClientTally> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut tally = ClientTally::default();
+    let mut in_flight: VecDeque<Instant> = VecDeque::new();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut line = String::new();
+    while received < requests {
+        // Fill the pipeline window.
+        while sent < requests && in_flight.len() < pipeline.max(1) {
+            let row = &rows[sent % rows.len()];
+            let mut msg = protocol::encode_request(&Request::Classify {
+                id: sent as u64,
+                features: row.clone(),
+            });
+            msg.push('\n');
+            in_flight.push_back(Instant::now());
+            writer.write_all(msg.as_bytes())?;
+            sent += 1;
+        }
+        writer.flush()?;
+        // Take one response off the ordered stream.
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "daemon closed with {} responses outstanding",
+                    in_flight.len()
+                ),
+            ));
+        }
+        let started = in_flight
+            .pop_front()
+            .ok_or_else(|| io::Error::other("response without a matching request"))?;
+        tally.latencies.push(started.elapsed().as_secs_f64());
+        received += 1;
+        match protocol::decode_response(line.trim_end()) {
+            Ok(Response::Result { label, .. }) => {
+                tally.results += 1;
+                if let Some(label) = label {
+                    tally.last_label = Some(label);
+                }
+            }
+            Ok(Response::Overloaded { .. }) => tally.overloaded += 1,
+            _ => tally.errors += 1,
+        }
+    }
+    Ok(tally)
+}
+
+/// Drives `opts.clients` concurrent connections against the daemon at
+/// `addr`, cycling through `rows` as query payloads.
+///
+/// # Errors
+///
+/// Returns the first client I/O error (connection refused, daemon closed
+/// mid-run). Individual `overloaded`/`error` *responses* are tallied, not
+/// errors.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or a client thread panics.
+pub fn run_loadgen(
+    addr: SocketAddr,
+    rows: &[Vec<f64>],
+    opts: LoadOptions,
+) -> io::Result<LoadReport> {
+    assert!(!rows.is_empty(), "loadgen needs at least one query row");
+    let clients = opts.clients.max(1);
+    let start = Instant::now();
+    let tallies: Vec<io::Result<ClientTally>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                // Stagger row offsets so clients don't all send row 0 first.
+                let offset = (i * rows.len().div_ceil(clients)) % rows.len();
+                let rotated: Vec<Vec<f64>> = rows[offset..]
+                    .iter()
+                    .chain(&rows[..offset])
+                    .cloned()
+                    .collect();
+                scope.spawn(move || {
+                    run_client(addr, &rotated, opts.requests_per_client, opts.pipeline)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut merged = ClientTally::default();
+    for tally in tallies {
+        let tally = tally?;
+        merged.results += tally.results;
+        merged.overloaded += tally.overloaded;
+        merged.errors += tally.errors;
+        merged.latencies.extend(tally.latencies);
+    }
+    Ok(report_from(
+        merged,
+        clients * opts.requests_per_client,
+        elapsed,
+    ))
+}
+
+fn report_from(merged: ClientTally, sent: usize, elapsed: Duration) -> LoadReport {
+    let mut sorted = merged.latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    let responses = sorted.len() as f64;
+    let mean_s = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / responses
+    };
+    LoadReport {
+        sent: sent as u64,
+        results: merged.results,
+        overloaded: merged.overloaded,
+        errors: merged.errors,
+        elapsed_s,
+        qps: responses / elapsed_s,
+        p50_ms: percentile(&sorted, 50.0) * 1e3,
+        p95_ms: percentile(&sorted, 95.0) * 1e3,
+        p99_ms: percentile(&sorted, 99.0) * 1e3,
+        mean_ms: mean_s * 1e3,
+        max_ms: sorted.last().copied().unwrap_or(0.0) * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&sorted, 50.0) - 50.0).abs() < 1e-12);
+        assert!((percentile(&sorted, 95.0) - 95.0).abs() < 1e-12);
+        assert!((percentile(&sorted, 99.0) - 99.0).abs() < 1e-12);
+        assert!((percentile(&[7.0], 99.0) - 7.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

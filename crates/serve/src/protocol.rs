@@ -1,0 +1,461 @@
+//! The `robusthdd` wire protocol: newline-delimited JSON messages with a
+//! tagged `type` field.
+//!
+//! One request per line, one response per request, responses in request
+//! order per connection. Every message is a JSON object whose `"type"`
+//! field selects the variant; unknown *fields* are ignored for forward
+//! compatibility (a newer peer may annotate messages freely), while an
+//! unknown *type* is a [`ProtocolError`] the daemon answers with a
+//! structured `error` response — never a dropped connection.
+//!
+//! # Grammar
+//!
+//! Requests:
+//!
+//! ```text
+//! {"type":"classify","id":<u64>,"features":[<f64>,...]}
+//! {"type":"stats"}
+//! {"type":"health"}
+//! {"type":"ping"}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! {"type":"result","id":<u64>,"label":<u64|null>,"confidence":<f64>}
+//! {"type":"overloaded","id":<u64>}
+//! {"type":"error","message":<string>,"id":<u64|null>}
+//! {"type":"stats",...counters...}
+//! {"type":"health","status":"ok"|"draining","queue":<u64>}
+//! {"type":"pong"}
+//! {"type":"shutting_down"}
+//! ```
+//!
+//! A `result` with `"label":null` is the graceful-degradation path: the
+//! predicted class is quarantined by the resilience supervisor, and the
+//! daemon reports "unreliable" instead of silently misclassifying.
+//!
+//! `f64` payloads (features out, confidence back) round-trip bit-exactly
+//! through the [`crate::json`] layer, so a response compared against
+//! in-process serving matches to `f64::to_bits`.
+
+use crate::json::{self, Json};
+use std::fmt;
+
+/// Hard ceiling on one protocol line, in bytes (16 MiB). Lines beyond it
+/// are rejected with a structured error and the connection stays usable;
+/// the bound exists so a hostile peer cannot make the daemon buffer
+/// without limit.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// A client→daemon message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify one feature vector; `id` is echoed in the response so
+    /// pipelined clients can match answers to questions.
+    Classify {
+        /// Client-chosen correlation id, echoed verbatim.
+        id: u64,
+        /// Raw feature row (same layout the CLI's CSV convention uses).
+        features: Vec<f64>,
+    },
+    /// Snapshot the daemon's serving counters.
+    Stats,
+    /// Liveness/readiness probe.
+    Health,
+    /// Protocol-level echo.
+    Ping,
+    /// Begin a graceful drain: in-flight and queued queries complete, new
+    /// connections are refused, then the daemon exits.
+    Shutdown,
+}
+
+/// A daemon→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to a `classify` request. `label` is `None` when the
+    /// predicted class is quarantined (served as unreliable, not wrong).
+    Result {
+        /// The request's correlation id.
+        id: u64,
+        /// Predicted label, or `None` for a quarantined prediction.
+        label: Option<usize>,
+        /// Softmax confidence of the prediction (finite, in `[0, 1]`).
+        confidence: f64,
+    },
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded {
+        /// The request's correlation id.
+        id: u64,
+    },
+    /// The request could not be served; `id` is echoed when it was
+    /// recoverable from the request.
+    Error {
+        /// What went wrong.
+        message: String,
+        /// Correlation id, when the malformed request still carried one.
+        id: Option<u64>,
+    },
+    /// Serving counters (see the field docs on [`StatsSnapshot`]).
+    Stats(StatsSnapshot),
+    /// Daemon liveness: `draining` is `true` once a shutdown has begun.
+    Health {
+        /// Whether a graceful drain is in progress.
+        draining: bool,
+        /// Queries currently waiting in the admission queue.
+        queue: usize,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// Acknowledgement of `shutdown`; the daemon drains and exits after
+    /// sending it.
+    ShuttingDown,
+}
+
+/// The daemon's serving counters, as carried by a `stats` response.
+///
+/// The accounting identity the lifecycle suite pins:
+/// `results + overloaded + errors` equals the number of classify requests
+/// admitted to a decision, and `coalesced` (the sum of drained batch
+/// sizes) equals `results`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Classify requests that received a `result` response.
+    pub results: u64,
+    /// Classify requests shed with an `overloaded` response.
+    pub overloaded: u64,
+    /// Requests answered with an `error` response (malformed lines,
+    /// unknown types, oversized lines, draining refusals).
+    pub errors: u64,
+    /// Micro-batches drained through the fused engine.
+    pub batches: u64,
+    /// Sum of drained batch sizes (mean coalescing = `coalesced/batches`).
+    pub coalesced: u64,
+    /// Largest single micro-batch drained.
+    pub max_batch: u64,
+    /// Queries waiting in the admission queue right now.
+    pub queue: u64,
+    /// Resilience supervisor escalation level after the last batch.
+    pub level: u64,
+    /// Classes currently quarantined by the supervisor.
+    pub quarantined: u64,
+}
+
+/// A malformed or unrecognized protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Human-readable description (safe to echo in an `error` response).
+    pub message: String,
+    /// The request's correlation id, when one was recoverable.
+    pub id: Option<u64>,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>, id: Option<u64>) -> Self {
+        Self {
+            message: message.into(),
+            id,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The label field of a result, encoded as a number or `null`.
+fn label_json(label: Option<usize>) -> Json {
+    match label {
+        Some(l) => Json::Number(l as f64),
+        None => Json::Null,
+    }
+}
+
+/// Encodes a request as one protocol line (no trailing newline).
+pub fn encode_request(request: &Request) -> String {
+    let value = match request {
+        Request::Classify { id, features } => Json::Object(vec![
+            ("type".to_owned(), Json::String("classify".to_owned())),
+            ("id".to_owned(), Json::Number(*id as f64)),
+            (
+                "features".to_owned(),
+                Json::Array(features.iter().map(|&f| Json::Number(f)).collect()),
+            ),
+        ]),
+        Request::Stats => tag_only("stats"),
+        Request::Health => tag_only("health"),
+        Request::Ping => tag_only("ping"),
+        Request::Shutdown => tag_only("shutdown"),
+    };
+    value.to_string_compact()
+}
+
+/// Encodes a response as one protocol line (no trailing newline).
+pub fn encode_response(response: &Response) -> String {
+    let value = match response {
+        Response::Result {
+            id,
+            label,
+            confidence,
+        } => Json::Object(vec![
+            ("type".to_owned(), Json::String("result".to_owned())),
+            ("id".to_owned(), Json::Number(*id as f64)),
+            ("label".to_owned(), label_json(*label)),
+            ("confidence".to_owned(), Json::Number(*confidence)),
+        ]),
+        Response::Overloaded { id } => Json::Object(vec![
+            ("type".to_owned(), Json::String("overloaded".to_owned())),
+            ("id".to_owned(), Json::Number(*id as f64)),
+        ]),
+        Response::Error { message, id } => Json::Object(vec![
+            ("type".to_owned(), Json::String("error".to_owned())),
+            ("message".to_owned(), Json::String(message.clone())),
+            (
+                "id".to_owned(),
+                id.map_or(Json::Null, |i| Json::Number(i as f64)),
+            ),
+        ]),
+        Response::Stats(stats) => Json::Object(vec![
+            ("type".to_owned(), Json::String("stats".to_owned())),
+            (
+                "connections".to_owned(),
+                Json::Number(stats.connections as f64),
+            ),
+            ("results".to_owned(), Json::Number(stats.results as f64)),
+            (
+                "overloaded".to_owned(),
+                Json::Number(stats.overloaded as f64),
+            ),
+            ("errors".to_owned(), Json::Number(stats.errors as f64)),
+            ("batches".to_owned(), Json::Number(stats.batches as f64)),
+            ("coalesced".to_owned(), Json::Number(stats.coalesced as f64)),
+            ("max_batch".to_owned(), Json::Number(stats.max_batch as f64)),
+            ("queue".to_owned(), Json::Number(stats.queue as f64)),
+            ("level".to_owned(), Json::Number(stats.level as f64)),
+            (
+                "quarantined".to_owned(),
+                Json::Number(stats.quarantined as f64),
+            ),
+        ]),
+        Response::Health { draining, queue } => Json::Object(vec![
+            ("type".to_owned(), Json::String("health".to_owned())),
+            (
+                "status".to_owned(),
+                Json::String(if *draining { "draining" } else { "ok" }.to_owned()),
+            ),
+            ("queue".to_owned(), Json::Number(*queue as f64)),
+        ]),
+        Response::Pong => tag_only("pong"),
+        Response::ShuttingDown => tag_only("shutting_down"),
+    };
+    value.to_string_compact()
+}
+
+fn tag_only(tag: &str) -> Json {
+    Json::Object(vec![("type".to_owned(), Json::String(tag.to_owned()))])
+}
+
+/// Extracts the `type` tag and (best-effort) correlation id of a parsed
+/// message, for error reporting.
+fn tag_and_id(value: &Json) -> (Option<&str>, Option<u64>) {
+    (
+        value.get("type").and_then(Json::as_str),
+        value.get("id").and_then(Json::as_u64),
+    )
+}
+
+/// Decodes one request line. Unknown fields are ignored; a missing or
+/// unknown `type`, or a malformed required field, is a [`ProtocolError`]
+/// carrying the correlation id when one was recoverable.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] for malformed JSON, non-object messages,
+/// missing/unknown `type`, or invalid `id`/`features` fields. Never
+/// panics, whatever the input.
+pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
+    let value =
+        json::parse(line).map_err(|e| ProtocolError::new(format!("malformed JSON: {e}"), None))?;
+    if !matches!(value, Json::Object(_)) {
+        return Err(ProtocolError::new("message must be a JSON object", None));
+    }
+    let (tag, id) = tag_and_id(&value);
+    match tag {
+        Some("classify") => {
+            let id = value.get("id").and_then(Json::as_u64).ok_or_else(|| {
+                ProtocolError::new("classify needs a non-negative integer `id`", None)
+            })?;
+            let features = value
+                .get("features")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ProtocolError::new("classify needs a `features` array", Some(id)))?;
+            let features: Vec<f64> = features
+                .iter()
+                .map(|f| {
+                    f.as_f64().ok_or_else(|| {
+                        ProtocolError::new("`features` entries must be numbers", Some(id))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(Request::Classify { id, features })
+        }
+        Some("stats") => Ok(Request::Stats),
+        Some("health") => Ok(Request::Health),
+        Some("ping") => Ok(Request::Ping),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some(other) => Err(ProtocolError::new(
+            format!("unknown request type `{other}`"),
+            id,
+        )),
+        None => Err(ProtocolError::new(
+            "message needs a string `type` field",
+            id,
+        )),
+    }
+}
+
+/// Decodes one response line, with the same forward-compatibility rules as
+/// [`decode_request`].
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] for malformed JSON, non-object messages,
+/// missing/unknown `type`, or invalid variant fields. Never panics.
+pub fn decode_response(line: &str) -> Result<Response, ProtocolError> {
+    let value =
+        json::parse(line).map_err(|e| ProtocolError::new(format!("malformed JSON: {e}"), None))?;
+    if !matches!(value, Json::Object(_)) {
+        return Err(ProtocolError::new("message must be a JSON object", None));
+    }
+    let (tag, id) = tag_and_id(&value);
+    let need_id = || id.ok_or_else(|| ProtocolError::new("response needs an `id`", None));
+    match tag {
+        Some("result") => {
+            let id = need_id()?;
+            let label = match value.get("label") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v.as_usize().ok_or_else(|| {
+                    ProtocolError::new("`label` must be a non-negative integer or null", Some(id))
+                })?),
+            };
+            let confidence = value
+                .get("confidence")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| {
+                    ProtocolError::new("result needs a numeric `confidence`", Some(id))
+                })?;
+            Ok(Response::Result {
+                id,
+                label,
+                confidence,
+            })
+        }
+        Some("overloaded") => Ok(Response::Overloaded { id: need_id()? }),
+        Some("error") => {
+            let message = value
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified error")
+                .to_owned();
+            Ok(Response::Error { message, id })
+        }
+        Some("stats") => {
+            let field = |name: &str| value.get(name).and_then(Json::as_u64).unwrap_or(0);
+            Ok(Response::Stats(StatsSnapshot {
+                connections: field("connections"),
+                results: field("results"),
+                overloaded: field("overloaded"),
+                errors: field("errors"),
+                batches: field("batches"),
+                coalesced: field("coalesced"),
+                max_batch: field("max_batch"),
+                queue: field("queue"),
+                level: field("level"),
+                quarantined: field("quarantined"),
+            }))
+        }
+        Some("health") => {
+            let status = value
+                .get("status")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtocolError::new("health needs a string `status`", None))?;
+            let draining = match status {
+                "ok" => false,
+                "draining" => true,
+                other => {
+                    return Err(ProtocolError::new(
+                        format!("unknown health status `{other}`"),
+                        None,
+                    ))
+                }
+            };
+            let queue = value.get("queue").and_then(Json::as_usize).unwrap_or(0);
+            Ok(Response::Health { draining, queue })
+        }
+        Some("pong") => Ok(Response::Pong),
+        Some("shutting_down") => Ok(Response::ShuttingDown),
+        Some(other) => Err(ProtocolError::new(
+            format!("unknown response type `{other}`"),
+            id,
+        )),
+        None => Err(ProtocolError::new(
+            "message needs a string `type` field",
+            id,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_roundtrips_feature_bits() {
+        let request = Request::Classify {
+            id: 42,
+            features: vec![0.1, 1.0 / 3.0, -0.0, f64::MIN_POSITIVE],
+        };
+        let line = encode_request(&request);
+        let back = decode_request(&line).expect("valid");
+        let Request::Classify { id, features } = back else {
+            panic!("wrong variant: {back:?}");
+        };
+        assert_eq!(id, 42);
+        let Request::Classify {
+            features: original, ..
+        } = request
+        else {
+            unreachable!()
+        };
+        assert_eq!(features.len(), original.len());
+        for (a, b) in features.iter().zip(&original) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn quarantined_label_travels_as_null() {
+        let response = Response::Result {
+            id: 7,
+            label: None,
+            confidence: 0.25,
+        };
+        let line = encode_response(&response);
+        assert!(line.contains("\"label\":null"), "{line}");
+        assert_eq!(decode_response(&line).expect("valid"), response);
+    }
+
+    #[test]
+    fn unknown_type_carries_id_for_the_error_reply() {
+        let err = decode_request("{\"type\":\"warp\",\"id\":9}").expect_err("unknown");
+        assert_eq!(err.id, Some(9));
+        assert!(err.message.contains("warp"));
+    }
+}

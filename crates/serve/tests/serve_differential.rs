@@ -1,0 +1,371 @@
+//! Serving differential suite: answers served through the daemon —
+//! coalesced, batched, multi-threaded, even mid-degradation — must be
+//! bit-identical (`f64::to_bits` on confidences) to the sequential
+//! in-process path. Coalescing may change *when* a query is scored, never
+//! *what* it scores.
+//!
+//! This file also discharges the repo's config/test duality lint for
+//! [`ServeConfig`]: the daemon's tuning knobs (`window_us`, `max_batch`,
+//! `queue_depth`) are pure scheduling parameters, and these tests pin that
+//! answers do not depend on any of them.
+
+use hypervector::BinaryHypervector;
+use robusthd::supervisor::ResilienceSupervisor;
+use robusthd::{
+    BatchConfig, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, ServeConfig, SubstitutionMode,
+    SupervisorConfig, TrainedModel,
+};
+use robusthd_serve::protocol::{self, Request, Response};
+use robusthd_serve::{QueryAnswer, ServeEngine};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use synthdata::{DatasetSpec, GeneratorConfig};
+
+const DIM: usize = 1024;
+
+/// A supervisor window larger than any traffic a test sends: the verdict
+/// stays `InsufficientTraffic`, so serving never mutates supervisor or
+/// model state and every answer is a pure function of (model, query).
+const PURE_WINDOW: usize = 1 << 20;
+
+struct Deployment {
+    config: HdcConfig,
+    encoder: RecordEncoder,
+    model: TrainedModel,
+    canaries: Vec<BinaryHypervector>,
+    rows: Vec<Vec<f64>>,
+}
+
+fn deployment(seed: u64) -> Deployment {
+    let spec = DatasetSpec::pamap().with_sizes(160, 96);
+    let data = GeneratorConfig::new(seed).generate(&spec);
+    let features = data.train[0].features.len();
+    let classes = data
+        .train
+        .iter()
+        .chain(&data.test)
+        .map(|s| s.label)
+        .max()
+        .expect("non-empty")
+        + 1;
+    let config = HdcConfig::builder()
+        .dimension(DIM)
+        .seed(seed)
+        .build()
+        .expect("valid");
+    let encoder = RecordEncoder::new(&config, features);
+    let train_rows: Vec<&[f64]> = data.train.iter().map(|s| s.features.as_slice()).collect();
+    let encoded = encoder.encode_batch_refs(&train_rows);
+    let labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
+    let model = TrainedModel::train(&encoded, &labels, classes, &config);
+    let canary_rows: Vec<&[f64]> = data.test[..32]
+        .iter()
+        .map(|s| s.features.as_slice())
+        .collect();
+    let canaries = encoder.encode_batch_refs(&canary_rows);
+    let rows: Vec<Vec<f64>> = data.test[32..].iter().map(|s| s.features.clone()).collect();
+    Deployment {
+        config,
+        encoder,
+        model,
+        canaries,
+        rows,
+    }
+}
+
+/// Identically-constructed supervisor for both sides of a differential.
+fn supervisor_for(dep: &Deployment, window: usize, threads: usize) -> ResilienceSupervisor {
+    let base = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(21)
+        .build()
+        .expect("valid");
+    let policy = SupervisorConfig::builder()
+        .window(window)
+        .sensitivity(0.9)
+        .quarantine_min_chunks(1)
+        .quarantine_fault_ceiling(0.01)
+        .build()
+        .expect("valid");
+    let mut supervisor =
+        ResilienceSupervisor::new(&dep.config, base, policy, dep.encoder.features());
+    supervisor.set_batch_config(
+        BatchConfig::builder()
+            .threads(threads)
+            .shard_size(9)
+            .build()
+            .expect("valid"),
+    );
+    supervisor.calibrate(&dep.model, &dep.canaries);
+    supervisor
+}
+
+fn engine_for(dep: &Deployment, window: usize, threads: usize) -> ServeEngine {
+    ServeEngine::new(
+        dep.encoder.clone(),
+        dep.model.clone(),
+        supervisor_for(dep, window, threads),
+    )
+}
+
+/// Serves `rows` one query at a time through a pure-state engine — the
+/// reference every batching/coalescing schedule must reproduce.
+fn sequential_reference(dep: &Deployment, threads: usize) -> Vec<QueryAnswer> {
+    let mut engine = engine_for(dep, PURE_WINDOW, threads);
+    dep.rows
+        .iter()
+        .map(|row| engine.serve(&[row.as_slice()])[0])
+        .collect()
+}
+
+fn assert_answers_bit_identical(got: &[QueryAnswer], want: &[QueryAnswer], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: length diverges");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.label, w.label, "{context}: label diverges at query {i}");
+        assert_eq!(
+            g.confidence.to_bits(),
+            w.confidence.to_bits(),
+            "{context}: confidence not bit-identical at query {i}"
+        );
+    }
+}
+
+#[test]
+fn batch_partitions_are_bit_identical_to_sequential_serving() {
+    let dep = deployment(11);
+    let full = dep.rows.len();
+    for &threads in &[1usize, 4] {
+        let reference = sequential_reference(&dep, threads);
+        for &batch in &[1usize, 7, full] {
+            let mut engine = engine_for(&dep, PURE_WINDOW, threads);
+            let mut answers = Vec::new();
+            for chunk in dep.rows.chunks(batch) {
+                let refs: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+                answers.extend(engine.serve(&refs));
+            }
+            assert_answers_bit_identical(
+                &answers,
+                &reference,
+                &format!("batch {batch}, threads {threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn operator_quarantine_is_honoured_identically_at_every_partition() {
+    let dep = deployment(23);
+    // Quarantine the most-predicted class so the `label: None` path is
+    // actually exercised.
+    let reference_answers = sequential_reference(&dep, 1);
+    let mut counts = vec![0usize; dep.model.num_classes()];
+    for a in &reference_answers {
+        counts[a.label.expect("nothing quarantined yet")] += 1;
+    }
+    let fenced = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .expect("classes")
+        .0;
+
+    let mut reference = engine_for(&dep, PURE_WINDOW, 1);
+    reference.supervisor_mut().set_quarantine(fenced, true);
+    let want: Vec<QueryAnswer> = dep
+        .rows
+        .iter()
+        .map(|row| reference.serve(&[row.as_slice()])[0])
+        .collect();
+    let nulled = want.iter().filter(|a| a.label.is_none()).count();
+    assert!(nulled > 0, "fenced class never predicted; test is vacuous");
+
+    for &threads in &[1usize, 4] {
+        for &batch in &[3usize, dep.rows.len()] {
+            let mut engine = engine_for(&dep, PURE_WINDOW, threads);
+            engine.supervisor_mut().set_quarantine(fenced, true);
+            let mut answers = Vec::new();
+            for chunk in dep.rows.chunks(batch) {
+                let refs: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+                answers.extend(engine.serve(&refs));
+            }
+            assert_answers_bit_identical(
+                &answers,
+                &want,
+                &format!("quarantined, batch {batch}, threads {threads}"),
+            );
+        }
+    }
+}
+
+fn attack(model: &TrainedModel, rate: f64, seed: u64) -> TrainedModel {
+    let mut image = model.to_memory_image();
+    let bits = image.len();
+    faultsim::Attacker::seed_from(seed).random_flips(image.words_mut(), bits, rate);
+    image.mask_tail();
+    let mut attacked = model.clone();
+    attacked.load_memory_image(&image);
+    attacked
+}
+
+/// A degraded episode — repair, quarantine, possibly escalation — driven
+/// through the daemon's [`ServeEngine`] and the bare supervisor in
+/// lockstep: identical construction plus identical batch partitions must
+/// yield identical answers even while the closed loop mutates the model.
+#[test]
+fn degraded_episodes_serve_bit_identically_to_the_bare_supervisor() {
+    let dep = deployment(37);
+    let attacked = attack(&dep.model, 0.3, 0x0DD5);
+    let window = 16;
+
+    for &threads in &[1usize, 4] {
+        let mut engine = ServeEngine::new(
+            dep.encoder.clone(),
+            attacked.clone(),
+            supervisor_for(&dep, window, threads),
+        );
+        let mut ref_supervisor = supervisor_for(&dep, window, threads);
+        let mut ref_model = attacked.clone();
+
+        let mut saw_degraded = false;
+        for chunk in dep.rows.chunks(window) {
+            let refs: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+            let got = engine.serve(&refs);
+            let (report, scores) =
+                ref_supervisor.serve_raw_batch_with_scores(&dep.encoder, &mut ref_model, &refs);
+            saw_degraded |= report.verdict == robusthd::diagnostics::HealthVerdict::Degraded;
+            let want: Vec<QueryAnswer> = report
+                .answers
+                .iter()
+                .zip(&scores)
+                .map(|(answer, score)| QueryAnswer {
+                    label: *answer,
+                    confidence: score.confidence.confidence,
+                })
+                .collect();
+            assert_answers_bit_identical(
+                &got,
+                &want,
+                &format!("degraded lockstep, threads {threads}"),
+            );
+        }
+        assert!(
+            saw_degraded,
+            "attack never produced a degraded verdict; differential coverage is incomplete"
+        );
+        assert_eq!(
+            engine.level(),
+            ref_supervisor.level(),
+            "escalation level diverges after the episode"
+        );
+    }
+}
+
+/// Sends `rows` over one pipelined connection, returning wire answers in
+/// request order.
+fn classify_over_wire(
+    addr: std::net::SocketAddr,
+    rows: &[Vec<f64>],
+    id_base: u64,
+) -> Vec<QueryAnswer> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    for (i, row) in rows.iter().enumerate() {
+        let mut line = protocol::encode_request(&Request::Classify {
+            id: id_base + i as u64,
+            features: row.clone(),
+        });
+        line.push('\n');
+        writer.write_all(line.as_bytes()).expect("write");
+    }
+    writer.flush().expect("flush");
+    let mut answers = Vec::with_capacity(rows.len());
+    let mut line = String::new();
+    for i in 0..rows.len() {
+        line.clear();
+        assert!(reader.read_line(&mut line).expect("read") > 0, "early EOF");
+        match protocol::decode_response(line.trim_end()).expect("decodable") {
+            Response::Result {
+                id,
+                label,
+                confidence,
+            } => {
+                assert_eq!(id, id_base + i as u64, "responses out of request order");
+                answers.push(QueryAnswer { label, confidence });
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+    answers
+}
+
+/// The tentpole differential: concurrent clients hitting the daemon —
+/// whose coalescer mixes their queries into shared micro-batches — each
+/// read back exactly the bits the sequential in-process path produces,
+/// across coalescing windows, and with an operator quarantine active.
+#[test]
+fn concurrent_wire_serving_is_bit_identical_to_sequential_in_process() {
+    let dep = deployment(53);
+    let clients = 4usize;
+    let per_client = dep.rows.len() / clients;
+
+    for &threads in &[1usize, 4] {
+        for &quarantine in &[false, true] {
+            let reference = {
+                let mut engine = engine_for(&dep, PURE_WINDOW, threads);
+                if quarantine {
+                    engine.supervisor_mut().set_quarantine(0, true);
+                }
+                dep.rows
+                    .iter()
+                    .map(|row| engine.serve(&[row.as_slice()])[0])
+                    .collect::<Vec<_>>()
+            };
+            // Three coalescing schedules: drain immediately, micro-batches
+            // of at most 5, and a window wide enough to fuse everything.
+            for &(window_us, max_batch) in &[(0u64, 1usize), (400, 5), (20_000, 256)] {
+                let config = ServeConfig::builder()
+                    .window_us(window_us)
+                    .max_batch(max_batch)
+                    .queue_depth(1024)
+                    .build()
+                    .expect("valid");
+                let mut engine = engine_for(&dep, PURE_WINDOW, threads);
+                if quarantine {
+                    engine.supervisor_mut().set_quarantine(0, true);
+                }
+                let handle = robusthd_serve::serve(("127.0.0.1", 0), config, engine).expect("bind");
+                let addr = handle.addr();
+                let wire: Vec<Vec<QueryAnswer>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..clients)
+                        .map(|c| {
+                            let slice = &dep.rows[c * per_client..(c + 1) * per_client];
+                            scope.spawn(move || {
+                                classify_over_wire(addr, slice, (c * per_client) as u64)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("client"))
+                        .collect()
+                });
+                let (_engine, stats) = handle.shutdown();
+                assert_eq!(stats.results, (clients * per_client) as u64);
+                for (c, answers) in wire.iter().enumerate() {
+                    assert_answers_bit_identical(
+                        answers,
+                        &reference[c * per_client..(c + 1) * per_client],
+                        &format!(
+                            "wire client {c}, window {window_us}us, max_batch {max_batch}, \
+                             threads {threads}, quarantine {quarantine}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Daemon lifecycle tests over real loopback sockets: graceful drain
+//! answers every accepted query, backpressure sheds with explicit
+//! `overloaded` responses, the `stats` counters reconcile exactly with
+//! what a load generator observed, and no amount of garbage on a
+//! connection wedges it.
+
+use robusthd::supervisor::ResilienceSupervisor;
+use robusthd::{
+    BatchConfig, Encoder, HdcConfig, RecordEncoder, RecoveryConfig, ServeConfig, SubstitutionMode,
+    SupervisorConfig, TrainedModel,
+};
+use robusthd_serve::protocol::{self, Request, Response, MAX_LINE_BYTES};
+use robusthd_serve::{run_loadgen, LoadOptions, ServeEngine, ServerHandle};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use synthdata::{DatasetSpec, GeneratorConfig};
+
+const DIM: usize = 512;
+
+/// One small calibrated deployment plus its serving rows.
+fn deployment(seed: u64) -> (ServeEngine, Vec<Vec<f64>>) {
+    let spec = DatasetSpec::pamap().with_sizes(120, 48);
+    let data = GeneratorConfig::new(seed).generate(&spec);
+    let features = data.train[0].features.len();
+    let classes = data
+        .train
+        .iter()
+        .chain(&data.test)
+        .map(|s| s.label)
+        .max()
+        .expect("non-empty")
+        + 1;
+    let config = HdcConfig::builder()
+        .dimension(DIM)
+        .seed(seed)
+        .build()
+        .expect("valid");
+    let encoder = RecordEncoder::new(&config, features);
+    let train_rows: Vec<&[f64]> = data.train.iter().map(|s| s.features.as_slice()).collect();
+    let encoded = encoder.encode_batch_refs(&train_rows);
+    let labels: Vec<_> = data.train.iter().map(|s| s.label).collect();
+    let model = TrainedModel::train(&encoded, &labels, classes, &config);
+    let canary_rows: Vec<&[f64]> = data.test[..16]
+        .iter()
+        .map(|s| s.features.as_slice())
+        .collect();
+    let canaries = encoder.encode_batch_refs(&canary_rows);
+
+    let base = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(seed ^ 0x11FE)
+        .build()
+        .expect("valid");
+    let policy = SupervisorConfig::builder()
+        .window(1 << 20) // pure state: lifecycle tests are about plumbing
+        .build()
+        .expect("valid");
+    let mut supervisor = ResilienceSupervisor::new(&config, base, policy, features);
+    supervisor.set_batch_config(
+        BatchConfig::builder()
+            .threads(1)
+            .shard_size(16)
+            .build()
+            .expect("valid"),
+    );
+    supervisor.calibrate(&model, &canaries);
+    let engine = ServeEngine::new(encoder, model, supervisor);
+    let rows = data.test[16..].iter().map(|s| s.features.clone()).collect();
+    (engine, rows)
+}
+
+fn start(config: ServeConfig, engine: ServeEngine) -> ServerHandle {
+    robusthd_serve::serve(("127.0.0.1", 0), config, engine).expect("bind loopback")
+}
+
+struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        Self {
+            writer: BufWriter::new(stream.try_clone().expect("clone")),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send_raw(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    /// Queues a request without flushing, for deliberate pipelining.
+    fn queue(&mut self, request: &Request) {
+        let mut line = protocol::encode_request(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("write");
+    }
+
+    fn send(&mut self, request: &Request) {
+        self.queue(request);
+        self.writer.flush().expect("flush");
+    }
+
+    fn flush(&mut self) {
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        assert!(
+            self.reader.read_line(&mut line).expect("read") > 0,
+            "daemon closed the connection unexpectedly"
+        );
+        protocol::decode_response(line.trim_end()).expect("daemon sent an undecodable line")
+    }
+
+    /// Reads until EOF, asserting the stream ends cleanly.
+    fn expect_eof(&mut self) {
+        let mut line = String::new();
+        assert_eq!(
+            self.reader.read_line(&mut line).expect("read"),
+            0,
+            "expected EOF, got {line:?}"
+        );
+    }
+}
+
+#[test]
+fn graceful_drain_answers_every_accepted_query_then_refuses() {
+    let (engine, rows) = deployment(3);
+    // A long window would park the queued queries for 500 ms; the drain
+    // must flush them immediately instead of waiting it out.
+    let config = ServeConfig::builder()
+        .window_us(500_000)
+        .max_batch(8)
+        .queue_depth(64)
+        .build()
+        .expect("valid");
+    let handle = start(config, engine);
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr);
+    let in_flight = 5usize;
+    for (i, row) in rows[..in_flight].iter().enumerate() {
+        client.queue(&Request::Classify {
+            id: i as u64,
+            features: row.clone(),
+        });
+    }
+    client.queue(&Request::Shutdown);
+    client.flush();
+
+    // Request order is response order: five results, then the shutdown ack.
+    for i in 0..in_flight {
+        match client.recv() {
+            Response::Result { id, .. } => assert_eq!(id, i as u64),
+            other => panic!("query {i} got {other:?} instead of its result"),
+        }
+    }
+    assert_eq!(client.recv(), Response::ShuttingDown);
+
+    let (engine, stats) = handle.wait();
+    assert_eq!(
+        stats.results, in_flight as u64,
+        "a drained query was dropped"
+    );
+    assert_eq!(stats.coalesced, stats.results);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(engine.quarantined(), Vec::<usize>::new());
+
+    // The listener is gone: new connections are refused (with a retry
+    // window for the accept thread's poll interval to elapse).
+    let mut refused = false;
+    for _ in 0..50 {
+        if TcpStream::connect(addr).is_err() {
+            refused = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(refused, "daemon still accepting connections after drain");
+}
+
+#[test]
+fn classify_after_shutdown_is_refused_with_a_draining_error() {
+    let (engine, rows) = deployment(5);
+    let config = ServeConfig::builder()
+        .window_us(1_000)
+        .max_batch(8)
+        .queue_depth(64)
+        .build()
+        .expect("valid");
+    let handle = start(config, engine);
+    let mut client = Client::connect(handle.addr());
+
+    client.send(&Request::Shutdown);
+    assert_eq!(client.recv(), Response::ShuttingDown);
+    client.send(&Request::Classify {
+        id: 77,
+        features: rows[0].clone(),
+    });
+    match client.recv() {
+        Response::Error { id, message } => {
+            assert_eq!(id, Some(77));
+            assert!(message.contains("draining"), "unhelpful error: {message}");
+        }
+        other => panic!("expected a draining error, got {other:?}"),
+    }
+    let (_engine, stats) = handle.wait();
+    assert_eq!(stats.results, 0);
+    assert_eq!(stats.errors, 1);
+}
+
+#[test]
+fn backpressure_sheds_beyond_the_queue_depth_with_overloaded_responses() {
+    let (engine, rows) = deployment(7);
+    // A long window plus a tiny queue: the first `queue_depth` arrivals
+    // park in the coalescer, everything further is shed at admission.
+    let config = ServeConfig::builder()
+        .window_us(200_000)
+        .max_batch(8)
+        .queue_depth(4)
+        .build()
+        .expect("valid");
+    let handle = start(config, engine);
+    let mut client = Client::connect(handle.addr());
+
+    let total = 12usize;
+    for (i, row) in rows.iter().cycle().take(total).enumerate() {
+        client.queue(&Request::Classify {
+            id: i as u64,
+            features: row.clone(),
+        });
+    }
+    client.flush();
+
+    let mut results = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..total {
+        match client.recv() {
+            Response::Result { .. } => results += 1,
+            Response::Overloaded { .. } => overloaded += 1,
+            other => panic!("unexpected response under overload: {other:?}"),
+        }
+    }
+    assert_eq!(results + overloaded, total as u64);
+    assert!(
+        overloaded >= (total - 4) as u64,
+        "queue depth 4 admitted more than 4 of {total} burst queries \
+         ({overloaded} overloaded)"
+    );
+    assert!(results >= 4, "admitted queries were dropped");
+
+    let (_engine, stats) = handle.shutdown();
+    assert_eq!(stats.results, results);
+    assert_eq!(stats.overloaded, overloaded);
+    assert_eq!(stats.coalesced, stats.results);
+}
+
+#[test]
+fn stats_reconcile_exactly_with_the_load_generators_tallies() {
+    let (engine, rows) = deployment(9);
+    let config = ServeConfig::builder()
+        .window_us(1_000)
+        .max_batch(16)
+        .queue_depth(1024)
+        .build()
+        .expect("valid");
+    let handle = start(config, engine);
+    let addr = handle.addr();
+
+    let report = run_loadgen(
+        addr,
+        &rows,
+        LoadOptions {
+            clients: 3,
+            requests_per_client: 40,
+            pipeline: 4,
+        },
+    )
+    .expect("loadgen");
+    assert_eq!(report.sent, 120);
+    assert_eq!(report.results + report.overloaded + report.errors, 120);
+    assert_eq!(report.overloaded, 0, "queue depth 1024 should never shed");
+    assert_eq!(report.errors, 0);
+
+    // The wire's own stats view must agree with both the loadgen tallies
+    // and the handle's snapshot.
+    let mut client = Client::connect(addr);
+    client.send(&Request::Stats);
+    let Response::Stats(wire_stats) = client.recv() else {
+        panic!("stats request got a non-stats response")
+    };
+    assert_eq!(wire_stats.results, report.results);
+    assert_eq!(wire_stats.overloaded, 0);
+    assert_eq!(wire_stats.errors, 0);
+    assert_eq!(wire_stats.coalesced, wire_stats.results);
+    assert_eq!(wire_stats.connections, 4, "3 loadgen clients + this probe");
+    assert!(wire_stats.batches <= wire_stats.results);
+    assert!(wire_stats.max_batch <= 16, "batch ceiling violated");
+
+    client.send(&Request::Health);
+    assert_eq!(
+        client.recv(),
+        Response::Health {
+            draining: false,
+            queue: 0,
+        }
+    );
+
+    let (_engine, stats) = handle.shutdown();
+    assert_eq!(stats.results, report.results);
+    assert_eq!(stats.batches, wire_stats.batches);
+}
+
+#[test]
+fn garbage_truncation_and_oversize_never_wedge_a_connection() {
+    let (engine, rows) = deployment(13);
+    let config = ServeConfig::builder()
+        .window_us(1_000)
+        .max_batch(8)
+        .queue_depth(64)
+        .build()
+        .expect("valid");
+    let handle = start(config, engine);
+    let mut client = Client::connect(handle.addr());
+
+    // Liveness probe sanity.
+    client.send(&Request::Ping);
+    assert_eq!(client.recv(), Response::Pong);
+    // Malformed JSON → structured error, connection stays usable.
+    client.send_raw("{\"type\":\"classify\",");
+    let Response::Error { .. } = client.recv() else {
+        panic!("malformed line did not produce an error response")
+    };
+    // Unknown type carries its id back.
+    client.send_raw("{\"type\":\"warp\",\"id\":31}");
+    match client.recv() {
+        Response::Error { id, .. } => assert_eq!(id, Some(31)),
+        other => panic!("unknown type got {other:?}"),
+    }
+    // Wrong feature count is refused per-request, not per-connection.
+    client.send(&Request::Classify {
+        id: 8,
+        features: vec![0.5; 3],
+    });
+    match client.recv() {
+        Response::Error { id, message } => {
+            assert_eq!(id, Some(8));
+            assert!(message.contains("features"), "unhelpful error: {message}");
+        }
+        other => panic!("feature mismatch got {other:?}"),
+    }
+    // Blank lines are tolerated silently.
+    client.send_raw("");
+
+    // An oversized line (beyond MAX_LINE_BYTES) is discarded with an
+    // error; the same connection still serves afterwards.
+    let huge = "x".repeat(MAX_LINE_BYTES + 2);
+    client.send_raw(&huge);
+    let Response::Error { message, .. } = client.recv() else {
+        panic!("oversized line did not produce an error response")
+    };
+    assert!(message.contains("exceeds"), "unhelpful error: {message}");
+
+    // After all that abuse, a real query still gets its bit-for-bit answer.
+    client.send(&Request::Classify {
+        id: 99,
+        features: rows[0].clone(),
+    });
+    match client.recv() {
+        Response::Result { id, label, .. } => {
+            assert_eq!(id, 99);
+            assert!(label.is_some(), "clean deployment should not quarantine");
+        }
+        other => panic!("post-abuse classify got {other:?}"),
+    }
+
+    let (_engine, stats) = handle.shutdown();
+    assert_eq!(stats.results, 1);
+    assert_eq!(stats.errors, 4, "three bad lines plus the feature mismatch");
+
+    // A drained daemon closes the abused connection cleanly too.
+    client.expect_eof();
+}

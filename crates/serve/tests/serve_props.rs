@@ -1,0 +1,353 @@
+//! Protocol property and fuzz tests: framing must round-trip every
+//! variant bit-exactly, and the decoder must turn arbitrary garbage —
+//! random bytes, truncated messages, oversized payloads, hostile nesting
+//! — into structured [`robusthd_serve::protocol::ProtocolError`]s without
+//! ever panicking or wedging. Unknown-field tolerance (forward
+//! compatibility) is pinned against literal wire strings.
+//!
+//! Alongside `serve_differential.rs`, this file closes the config/test
+//! duality for `ServeConfig`: the differential suite pins that the tuning
+//! cannot change answers; this suite pins that no input can change the
+//! decoder's safety.
+
+use robusthd_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    StatsSnapshot,
+};
+
+/// Deterministic xorshift64* for seeded garbage generation — no RNG
+/// dependency, stable across platforms.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn f64(&mut self) -> f64 {
+        // Uniform in [0, 1) plus occasional extreme magnitudes.
+        match self.next() % 8 {
+            0 => f64::MIN_POSITIVE,
+            1 => -1.0e300,
+            2 => 1.0 / 3.0,
+            3 => -0.0,
+            _ => (self.next() >> 11) as f64 / (1u64 << 53) as f64,
+        }
+    }
+}
+
+/// Largest id that survives the wire: ids travel as JSON numbers, which
+/// the protocol bounds at 2^53 (exact f64 integers).
+const MAX_WIRE_ID: u64 = 1 << 53;
+
+fn sample_requests(rng: &mut XorShift) -> Vec<Request> {
+    let mut requests = vec![
+        Request::Stats,
+        Request::Health,
+        Request::Ping,
+        Request::Shutdown,
+        Request::Classify {
+            id: 0,
+            features: Vec::new(),
+        },
+        Request::Classify {
+            id: MAX_WIRE_ID,
+            features: vec![f64::MIN_POSITIVE, -0.0, 1.0 / 3.0],
+        },
+    ];
+    for _ in 0..40 {
+        let len = (rng.next() % 24) as usize;
+        requests.push(Request::Classify {
+            id: rng.next() % (MAX_WIRE_ID + 1),
+            features: (0..len).map(|_| rng.f64()).collect(),
+        });
+    }
+    requests
+}
+
+fn sample_responses(rng: &mut XorShift) -> Vec<Response> {
+    let mut responses = vec![
+        Response::Pong,
+        Response::ShuttingDown,
+        Response::Overloaded { id: MAX_WIRE_ID },
+        Response::Result {
+            id: 7,
+            label: None,
+            confidence: 0.25,
+        },
+        Response::Error {
+            message: "quoted \"text\" with \\ and \u{1F980} and \n control".to_owned(),
+            id: None,
+        },
+        Response::Error {
+            message: String::new(),
+            id: Some(3),
+        },
+        Response::Stats(StatsSnapshot {
+            connections: 1,
+            results: 2,
+            overloaded: 3,
+            errors: 4,
+            batches: 5,
+            coalesced: 6,
+            max_batch: 7,
+            queue: 8,
+            level: 9,
+            quarantined: 10,
+        }),
+        Response::Health {
+            draining: true,
+            queue: 42,
+        },
+        Response::Health {
+            draining: false,
+            queue: 0,
+        },
+    ];
+    for _ in 0..40 {
+        responses.push(Response::Result {
+            id: rng.next() % (MAX_WIRE_ID + 1),
+            label: if rng.next() % 4 == 0 {
+                None
+            } else {
+                Some((rng.next() % 1000) as usize)
+            },
+            confidence: rng.f64().abs().min(1.0),
+        });
+    }
+    responses
+}
+
+/// Bit-level equality for the variants that carry floats; `==` elsewhere.
+fn assert_request_roundtrip(request: &Request) {
+    let line = encode_request(request);
+    let back = decode_request(&line)
+        .unwrap_or_else(|e| panic!("own encoding must decode: {e:?} for {line}"));
+    match (request, &back) {
+        (
+            Request::Classify { id, features },
+            Request::Classify {
+                id: back_id,
+                features: back_features,
+            },
+        ) => {
+            assert_eq!(id, back_id);
+            assert_eq!(features.len(), back_features.len());
+            for (a, b) in features.iter().zip(back_features) {
+                assert_eq!(a.to_bits(), b.to_bits(), "feature bits diverge in {line}");
+            }
+        }
+        _ => assert_eq!(*request, back, "variant changed through {line}"),
+    }
+}
+
+fn assert_response_roundtrip(response: &Response) {
+    let line = encode_response(response);
+    let back = decode_response(&line)
+        .unwrap_or_else(|e| panic!("own encoding must decode: {e:?} for {line}"));
+    match (response, &back) {
+        (
+            Response::Result {
+                id,
+                label,
+                confidence,
+            },
+            Response::Result {
+                id: back_id,
+                label: back_label,
+                confidence: back_confidence,
+            },
+        ) => {
+            assert_eq!(id, back_id);
+            assert_eq!(label, back_label);
+            assert_eq!(
+                confidence.to_bits(),
+                back_confidence.to_bits(),
+                "confidence bits diverge in {line}"
+            );
+        }
+        _ => assert_eq!(*response, back, "variant changed through {line}"),
+    }
+}
+
+#[test]
+fn every_variant_roundtrips_bit_exactly() {
+    let mut rng = XorShift(0x5EED_0001);
+    for request in sample_requests(&mut rng) {
+        assert_request_roundtrip(&request);
+    }
+    for response in sample_responses(&mut rng) {
+        assert_response_roundtrip(&response);
+    }
+}
+
+#[test]
+fn seeded_garbage_never_panics_the_decoders() {
+    let mut rng = XorShift(0xBAD_F00D);
+    let interesting = [
+        "",
+        " ",
+        "null",
+        "true",
+        "0",
+        "-",
+        "[",
+        "{",
+        "}",
+        "{}",
+        "\"",
+        "{\"type\"",
+        "{\"type\":}",
+        "{\"type\":1}",
+        "[1,2,3]",
+        "\"classify\"",
+        "{\"type\":\"classify\"}",
+        "{\"type\":\"classify\",\"id\":-1,\"features\":[]}",
+        "{\"type\":\"classify\",\"id\":1.5,\"features\":[]}",
+        "{\"type\":\"classify\",\"id\":1e99,\"features\":[]}",
+        "{\"type\":\"classify\",\"id\":1,\"features\":[\"x\"]}",
+        "{\"type\":\"classify\",\"id\":1,\"features\":{}}",
+        "{\"type\":\"result\",\"id\":1,\"label\":-3,\"confidence\":0.5}",
+        "{\"type\":\"result\"}",
+        "{\"type\":\"health\",\"status\":\"zombie\"}",
+        "{\"type\":\"health\"}",
+        "{\"id\":4}",
+        "{\"type\":null}",
+    ];
+    for line in interesting {
+        let _ = decode_request(line);
+        let _ = decode_response(line);
+    }
+    // Random byte soup (valid UTF-8 by construction from a char table that
+    // includes every JSON structural character).
+    let alphabet: Vec<char> = "{}[]\":,.-+eE0123456789 \\/nulltruefalse\u{1F980}\u{0007}abcxyz\n\t"
+        .chars()
+        .collect();
+    for _ in 0..4000 {
+        let len = (rng.next() % 64) as usize;
+        let line: String = (0..len)
+            .map(|_| alphabet[(rng.next() as usize) % alphabet.len()])
+            .collect();
+        let _ = decode_request(&line);
+        let _ = decode_response(&line);
+    }
+    // Hostile nesting beyond the parser's depth cap.
+    let deep = "[".repeat(5000);
+    let _ = decode_request(&deep);
+    let nested_objects = "{\"a\":".repeat(5000);
+    let _ = decode_request(&nested_objects);
+}
+
+#[test]
+fn every_truncation_of_a_valid_line_errors_cleanly() {
+    let mut rng = XorShift(0x7714C8);
+    let mut lines: Vec<String> = sample_requests(&mut rng)
+        .iter()
+        .map(encode_request)
+        .collect();
+    lines.extend(sample_responses(&mut rng).iter().map(encode_response));
+    for line in &lines {
+        for cut in 0..line.len() {
+            if !line.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &line[..cut];
+            // Any result is fine; panicking or hanging is not. A strict
+            // prefix of a JSON object can never decode as a request.
+            if !prefix.is_empty() {
+                assert!(
+                    decode_request(prefix).is_err(),
+                    "strict prefix decoded as a request: {prefix}"
+                );
+            }
+            let _ = decode_response(prefix);
+        }
+    }
+}
+
+/// Forward compatibility, pinned against literal wire strings: a newer
+/// peer may add fields (or reorder them) freely, and the decoder must take
+/// the documented meaning from the fields it knows.
+#[test]
+fn unknown_fields_and_reordering_are_tolerated() {
+    let annotated = "{\"v\":2,\"features\":[0.5,0.25],\"trace\":{\"span\":[1,2]},\
+                     \"type\":\"classify\",\"id\":9,\"deadline_ms\":150}";
+    assert_eq!(
+        decode_request(annotated).expect("annotated classify decodes"),
+        Request::Classify {
+            id: 9,
+            features: vec![0.5, 0.25],
+        }
+    );
+
+    let annotated_result = "{\"type\":\"result\",\"unit\":\"softmax\",\"id\":3,\
+                            \"label\":null,\"confidence\":0.125,\"served_by\":\"shard-7\"}";
+    assert_eq!(
+        decode_response(annotated_result).expect("annotated result decodes"),
+        Response::Result {
+            id: 3,
+            label: None,
+            confidence: 0.125,
+        }
+    );
+
+    // Duplicate keys: last occurrence wins (the json layer's documented
+    // rule), pinned so a future parser swap cannot silently change it.
+    let duped = "{\"type\":\"classify\",\"id\":1,\"id\":2,\"features\":[]}";
+    assert_eq!(
+        decode_request(duped).expect("duplicate keys decode"),
+        Request::Classify {
+            id: 2,
+            features: Vec::new(),
+        }
+    );
+
+    // Unknown *types* are errors (carrying the id), not tolerated —
+    // tolerance applies to fields only.
+    let unknown = decode_request("{\"type\":\"batch_classify\",\"id\":5}").expect_err("unknown");
+    assert_eq!(unknown.id, Some(5));
+    assert!(unknown.message.contains("batch_classify"));
+}
+
+/// The decoder enforces the documented numeric domains: ids are exact
+/// non-negative integers ≤ 2^53, labels non-negative integers, and
+/// nothing non-finite survives encoding.
+#[test]
+fn numeric_domains_are_enforced() {
+    for bad_id in ["-1", "0.25", "1e308", "9007199254741000"] {
+        let line = format!("{{\"type\":\"classify\",\"id\":{bad_id},\"features\":[]}}");
+        assert!(
+            decode_request(&line).is_err(),
+            "id {bad_id} should be rejected"
+        );
+    }
+    // 2^53 itself is exact and fine. (2^53 + 1 is indistinguishable: it
+    // aliases to exactly 2^53 during f64 parsing, before the domain check
+    // can see it — the reason the documented id domain stops at 2^53.)
+    let edge = format!("{{\"type\":\"classify\",\"id\":{MAX_WIRE_ID},\"features\":[]}}");
+    assert!(decode_request(&edge).is_ok());
+    let aliased = decode_request("{\"type\":\"classify\",\"id\":9007199254740993,\"features\":[]}");
+    assert_eq!(
+        aliased.expect("aliases to 2^53"),
+        Request::Classify {
+            id: MAX_WIRE_ID,
+            features: Vec::new(),
+        }
+    );
+
+    // Non-finite floats encode as null (never `inf`/`NaN` tokens), so a
+    // result carrying one still parses as JSON — and then fails the
+    // numeric-confidence requirement instead of panicking.
+    let line = encode_response(&Response::Result {
+        id: 1,
+        label: Some(0),
+        confidence: f64::NAN,
+    });
+    assert!(line.contains("\"confidence\":null"), "{line}");
+    assert!(decode_response(&line).is_err());
+}
