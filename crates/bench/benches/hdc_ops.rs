@@ -1,7 +1,11 @@
 //! Criterion microbenchmarks of the core HDC kernels: encode, similarity
-//! search, recovery observation.
+//! search, recovery observation, and the execution-tier kernels
+//! (reference vs wide, crossed with block-boundary dimensions).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypervector::random::HypervectorSampler;
+use hypervector::similarity::PackedClasses;
+use hypervector::tier::{self, KernelTier};
 use robusthd::{Encoder, HdcConfig, RecordEncoder, RecoveryConfig, RecoveryEngine, TrainedModel};
 use std::hint::black_box;
 use synthdata::{DatasetSpec, GeneratorConfig};
@@ -79,9 +83,94 @@ fn bench_recovery_observe(c: &mut Criterion) {
     });
 }
 
+fn bench_tier_hamming(c: &mut Criterion) {
+    // Tier-crossed pairwise distance: every tier x dimensions straddling
+    // the wide tier's 8-word (512-bit) block boundary, plus a large
+    // steady-state size. The tiers are bit-identical; only the time may
+    // differ.
+    let mut group = c.benchmark_group("tier_hamming");
+    let mut sampler = HypervectorSampler::seed_from(71);
+    for dim in [511usize, 512, 513, 10_000] {
+        let a = sampler.binary(dim);
+        let b = sampler.flip_noise(&a, 0.3);
+        for tier in KernelTier::ALL {
+            group.bench_with_input(BenchmarkId::new(tier.name(), dim), &dim, |bench, _| {
+                bench.iter(|| {
+                    tier::hamming_words(
+                        tier,
+                        black_box(a.bits().words()),
+                        black_box(b.bits().words()),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_tier_hamming_all(c: &mut Criterion) {
+    // Tier-crossed class-major scoring — the serving hot loop. Includes an
+    // all-tie complement pair among the classes so the scored distances
+    // span the full [0, dim] range.
+    let mut group = c.benchmark_group("tier_hamming_all");
+    let mut sampler = HypervectorSampler::seed_from(72);
+    for dim in [513usize, 10_000] {
+        let mut classes: Vec<_> = (0..10).map(|_| sampler.binary(dim)).collect();
+        let complement = hypervector::BinaryHypervector::from_fn(dim, |i| !classes[0].get(i));
+        classes.push(complement);
+        let packed = PackedClasses::from_classes(&classes);
+        let query = sampler.flip_noise(&classes[4], 0.2);
+        let mut out = Vec::with_capacity(classes.len());
+        for tier in KernelTier::ALL {
+            group.bench_with_input(BenchmarkId::new(tier.name(), dim), &dim, |bench, _| {
+                bench.iter(|| {
+                    tier::hamming_all_into_words(
+                        tier,
+                        black_box(packed_words(&packed)),
+                        packed_words(&packed).len() / classes.len(),
+                        classes.len(),
+                        black_box(query.bits().words()),
+                        &mut out,
+                    );
+                    out.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The packed class-major word buffer (classes are contiguous, equal-width).
+fn packed_words(packed: &PackedClasses) -> &[u64] {
+    packed.words()
+}
+
+fn bench_tier_majority(c: &mut Criterion) {
+    // Tier-crossed carry-save ripple: bundle 64 vectors into bit-planes.
+    let mut group = c.benchmark_group("tier_majority");
+    let mut sampler = HypervectorSampler::seed_from(73);
+    for dim in [513usize, 10_000] {
+        let inputs: Vec<_> = (0..64).map(|_| sampler.binary(dim)).collect();
+        let words = dim.div_ceil(64);
+        for tier in KernelTier::ALL {
+            group.bench_with_input(BenchmarkId::new(tier.name(), dim), &dim, |bench, _| {
+                bench.iter(|| {
+                    let mut planes = vec![vec![0u64; words]; 8];
+                    for hv in &inputs {
+                        tier::ripple_add(tier, &mut planes, black_box(hv.bits().words()));
+                    }
+                    planes
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_encode, bench_predict, bench_recovery_observe
+    targets = bench_encode, bench_predict, bench_recovery_observe,
+        bench_tier_hamming, bench_tier_hamming_all, bench_tier_majority
 }
 criterion_main!(benches);

@@ -19,6 +19,7 @@
 //! | [`soak`]   | Extension — chaos soak of the closed-loop resilience supervisor |
 //! | [`throughput`] | Extension — batched inference throughput across thread counts |
 //! | [`trainbench`] | Extension — bit-sliced training throughput (bundle/retrain) across thread counts |
+//! | [`kernelbench`] | Extension — execution-tier kernel throughput (reference vs wide) per kernel family |
 //! | [`advsim`] | Extension — adversarial input-space attacks, disagreement hunting, joint soak |
 //! | [`serve`]  | Extension — coalesced vs sequential `robusthdd` daemon serving on loopback |
 //!
@@ -36,6 +37,7 @@ pub mod fig3;
 pub mod fig4a;
 pub mod fig4b;
 pub mod format;
+pub mod kernelbench;
 pub mod serve;
 pub mod soak;
 pub mod table1;

@@ -1404,6 +1404,359 @@ pub fn trainbench(argv: &[String]) -> Result<String, String> {
     ))
 }
 
+const KERNELBENCH_HELP: &str = "\
+robusthd kernelbench — measure execution-tier kernel throughput (GiB/s)
+
+Synthesizes a dataset in-process, trains a model, then times every kernel
+family the execution tiers re-route — pairwise and masked-range Hamming
+distance, class-major scoring, the carry-save majority ripple, bipolar
+count extraction, threshold extraction, and the bound-pair codebook XOR —
+on BOTH tiers (reference scalar and wide lane-parallel), reporting GiB/s
+of operand traffic per tier and the wide/reference speedup. The tiers are
+timed tier-explicitly, so the ratios are reported no matter which tier
+ROBUSTHD_KERNEL_TIER installed; only the end-to-end predict_qps row runs
+through the installed tier (and honours ROBUSTHD_THREADS).
+
+Before timing, every kernel is cross-checked bit-exact across tiers —
+integer counts exactly, similarity floats down to f64::to_bits — and a
+divergence fails the command. Emits one JSON object to stdout.
+
+OPTIONS:
+    --dataset <NAME>   mnist | ucihar | isolet | face | pamap | pecan (default ucihar)
+    --dim <N>          HDC dimensionality (default 8192)
+    --queries <N>      end-to-end query batch size (default 400)
+    --repeats <N>      timed repetitions per kernel per tier; best time wins (default 3)
+    --seed <N>         pipeline seed (default 0)";
+
+/// `robusthd kernelbench` — execution-tier kernel GiB/s sweep
+/// (reference vs wide), bit-exactness gated.
+pub fn kernelbench(argv: &[String]) -> Result<String, String> {
+    use hypervector::tier::{self, KernelTier};
+
+    let args = ParsedArgs::parse(
+        argv,
+        &["dataset", "dim", "queries", "repeats", "seed", "help"],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(KERNELBENCH_HELP.to_owned());
+    }
+    let name = args.get("dataset").unwrap_or("ucihar").to_lowercase();
+    let spec = dataset_spec(&name)?;
+    let dim = args
+        .get_parsed_or("dim", 8192usize)
+        .map_err(|e| e.to_string())?;
+    let queries_n = args
+        .get_parsed_or("queries", 400usize)
+        .map_err(|e| e.to_string())?;
+    let repeats = args
+        .get_parsed_or("repeats", 3usize)
+        .map_err(|e| e.to_string())?;
+    if dim == 0 || queries_n == 0 || repeats == 0 {
+        return Err("--dim, --queries and --repeats must be positive".to_owned());
+    }
+    let seed = args
+        .get_parsed_or("seed", 0u64)
+        .map_err(|e| e.to_string())?;
+
+    // Workload: a trained model plus an encoded query batch. Constructing
+    // the engine first installs the process-wide kernel tier from
+    // ROBUSTHD_KERNEL_TIER, so every dispatching call below runs on it.
+    let engine = BatchEngine::from_env();
+    let spec = spec.with_sizes(300, queries_n);
+    let data = GeneratorConfig::new(seed).generate(&spec);
+    let config = HdcConfig::builder()
+        .dimension(dim)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let encoder = RecordEncoder::new(&config, spec.features);
+    let train_rows: Vec<&[f64]> = data.train.iter().map(|s| s.features.as_slice()).collect();
+    let encoded = engine.encode_batch(&encoder, &train_rows);
+    let labels: Vec<usize> = data.train.iter().map(|s| s.label).collect();
+    let model = TrainedModel::train(&encoded, &labels, spec.classes, &config);
+    let test_rows: Vec<&[f64]> = data.test.iter().map(|s| s.features.as_slice()).collect();
+    let queries = engine.encode_batch(&encoder, &test_rows);
+    let words = dim.div_ceil(64);
+    let classes = model.num_classes();
+    let packed = model.packed();
+    const TIE_PARITY: u64 = 0x5555_5555_5555_5555;
+
+    // ---- Bit-exactness gate: every kernel family, both tiers, before any
+    // timing. A divergence fails the command instead of reporting rates.
+    let reference_dist = |a: &hypervector::BinaryHypervector,
+                          b: &hypervector::BinaryHypervector| {
+        tier::hamming_words(KernelTier::Reference, a.bits().words(), b.bits().words())
+    };
+    for query in queries.iter().take(8) {
+        let fused = packed.hamming_all(query);
+        for c in 0..classes {
+            let d = reference_dist(model.class(c), query);
+            if fused[c] != d {
+                return Err(format!(
+                    "bit-exactness violated: hamming_all class {c} disagrees with \
+                     the reference tier ({} vs {d})",
+                    fused[c]
+                ));
+            }
+            let sim = 1.0 - fused[c] as f64 / dim as f64;
+            let expected = 1.0 - d as f64 / dim as f64;
+            if sim.to_bits() != expected.to_bits() {
+                return Err(format!(
+                    "bit-exactness violated: similarity float for class {c} diverges"
+                ));
+            }
+        }
+    }
+    for pair in queries.windows(2).take(8) {
+        let (aw, bw) = (pair[0].bits().words(), pair[1].bits().words());
+        let d_ref = tier::hamming_words(KernelTier::Reference, aw, bw);
+        if tier::hamming_words(KernelTier::Wide, aw, bw) != d_ref {
+            return Err("bit-exactness violated: wide hamming diverges from reference".to_owned());
+        }
+        let mut total = 0usize;
+        for i in 0..8usize {
+            let (s, e) = (i * dim / 8, (i + 1) * dim / 8);
+            let r = tier::hamming_range_words(KernelTier::Reference, aw, bw, s, e);
+            if tier::hamming_range_words(KernelTier::Wide, aw, bw, s, e) != r {
+                return Err(format!(
+                    "bit-exactness violated: wide range kernel diverges on chunk {i}"
+                ));
+            }
+            total += r;
+        }
+        if total != d_ref {
+            return Err("bit-exactness violated: range kernel does not sum to hamming".to_owned());
+        }
+        let mut x_ref = vec![0u64; words];
+        let mut x_wide = vec![0u64; words];
+        tier::xor_words_into(KernelTier::Reference, &mut x_ref, aw, bw);
+        tier::xor_words_into(KernelTier::Wide, &mut x_wide, aw, bw);
+        if x_ref != x_wide {
+            return Err("bit-exactness violated: wide codebook xor diverges".to_owned());
+        }
+    }
+    let bundle_pool: Vec<_> = queries.iter().take(16).collect();
+    let mut planes_ref = vec![vec![0u64; words]; 8];
+    let mut planes_wide = vec![vec![0u64; words]; 8];
+    for hv in &bundle_pool {
+        tier::ripple_add(KernelTier::Reference, &mut planes_ref, hv.bits().words());
+        tier::ripple_add(KernelTier::Wide, &mut planes_wide, hv.bits().words());
+    }
+    if planes_ref != planes_wide {
+        return Err("bit-exactness violated: wide majority ripple diverges".to_owned());
+    }
+    let added = bundle_pool.len() as i64;
+    let mut counts_ref = vec![0i64; dim];
+    let mut counts_wide = vec![0i64; dim];
+    tier::bipolar_accumulate(KernelTier::Reference, &planes_ref, added, &mut counts_ref);
+    tier::bipolar_accumulate(KernelTier::Wide, &planes_ref, added, &mut counts_wide);
+    if counts_ref != counts_wide {
+        return Err("bit-exactness violated: wide bipolar extraction diverges".to_owned());
+    }
+    let half = bundle_pool.len() as u64 / 2;
+    let mut thr_ref = vec![0u64; words];
+    let mut thr_wide = vec![0u64; words];
+    tier::threshold_words(
+        KernelTier::Reference,
+        &planes_ref,
+        half,
+        TIE_PARITY,
+        &mut thr_ref,
+    );
+    tier::threshold_words(
+        KernelTier::Wide,
+        &planes_ref,
+        half,
+        TIE_PARITY,
+        &mut thr_wide,
+    );
+    if thr_ref != thr_wide {
+        return Err("bit-exactness violated: wide threshold extraction diverges".to_owned());
+    }
+    // End-to-end gate: batched predictions through the installed tier must
+    // equal the reference tier's per-query argmin (first-wins ties).
+    let batched = engine.predict_batch(&model, &queries);
+    for (q, (query, &got)) in queries.iter().zip(&batched).enumerate() {
+        let mut best = usize::MAX;
+        let mut best_class = 0usize;
+        for c in 0..classes {
+            let d = reference_dist(model.class(c), query);
+            if d < best {
+                best = d;
+                best_class = c;
+            }
+        }
+        if got != best_class {
+            return Err(format!(
+                "bit-exactness violated: batched prediction diverges from the \
+                 reference tier at query {q}"
+            ));
+        }
+    }
+
+    /// Best wall-clock seconds over `repeats` runs of `f`.
+    fn best_seconds<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = std::time::Instant::now();
+            let _out = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    // ---- Timed rows: both tiers, tier-explicitly, ~64 MiB of operand
+    // traffic per pass so each repeat is milliseconds.
+    const TARGET_BYTES: usize = 64 * 1024 * 1024;
+    let mut entries = String::new();
+    let mut row = |kernel: &str, bytes: usize, pass: &mut dyn FnMut(KernelTier) -> u64| {
+        let gib = bytes as f64 / (1024.0 * 1024.0 * 1024.0);
+        let ref_s = best_seconds(repeats, || {
+            std::hint::black_box(pass(KernelTier::Reference))
+        });
+        let wide_s = best_seconds(repeats, || std::hint::black_box(pass(KernelTier::Wide)));
+        let reference_gib_s = gib / ref_s;
+        let wide_gib_s = gib / wide_s;
+        let speedup = wide_gib_s / reference_gib_s;
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        let _ = write!(
+            entries,
+            "    {{\"kernel\": \"{kernel}\", \"bytes\": {bytes}, \
+             \"reference_gib_s\": {reference_gib_s:.2}, \"wide_gib_s\": {wide_gib_s:.2}, \
+             \"speedup\": {speedup:.3}}}"
+        );
+        speedup
+    };
+
+    let pair_bytes = 2 * words * 8;
+    let npairs = queries.len().saturating_sub(1).max(1);
+    let sweeps = (TARGET_BYTES / (pair_bytes * npairs)).max(1);
+    row("hamming", sweeps * npairs * pair_bytes, &mut |t| {
+        let mut acc = 0u64;
+        for _ in 0..sweeps {
+            for pair in queries.windows(2) {
+                acc = acc.wrapping_add(tier::hamming_words(
+                    t,
+                    pair[0].bits().words(),
+                    pair[1].bits().words(),
+                ) as u64);
+            }
+        }
+        acc
+    });
+    row("chunked_hamming", sweeps * npairs * pair_bytes, &mut |t| {
+        let mut acc = 0u64;
+        for _ in 0..sweeps {
+            for pair in queries.windows(2) {
+                for i in 0..8usize {
+                    let (s, e) = (i * dim / 8, (i + 1) * dim / 8);
+                    acc = acc.wrapping_add(tier::hamming_range_words(
+                        t,
+                        pair[0].bits().words(),
+                        pair[1].bits().words(),
+                        s,
+                        e,
+                    ) as u64);
+                }
+            }
+        }
+        acc
+    });
+    let score_bytes = (classes + 1) * words * 8;
+    let score_sweeps = (TARGET_BYTES / (score_bytes * queries.len())).max(1);
+    let mut scratch = Vec::with_capacity(classes);
+    let scoring_speedup = row(
+        "hamming_all",
+        score_sweeps * queries.len() * score_bytes,
+        &mut |t| {
+            let mut acc = 0u64;
+            for _ in 0..score_sweeps {
+                for query in &queries {
+                    tier::hamming_all_into_words(
+                        t,
+                        packed.words(),
+                        packed.words_per_class(),
+                        classes,
+                        query.bits().words(),
+                        &mut scratch,
+                    );
+                    acc = acc.wrapping_add(scratch[0] as u64);
+                }
+            }
+            acc
+        },
+    );
+    let bundle_bytes = bundle_pool.len() * words * 8;
+    let bundle_sweeps = (TARGET_BYTES / (4 * bundle_bytes)).max(1);
+    row("majority_ripple", bundle_sweeps * bundle_bytes, &mut |t| {
+        let mut acc = 0u64;
+        for _ in 0..bundle_sweeps {
+            let mut planes = vec![vec![0u64; words]; 8];
+            for hv in &bundle_pool {
+                tier::ripple_add(t, &mut planes, hv.bits().words());
+            }
+            acc = acc.wrapping_add(planes[0][0]);
+        }
+        acc
+    });
+    let plane_bytes = planes_ref.len() * words * 8;
+    let bip_sweeps = (TARGET_BYTES / (8 * plane_bytes)).max(1);
+    let mut counts = vec![0i64; dim];
+    row("bipolar_counts", bip_sweeps * plane_bytes, &mut |t| {
+        let mut acc = 0u64;
+        for _ in 0..bip_sweeps {
+            tier::bipolar_accumulate(t, &planes_ref, added, &mut counts);
+            acc = acc.wrapping_add(counts[0].unsigned_abs());
+        }
+        acc
+    });
+    let thr_sweeps = (TARGET_BYTES / plane_bytes).max(1);
+    let mut thr = vec![0u64; words];
+    row("threshold", thr_sweeps * plane_bytes, &mut |t| {
+        let mut acc = 0u64;
+        for _ in 0..thr_sweeps {
+            tier::threshold_words(t, &planes_ref, half, TIE_PARITY, &mut thr);
+            acc = acc.wrapping_add(thr[0]);
+        }
+        acc
+    });
+    let xor_bytes = 3 * words * 8;
+    let xor_sweeps = (TARGET_BYTES / (xor_bytes * npairs)).max(1);
+    let mut bound = vec![0u64; words];
+    row("codebook_xor", xor_sweeps * npairs * xor_bytes, &mut |t| {
+        let mut acc = 0u64;
+        for _ in 0..xor_sweeps {
+            for pair in queries.windows(2) {
+                tier::xor_words_into(
+                    t,
+                    &mut bound,
+                    pair[0].bits().words(),
+                    pair[1].bits().words(),
+                );
+                acc = acc.wrapping_add(bound[0]);
+            }
+        }
+        acc
+    });
+
+    let predict_seconds = best_seconds(repeats, || engine.predict_batch(&model, &queries));
+    let predict_qps = queries.len() as f64 / predict_seconds;
+
+    Ok(format!(
+        "{{\n  \"dataset\": \"{name}\", \"dim\": {dim}, \"classes\": {classes}, \
+         \"queries\": {}, \"repeats\": {repeats}, \"seed\": {seed},\n  \
+         \"kernel_tier\": \"{}\", \"threads\": {},\n  \"bit_exact\": true,\n  \
+         \"kernels\": [\n{entries}\n  ],\n  \"scoring_speedup\": {scoring_speedup:.3},\n  \
+         \"predict_qps\": {predict_qps:.1}\n}}",
+        queries.len(),
+        tier::active().name(),
+        engine.config().threads
+    ))
+}
+
 /// Resolves a dataset name to its synthetic spec (shared by the serving
 /// subcommands; `throughput`/`trainbench` predate it and inline the same
 /// match).

@@ -38,6 +38,7 @@ COMMANDS:
     servebench  Benchmark coalesced vs sequential daemon serving (JSON)
     throughput  Benchmark batched inference across thread counts (JSON)
     trainbench  Benchmark bit-sliced training (bundle/retrain) across thread counts (JSON)
+    kernelbench Benchmark execution-tier kernels (reference vs wide GiB/s) (JSON)
     flags       Print the ROBUSTHD_* environment-flag registry (JSON)
 
 Run `robusthd <COMMAND> --help` for per-command options.";
@@ -68,6 +69,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "servebench" => commands::servebench(rest),
         "throughput" => commands::throughput(rest),
         "trainbench" => commands::trainbench(rest),
+        "kernelbench" => commands::kernelbench(rest),
         "flags" => commands::flags(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),

@@ -32,7 +32,7 @@ use crate::confidence::Confidence;
 use crate::config::BatchConfig;
 use crate::encoding::Encoder;
 use crate::model::{argmin_first, TrainedModel};
-use hypervector::similarity::chunked_hamming;
+use hypervector::similarity::{chunked_hamming, chunked_hamming_into};
 use hypervector::BinaryHypervector;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -91,10 +91,20 @@ pub fn scan_chunk_faults(
     assert!(chunks > 0, "need at least one chunk");
     let dim = model.dim();
     let predicted_dists = chunked_hamming(model.class(predicted), query, chunks);
-    let rival_dists: Vec<Vec<usize>> = (0..model.num_classes())
-        .filter(|&c| c != predicted)
-        .map(|c| chunked_hamming(model.class(c), query, chunks))
-        .collect();
+    // Stream the rivals through one reused scratch buffer, folding them
+    // into the per-chunk best (minimum) rival distance: "some rival beats
+    // the predicted class by more than the margin" depends only on the
+    // closest rival, so this is decision-identical to keeping every
+    // rival's distances — without the per-rival Vec the old
+    // `Vec<Vec<usize>>` collect allocated.
+    let mut rival_best = vec![usize::MAX; chunks];
+    let mut scratch = Vec::with_capacity(chunks);
+    for c in (0..model.num_classes()).filter(|&c| c != predicted) {
+        chunked_hamming_into(model.class(c), query, chunks, &mut scratch);
+        for (best, &d) in rival_best.iter_mut().zip(&scratch) {
+            *best = (*best).min(d);
+        }
+    }
     let mut faulty = Vec::new();
     let mut inspected = 0usize;
     for chunk in 0..chunks {
@@ -106,10 +116,10 @@ pub fn scan_chunk_faults(
         let d = end - start;
         let margin_bits = hypervector::cast::round_to_usize(fault_margin * (d as f64).sqrt());
         let predicted_dist = predicted_dists[chunk];
-        if rival_dists
-            .iter()
-            .any(|rival| rival[chunk] + margin_bits < predicted_dist)
-        {
+        // `saturating_add` keeps the usize::MAX sentinel of a rival-less
+        // (single-class) model out of overflow; real distances are at most
+        // `dim`, far from saturation.
+        if rival_best[chunk].saturating_add(margin_bits) < predicted_dist {
             faulty.push(chunk);
         }
     }
@@ -165,8 +175,13 @@ impl BatchEngine {
     }
 
     /// Creates an engine tuned from the environment
-    /// ([`BatchConfig::from_env`], honouring `ROBUSTHD_THREADS`).
+    /// ([`BatchConfig::from_env`], honouring `ROBUSTHD_THREADS`), and
+    /// installs the process-wide kernel tier from `ROBUSTHD_KERNEL_TIER`
+    /// ([`crate::config::KernelConfig::from_env`]). Tier installation is
+    /// first-caller-wins and results are bit-identical across tiers, so the
+    /// ordering relative to other engines is immaterial.
     pub fn from_env() -> Self {
+        crate::config::KernelConfig::from_env().install();
         Self::new(BatchConfig::from_env())
     }
 

@@ -785,6 +785,97 @@ impl Default for TrainConfig {
     }
 }
 
+/// Environment variable read by [`KernelConfig::from_env`]: set to
+/// `reference`, `ref`, or `scalar` (case-insensitive) to pin the
+/// execution-tier kernels ([`hypervector::tier`]) to the scalar reference
+/// tier; anything else — including the variable being unset — selects the
+/// portable wide-lane tier.
+pub const KERNEL_TIER_ENV_VAR: &str = "ROBUSTHD_KERNEL_TIER";
+
+/// Selection of the execution-tier kernel implementation
+/// ([`hypervector::tier`]): the scalar `Reference` tier or the portable
+/// wide-lane `Wide` tier behind every Hamming, majority, and codebook-XOR
+/// kernel.
+///
+/// Like [`EncodeConfig`] and [`TrainConfig`], this is a pure throughput
+/// knob: both tiers compute exact integer popcounts and identical bit
+/// patterns, which the differential suite
+/// (`crates/core/tests/tier_differential.rs`) pins kernel by kernel — so
+/// the flag can never change a prediction, a similarity, or a trained
+/// model, only how fast they are produced.
+///
+/// The tier is installed process-wide (first install wins, see
+/// [`hypervector::tier::install`]); [`crate::BatchEngine::from_env`]
+/// installs it on construction so every engine-driven path respects the
+/// flag without further plumbing.
+///
+/// # Example
+///
+/// ```
+/// use hypervector::KernelTier;
+/// use robusthd::KernelConfig;
+///
+/// assert_eq!(KernelConfig::default().tier, KernelTier::Wide);
+/// assert_eq!(KernelConfig::reference().tier, KernelTier::Reference);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// The execution tier the kernels should dispatch to.
+    pub tier: hypervector::KernelTier,
+}
+
+impl KernelConfig {
+    /// The wide-lane tier (default): 8-word blocked loops with carry-save
+    /// popcount compression.
+    pub fn wide() -> Self {
+        Self {
+            tier: hypervector::KernelTier::Wide,
+        }
+    }
+
+    /// The scalar reference tier: one-word-at-a-time loops, the semantic
+    /// definition every other tier is pinned against.
+    pub fn reference() -> Self {
+        Self {
+            tier: hypervector::KernelTier::Reference,
+        }
+    }
+
+    /// The default (wide) configuration, overridden by the
+    /// `ROBUSTHD_KERNEL_TIER` environment variable: `reference` / `ref` /
+    /// `scalar` (case-insensitive) select the scalar tier, anything else —
+    /// including the variable being unset — selects the wide tier.
+    pub fn from_env() -> Self {
+        Self {
+            tier: parse_kernel_tier(std::env::var(KERNEL_TIER_ENV_VAR).ok().as_deref()),
+        }
+    }
+
+    /// Installs this configuration's tier as the process-wide dispatch
+    /// tier (first install wins), returning the tier actually active
+    /// afterwards. Because the tiers are bit-identical, losing the race
+    /// affects throughput only, never results.
+    pub fn install(self) -> hypervector::KernelTier {
+        hypervector::tier::install(self.tier)
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self::wide()
+    }
+}
+
+/// Parses a `ROBUSTHD_KERNEL_TIER` value; only an explicit opt-out
+/// (`reference` / `ref` / `scalar`, case-insensitive) selects the scalar
+/// tier.
+pub fn parse_kernel_tier(raw: Option<&str>) -> hypervector::KernelTier {
+    match raw.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+        Some("reference") | Some("ref") | Some("scalar") => hypervector::KernelTier::Reference,
+        _ => hypervector::KernelTier::Wide,
+    }
+}
+
 /// Tuning of the batched inference engine
 /// ([`crate::batch::BatchEngine`]): worker thread count and shard size.
 ///
@@ -1156,6 +1247,17 @@ impl FlagRegistry {
                 },
             },
             FlagInfo {
+                name: KERNEL_TIER_ENV_VAR,
+                owner: "KernelConfig",
+                default: "wide",
+                doc: "Set to reference/ref/scalar to pin the execution-tier \
+                      kernels (hamming, majority, codebook XOR) to the scalar \
+                      reference tier instead of the wide-lane tier; both tiers \
+                      are bit-identical.",
+                raw: std::env::var(KERNEL_TIER_ENV_VAR).ok(),
+                effective: KernelConfig::from_env().tier.name().to_owned(),
+            },
+            FlagInfo {
                 name: ADV_CANDIDATES_ENV_VAR,
                 owner: "AdvConfig",
                 default: "64",
@@ -1446,6 +1548,7 @@ mod tests {
             THREADS_ENV_VAR,
             ENCODE_FAST_ENV_VAR,
             TRAIN_FAST_ENV_VAR,
+            KERNEL_TIER_ENV_VAR,
             ADV_CANDIDATES_ENV_VAR,
             ADV_SEED_ENV_VAR,
             SERVE_WINDOW_ENV_VAR,
@@ -1454,7 +1557,20 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "{expected} not registered");
         }
-        assert_eq!(names.len(), 8, "new flags must be registered exactly once");
+        assert_eq!(names.len(), 9, "new flags must be registered exactly once");
+    }
+
+    #[test]
+    fn kernel_tier_env_values_parse_as_opt_out() {
+        use hypervector::KernelTier;
+        assert_eq!(parse_kernel_tier(Some("reference")), KernelTier::Reference);
+        assert_eq!(parse_kernel_tier(Some(" REF ")), KernelTier::Reference);
+        assert_eq!(parse_kernel_tier(Some("scalar")), KernelTier::Reference);
+        assert_eq!(parse_kernel_tier(Some("wide")), KernelTier::Wide);
+        assert_eq!(parse_kernel_tier(Some("anything")), KernelTier::Wide);
+        assert_eq!(parse_kernel_tier(None), KernelTier::Wide);
+        assert_eq!(KernelConfig::default(), KernelConfig::wide());
+        assert_eq!(KernelConfig::reference().tier, KernelTier::Reference);
     }
 
     #[test]

@@ -212,7 +212,8 @@ impl TrainedModel {
     ///
     /// Panics if the query dimension differs from the model's.
     pub fn similarities(&self, query: &BinaryHypervector) -> Vec<f64> {
-        let distances = self.packed().hamming_all(query);
+        let mut distances = Vec::with_capacity(self.classes.len());
+        self.packed().hamming_all_into(query, &mut distances);
         distances
             .iter()
             .map(|&d| {

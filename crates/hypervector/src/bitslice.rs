@@ -133,18 +133,7 @@ impl CarrySaveMajority {
     pub fn add_words(&mut self, src: &[u64]) {
         assert_eq!(src.len(), self.words, "word count mismatch in add_words");
         self.grow_for_add();
-        for (w, &word) in src.iter().enumerate() {
-            let mut carry = word;
-            for plane in self.planes.iter_mut() {
-                if carry == 0 {
-                    break;
-                }
-                let t = plane[w];
-                plane[w] = t ^ carry;
-                carry &= t;
-            }
-            debug_assert_eq!(carry, 0, "carry overflow: planes undersized");
-        }
+        crate::tier::ripple_add(crate::tier::active(), &mut self.planes, src);
     }
 
     /// Bundles the XOR (bind) of two packed word images without
@@ -159,18 +148,7 @@ impl CarrySaveMajority {
         assert_eq!(a.len(), self.words, "word count mismatch in add_xor_words");
         assert_eq!(b.len(), self.words, "word count mismatch in add_xor_words");
         self.grow_for_add();
-        for w in 0..self.words {
-            let mut carry = a[w] ^ b[w];
-            for plane in self.planes.iter_mut() {
-                if carry == 0 {
-                    break;
-                }
-                let t = plane[w];
-                plane[w] = t ^ carry;
-                carry &= t;
-            }
-            debug_assert_eq!(carry, 0, "carry overflow: planes undersized");
-        }
+        crate::tier::ripple_add_xor(crate::tier::active(), &mut self.planes, a, b);
     }
 
     /// Adds each dimension's *bipolar* count — `2·ones − added`, i.e. +1
@@ -196,18 +174,7 @@ impl CarrySaveMajority {
             "count buffer length mismatch in accumulate_bipolar"
         );
         let added = self.added as i64;
-        for w in 0..self.words {
-            let base = w * WORD_BITS;
-            let span = WORD_BITS.min(self.dim - base);
-            let slot = &mut counts[base..base + span];
-            for (d, c) in slot.iter_mut().enumerate() {
-                let mut ones = 0i64;
-                for (j, plane) in self.planes.iter().enumerate() {
-                    ones |= (((plane[w] >> d) & 1) as i64) << j;
-                }
-                *c += 2 * ones - added;
-            }
-        }
+        crate::tier::bipolar_accumulate(crate::tier::active(), &self.planes, added, counts);
     }
 
     /// Majority threshold, bit-identical to
@@ -222,25 +189,19 @@ impl CarrySaveMajority {
         //   added + 1`), and
         //   bipolar == 0 ⇔  `added` even and ones == added / 2.
         let half = self.added / 2;
-        let tie_possible = self.added.is_multiple_of(2);
+        let tie_mask = if self.added.is_multiple_of(2) {
+            TIE_PARITY
+        } else {
+            0
+        };
         let mut bits = PackedBits::zeros(self.dim);
-        for (w, out) in bits.words_mut().iter_mut().enumerate() {
-            // Word-parallel compare of the bit-sliced counts against the
-            // constant `half`, most significant plane first.
-            let mut gt = 0u64; // count > half
-            let mut eq = !0u64; // count == half (so far)
-            for j in (0..self.planes.len()).rev() {
-                let plane = self.planes[j][w];
-                let threshold_bit = if (half >> j) & 1 == 1 { !0u64 } else { 0u64 };
-                gt |= eq & plane & !threshold_bit;
-                eq &= !(plane ^ threshold_bit);
-            }
-            let mut word = gt;
-            if tie_possible {
-                word |= eq & TIE_PARITY;
-            }
-            *out = word;
-        }
+        crate::tier::threshold_words(
+            crate::tier::active(),
+            &self.planes,
+            half,
+            tie_mask,
+            bits.words_mut(),
+        );
         // The tie mask sets ghost bits past `dim` in the last word (their
         // count is 0 == half when nothing was added); clear them.
         bits.mask_tail();

@@ -151,7 +151,9 @@ impl PackedBits {
     }
 
     /// Overwrites `self` with `a ^ b` without allocating — the scratch-reuse
-    /// primitive under [`crate::BinaryHypervector::bind_into`].
+    /// primitive under [`crate::BinaryHypervector::bind_into`], routed
+    /// through the active execution tier's codebook-XOR kernel
+    /// ([`crate::tier::xor_words_into`]).
     ///
     /// # Panics
     ///
@@ -159,27 +161,26 @@ impl PackedBits {
     pub fn xor_from(&mut self, a: &Self, b: &Self) {
         assert_eq!(self.len, a.len, "length mismatch in xor_from");
         assert_eq!(self.len, b.len, "length mismatch in xor_from");
-        for ((out, &x), &y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
-            *out = x ^ y;
-        }
+        crate::tier::xor_words_into(crate::tier::active(), &mut self.words, &a.words, &b.words);
     }
 
-    /// Number of positions where `self` and `other` differ.
+    /// Number of positions where `self` and `other` differ, computed by the
+    /// active execution tier's XOR+popcount kernel
+    /// ([`crate::tier::hamming_words`]).
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn hamming(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "length mismatch in hamming");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        crate::tier::hamming_words(crate::tier::active(), &self.words, &other.words)
     }
 
     /// Number of differing positions restricted to the bit range
-    /// `start..end`.
+    /// `start..end`, through the shared masked-range kernel
+    /// ([`crate::tier::hamming_range_words`]) — the same helper
+    /// `similarity::chunked_hamming` uses, so the partial-word masking
+    /// logic lives in exactly one place.
     ///
     /// Used by the RobustHD recovery framework to score individual chunks of
     /// a class hypervector without materialising sub-vectors.
@@ -193,21 +194,13 @@ impl PackedBits {
             start <= end && end <= self.len,
             "invalid range {start}..{end}"
         );
-        let mut total = 0usize;
-        let mut i = start;
-        while i < end {
-            let word = i / WORD_BITS;
-            let bit = i % WORD_BITS;
-            let span = (WORD_BITS - bit).min(end - i);
-            let mask = if span == WORD_BITS {
-                u64::MAX
-            } else {
-                ((1u64 << span) - 1) << bit
-            };
-            total += ((self.words[word] ^ other.words[word]) & mask).count_ones() as usize;
-            i += span;
-        }
-        total
+        crate::tier::hamming_range_words(
+            crate::tier::active(),
+            &self.words,
+            &other.words,
+            start,
+            end,
+        )
     }
 
     /// Copies the bit range `start..end` from `src` into `self`.

@@ -24,6 +24,10 @@
 //!   plus the fused all-classes and per-chunk popcount kernels
 //!   ([`PackedClasses`], [`similarity::chunked_hamming`]) behind the batched
 //!   inference engine.
+//! * [`tier`] — the execution-tier kernel subsystem: every hot kernel in a
+//!   scalar `Reference` and a portable wide-lane `Wide` tier
+//!   ([`KernelTier`]), runtime-dispatched and bit-identical by
+//!   construction.
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@ mod multibit;
 pub mod random;
 mod sequence;
 pub mod similarity;
+pub mod tier;
 
 pub use accumulator::BundleAccumulator;
 pub use binary::BinaryHypervector;
@@ -66,3 +71,4 @@ pub use itemmemory::ItemMemory;
 pub use multibit::{IntHypervector, Precision};
 pub use sequence::SequenceEncoder;
 pub use similarity::PackedClasses;
+pub use tier::KernelTier;

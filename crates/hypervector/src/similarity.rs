@@ -74,8 +74,26 @@ impl PackedClasses {
         self.num_classes
     }
 
+    /// Words per packed class (each class occupies this many contiguous
+    /// words of [`Self::words`]).
+    pub fn words_per_class(&self) -> usize {
+        self.words_per_class
+    }
+
+    /// The class-major word buffer: class 0's words, then class 1's, and so
+    /// on — the exact layout the tier scoring kernel
+    /// ([`crate::tier::hamming_all_into_words`]) streams through. Exposed
+    /// for benchmarks and differential harnesses that drive the kernel
+    /// directly.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Hamming distance of `query` to every class, written into `out`
-    /// (cleared first) in class order.
+    /// (cleared first) in class order, through the active execution tier's
+    /// class-major scoring kernel
+    /// ([`crate::tier::hamming_all_into_words`]): the query words stay
+    /// L1-resident while the class buffer streams through once.
     ///
     /// Reusing one `out` buffer across queries keeps the per-query cost to
     /// a single pass over the packed words with no allocation.
@@ -89,22 +107,14 @@ impl PackedClasses {
             self.dim,
             "dimension mismatch in hamming_all_into"
         );
-        let query_words = query.bits().words();
-        out.clear();
-        out.reserve(self.num_classes);
-        for class_words in self.words.chunks_exact(self.words_per_class.max(1)) {
-            let distance: usize = class_words
-                .iter()
-                .zip(query_words)
-                .map(|(c, q)| (c ^ q).count_ones() as usize)
-                .sum();
-            out.push(distance);
-        }
-        // Zero-width vectors pack no words at all; chunks_exact(1) over an
-        // empty buffer yields nothing, so emit the zero distances directly.
-        if self.words_per_class == 0 {
-            out.resize(self.num_classes, 0);
-        }
+        crate::tier::hamming_all_into_words(
+            crate::tier::active(),
+            &self.words,
+            self.words_per_class,
+            self.num_classes,
+            query.bits().words(),
+            out,
+        );
     }
 
     /// Hamming distance of `query` to every class, in class order.
@@ -125,9 +135,10 @@ impl PackedClasses {
 /// Chunk `i` covers bits `[i*dim/chunks, (i+1)*dim/chunks)` — the same
 /// bounds RobustHD's chunk-fault localization uses — and the result is
 /// bit-identical to calling
-/// [`BinaryHypervector::hamming_distance_range`] once per chunk: both are
-/// exact popcounts over the same masked words. The fused form XORs each
-/// word once instead of once per chunk scan.
+/// [`BinaryHypervector::hamming_distance_range`] once per chunk: both go
+/// through the same masked-range kernel
+/// ([`crate::tier::hamming_range_words`]), exact popcounts over the same
+/// masked words, with no XOR scratch allocation.
 ///
 /// # Panics
 ///
@@ -143,37 +154,42 @@ impl PackedClasses {
 /// assert_eq!(chunked_hamming(&a, &b, 2), vec![4, 0]);
 /// ```
 pub fn chunked_hamming(a: &BinaryHypervector, b: &BinaryHypervector, chunks: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    chunked_hamming_into(a, b, chunks, &mut out);
+    out
+}
+
+/// [`chunked_hamming`] into a caller-owned buffer (cleared first) — the
+/// scratch-reuse form for batch paths that scan chunks per class per
+/// query and must not allocate per call.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ or `chunks` is zero.
+pub fn chunked_hamming_into(
+    a: &BinaryHypervector,
+    b: &BinaryHypervector,
+    chunks: usize,
+    out: &mut Vec<usize>,
+) {
     assert_eq!(a.dim(), b.dim(), "dimension mismatch in chunked_hamming");
     assert!(chunks > 0, "chunked_hamming needs at least one chunk");
     let dim = a.dim();
-    let xor: Vec<u64> = a
-        .bits()
-        .words()
-        .iter()
-        .zip(b.bits().words())
-        .map(|(x, y)| x ^ y)
-        .collect();
-    let mut out = Vec::with_capacity(chunks);
+    let tier = crate::tier::active();
+    let a_words = a.bits().words();
+    let b_words = b.bits().words();
+    out.clear();
+    out.reserve(chunks);
     for chunk in 0..chunks {
         let start = chunk * dim / chunks;
         let end = (chunk + 1) * dim / chunks;
-        let mut distance = 0usize;
-        let mut i = start;
-        while i < end {
-            let word = i / 64;
-            let bit = i % 64;
-            let span = (64 - bit).min(end - i);
-            let mask = if span == 64 {
-                u64::MAX
-            } else {
-                ((1u64 << span) - 1) << bit
-            };
-            distance += (xor[word] & mask).count_ones() as usize;
-            i += span;
-        }
-        out.push(distance);
+        // The shared masked-range kernel (also under
+        // `PackedBits::hamming_range`) owns the partial-word masking; no
+        // XOR scratch buffer is materialized.
+        out.push(crate::tier::hamming_range_words(
+            tier, a_words, b_words, start, end,
+        ));
     }
-    out
 }
 
 /// Hamming distance between two binary hypervectors.

@@ -4,6 +4,8 @@
 //! counts 1..=257, and adversarial tie patterns.
 
 use hypervector::random::HypervectorSampler;
+use hypervector::similarity::PackedClasses;
+use hypervector::tier::{self, KernelTier};
 use hypervector::{bitslice, BinaryHypervector, BundleAccumulator, CarrySaveMajority};
 
 /// Dimensions straddling word boundaries, deliberately including
@@ -261,6 +263,90 @@ fn absorb_with_mismatched_dim_panics() {
     let mut a = BundleAccumulator::new(64);
     let planes = CarrySaveMajority::new(65);
     a.absorb(&planes);
+}
+
+/// Dimensions straddling the Wide tier's 8-word (512-bit) block boundary.
+const BLOCK_DIMS: &[usize] = &[447, 448, 449, 511, 512, 513, 575, 576, 1025];
+
+#[test]
+fn all_tie_bundles_match_across_tiers_at_block_boundaries() {
+    // Tier-crossed version of the all-tie case: every tier x dimensions
+    // straddling the 512-bit wide-block boundary x complement pairs. The
+    // planes are driven through the tier-explicit ripple kernels (the
+    // high-level `CarrySaveMajority` dispatches on the process-wide active
+    // tier, which a test binary can only resolve once), and the extracted
+    // majority must equal the scalar accumulator's bit for bit.
+    const TIE_PARITY: u64 = 0x5555_5555_5555_5555;
+    for tier in KernelTier::ALL {
+        for &dim in BLOCK_DIMS {
+            for pairs in [1usize, 3, 6] {
+                let mut sampler = HypervectorSampler::seed_from(900 + pairs as u64);
+                let mut reference = BundleAccumulator::new(dim);
+                let words = dim.div_ceil(64);
+                let mut planes = vec![vec![0u64; words]; 6];
+                let mut added = 0u64;
+                for _ in 0..pairs {
+                    let a = sampler.binary(dim);
+                    let b = BinaryHypervector::from_fn(dim, |i| !a.get(i));
+                    for hv in [&a, &b] {
+                        reference.add(hv);
+                        tier::ripple_add(tier, &mut planes, hv.bits().words());
+                        added += 1;
+                    }
+                }
+                let mut out = vec![0u64; words];
+                tier::threshold_words(tier, &planes, added / 2, TIE_PARITY, &mut out);
+                if dim % 64 != 0 {
+                    let keep = (1u64 << (dim % 64)) - 1;
+                    if let Some(last) = out.last_mut() {
+                        *last &= keep;
+                    }
+                }
+                let expected = reference.to_binary();
+                assert_eq!(
+                    &out[..],
+                    expected.bits().words(),
+                    "tier={} dim={dim} pairs={pairs}",
+                    tier.name()
+                );
+                // Every dimension ties, so parity alone decides each bit.
+                for i in 0..dim {
+                    assert_eq!(expected.get(i), i % 2 == 0, "dim={dim} bit {i}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn block_permutation_never_changes_hamming_all() {
+    // Metamorphic check on the class-major scoring kernel: permuting
+    // whole 512-bit blocks of the query and of every class *by the same
+    // permutation* must leave every distance — and hence their sum —
+    // unchanged, because Hamming distance is a sum over independent bit
+    // positions. A wide kernel that mixed state across block boundaries
+    // would break this.
+    const BLOCK_BITS: usize = 512;
+    let dim = 4 * BLOCK_BITS;
+    let perm = [2usize, 0, 3, 1];
+    let permute = |hv: &BinaryHypervector| {
+        BinaryHypervector::from_fn(dim, |i| {
+            let (block, offset) = (i / BLOCK_BITS, i % BLOCK_BITS);
+            hv.get(perm[block] * BLOCK_BITS + offset)
+        })
+    };
+    let mut sampler = HypervectorSampler::seed_from(910);
+    let classes: Vec<_> = (0..6).map(|_| sampler.binary(dim)).collect();
+    let query = sampler.flip_noise(&classes[3], 0.2);
+
+    let original = PackedClasses::from_classes(&classes).hamming_all(&query);
+    let shuffled_classes: Vec<_> = classes.iter().map(&permute).collect();
+    let shuffled = PackedClasses::from_classes(&shuffled_classes).hamming_all(&permute(&query));
+    assert_eq!(shuffled, original);
+    assert_eq!(
+        shuffled.iter().sum::<usize>(),
+        original.iter().sum::<usize>()
+    );
 }
 
 #[test]

@@ -47,6 +47,7 @@ use std::path::{Path, PathBuf};
 
 /// The hot-path kernel modules under hot-path hygiene (workspace-relative).
 pub const KERNEL_MODULES: &[&str] = &[
+    "crates/hypervector/src/tier.rs",
     "crates/hypervector/src/bitvec.rs",
     "crates/hypervector/src/bitslice.rs",
     "crates/hypervector/src/similarity.rs",
