@@ -149,7 +149,7 @@ impl DisagreementHunter {
             );
 
             let (verdicts, mut fitness) =
-                self.judge(engine, encoder, variants, &[row.clone()], beta)[0].clone();
+                Self::judge(engine, encoder, variants, std::slice::from_ref(row), beta)[0].clone();
             if !all_equal(&verdicts) {
                 corpus.cases.push(DisagreementCase {
                     seed_index,
@@ -165,7 +165,7 @@ impl DisagreementHunter {
                 let candidates: Vec<Vec<f64>> = (0..self.budget.mutants)
                     .map(|_| self.mutate(&current, &mut rng))
                     .collect();
-                let judged = self.judge(engine, encoder, variants, &candidates, beta);
+                let judged = Self::judge(engine, encoder, variants, &candidates, beta);
                 for (i, (verdicts, _)) in judged.iter().enumerate() {
                     if !all_equal(verdicts) {
                         corpus.cases.push(DisagreementCase {
@@ -191,7 +191,7 @@ impl DisagreementHunter {
                     }
                 }
                 if let Some((i, candidate_fitness)) = best {
-                    current = candidates[i].clone();
+                    current.clone_from(&candidates[i]);
                     fitness = candidate_fitness;
                 }
             }
@@ -203,7 +203,6 @@ impl DisagreementHunter {
     /// under every variant; per row, returns the variants' predicted
     /// labels and the minimum margin across variants (the hunt fitness).
     fn judge<E: Encoder + Sync + ?Sized>(
-        &self,
         engine: &BatchEngine,
         encoder: &E,
         variants: &[(&str, &TrainedModel)],

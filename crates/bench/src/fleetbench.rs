@@ -1,0 +1,78 @@
+//! Extension — multi-tenant fleet serving under a memory budget.
+//!
+//! Thin scale-mapper over [`robusthd_serve::run_fleetbench`]: the serve
+//! crate builds its own synthetic fleet (clustered per-tenant workloads,
+//! encoder cohorts, clone tenants for image dedup), so this module only
+//! picks the fleet geometry per [`Scale`] and forwards. The acceptance
+//! configuration ([`Scale::Standard`] and up) registers well over 100
+//! tenants against a budget an order of magnitude smaller, so the run
+//! demonstrates eviction/rehydration churn, not just a resident set. The
+//! emitted JSON is the `BENCH_fleet.json` body.
+
+use crate::workload::Scale;
+use robusthd_serve::{FleetBenchOptions, FleetBenchOutcome};
+use std::io;
+
+/// Fleet geometry for one benchmark scale.
+#[must_use]
+pub fn options_for(scale: Scale) -> FleetBenchOptions {
+    let base = FleetBenchOptions::default();
+    match scale {
+        Scale::Quick => FleetBenchOptions {
+            models: 40,
+            cohorts: 4,
+            dim: 1024,
+            budget_models: 8,
+            clients: 8,
+            requests_per_client: 16,
+            ..base
+        },
+        Scale::Standard => FleetBenchOptions {
+            models: 120,
+            budget_models: 16,
+            ..base
+        },
+        Scale::Full => FleetBenchOptions {
+            models: 240,
+            cohorts: 12,
+            dim: 4096,
+            budget_models: 24,
+            clients: 32,
+            requests_per_client: 96,
+            ..base
+        },
+    }
+}
+
+/// Runs the four-phase fleet benchmark at `scale`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the loopback daemon cannot be
+/// bound or driven — including the fleet/solo bit-exactness cross-check
+/// failing, which surfaces as an error rather than a timed result.
+pub fn run(scale: Scale) -> io::Result<FleetBenchOutcome> {
+    robusthd_serve::run_fleetbench(&options_for(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_and_standard_meets_the_acceptance_floor() {
+        let quick = options_for(Scale::Quick);
+        let standard = options_for(Scale::Standard);
+        let full = options_for(Scale::Full);
+        assert!(quick.models < standard.models && standard.models < full.models);
+        assert!(
+            standard.models >= 100,
+            "the acceptance run must serve >= 100 models"
+        );
+        // Every scale over-subscribes the budget, so eviction churn is
+        // structural, not incidental.
+        for opts in [&quick, &standard, &full] {
+            assert!(opts.budget_models * 2 <= opts.models, "{opts:?}");
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`kernelbench`] | Extension — execution-tier kernel throughput (reference vs wide) per kernel family |
 //! | [`advsim`] | Extension — adversarial input-space attacks, disagreement hunting, joint soak |
 //! | [`serve`]  | Extension — coalesced vs sequential `robusthdd` daemon serving on loopback |
+//! | [`fleetbench`] | Extension — multi-tenant fleet serving under a memory budget (LRU, LogHD, routing) |
 //!
 //! Experiments default to a laptop-scale subsample of the paper's datasets
 //! (exact feature/class geometry, reduced split sizes); see
@@ -36,6 +37,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4a;
 pub mod fig4b;
+pub mod fleetbench;
 pub mod format;
 pub mod kernelbench;
 pub mod serve;

@@ -1619,6 +1619,10 @@ pub fn kernelbench(argv: &[String]) -> Result<String, String> {
         let reference_gib_s = gib / ref_s;
         let wide_gib_s = gib / wide_s;
         let speedup = wide_gib_s / reference_gib_s;
+        // Parity-by-design marker: chunked_hamming's sub-64-word chunk
+        // spans route to the scalar loop inside the wide kernel, so tier
+        // parity (speedup ~1) is the intended outcome, not a regression.
+        let parity_expected = kernel == "chunked_hamming";
         if !entries.is_empty() {
             entries.push_str(",\n");
         }
@@ -1626,7 +1630,7 @@ pub fn kernelbench(argv: &[String]) -> Result<String, String> {
             entries,
             "    {{\"kernel\": \"{kernel}\", \"bytes\": {bytes}, \
              \"reference_gib_s\": {reference_gib_s:.2}, \"wide_gib_s\": {wide_gib_s:.2}, \
-             \"speedup\": {speedup:.3}}}"
+             \"speedup\": {speedup:.3}, \"parity_expected\": {parity_expected}}}"
         );
         speedup
     };
@@ -2219,6 +2223,128 @@ pub fn servebench(argv: &[String]) -> Result<String, String> {
         },
     )
     .map_err(|e| e.to_string())?;
+    Ok(outcome.to_json())
+}
+
+const FLEETBENCH_HELP: &str = "\
+robusthd fleetbench — multi-tenant fleet serving benchmark (JSON)
+
+Builds a synthetic fleet of per-tenant models in-process and runs four
+phases against a memory-budgeted model registry:
+
+    1. bit-exactness  a mixed-tenant stream under eviction churn must
+                      match per-tenant solo serving label-for-label and
+                      confidence bit-for-bit (f64::to_bits)
+    2. capacity       a robusthdd fleet daemon serves Zipf-mixed classify
+                      traffic over every model id inside the budget
+    3. loghd          accuracy of the full models vs their LogHD
+                      class-axis compression (C -> ceil(log2 C))
+    4. routing        grouped cross-model batches vs one query at a time
+
+Emits one JSON object (the BENCH_fleet.json body).
+
+OPTIONS:
+    --models <N>          tenants to register (default 120)
+    --cohorts <N>         encoder cohorts sharing codebooks (default 8)
+    --dim <N>             HDC dimensionality (default 2048)
+    --features <N>        features per query (default 16)
+    --classes <N>         classes per tenant model (default 6)
+    --rows <N>            rows per class per tenant (default 8)
+    --budget-models <N>   memory budget in resident models (default 16)
+    --seed <N>            workload seed (default 0)
+    --clients <N>         wire-phase clients (default 16)
+    --requests <N>        requests per wire client (default 64)
+    --pipeline <N>        max in flight per client (default 4)
+    --zipf <S>            tenant-mix Zipf exponent (default 1.0)
+    --window-us <N>       coalescing window, µs (default ROBUSTHD_SERVE_WINDOW_US or 1000)
+    --max-batch <N>       micro-batch ceiling (default ROBUSTHD_SERVE_MAX_BATCH or 64)
+    --queue-depth <N>     admission queue bound (default ROBUSTHD_SERVE_QUEUE_DEPTH or 1024)
+    --threads <N>         batch-engine worker threads (default ROBUSTHD_THREADS)
+    --shard <N>           batch-engine shard size (default 32)";
+
+/// `robusthd fleetbench` — the four-phase fleet serving benchmark.
+pub fn fleetbench(argv: &[String]) -> Result<String, String> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "models",
+            "cohorts",
+            "dim",
+            "features",
+            "classes",
+            "rows",
+            "budget-models",
+            "seed",
+            "clients",
+            "requests",
+            "pipeline",
+            "zipf",
+            "window-us",
+            "max-batch",
+            "queue-depth",
+            "threads",
+            "shard",
+            "help",
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        return Ok(FLEETBENCH_HELP.to_owned());
+    }
+    let defaults = robusthd_serve::FleetBenchOptions::default();
+    let opts = robusthd_serve::FleetBenchOptions {
+        models: args
+            .get_parsed_or("models", defaults.models)
+            .map_err(|e| e.to_string())?,
+        cohorts: args
+            .get_parsed_or("cohorts", defaults.cohorts)
+            .map_err(|e| e.to_string())?,
+        dim: args
+            .get_parsed_or("dim", defaults.dim)
+            .map_err(|e| e.to_string())?,
+        features: args
+            .get_parsed_or("features", defaults.features)
+            .map_err(|e| e.to_string())?,
+        classes: args
+            .get_parsed_or("classes", defaults.classes)
+            .map_err(|e| e.to_string())?,
+        rows_per_class: args
+            .get_parsed_or("rows", defaults.rows_per_class)
+            .map_err(|e| e.to_string())?,
+        budget_models: args
+            .get_parsed_or("budget-models", defaults.budget_models)
+            .map_err(|e| e.to_string())?,
+        seed: args
+            .get_parsed_or("seed", defaults.seed)
+            .map_err(|e| e.to_string())?,
+        config: serve_config_from(&args)?,
+        batch: batch_config_from(&args)?.unwrap_or_else(BatchConfig::from_env),
+        clients: args
+            .get_parsed_or("clients", defaults.clients)
+            .map_err(|e| e.to_string())?,
+        requests_per_client: args
+            .get_parsed_or("requests", defaults.requests_per_client)
+            .map_err(|e| e.to_string())?,
+        pipeline: args
+            .get_parsed_or("pipeline", defaults.pipeline)
+            .map_err(|e| e.to_string())?,
+        zipf_exponent: args
+            .get_parsed_or("zipf", defaults.zipf_exponent)
+            .map_err(|e| e.to_string())?,
+    };
+    if opts.models == 0
+        || opts.dim == 0
+        || opts.features == 0
+        || opts.classes == 0
+        || opts.rows_per_class == 0
+        || opts.budget_models == 0
+        || opts.clients == 0
+        || opts.requests_per_client == 0
+        || opts.pipeline == 0
+    {
+        return Err("fleetbench counts must all be positive".to_owned());
+    }
+    let outcome = robusthd_serve::run_fleetbench(&opts).map_err(|e| e.to_string())?;
     Ok(outcome.to_json())
 }
 

@@ -36,6 +36,7 @@ COMMANDS:
     serve       Run robusthdd, the coalescing NDJSON serving daemon
     loadgen     Drive concurrent classify load at a running robusthdd
     servebench  Benchmark coalesced vs sequential daemon serving (JSON)
+    fleetbench  Benchmark multi-tenant fleet serving under a memory budget (JSON)
     throughput  Benchmark batched inference across thread counts (JSON)
     trainbench  Benchmark bit-sliced training (bundle/retrain) across thread counts (JSON)
     kernelbench Benchmark execution-tier kernels (reference vs wide GiB/s) (JSON)
@@ -67,6 +68,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "serve" => commands::serve(rest),
         "loadgen" => commands::loadgen(rest),
         "servebench" => commands::servebench(rest),
+        "fleetbench" => commands::fleetbench(rest),
         "throughput" => commands::throughput(rest),
         "trainbench" => commands::trainbench(rest),
         "kernelbench" => commands::kernelbench(rest),

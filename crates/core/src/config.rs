@@ -1033,6 +1033,146 @@ pub const SERVE_MAX_BATCH_ENV_VAR: &str = "ROBUSTHD_SERVE_MAX_BATCH";
 /// integer; anything else falls back to the default.
 pub const SERVE_QUEUE_DEPTH_ENV_VAR: &str = "ROBUSTHD_SERVE_QUEUE_DEPTH";
 
+/// Environment variable read by [`FleetConfig::from_env`]: resident-memory
+/// budget in bytes for the multi-tenant model registry's hot state (class
+/// hypervectors plus the fused `PackedClasses` scoring arena per hydrated
+/// model). When hydrating a model would exceed the budget, the registry
+/// evicts least-recently-used models back to their RHD2 checkpoint bytes;
+/// they rehydrate on the next query without retraining. Must be a positive
+/// integer; anything else falls back to the default.
+pub const FLEET_BUDGET_BYTES_ENV_VAR: &str = "ROBUSTHD_FLEET_BUDGET_BYTES";
+
+/// Environment variable read by [`FleetConfig::from_env`]: set to
+/// `1`/`true`/`on`/`yes` to opt the fleet registry into the LogHD
+/// compressed model representation (O(log C) composite class vectors with
+/// a decode-at-score path) for tenants served through the plain router.
+/// LogHD is lossy — the fleet differential suite quantifies the accuracy
+/// delta — so unlike every other fast path it is opt-in, not opt-out.
+pub const FLEET_LOGHD_ENV_VAR: &str = "ROBUSTHD_FLEET_LOGHD";
+
+/// Tuning of the multi-tenant model fleet registry ([`crate::fleet`]): the
+/// resident-memory budget that bounds how many hydrated models (class
+/// vectors + fused `PackedClasses` arenas) stay hot at once, and the
+/// opt-in LogHD compressed representation.
+///
+/// The budget is a capacity knob, not a correctness knob: evicting a model
+/// serializes any repairs back into its RHD2 image, and rehydrating
+/// restores the exact same bits, so answers are `f64::to_bits`-identical
+/// at any budget (pinned by `crates/core/tests/fleet_differential.rs`).
+/// LogHD is the exception — it is lossy by construction and therefore
+/// opt-in.
+///
+/// # Example
+///
+/// ```
+/// use robusthd::FleetConfig;
+///
+/// let config = FleetConfig::builder()
+///     .budget_bytes(8 * 1024 * 1024)
+///     .build()?;
+/// assert_eq!(config.budget_bytes, 8 * 1024 * 1024);
+/// assert!(!config.loghd);
+/// # Ok::<(), robusthd::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Resident-memory budget in bytes for hydrated models. A single model
+    /// larger than the budget still hydrates (the fleet could not serve it
+    /// otherwise) but becomes the first eviction candidate.
+    pub budget_bytes: usize,
+    /// Serve plain-routed queries through the LogHD compressed
+    /// representation (O(log C) composite class vectors) instead of the
+    /// full class set. Lossy; off by default.
+    pub loghd: bool,
+}
+
+impl FleetConfig {
+    /// Starts a builder pre-loaded with the defaults (64 MiB budget,
+    /// LogHD off).
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder::new()
+    }
+
+    /// The default configuration with each knob overridden by its
+    /// environment variable (`ROBUSTHD_FLEET_BUDGET_BYTES`,
+    /// `ROBUSTHD_FLEET_LOGHD`) when set to a value of the right shape;
+    /// anything else falls back to the default.
+    pub fn from_env() -> Self {
+        let defaults = Self::default();
+        let budget_bytes = parse_threads(std::env::var(FLEET_BUDGET_BYTES_ENV_VAR).ok().as_deref())
+            .unwrap_or(defaults.budget_bytes);
+        let loghd = parse_opt_in_flag(std::env::var(FLEET_LOGHD_ENV_VAR).ok().as_deref());
+        Self::builder()
+            .budget_bytes(budget_bytes)
+            .loghd(loghd)
+            .build()
+            .expect("env-derived fleet config is valid")
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`FleetConfig`].
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    budget_bytes: usize,
+    loghd: bool,
+}
+
+impl FleetConfigBuilder {
+    fn new() -> Self {
+        Self {
+            budget_bytes: 64 * 1024 * 1024,
+            loghd: false,
+        }
+    }
+
+    /// Sets the resident-memory budget in bytes.
+    pub fn budget_bytes(mut self, budget_bytes: usize) -> Self {
+        self.budget_bytes = budget_bytes;
+        self
+    }
+
+    /// Enables or disables the LogHD compressed representation.
+    pub fn loghd(mut self, loghd: bool) -> Self {
+        self.loghd = loghd;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `budget_bytes` is zero.
+    pub fn build(self) -> Result<FleetConfig, ConfigError> {
+        if self.budget_bytes == 0 {
+            return Err(ConfigError::new("budget_bytes must be positive"));
+        }
+        Ok(FleetConfig {
+            budget_bytes: self.budget_bytes,
+            loghd: self.loghd,
+        })
+    }
+}
+
+/// Parses an opt-in boolean flag: only `1`/`true`/`on`/`yes`
+/// (case-insensitive, whitespace-trimmed) enable it; everything else —
+/// including unset — stays off. The mirror image of [`parse_fast_flag`],
+/// for behaviour that changes answers and therefore must be asked for.
+fn parse_opt_in_flag(raw: Option<&str>) -> bool {
+    match raw {
+        Some(value) => matches!(
+            value.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "yes"
+        ),
+        None => false,
+    }
+}
+
 /// Tuning of the serving daemon's request coalescer (the `robusthd-serve`
 /// crate): how long a micro-batch may wait for company, how large it may
 /// grow, and how many queries the admission queue holds before shedding
@@ -1299,6 +1439,33 @@ impl FlagRegistry {
                 effective: ServeConfig::from_env().queue_depth.to_string(),
             },
             FlagInfo {
+                name: FLEET_BUDGET_BYTES_ENV_VAR,
+                owner: "FleetConfig",
+                default: "67108864",
+                doc: "Resident-memory budget in bytes for the multi-tenant \
+                      model registry's hydrated hot state (class vectors + \
+                      fused PackedClasses arenas); over budget, \
+                      least-recently-used models are evicted to their RHD2 \
+                      bytes and rehydrate bit-exactly on the next query.",
+                raw: std::env::var(FLEET_BUDGET_BYTES_ENV_VAR).ok(),
+                effective: FleetConfig::from_env().budget_bytes.to_string(),
+            },
+            FlagInfo {
+                name: FLEET_LOGHD_ENV_VAR,
+                owner: "FleetConfig",
+                default: "off",
+                doc: "Set to 1/true/on/yes to serve plain-routed fleet \
+                      queries through the LogHD compressed representation \
+                      (O(log C) composite class vectors, decode-at-score). \
+                      Lossy — opt-in, unlike the bit-identical fast paths.",
+                raw: std::env::var(FLEET_LOGHD_ENV_VAR).ok(),
+                effective: if FleetConfig::from_env().loghd {
+                    "loghd".to_owned()
+                } else {
+                    "off".to_owned()
+                },
+            },
+            FlagInfo {
                 name: ADV_SEED_ENV_VAR,
                 owner: "AdvConfig",
                 default: "0",
@@ -1554,10 +1721,28 @@ mod tests {
             SERVE_WINDOW_ENV_VAR,
             SERVE_MAX_BATCH_ENV_VAR,
             SERVE_QUEUE_DEPTH_ENV_VAR,
+            FLEET_BUDGET_BYTES_ENV_VAR,
+            FLEET_LOGHD_ENV_VAR,
         ] {
             assert!(names.contains(&expected), "{expected} not registered");
         }
-        assert_eq!(names.len(), 9, "new flags must be registered exactly once");
+        assert_eq!(names.len(), 11, "new flags must be registered exactly once");
+    }
+
+    #[test]
+    fn fleet_config_defaults_and_validation() {
+        let c = FleetConfig::default();
+        assert_eq!(c.budget_bytes, 64 * 1024 * 1024);
+        assert!(!c.loghd);
+        assert!(FleetConfig::builder().budget_bytes(0).build().is_err());
+        // LogHD changes answers, so it must be strictly opt-in: garbage and
+        // unset both stay off, unlike the opt-out fast-path flags.
+        assert!(parse_opt_in_flag(Some("1")));
+        assert!(parse_opt_in_flag(Some(" ON ")));
+        assert!(parse_opt_in_flag(Some("yes")));
+        assert!(!parse_opt_in_flag(Some("0")));
+        assert!(!parse_opt_in_flag(Some("anything")));
+        assert!(!parse_opt_in_flag(None));
     }
 
     #[test]

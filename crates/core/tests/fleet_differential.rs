@@ -1,0 +1,284 @@
+//! Differential suite for the multi-tenant fleet layer: serving a mixed
+//! tenant stream through a memory-budgeted [`ModelRegistry`] must be
+//! **bit-exact** with serving each tenant alone — labels equal and
+//! confidences [`f64::to_bits`]-identical — across worker thread counts,
+//! eviction/rehydration cycles (models leaving and re-entering the budget
+//! through their RHD2 byte images), and interleaved tenant orderings.
+//!
+//! This file closes the config/test duality for `FleetConfig`: the budget
+//! knob may only change *when* a model is resident, never *what* any query
+//! scores.
+
+use robusthd::supervisor::ResilienceSupervisor;
+use robusthd::{
+    BatchConfig, BatchEngine, Encoder, FleetConfig, HdcConfig, ModelRegistry, RecordEncoder,
+    RecoveryConfig, SubstitutionMode, SupervisorConfig, TrainedModel,
+};
+
+const FEATURES: usize = 6;
+const CLASSES: usize = 4;
+const DIM: usize = 512;
+const TENANTS: usize = 6;
+
+struct Tenant {
+    id: String,
+    config: HdcConfig,
+    encoder: RecordEncoder,
+    model: TrainedModel,
+    rows: Vec<Vec<f64>>,
+    canaries: Vec<hypervector::BinaryHypervector>,
+}
+
+/// Deterministic clustered workload per tenant; tenants alternate between
+/// two encoder cohorts so the registry's encoder sharing is in play.
+fn build_tenants() -> Vec<Tenant> {
+    (0..TENANTS)
+        .map(|t| {
+            let config = HdcConfig::builder()
+                .dimension(DIM)
+                .seed(100 + (t % 2) as u64)
+                .build()
+                .expect("valid config");
+            let encoder = RecordEncoder::new(&config, FEATURES);
+            let mut rows = Vec::new();
+            let mut labels = Vec::new();
+            for c in 0..CLASSES {
+                for s in 0..5 {
+                    rows.push(
+                        (0..FEATURES)
+                            .map(|f| {
+                                let center = ((c * 31 + f * 17 + t * 7) % 97) as f64 / 97.0;
+                                let jitter = ((s * 13 + f * 7) % 5) as f64 / 400.0;
+                                (center + jitter).min(1.0)
+                            })
+                            .collect::<Vec<f64>>(),
+                    );
+                    labels.push(c);
+                }
+            }
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let encoded = encoder.encode_batch_refs(&refs);
+            let model = TrainedModel::train(&encoded, &labels, CLASSES, &config);
+            Tenant {
+                id: format!("tenant-{t}"),
+                config,
+                encoder,
+                model,
+                rows,
+                canaries: encoded,
+            }
+        })
+        .collect()
+}
+
+/// A budget that fits only two of the six tenants, so every pass over the
+/// interleaved stream forces eviction and rehydration.
+fn tight_budget() -> usize {
+    2 * 2 * CLASSES * DIM.div_ceil(64) * 8
+}
+
+fn batch_config(threads: usize) -> BatchConfig {
+    BatchConfig::builder()
+        .threads(threads)
+        .shard_size(8)
+        .build()
+        .expect("valid batch config")
+}
+
+/// An interleaved mixed stream: several passes, each visiting tenants in a
+/// rotating order so the LRU never settles.
+fn interleaved_stream(tenants: &[Tenant]) -> Vec<(&str, &[f64])> {
+    let mut stream = Vec::new();
+    for pass in 0..4 {
+        for slot in 0..tenants.len() {
+            let tenant = &tenants[(slot + pass) % tenants.len()];
+            for k in 0..3 {
+                let row = &tenant.rows[(pass * 5 + slot + k) % tenant.rows.len()];
+                stream.push((tenant.id.as_str(), row.as_slice()));
+            }
+        }
+    }
+    stream
+}
+
+/// Mirrors [`ModelRegistry::route_batch`]'s grouping: indices per tenant
+/// in first-appearance order.
+fn group_by_tenant<'a>(batch: &[(&'a str, &[f64])]) -> Vec<(&'a str, Vec<usize>)> {
+    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (index, (id, _)) in batch.iter().enumerate() {
+        match groups.iter_mut().find(|(gid, _)| gid == id) {
+            Some((_, indices)) => indices.push(index),
+            None => groups.push((id, vec![index])),
+        }
+    }
+    groups
+}
+
+#[test]
+fn route_batch_matches_solo_engine_bit_for_bit_across_threads() {
+    let tenants = build_tenants();
+    for threads in [1usize, 4] {
+        let fleet_config = FleetConfig::builder()
+            .budget_bytes(tight_budget())
+            .build()
+            .expect("valid fleet config");
+        let mut registry = ModelRegistry::new(fleet_config);
+        registry.set_batch_config(batch_config(threads));
+        for tenant in &tenants {
+            registry
+                .register_trained(&tenant.id, &tenant.config, FEATURES, &tenant.model)
+                .expect("registration succeeds");
+        }
+
+        let engine = BatchEngine::new(batch_config(threads));
+        let stream = interleaved_stream(&tenants);
+        for batch in stream.chunks(13) {
+            let fleet = registry.route_batch(batch).expect("route succeeds");
+            for (id, indices) in group_by_tenant(batch) {
+                let tenant = tenants
+                    .iter()
+                    .find(|t| t.id == id)
+                    .expect("stream only names built tenants");
+                let rows: Vec<&[f64]> = indices.iter().map(|&i| batch[i].1).collect();
+                let solo = engine.evaluate_raw_batch(
+                    &tenant.encoder,
+                    &tenant.model,
+                    &rows,
+                    tenant.config.softmax_beta,
+                );
+                for (&index, score) in indices.iter().zip(&solo) {
+                    assert_eq!(
+                        fleet[index].label,
+                        Some(score.predicted),
+                        "label diverges: threads={threads} tenant={id} index={index}"
+                    );
+                    assert_eq!(
+                        fleet[index].confidence.to_bits(),
+                        score.confidence.confidence.to_bits(),
+                        "confidence bits diverge: threads={threads} tenant={id} index={index}"
+                    );
+                }
+            }
+        }
+
+        let stats = registry.stats();
+        assert!(
+            stats.evictions > 0 && stats.rehydrations > 0,
+            "the tight budget must force churn (evictions={}, rehydrations={})",
+            stats.evictions,
+            stats.rehydrations
+        );
+        assert!(
+            stats.resident_bytes <= stats.budget_bytes,
+            "resident set exceeds the budget"
+        );
+        assert!(
+            stats.shared_encoders <= 2,
+            "two cohorts must share two encoders, got {}",
+            stats.shared_encoders
+        );
+    }
+}
+
+fn supervision() -> (RecoveryConfig, SupervisorConfig) {
+    let recovery = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(0x5EE4)
+        .build()
+        .expect("valid recovery config");
+    let policy = SupervisorConfig::builder()
+        .window(16)
+        .checkpoint_interval(4)
+        .build()
+        .expect("valid policy");
+    (recovery, policy)
+}
+
+#[test]
+fn serve_supervised_matches_bare_supervisors_bit_for_bit_across_threads() {
+    let tenants = build_tenants();
+    for threads in [1usize, 4] {
+        let fleet_config = FleetConfig::builder()
+            .budget_bytes(tight_budget())
+            .build()
+            .expect("valid fleet config");
+        let mut registry = ModelRegistry::new(fleet_config);
+        registry.set_batch_config(batch_config(threads));
+        let (recovery, policy) = supervision();
+        for tenant in &tenants {
+            registry
+                .register_trained(&tenant.id, &tenant.config, FEATURES, &tenant.model)
+                .expect("registration succeeds");
+            registry
+                .calibrate(
+                    &tenant.id,
+                    recovery.clone(),
+                    policy.clone(),
+                    &tenant.canaries,
+                )
+                .expect("calibration succeeds");
+        }
+
+        // Identically calibrated standalone supervisors: same recovery
+        // seed, same policy, same batch config, same canaries.
+        let mut solo: Vec<(TrainedModel, ResilienceSupervisor)> = tenants
+            .iter()
+            .map(|tenant| {
+                let model = tenant.model.clone();
+                let mut supervisor = ResilienceSupervisor::new(
+                    &tenant.config,
+                    recovery.clone(),
+                    policy.clone(),
+                    FEATURES,
+                );
+                supervisor.set_batch_config(batch_config(threads));
+                supervisor.calibrate(&model, &tenant.canaries);
+                (model, supervisor)
+            })
+            .collect();
+
+        let stream = interleaved_stream(&tenants);
+        for (round, batch) in stream.chunks(13).enumerate() {
+            let fleet = registry.serve_supervised(batch).expect("serve succeeds");
+            for (id, indices) in group_by_tenant(batch) {
+                let slot = tenants
+                    .iter()
+                    .position(|t| t.id == id)
+                    .expect("stream only names built tenants");
+                let rows: Vec<&[f64]> = indices.iter().map(|&i| batch[i].1).collect();
+                let (model, supervisor) = &mut solo[slot];
+                let (report, scores) =
+                    supervisor.serve_raw_batch_with_scores(&tenants[slot].encoder, model, &rows);
+                for ((&index, label), score) in indices.iter().zip(&report.answers).zip(&scores) {
+                    assert_eq!(
+                        fleet[index].label, *label,
+                        "label diverges: threads={threads} round={round} tenant={id}"
+                    );
+                    assert_eq!(
+                        fleet[index].confidence.to_bits(),
+                        score.confidence.confidence.to_bits(),
+                        "confidence bits diverge: threads={threads} round={round} tenant={id}"
+                    );
+                }
+            }
+
+            // Force a full eviction cycle mid-stream: every answer after
+            // this point is served by a model rehydrated from bytes.
+            if round == 2 {
+                for tenant in &tenants {
+                    registry.evict(&tenant.id).expect("eviction succeeds");
+                }
+            }
+        }
+
+        let stats = registry.stats();
+        assert!(
+            stats.evictions > 0 && stats.rehydrations > 0,
+            "supervised churn missing (evictions={}, rehydrations={})",
+            stats.evictions,
+            stats.rehydrations
+        );
+    }
+}

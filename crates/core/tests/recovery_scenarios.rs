@@ -175,3 +175,72 @@ fn recovery_engine_survives_garbage_traffic() {
         "garbage traffic moved {drift} of {total} bits"
     );
 }
+
+#[test]
+fn packed_cache_invalidates_after_supervisor_repair_writes() {
+    // Regression: the fused scoring path reads `TrainedModel::packed()`, a
+    // lazily built `OnceLock` copy of the class vectors. A supervisor
+    // quarantine-repair cycle writes repaired bits back into the stored
+    // classes; if that write path ever stops dropping the packed copy, the
+    // model keeps serving from the pre-repair image and every later fused
+    // score silently disagrees with the repaired classes.
+    use hypervector::PackedClasses;
+    use robusthd::supervisor::ResilienceSupervisor;
+    use robusthd::SupervisorConfig;
+
+    let mut d = deploy(35);
+    let model_bits = d.model.num_classes() * d.model.dim();
+    let half = d.queries.len() / 2;
+    let (canaries, served) = d.queries.split_at(half);
+
+    let recovery = RecoveryConfig::builder()
+        .confidence_threshold(0.45)
+        .substitution_rate(0.5)
+        .substitution(SubstitutionMode::MajorityCounter { saturation: 3 })
+        .seed(6)
+        .build()
+        .expect("valid recovery config");
+    let policy = SupervisorConfig::builder()
+        .window(served.len())
+        .checkpoint_interval(1)
+        .build()
+        .expect("valid policy");
+    let mut sup = ResilienceSupervisor::new(&d.config, recovery, policy, 0);
+    sup.calibrate(&d.model, canaries);
+
+    // Moderate diffuse damage: degraded enough to trigger repair, mild
+    // enough that trusted traffic still exists to repair from.
+    let mut image = d.model.to_memory_image();
+    faultsim::Attacker::seed_from(11).row_burst(
+        image.words_mut(),
+        model_bits,
+        256,
+        model_bits / 256 / 20,
+    );
+    image.mask_tail();
+    d.model.load_memory_image(&image);
+
+    // Prime the cache on the *corrupted* model, as serving traffic would.
+    let before: Vec<u64> = d.model.packed().words().to_vec();
+
+    let mut bits_repaired = 0;
+    for _ in 0..4 {
+        bits_repaired += sup.serve_batch(&mut d.model, served).bits_repaired;
+    }
+    assert!(
+        bits_repaired > 0,
+        "scenario must drive actual repair writes for the regression to bite"
+    );
+
+    let rebuilt = PackedClasses::from_classes(d.model.classes());
+    assert_eq!(
+        d.model.packed().words(),
+        rebuilt.words(),
+        "packed cache is stale after supervisor repair writes"
+    );
+    assert_ne!(
+        d.model.packed().words(),
+        before.as_slice(),
+        "repairs changed stored bits, so the primed cache cannot still be current"
+    );
+}

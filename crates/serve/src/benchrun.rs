@@ -175,6 +175,7 @@ fn wire_answers(
         while sent < rows.len() && sent - answers.len() < pipeline.max(1) {
             let mut msg = protocol::encode_request(&Request::Classify {
                 id: sent as u64,
+                model: None,
                 features: rows[sent].clone(),
             });
             msg.push('\n');

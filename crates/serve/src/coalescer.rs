@@ -42,10 +42,15 @@ pub enum SubmitError {
     Draining,
 }
 
-/// One accepted query waiting for its micro-batch: the feature row and the
-/// channel its answer travels back on.
+/// One accepted query waiting for its micro-batch: the routing key, the
+/// feature row, and the channel its answer travels back on.
 #[derive(Debug)]
 pub struct PendingQuery {
+    /// Fleet tenant the query routes to; `None` is the default tenant.
+    /// Solo deployments carry `None` throughout, so the key never changes
+    /// batch composition there — fleet drains group by it instead of
+    /// splitting the micro-batch.
+    pub model: Option<String>,
     /// The raw feature row to serve.
     pub features: Vec<f64>,
     /// Where the drain loop sends the answer.
@@ -113,6 +118,21 @@ impl Coalescer {
     /// [`SubmitError::Overloaded`] when `queue_depth` queries are already
     /// waiting, [`SubmitError::Draining`] once a drain has begun.
     pub fn submit(&self, features: Vec<f64>) -> Result<mpsc::Receiver<QueryAnswer>, SubmitError> {
+        self.submit_routed(None, features)
+    }
+
+    /// [`Coalescer::submit`] with an explicit fleet routing key: queries
+    /// for different tenants share one admission queue and coalesce into
+    /// the same micro-batches (the fleet drain groups them by tenant).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Coalescer::submit`].
+    pub fn submit_routed(
+        &self,
+        model: Option<String>,
+        features: Vec<f64>,
+    ) -> Result<mpsc::Receiver<QueryAnswer>, SubmitError> {
         let mut state = self.state.lock().expect("coalescer lock poisoned");
         if state.draining {
             return Err(SubmitError::Draining);
@@ -123,6 +143,7 @@ impl Coalescer {
         let (answer_tx, answer_rx) = mpsc::channel();
         state.queue.push_back((
             PendingQuery {
+                model,
                 features,
                 answer_tx,
             },

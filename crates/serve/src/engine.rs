@@ -1,5 +1,6 @@
-//! The daemon's serving core: one deployment (encoder + model) under the
-//! closed-loop resilience supervisor, consumed a micro-batch at a time.
+//! The daemon's serving core: deployments consumed a micro-batch at a
+//! time, behind the [`DrainEngine`] abstraction the drain thread serves
+//! through.
 //!
 //! [`ServeEngine`] is deliberately thin: it owns the pieces in-process
 //! callers already use ([`RecordEncoder`], [`TrainedModel`],
@@ -10,9 +11,19 @@
 //! batching and a wire format around it; it never adds numerics, which is
 //! what makes the serving differential suite's `f64::to_bits` comparisons
 //! possible.
+//!
+//! [`FleetEngine`] is the multi-tenant counterpart: it wraps a
+//! [`ModelRegistry`] and drains each micro-batch through
+//! [`ModelRegistry::serve_supervised`] — the mixed batch is grouped by
+//! tenant, each group runs its own supervisor's closed loop, and answers
+//! come back in request order. Per-model answers are bit-exact with solo
+//! serving; the fleet differential suite pins that with `f64::to_bits`.
 
+use crate::coalescer::PendingQuery;
+use robusthd::fleet::DEFAULT_TENANT;
 use robusthd::supervisor::ResilienceSupervisor;
-use robusthd::{BatchConfig, Encoder, RecordEncoder, TrainedModel};
+use robusthd::{BatchConfig, Encoder, ModelRegistry, RecordEncoder, TrainedModel};
+use std::collections::HashMap;
 
 /// The per-query slice of a served micro-batch: what one wire `result`
 /// response carries.
@@ -110,5 +121,198 @@ impl ServeEngine {
                 confidence: score.confidence.confidence,
             })
             .collect()
+    }
+}
+
+/// What the reader threads check before admitting a classify request: the
+/// routable tenants and the feature count each expects. Snapshotted from
+/// the engine at startup so admission never contends with the drain
+/// thread for the engine.
+#[derive(Debug, Clone)]
+pub enum AdmissionPolicy {
+    /// A single-model daemon: only the default tenant is routable.
+    Solo {
+        /// Feature count every classify request must supply.
+        features: usize,
+    },
+    /// A fleet daemon: one entry per servable (calibrated) tenant.
+    Fleet {
+        /// Feature count by tenant id.
+        features: HashMap<String, usize>,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Validates one classify admission (tenant routing + feature count).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the wire `error` response: unknown
+    /// tenant, or a feature-count mismatch.
+    pub fn check(&self, model: Option<&str>, got: usize) -> Result<(), String> {
+        match self {
+            AdmissionPolicy::Solo { features } => {
+                match model {
+                    None => {}
+                    Some(m) if m == DEFAULT_TENANT => {}
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown model `{other}`: this daemon serves a single model"
+                        ))
+                    }
+                }
+                if got != *features {
+                    return Err(format!("expected {features} features, got {got}"));
+                }
+                Ok(())
+            }
+            AdmissionPolicy::Fleet { features } => {
+                let id = model.unwrap_or(DEFAULT_TENANT);
+                let Some(&expected) = features.get(id) else {
+                    return Err(format!("unknown model `{id}`"));
+                };
+                if got != expected {
+                    return Err(format!(
+                        "model `{id}` expects {expected} features, got {got}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What the daemon's drain thread serves through: a solo deployment
+/// ([`ServeEngine`]) or a multi-tenant fleet ([`FleetEngine`]). The drain
+/// loop is generic over this, so both daemons share the accept/reader/
+/// writer/coalescer machinery — and the bit-exactness argument.
+pub trait DrainEngine: Send + 'static {
+    /// Admission policy snapshot, taken once at daemon startup.
+    fn admission(&self) -> AdmissionPolicy;
+
+    /// Serves one drained micro-batch, one answer per query in batch
+    /// order. Admission already validated routing and feature counts.
+    fn serve_pending(&mut self, batch: &[PendingQuery]) -> Vec<QueryAnswer>;
+
+    /// Supervisor escalation level to report in `stats` (for a fleet, the
+    /// worst tenant's).
+    fn stats_level(&self) -> usize;
+
+    /// Quarantined class count to report in `stats` (for a fleet, summed
+    /// over tenants).
+    fn stats_quarantined(&self) -> usize;
+}
+
+impl DrainEngine for ServeEngine {
+    fn admission(&self) -> AdmissionPolicy {
+        AdmissionPolicy::Solo {
+            features: self.features(),
+        }
+    }
+
+    fn serve_pending(&mut self, batch: &[PendingQuery]) -> Vec<QueryAnswer> {
+        let rows: Vec<&[f64]> = batch.iter().map(|q| q.features.as_slice()).collect();
+        self.serve(&rows)
+    }
+
+    fn stats_level(&self) -> usize {
+        self.level()
+    }
+
+    fn stats_quarantined(&self) -> usize {
+        self.quarantined().len()
+    }
+}
+
+/// The multi-tenant serving core: a [`ModelRegistry`] whose calibrated
+/// tenants the daemon routes between on the wire `model` field.
+///
+/// Every drained micro-batch goes through
+/// [`ModelRegistry::serve_supervised`]: grouped by tenant, each group
+/// served by that tenant's own resilience supervisor (health verdicts,
+/// repair, quarantine, rollback isolated per model), under the registry's
+/// memory budget (LRU eviction to RHD2 bytes, rehydration on demand).
+#[derive(Debug)]
+pub struct FleetEngine {
+    registry: ModelRegistry,
+}
+
+impl FleetEngine {
+    /// Wraps a registry. Only tenants that are already
+    /// [`ModelRegistry::calibrate`]d are admitted for serving; register
+    /// and calibrate the fleet before starting the daemon.
+    pub fn new(registry: ModelRegistry) -> Self {
+        Self { registry }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry (operator controls).
+    pub fn registry_mut(&mut self) -> &mut ModelRegistry {
+        &mut self.registry
+    }
+
+    /// Unwraps the registry (post-shutdown state inspection).
+    pub fn into_registry(self) -> ModelRegistry {
+        self.registry
+    }
+}
+
+impl DrainEngine for FleetEngine {
+    fn admission(&self) -> AdmissionPolicy {
+        let features = self
+            .registry
+            .tenant_ids()
+            .into_iter()
+            .filter(|id| self.registry.is_calibrated(id))
+            .filter_map(|id| self.registry.features(id).map(|f| (id.to_owned(), f)))
+            .collect();
+        AdmissionPolicy::Fleet { features }
+    }
+
+    fn serve_pending(&mut self, batch: &[PendingQuery]) -> Vec<QueryAnswer> {
+        let pairs: Vec<(&str, &[f64])> = batch
+            .iter()
+            .map(|q| {
+                (
+                    q.model.as_deref().unwrap_or(DEFAULT_TENANT),
+                    q.features.as_slice(),
+                )
+            })
+            .collect();
+        // Admission validated every tenant and feature count, so serving
+        // cannot fail short of a registry bug — same contract as the solo
+        // path's length assertion.
+        self.registry
+            .serve_supervised(&pairs)
+            .expect("admission validated the batch")
+            .into_iter()
+            .map(|answer| QueryAnswer {
+                label: answer.label,
+                confidence: answer.confidence,
+            })
+            .collect()
+    }
+
+    fn stats_level(&self) -> usize {
+        self.registry
+            .tenant_ids()
+            .into_iter()
+            .filter_map(|id| self.registry.supervisor(id))
+            .map(robusthd::supervisor::ResilienceSupervisor::level)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn stats_quarantined(&self) -> usize {
+        self.registry
+            .tenant_ids()
+            .into_iter()
+            .filter_map(|id| self.registry.supervisor(id))
+            .map(|s| s.quarantined_classes().len())
+            .sum()
     }
 }

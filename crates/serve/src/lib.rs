@@ -11,7 +11,9 @@
 //!   compatibility), unknown types get structured `error` responses.
 //! * [`engine`] — [`ServeEngine`]: one deployment (encoder, model,
 //!   supervisor) consumed a micro-batch at a time through the same fused
-//!   path in-process callers use.
+//!   path in-process callers use; [`FleetEngine`]: a multi-tenant
+//!   [`robusthd::ModelRegistry`] routed on the wire `model` field, each
+//!   tenant under its own supervisor and the registry's memory budget.
 //! * [`coalescer`] — the time/size-bounded micro-batch queue with
 //!   admission control: concurrent single-query requests drain as one
 //!   fused batch; overload is shed at admission with an explicit
@@ -34,6 +36,7 @@
 pub mod benchrun;
 pub mod coalescer;
 pub mod engine;
+pub mod fleetrun;
 pub mod json;
 pub mod loadgen;
 pub mod protocol;
@@ -41,7 +44,11 @@ pub mod server;
 
 pub use benchrun::{run_servebench, BenchOptions, PhaseOutcome, ServeBenchOutcome};
 pub use coalescer::{Coalescer, PendingQuery, SubmitError};
-pub use engine::{QueryAnswer, ServeEngine};
-pub use loadgen::{run_loadgen, LoadOptions, LoadReport};
+pub use engine::{AdmissionPolicy, DrainEngine, FleetEngine, QueryAnswer, ServeEngine};
+pub use fleetrun::{
+    build_fleet_tenants, run_fleetbench, CapacityOutcome, FleetBenchOptions, FleetBenchOutcome,
+    FleetTenant, LogHdOutcome, RoutingOutcome,
+};
+pub use loadgen::{run_loadgen, run_loadgen_mixed, LoadOptions, LoadReport, TenantMix};
 pub use protocol::{Request, Response, StatsSnapshot, MAX_LINE_BYTES};
-pub use server::{serve, ServeStats, ServerHandle};
+pub use server::{serve, serve_fleet, ServeStats, ServerHandle};

@@ -6,6 +6,12 @@
 //! Because the daemon answers each connection in request order, latency
 //! is measured by pairing send times (a FIFO of `Instant`s) with
 //! responses as they arrive — no per-request bookkeeping beyond the id.
+//!
+//! Fleet runs attach a [`TenantMix`]: a Zipf distribution over model ids
+//! (rank 0 most popular) sampled deterministically per request, so a
+//! mixed-tenant stream exercises the registry's grouping, LRU, and
+//! rehydration the way skewed production traffic would — a hot head that
+//! stays resident and a long tail that churns through the budget.
 
 use crate::protocol::{self, Request, Response};
 use std::collections::VecDeque;
@@ -65,6 +71,62 @@ pub struct LoadReport {
     pub max_ms: f64,
 }
 
+/// A Zipf-over-model-ids tenant mixer: deterministic skewed sampling of
+/// which tenant each classify request targets.
+#[derive(Debug, Clone)]
+pub struct TenantMix {
+    models: Vec<String>,
+    /// Cumulative Zipf weights, normalized to end at 1.0.
+    cdf: Vec<f64>,
+    seed: u64,
+}
+
+impl TenantMix {
+    /// Builds a mixer over `models` with Zipf exponent `exponent`
+    /// (`0.0` = uniform; `~1.0` = classic web-traffic skew). Rank order
+    /// follows the slice: `models[0]` is the most popular tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or `exponent` is not finite.
+    pub fn zipf(models: Vec<String>, exponent: f64, seed: u64) -> Self {
+        assert!(!models.is_empty(), "tenant mix needs at least one model");
+        assert!(exponent.is_finite(), "zipf exponent must be finite");
+        let weights: Vec<f64> = (0..models.len())
+            .map(|rank| 1.0 / ((rank + 1) as f64).powf(exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Self { models, cdf, seed }
+    }
+
+    /// The tenants in rank order.
+    pub fn models(&self) -> &[String] {
+        &self.models
+    }
+
+    /// Deterministically samples the tenant for one request: `draw` is any
+    /// caller-unique counter (client id ⊕ request index), hashed through
+    /// SplitMix64 so consecutive draws decorrelate.
+    pub fn pick(&self, draw: u64) -> &str {
+        let mut z = self.seed ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // 53-bit mantissa → uniform in [0, 1).
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let rank = self.cdf.partition_point(|&c| c <= u);
+        &self.models[rank.min(self.models.len() - 1)]
+    }
+}
+
 /// Sorted-percentile helper (nearest-rank on a sorted slice).
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -80,6 +142,8 @@ fn run_client(
     rows: &[Vec<f64>],
     requests: usize,
     pipeline: usize,
+    mix: Option<&TenantMix>,
+    client_salt: u64,
 ) -> io::Result<ClientTally> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -94,8 +158,10 @@ fn run_client(
         // Fill the pipeline window.
         while sent < requests && in_flight.len() < pipeline.max(1) {
             let row = &rows[sent % rows.len()];
+            let model = mix.map(|m| m.pick((client_salt << 32) ^ sent as u64).to_owned());
             let mut msg = protocol::encode_request(&Request::Classify {
                 id: sent as u64,
+                model,
                 features: row.clone(),
             });
             msg.push('\n');
@@ -151,6 +217,22 @@ pub fn run_loadgen(
     rows: &[Vec<f64>],
     opts: LoadOptions,
 ) -> io::Result<LoadReport> {
+    run_loadgen_mixed(addr, rows, opts, None)
+}
+
+/// [`run_loadgen`] with an optional fleet tenant mixer: each request's
+/// `model` field is drawn from `mix` (all tenants must share the query
+/// rows' feature count). `None` sends single-model traffic.
+///
+/// # Errors / Panics
+///
+/// Same as [`run_loadgen`].
+pub fn run_loadgen_mixed(
+    addr: SocketAddr,
+    rows: &[Vec<f64>],
+    opts: LoadOptions,
+    mix: Option<&TenantMix>,
+) -> io::Result<LoadReport> {
     assert!(!rows.is_empty(), "loadgen needs at least one query row");
     let clients = opts.clients.max(1);
     let start = Instant::now();
@@ -165,7 +247,14 @@ pub fn run_loadgen(
                     .cloned()
                     .collect();
                 scope.spawn(move || {
-                    run_client(addr, &rotated, opts.requests_per_client, opts.pipeline)
+                    run_client(
+                        addr,
+                        &rotated,
+                        opts.requests_per_client,
+                        opts.pipeline,
+                        mix,
+                        i as u64,
+                    )
                 })
             })
             .collect();
@@ -218,6 +307,42 @@ fn report_from(merged: ClientTally, sent: usize, elapsed: Duration) -> LoadRepor
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zipf_mix_is_deterministic_and_skewed() {
+        let models: Vec<String> = (0..20).map(|i| format!("m{i}")).collect();
+        let mix = TenantMix::zipf(models, 1.0, 42);
+        let again = TenantMix::zipf(mix.models().to_vec(), 1.0, 42);
+        let mut counts = std::collections::HashMap::new();
+        for draw in 0..4000u64 {
+            let picked = mix.pick(draw);
+            assert_eq!(picked, again.pick(draw), "same seed, same stream");
+            *counts.entry(picked.to_owned()).or_insert(0usize) += 1;
+        }
+        let head = counts.get("m0").copied().unwrap_or(0);
+        let tail = counts.get("m19").copied().unwrap_or(0);
+        assert!(
+            head > 3 * tail.max(1),
+            "zipf head should dominate the tail: head={head} tail={tail}"
+        );
+        // Every rank still gets some traffic (the tail churns the LRU).
+        assert!(counts.len() >= 15, "only {} tenants drawn", counts.len());
+    }
+
+    #[test]
+    fn uniform_mix_spreads_evenly() {
+        let models: Vec<String> = (0..4).map(|i| format!("m{i}")).collect();
+        let mix = TenantMix::zipf(models, 0.0, 7);
+        let mut counts = [0usize; 4];
+        for draw in 0..4000u64 {
+            let picked = mix.pick(draw);
+            let idx: usize = picked[1..].parse().expect("model index");
+            counts[idx] += 1;
+        }
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "uniform draw skewed: {counts:?}");
+        }
+    }
 
     #[test]
     fn percentiles_nearest_rank() {

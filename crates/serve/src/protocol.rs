@@ -14,6 +14,7 @@
 //!
 //! ```text
 //! {"type":"classify","id":<u64>,"features":[<f64>,...]}
+//! {"type":"classify","id":<u64>,"model":<string>,"features":[<f64>,...]}
 //! {"type":"stats"}
 //! {"type":"health"}
 //! {"type":"ping"}
@@ -36,6 +37,11 @@
 //! predicted class is quarantined by the resilience supervisor, and the
 //! daemon reports "unreliable" instead of silently misclassifying.
 //!
+//! The optional `model` field routes a classify to a fleet tenant. An
+//! absent field means the default tenant, so single-model clients keep
+//! working against a fleet daemon unchanged — and fleet-unaware daemons
+//! reject named tenants they don't serve instead of misrouting.
+//!
 //! `f64` payloads (features out, confidence back) round-trip bit-exactly
 //! through the [`crate::json`] layer, so a response compared against
 //! in-process serving matches to `f64::to_bits`.
@@ -57,6 +63,9 @@ pub enum Request {
     Classify {
         /// Client-chosen correlation id, echoed verbatim.
         id: u64,
+        /// Fleet tenant to route to; `None` means the default tenant
+        /// (wire-compatible with pre-fleet clients, which omit the field).
+        model: Option<String>,
         /// Raw feature row (same layout the CLI's CSV convention uses).
         features: Vec<f64>,
     },
@@ -181,14 +190,26 @@ fn label_json(label: Option<usize>) -> Json {
 /// Encodes a request as one protocol line (no trailing newline).
 pub fn encode_request(request: &Request) -> String {
     let value = match request {
-        Request::Classify { id, features } => Json::Object(vec![
-            ("type".to_owned(), Json::String("classify".to_owned())),
-            ("id".to_owned(), Json::Number(*id as f64)),
-            (
+        Request::Classify {
+            id,
+            model,
+            features,
+        } => {
+            let mut fields = vec![
+                ("type".to_owned(), Json::String("classify".to_owned())),
+                ("id".to_owned(), Json::Number(*id as f64)),
+            ];
+            // Omitted (not null) when unset, so the encoding of a
+            // default-tenant request is byte-identical to a pre-fleet one.
+            if let Some(model) = model {
+                fields.push(("model".to_owned(), Json::String(model.clone())));
+            }
+            fields.push((
                 "features".to_owned(),
                 Json::Array(features.iter().map(|&f| Json::Number(f)).collect()),
-            ),
-        ]),
+            ));
+            Json::Object(fields)
+        }
         Request::Stats => tag_only("stats"),
         Request::Health => tag_only("health"),
         Request::Ping => tag_only("ping"),
@@ -292,6 +313,16 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
             let id = value.get("id").and_then(Json::as_u64).ok_or_else(|| {
                 ProtocolError::new("classify needs a non-negative integer `id`", None)
             })?;
+            let model = match value.get("model") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| {
+                            ProtocolError::new("`model` must be a string or null", Some(id))
+                        })?
+                        .to_owned(),
+                ),
+            };
             let features = value
                 .get("features")
                 .and_then(Json::as_array)
@@ -304,7 +335,11 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
                     })
                 })
                 .collect::<Result<_, _>>()?;
-            Ok(Request::Classify { id, features })
+            Ok(Request::Classify {
+                id,
+                model,
+                features,
+            })
         }
         Some("stats") => Ok(Request::Stats),
         Some("health") => Ok(Request::Health),
@@ -420,11 +455,12 @@ mod tests {
     fn classify_roundtrips_feature_bits() {
         let request = Request::Classify {
             id: 42,
+            model: None,
             features: vec![0.1, 1.0 / 3.0, -0.0, f64::MIN_POSITIVE],
         };
         let line = encode_request(&request);
         let back = decode_request(&line).expect("valid");
-        let Request::Classify { id, features } = back else {
+        let Request::Classify { id, features, .. } = back else {
             panic!("wrong variant: {back:?}");
         };
         assert_eq!(id, 42);
@@ -438,6 +474,37 @@ mod tests {
         for (a, b) in features.iter().zip(&original) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn model_field_is_optional_and_roundtrips() {
+        // Pre-fleet encoding: no model field at all.
+        let plain = Request::Classify {
+            id: 1,
+            model: None,
+            features: vec![0.5],
+        };
+        let line = encode_request(&plain);
+        assert!(!line.contains("model"), "{line}");
+        assert_eq!(decode_request(&line).expect("valid"), plain);
+        // A wire-level null is also the default tenant.
+        let nulled =
+            decode_request("{\"type\":\"classify\",\"id\":1,\"model\":null,\"features\":[0.5]}")
+                .expect("valid");
+        assert_eq!(nulled, plain);
+        // A named tenant survives the roundtrip.
+        let routed = Request::Classify {
+            id: 2,
+            model: Some("tenant-7".to_owned()),
+            features: vec![0.5],
+        };
+        let line = encode_request(&routed);
+        assert!(line.contains("\"model\":\"tenant-7\""), "{line}");
+        assert_eq!(decode_request(&line).expect("valid"), routed);
+        // A non-string model is a structured error carrying the id.
+        let err = decode_request("{\"type\":\"classify\",\"id\":3,\"model\":7,\"features\":[]}")
+            .expect_err("bad model");
+        assert_eq!(err.id, Some(3));
     }
 
     #[test]

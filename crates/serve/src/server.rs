@@ -43,7 +43,7 @@
 //! streams, and peers see a clean close after their final response.
 
 use crate::coalescer::{Coalescer, SubmitError};
-use crate::engine::{QueryAnswer, ServeEngine};
+use crate::engine::{AdmissionPolicy, DrainEngine, FleetEngine, QueryAnswer, ServeEngine};
 use crate::protocol::{self, encode_response, Request, Response, StatsSnapshot, MAX_LINE_BYTES};
 use robusthd::ServeConfig;
 use std::collections::HashMap;
@@ -105,9 +105,10 @@ impl ServeStats {
 struct Shared {
     coalescer: Coalescer,
     stats: ServeStats,
-    /// Feature count classify requests must match (validated at admission
-    /// so the engine can assert instead of panic on client mistakes).
-    features: usize,
+    /// Routing + feature-count policy classify requests must pass
+    /// (validated at admission so the engine can assert instead of panic
+    /// on client mistakes).
+    admission: AdmissionPolicy,
     /// Read-half clones of every live connection, keyed by connection id,
     /// so the drain thread can unblock parked readers once the queue is
     /// flushed. Readers deregister themselves on exit.
@@ -129,12 +130,16 @@ impl Shared {
 }
 
 /// A running daemon: its bound address and the handles to stop it.
+///
+/// Generic over the engine behind the drain thread — [`ServeEngine`] (the
+/// default, what [`serve`] starts) or [`FleetEngine`] (what
+/// [`serve_fleet`] starts).
 #[derive(Debug)]
-pub struct ServerHandle {
+pub struct ServerHandle<E: DrainEngine = ServeEngine> {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<thread::JoinHandle<()>>,
-    drain_thread: Option<thread::JoinHandle<ServeEngine>>,
+    drain_thread: Option<thread::JoinHandle<E>>,
 }
 
 /// Starts the daemon on `addr` (use port 0 for an OS-assigned port) and
@@ -149,13 +154,37 @@ pub fn serve(
     config: ServeConfig,
     engine: ServeEngine,
 ) -> io::Result<ServerHandle> {
+    serve_with(addr, config, engine)
+}
+
+/// Starts a multi-tenant fleet daemon: identical thread topology and wire
+/// protocol, with classify requests routed between the registry's
+/// calibrated tenants on the optional `model` field (absent = default
+/// tenant, so single-model clients work unchanged).
+///
+/// # Errors
+///
+/// Returns any I/O error from binding the listener.
+pub fn serve_fleet(
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+    engine: FleetEngine,
+) -> io::Result<ServerHandle<FleetEngine>> {
+    serve_with(addr, config, engine)
+}
+
+fn serve_with<E: DrainEngine>(
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+    engine: E,
+) -> io::Result<ServerHandle<E>> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         coalescer: Coalescer::new(config),
         stats: ServeStats::default(),
-        features: engine.features(),
+        admission: engine.admission(),
         conns: Mutex::new(HashMap::new()),
         swept: AtomicBool::new(false),
     });
@@ -178,7 +207,7 @@ pub fn serve(
     })
 }
 
-impl ServerHandle {
+impl<E: DrainEngine> ServerHandle<E> {
     /// The daemon's bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -198,7 +227,7 @@ impl ServerHandle {
     /// connections refused, queued queries flushed, every accepted query
     /// answered. Returns the engine (with its post-traffic supervisor
     /// state) and the final counter snapshot.
-    pub fn shutdown(mut self) -> (ServeEngine, StatsSnapshot) {
+    pub fn shutdown(mut self) -> (E, StatsSnapshot) {
         self.shared.coalescer.begin_drain();
         let engine = self.join();
         let stats = self.shared.stats.snapshot(self.shared.coalescer.len());
@@ -209,13 +238,13 @@ impl ServerHandle {
     /// or a concurrent [`ServerHandle::shutdown`] — and returns the engine
     /// plus the final counter snapshot. This is what `robusthd serve`
     /// blocks on.
-    pub fn wait(mut self) -> (ServeEngine, StatsSnapshot) {
+    pub fn wait(mut self) -> (E, StatsSnapshot) {
         let engine = self.join();
         let stats = self.shared.stats.snapshot(self.shared.coalescer.len());
         (engine, stats)
     }
 
-    fn join(&mut self) -> ServeEngine {
+    fn join(&mut self) -> E {
         let engine = self
             .drain_thread
             .take()
@@ -229,7 +258,7 @@ impl ServerHandle {
     }
 }
 
-impl Drop for ServerHandle {
+impl<E: DrainEngine> Drop for ServerHandle<E> {
     fn drop(&mut self) {
         // A dropped handle still tears the daemon down cleanly.
         if self.drain_thread.is_some() {
@@ -284,16 +313,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn drain_loop(shared: &Arc<Shared>, mut engine: ServeEngine) -> ServeEngine {
+fn drain_loop<E: DrainEngine>(shared: &Arc<Shared>, mut engine: E) -> E {
     while let Some(batch) = shared.coalescer.next_batch() {
         if batch.is_empty() {
             continue;
         }
-        let rows: Vec<&[f64]> = batch.iter().map(|q| q.features.as_slice()).collect();
-        let answers = engine.serve(&rows);
-        shared
-            .stats
-            .observe_batch(batch.len(), engine.level(), engine.quarantined().len());
+        let answers = engine.serve_pending(&batch);
+        shared.stats.observe_batch(
+            batch.len(),
+            engine.stats_level(),
+            engine.stats_quarantined(),
+        );
         shared
             .stats
             .results
@@ -350,29 +380,24 @@ fn connection_reader(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
                     Ok(request) => handle_request(request, shared),
                     Err(error) => {
                         ServeStats::bump(&shared.stats.errors);
-                        Some(Outgoing::Ready(Response::Error {
+                        Outgoing::Ready(Response::Error {
                             message: error.message,
                             id: error.id,
-                        }))
+                        })
                     }
                 }
             }
             LineRead::Oversized => {
                 ServeStats::bump(&shared.stats.errors);
-                Some(Outgoing::Ready(Response::Error {
+                Outgoing::Ready(Response::Error {
                     message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
                     id: None,
-                }))
+                })
             }
             LineRead::Eof | LineRead::Failed => break,
         };
-        match outgoing {
-            Some(out) => {
-                if out_tx.send(out).is_err() {
-                    break; // writer died (peer closed): stop reading
-                }
-            }
-            None => continue,
+        if out_tx.send(outgoing).is_err() {
+            break; // writer died (peer closed): stop reading
         }
     }
     drop(out_tx); // writer flushes the remaining ordered stream, then exits
@@ -384,48 +409,48 @@ fn connection_reader(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
         .remove(&conn_id);
 }
 
-/// Turns one decoded request into its ordered-stream entry (or `None` for
-/// requests that produce no response — currently none do).
-fn handle_request(request: Request, shared: &Arc<Shared>) -> Option<Outgoing> {
+/// Turns one decoded request into its ordered-stream entry; every request
+/// produces exactly one response.
+fn handle_request(request: Request, shared: &Arc<Shared>) -> Outgoing {
     match request {
-        Request::Classify { id, features } => {
-            if features.len() != shared.features {
+        Request::Classify {
+            id,
+            model,
+            features,
+        } => {
+            if let Err(message) = shared.admission.check(model.as_deref(), features.len()) {
                 ServeStats::bump(&shared.stats.errors);
-                return Some(Outgoing::Ready(Response::Error {
-                    message: format!(
-                        "expected {} features, got {}",
-                        shared.features,
-                        features.len()
-                    ),
+                return Outgoing::Ready(Response::Error {
+                    message,
                     id: Some(id),
-                }));
+                });
             }
-            match shared.coalescer.submit(features) {
-                Ok(answer_rx) => Some(Outgoing::Pending(id, answer_rx)),
+            match shared.coalescer.submit_routed(model, features) {
+                Ok(answer_rx) => Outgoing::Pending(id, answer_rx),
                 Err(SubmitError::Overloaded) => {
                     ServeStats::bump(&shared.stats.overloaded);
-                    Some(Outgoing::Ready(Response::Overloaded { id }))
+                    Outgoing::Ready(Response::Overloaded { id })
                 }
                 Err(SubmitError::Draining) => {
                     ServeStats::bump(&shared.stats.errors);
-                    Some(Outgoing::Ready(Response::Error {
+                    Outgoing::Ready(Response::Error {
                         message: "daemon is draining".to_owned(),
                         id: Some(id),
-                    }))
+                    })
                 }
             }
         }
-        Request::Stats => Some(Outgoing::Ready(Response::Stats(
+        Request::Stats => Outgoing::Ready(Response::Stats(
             shared.stats.snapshot(shared.coalescer.len()),
-        ))),
-        Request::Health => Some(Outgoing::Ready(Response::Health {
+        )),
+        Request::Health => Outgoing::Ready(Response::Health {
             draining: shared.coalescer.is_draining(),
             queue: shared.coalescer.len(),
-        })),
-        Request::Ping => Some(Outgoing::Ready(Response::Pong)),
+        }),
+        Request::Ping => Outgoing::Ready(Response::Pong),
         Request::Shutdown => {
             shared.coalescer.begin_drain();
-            Some(Outgoing::Ready(Response::ShuttingDown))
+            Outgoing::Ready(Response::ShuttingDown)
         }
     }
 }

@@ -276,6 +276,7 @@ fn classify_over_wire(
     for (i, row) in rows.iter().enumerate() {
         let mut line = protocol::encode_request(&Request::Classify {
             id: id_base + i as u64,
+            model: None,
             features: row.clone(),
         });
         line.push('\n');

@@ -155,6 +155,7 @@ fn graceful_drain_answers_every_accepted_query_then_refuses() {
     for (i, row) in rows[..in_flight].iter().enumerate() {
         client.queue(&Request::Classify {
             id: i as u64,
+            model: None,
             features: row.clone(),
         });
     }
@@ -204,12 +205,20 @@ fn classify_after_shutdown_is_refused_with_a_draining_error() {
     let handle = start(config, engine);
     let mut client = Client::connect(handle.addr());
 
-    client.send(&Request::Shutdown);
-    assert_eq!(client.recv(), Response::ShuttingDown);
-    client.send(&Request::Classify {
+    // Pipelined in one flush so both lines reach the reader together: the
+    // classify already in flight behind the shutdown must be refused with
+    // a structured error, never silently dropped mid-drain. (A classify
+    // sent only *after* observing `ShuttingDown` instead races the drain
+    // sweep's connection close and may legitimately see EOF/reset, so
+    // that ordering is not asserted here.)
+    client.queue(&Request::Shutdown);
+    client.queue(&Request::Classify {
         id: 77,
+        model: None,
         features: rows[0].clone(),
     });
+    client.flush();
+    assert_eq!(client.recv(), Response::ShuttingDown);
     match client.recv() {
         Response::Error { id, message } => {
             assert_eq!(id, Some(77));
@@ -240,6 +249,7 @@ fn backpressure_sheds_beyond_the_queue_depth_with_overloaded_responses() {
     for (i, row) in rows.iter().cycle().take(total).enumerate() {
         client.queue(&Request::Classify {
             id: i as u64,
+            model: None,
             features: row.clone(),
         });
     }
@@ -353,6 +363,7 @@ fn garbage_truncation_and_oversize_never_wedge_a_connection() {
     // Wrong feature count is refused per-request, not per-connection.
     client.send(&Request::Classify {
         id: 8,
+        model: None,
         features: vec![0.5; 3],
     });
     match client.recv() {
@@ -377,6 +388,7 @@ fn garbage_truncation_and_oversize_never_wedge_a_connection() {
     // After all that abuse, a real query still gets its bit-for-bit answer.
     client.send(&Request::Classify {
         id: 99,
+        model: None,
         features: rows[0].clone(),
     });
     match client.recv() {

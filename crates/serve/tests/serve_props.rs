@@ -53,17 +53,27 @@ fn sample_requests(rng: &mut XorShift) -> Vec<Request> {
         Request::Shutdown,
         Request::Classify {
             id: 0,
+            model: None,
             features: Vec::new(),
         },
         Request::Classify {
             id: MAX_WIRE_ID,
+            model: None,
             features: vec![f64::MIN_POSITIVE, -0.0, 1.0 / 3.0],
         },
     ];
-    for _ in 0..40 {
+    for i in 0..40 {
         let len = (rng.next() % 24) as usize;
+        // Every third request names a fleet tenant, so routed classify
+        // lines roundtrip alongside wire-compatible plain ones.
+        let model = if i % 3 == 0 {
+            Some(format!("tenant-{}", rng.next() % 8))
+        } else {
+            None
+        };
         requests.push(Request::Classify {
             id: rng.next() % (MAX_WIRE_ID + 1),
+            model,
             features: (0..len).map(|_| rng.f64()).collect(),
         });
     }
@@ -112,7 +122,7 @@ fn sample_responses(rng: &mut XorShift) -> Vec<Response> {
     for _ in 0..40 {
         responses.push(Response::Result {
             id: rng.next() % (MAX_WIRE_ID + 1),
-            label: if rng.next() % 4 == 0 {
+            label: if rng.next().is_multiple_of(4) {
                 None
             } else {
                 Some((rng.next() % 1000) as usize)
@@ -130,13 +140,19 @@ fn assert_request_roundtrip(request: &Request) {
         .unwrap_or_else(|e| panic!("own encoding must decode: {e:?} for {line}"));
     match (request, &back) {
         (
-            Request::Classify { id, features },
+            Request::Classify {
+                id,
+                model,
+                features,
+            },
             Request::Classify {
                 id: back_id,
+                model: back_model,
                 features: back_features,
             },
         ) => {
             assert_eq!(id, back_id);
+            assert_eq!(model, back_model, "model field diverges in {line}");
             assert_eq!(features.len(), back_features.len());
             for (a, b) in features.iter().zip(back_features) {
                 assert_eq!(a.to_bits(), b.to_bits(), "feature bits diverge in {line}");
@@ -281,6 +297,7 @@ fn unknown_fields_and_reordering_are_tolerated() {
         decode_request(annotated).expect("annotated classify decodes"),
         Request::Classify {
             id: 9,
+            model: None,
             features: vec![0.5, 0.25],
         }
     );
@@ -303,6 +320,7 @@ fn unknown_fields_and_reordering_are_tolerated() {
         decode_request(duped).expect("duplicate keys decode"),
         Request::Classify {
             id: 2,
+            model: None,
             features: Vec::new(),
         }
     );
@@ -336,6 +354,7 @@ fn numeric_domains_are_enforced() {
         aliased.expect("aliases to 2^53"),
         Request::Classify {
             id: MAX_WIRE_ID,
+            model: None,
             features: Vec::new(),
         }
     );

@@ -54,6 +54,7 @@ pub const KERNEL_MODULES: &[&str] = &[
     "crates/hypervector/src/accumulator.rs",
     "crates/core/src/batch.rs",
     "crates/core/src/train.rs",
+    "crates/core/src/fleet.rs",
     "crates/advsim/src/attack.rs",
 ];
 
