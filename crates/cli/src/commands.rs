@@ -1919,10 +1919,13 @@ pub fn serve(argv: &[String]) -> Result<String, String> {
         config.queue_depth,
     );
     let (engine, stats) = handle.wait();
+    let level = engine.map_or_else(
+        || "unknown (drain thread panicked)".to_owned(),
+        |e| e.level().to_string(),
+    );
     Ok(format!(
-        "robusthdd drained: clean accuracy {:.2}%, final level {}\n{}",
+        "robusthdd drained: clean accuracy {:.2}%, final level {level}\n{}",
         pipeline.clean_accuracy * 100.0,
-        engine.level(),
         stats_lines(&stats)
     ))
 }

@@ -115,10 +115,11 @@ pub fn scan_chunk_faults(
         inspected += 1;
         let d = end - start;
         let margin_bits = hypervector::cast::round_to_usize(fault_margin * (d as f64).sqrt());
-        let predicted_dist = predicted_dists[chunk];
-        // `saturating_add` keeps the usize::MAX sentinel of a rival-less
-        // (single-class) model out of overflow; real distances are at most
-        // `dim`, far from saturation.
+        let predicted_dist = predicted_dists[chunk]; // audit:allow(panic): predicted_dists has one entry per chunk
+                                                     // `saturating_add` keeps the usize::MAX sentinel of a rival-less
+                                                     // (single-class) model out of overflow; real distances are at most
+                                                     // `dim`, far from saturation.
+                                                     // audit:allow(panic): rival_best has one entry per chunk
         if rival_best[chunk].saturating_add(margin_bits) < predicted_dist {
             faulty.push(chunk);
         }
@@ -237,7 +238,7 @@ impl BatchEngine {
                             }
                             let lo = shard * shard_size;
                             let hi = (lo + shard_size).min(inputs.len());
-                            local.push((shard, f(&inputs[lo..hi])));
+                            local.push((shard, f(&inputs[lo..hi]))); // audit:allow(panic): hi is clamped to inputs.len()
                         }
                         local
                     })

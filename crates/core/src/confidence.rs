@@ -56,19 +56,19 @@ impl Confidence {
         let label = probabilities
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("nonempty");
+            .expect("nonempty"); // audit:allow(panic): similarities asserted non-empty at entry
         let mut sorted = similarities.to_vec();
-        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite similarities"));
+        sorted.sort_by(|a, b| b.total_cmp(a));
         let margin = if sorted.len() >= 2 {
-            sorted[0] - sorted[1]
+            sorted[0] - sorted[1] // audit:allow(panic): guarded by the len >= 2 branch
         } else {
             0.0
         };
         Self {
             label,
-            confidence: probabilities[label],
+            confidence: probabilities[label], // audit:allow(panic): label indexes the same-length probabilities
             margin,
             probabilities,
         }

@@ -96,7 +96,7 @@ impl HdcConfig {
 
 impl Default for HdcConfig {
     fn default() -> Self {
-        Self::builder().build().expect("defaults are valid")
+        Self::builder().build().expect("defaults are valid") // audit:allow(panic): builder defaults are statically valid
     }
 }
 
@@ -242,7 +242,7 @@ impl RecoveryConfig {
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        Self::builder().build().expect("defaults are valid")
+        Self::builder().build().expect("defaults are valid") // audit:allow(panic): builder defaults are statically valid
     }
 }
 
@@ -470,7 +470,7 @@ impl SupervisorConfig {
 
 impl Default for SupervisorConfig {
     fn default() -> Self {
-        Self::builder().build().expect("defaults are valid")
+        Self::builder().build().expect("defaults are valid") // audit:allow(panic): builder defaults are statically valid
     }
 }
 
@@ -920,13 +920,13 @@ impl BatchConfig {
         Self::builder()
             .threads(threads)
             .build()
-            .expect("env-derived batch config is valid")
+            .expect("env-derived batch config is valid") // audit:allow(panic): startup-time config build, not a serving-path failure
     }
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self::builder().build().expect("defaults are valid")
+        Self::builder().build().expect("defaults are valid") // audit:allow(panic): builder defaults are statically valid
     }
 }
 
@@ -1106,13 +1106,13 @@ impl FleetConfig {
             .budget_bytes(budget_bytes)
             .loghd(loghd)
             .build()
-            .expect("env-derived fleet config is valid")
+            .expect("env-derived fleet config is valid") // audit:allow(panic): startup-time config build, not a serving-path failure
     }
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self::builder().build().expect("defaults are valid")
+        Self::builder().build().expect("defaults are valid") // audit:allow(panic): builder defaults are statically valid
     }
 }
 
@@ -1240,13 +1240,13 @@ impl ServeConfig {
             .max_batch(max_batch)
             .queue_depth(queue_depth)
             .build()
-            .expect("env-derived serve config is valid")
+            .expect("env-derived serve config is valid") // audit:allow(panic): startup-time config build, not a serving-path failure
     }
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self::builder().build().expect("defaults are valid")
+        Self::builder().build().expect("defaults are valid") // audit:allow(panic): builder defaults are statically valid
     }
 }
 

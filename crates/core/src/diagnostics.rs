@@ -233,7 +233,7 @@ impl HealthMonitor {
     ///
     /// Panics if the monitor was never calibrated.
     pub fn verdict(&self) -> HealthVerdict {
-        let baseline = self.baseline.expect("monitor must be calibrated first");
+        let baseline = self.baseline.expect("monitor must be calibrated first"); // audit:allow(panic): documented precondition: calibrate before verdict
         let Some(current) = self.snapshot() else {
             return HealthVerdict::InsufficientTraffic;
         };
@@ -286,7 +286,7 @@ impl HealthMonitor {
     ///
     /// Panics if the monitor was never calibrated.
     pub fn judge_margins(&self, margins: &[f64]) -> HealthVerdict {
-        let baseline = self.baseline.expect("monitor must be calibrated first");
+        let baseline = self.baseline.expect("monitor must be calibrated first"); // audit:allow(panic): documented precondition: calibrate before verdict
         if margins.is_empty() {
             return HealthVerdict::InsufficientTraffic;
         }
@@ -305,12 +305,12 @@ impl HealthMonitor {
 /// length is even).
 fn median(sample: &[f64]) -> f64 {
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite margins"));
+    sorted.sort_by(f64::total_cmp);
     let mid = sorted.len() / 2;
     if sorted.len() % 2 == 1 {
-        sorted[mid]
+        sorted[mid] // audit:allow(panic): odd non-empty sample: mid < len
     } else {
-        (sorted[mid - 1] + sorted[mid]) / 2.0
+        (sorted[mid - 1] + sorted[mid]) / 2.0 // audit:allow(panic): even non-empty sample: 1 <= mid < len
     }
 }
 

@@ -209,6 +209,7 @@ impl Encoder for RecordEncoder {
         self.bases.len()
     }
 
+    // audit:allow(panic): level_index is clamped to the level table; k spans the asserted feature count
     fn encode(&self, features: &[f64]) -> BinaryHypervector {
         assert_eq!(
             features.len(),
@@ -295,6 +296,7 @@ impl Encoder for RandomProjectionEncoder {
         self.features
     }
 
+    // audit:allow(panic): taps are built over the feature count at construction
     fn encode(&self, features: &[f64]) -> BinaryHypervector {
         assert_eq!(
             features.len(),

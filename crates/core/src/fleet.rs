@@ -655,6 +655,7 @@ impl ModelRegistry {
     /// [`FleetError::UnknownModel`] / [`FleetError::FeatureMismatch`] on a
     /// bad query (the whole batch is refused — validation happens before
     /// any scoring), or any hydration error.
+    // audit:allow(panic): indices come from group_and_validate over these queries
     pub fn route_batch(
         &mut self,
         queries: &[(&str, &[f64])],
@@ -720,6 +721,7 @@ impl ModelRegistry {
     ///
     /// Everything [`ModelRegistry::route_batch`] raises, plus
     /// [`FleetError::NotCalibrated`] for a tenant without a supervisor.
+    // audit:allow(panic): indices come from group_and_validate over these queries
     pub fn serve_supervised(
         &mut self,
         queries: &[(&str, &[f64])],
@@ -786,7 +788,7 @@ impl ModelRegistry {
                 });
             }
             match slots.get(id) {
-                Some(&slot) => order[slot].1.push(index),
+                Some(&slot) => order[slot].1.push(index), // audit:allow(panic): slot was produced from positions in order
                 None => {
                     slots.insert(id, order.len());
                     order.push(((*id).to_owned(), vec![index]));

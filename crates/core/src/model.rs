@@ -147,7 +147,7 @@ impl TrainedModel {
     /// Panics if `classes` is empty or dimensions are inconsistent.
     pub fn from_classes(classes: Vec<BinaryHypervector>) -> Self {
         assert!(!classes.is_empty(), "need at least one class");
-        let dim = classes[0].dim();
+        let dim = classes[0].dim(); // audit:allow(panic): non-emptiness asserted above
         assert!(
             classes.iter().all(|c| c.dim() == dim),
             "class hypervectors must share one dimension"
@@ -180,7 +180,7 @@ impl TrainedModel {
     ///
     /// Panics if `label` is out of range.
     pub fn class(&self, label: usize) -> &BinaryHypervector {
-        &self.classes[label]
+        &self.classes[label] // audit:allow(panic): documented panic: label out of range
     }
 
     /// Mutable access to one class hypervector (used by the recovery engine
@@ -193,7 +193,7 @@ impl TrainedModel {
         // The caller may rewrite stored bits; the packed scoring copy is
         // stale the moment they do.
         self.packed.take();
-        &mut self.classes[label]
+        &mut self.classes[label] // audit:allow(panic): documented panic: label out of range
     }
 
     /// The class-major packed copy of the model used by the fused scoring
@@ -278,6 +278,7 @@ impl TrainedModel {
 pub(crate) fn argmin_first(distances: &[usize]) -> usize {
     let mut best = 0;
     for (i, &d) in distances.iter().enumerate().skip(1) {
+        // audit:allow(panic): best is a prior index of the same slice
         if d < distances[best] {
             best = i;
         }
@@ -381,7 +382,7 @@ impl IntModel {
             .enumerate()
             .max_by_key(|(i, c)| (c.dot_binary(query), std::cmp::Reverse(*i)))
             .map(|(i, _)| i)
-            .expect("model has at least one class")
+            .expect("model has at least one class") // audit:allow(panic): construction asserts at least one class
     }
 
     /// Serializes the model's stored form: `k × D × b` bits of packed

@@ -139,14 +139,14 @@ pub fn save_model<W: Write>(
 fn encode_body(config: &HdcConfig, features: usize, model: &TrainedModel) -> Vec<u8> {
     let words = model.num_classes() * config.dimension.div_ceil(64);
     let mut body = Vec::with_capacity(56 + words * 8);
-    body.extend_from_slice(&(features as u32).to_le_bytes());
+    body.extend_from_slice(&(features as u32).to_le_bytes()); // audit:allow(panic): feature counts sit far below the u32 format field
     body.extend_from_slice(&(config.dimension as u64).to_le_bytes());
     body.extend_from_slice(&(config.levels as u64).to_le_bytes());
     body.extend_from_slice(&(config.level_correlation as u64).to_le_bytes());
     body.extend_from_slice(&(config.retrain_epochs as u64).to_le_bytes());
     body.extend_from_slice(&config.seed.to_le_bytes());
     body.extend_from_slice(&config.softmax_beta.to_le_bytes());
-    body.extend_from_slice(&(model.num_classes() as u32).to_le_bytes());
+    body.extend_from_slice(&(model.num_classes() as u32).to_le_bytes()); // audit:allow(panic): class counts sit far below the u32 format field
     for class in model.classes() {
         for &word in class.bits().words() {
             body.extend_from_slice(&word.to_le_bytes());
@@ -156,6 +156,7 @@ fn encode_body(config: &HdcConfig, features: usize, model: &TrainedModel) -> Vec
 }
 
 /// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+// audit:allow(panic): 8-bit table arithmetic: i < 256 and masked indices
 pub fn crc32(bytes: &[u8]) -> u32 {
     const TABLE: [u32; 256] = {
         let mut table = [0u32; 256];
@@ -226,7 +227,7 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<SavedPipeline, LoadModelErro
         ));
     }
     let (body, crc_bytes) = rest.split_at(rest.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes")); // audit:allow(panic): split_at leaves exactly 4 bytes
     let computed = crc32(body);
     if stored != computed {
         return Err(LoadModelError::ChecksumMismatch { stored, computed });
@@ -286,7 +287,7 @@ fn parse_body<R: Read>(reader: &mut R) -> Result<SavedPipeline, LoadModelError> 
     for _ in 0..classes {
         let mut bits = PackedBits::zeros(dimension);
         for word_idx in 0..words_per_class {
-            bits.words_mut()[word_idx] = read_u64(reader)?;
+            bits.words_mut()[word_idx] = read_u64(reader)?; // audit:allow(panic): bits was sized to words_per_class
         }
         bits.mask_tail();
         class_vectors.push(BinaryHypervector::from_bits(bits));

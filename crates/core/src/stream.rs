@@ -294,6 +294,7 @@ impl MultichannelStreamClassifier {
     /// `channel_base ⊕ symbol(value)`, through the fused XOR+carry-save
     /// kernel (no per-channel bind allocation; bit-identical to the scalar
     /// accumulator — see `hypervector/tests/bitslice_props.rs`).
+    // audit:allow(panic): channel count asserted at entry; symbol() clamps to the alphabet
     fn encode_step(&self, step: &[f64]) -> BinaryHypervector {
         assert_eq!(
             step.len(),
@@ -330,7 +331,7 @@ impl MultichannelStreamClassifier {
         );
         let steps: Vec<BinaryHypervector> =
             stream.iter().map(|step| self.encode_step(step)).collect();
-        let dim = steps[0].dim();
+        let dim = steps[0].dim(); // audit:allow(panic): stream asserted >= ngram, so steps is non-empty
         let mut acc = hypervector::BundleAccumulator::new(dim);
         for window in steps.windows(self.ngram) {
             let mut gram = BinaryHypervector::zeros(dim);

@@ -434,6 +434,7 @@ impl ResilienceSupervisor {
         let mut unreliable = 0usize;
         for score in &scores {
             self.monitor.record(&score.confidence);
+            // audit:allow(panic): predicted is an argmin over the class axis
             if self.quarantined[score.predicted] {
                 unreliable += 1;
                 answers.push(None);
@@ -496,6 +497,7 @@ impl ResilienceSupervisor {
     /// Degraded batch: repair at the current rung, update quarantine from
     /// the per-class fault evidence, re-judge, and escalate or roll back on
     /// failure.
+    // audit:allow(panic): labels and rung levels are bounded by the class count and ladder length
     fn handle_degraded(
         &mut self,
         model: &mut TrainedModel,
@@ -599,9 +601,9 @@ impl ResilienceSupervisor {
         let bytes = self
             .checkpoint
             .as_ref()
-            .expect("rollback needs a checkpoint");
+            .expect("rollback needs a checkpoint"); // audit:allow(panic): the supervisor checkpoints before any rollback
         let saved = persist::load_model(bytes.as_slice())
-            .expect("healthy checkpoint failed its checksum — checkpoint memory corrupted");
+            .expect("healthy checkpoint failed its checksum — checkpoint memory corrupted"); // audit:allow(panic): corrupted checkpoint memory is unrecoverable by design
         *model = saved.model;
         self.failed_rounds = 0;
         self.healthy_streak = 0;
@@ -622,7 +624,7 @@ impl ResilienceSupervisor {
     fn encode_checkpoint(&self, model: &TrainedModel) -> Vec<u8> {
         let mut bytes = Vec::new();
         persist::save_model(&mut bytes, &self.hdc, self.features.max(1), model)
-            .expect("writing to a Vec cannot fail");
+            .expect("writing to a Vec cannot fail"); // audit:allow(panic): io::Write for Vec is infallible
         bytes
     }
 }
@@ -640,7 +642,7 @@ fn recovery_config_at(engine: &RecoveryEngine, rung: EscalationLevel) -> Recover
         .faulty_chunks_only(base.faulty_chunks_only)
         .seed(base.seed)
         .build()
-        .expect("ladder levels are validated at construction")
+        .expect("ladder levels are validated at construction") // audit:allow(panic): ladder levels are validated at construction
 }
 
 impl fmt::Debug for ResilienceSupervisor {

@@ -158,7 +158,7 @@ impl BundleAccumulator {
         for (word_idx, &word) in hv.bits().words().iter().enumerate() {
             let base = word_idx * 64;
             let span = 64.min(dim - base);
-            let counts = &mut self.counts[base..base + span];
+            let counts = &mut self.counts[base..base + span]; // audit:allow(panic): span is clamped to dim - base
             let mut bits = word;
             for c in counts.iter_mut() {
                 // +weight for a one, -weight for a zero.
@@ -180,7 +180,7 @@ impl BundleAccumulator {
     /// implementation the differential suite compares against.
     pub fn to_binary(&self) -> BinaryHypervector {
         BinaryHypervector::from_fn(self.dim(), |i| {
-            let c = self.counts[i];
+            let c = self.counts[i]; // audit:allow(panic): from_fn yields i < dim = counts.len()
             if c != 0 {
                 c > 0
             } else {

@@ -97,7 +97,7 @@ impl PackedBits {
             "bit index {index} out of range {}",
             self.len
         );
-        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1 // audit:allow(panic): index asserted in range above
     }
 
     /// Writes the bit at `index`.
@@ -113,9 +113,9 @@ impl PackedBits {
         );
         let mask = 1u64 << (index % WORD_BITS);
         if value {
-            self.words[index / WORD_BITS] |= mask;
+            self.words[index / WORD_BITS] |= mask; // audit:allow(panic): index asserted in range above
         } else {
-            self.words[index / WORD_BITS] &= !mask;
+            self.words[index / WORD_BITS] &= !mask; // audit:allow(panic): index asserted in range above
         }
     }
 
@@ -130,7 +130,7 @@ impl PackedBits {
             "bit index {index} out of range {}",
             self.len
         );
-        self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
+        self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS); // audit:allow(panic): index asserted in range above
     }
 
     /// Number of set bits.

@@ -74,7 +74,7 @@ impl ItemMemory {
         );
         let name = name.into();
         if let Some(pos) = self.names.iter().position(|n| *n == name) {
-            self.items[pos] = item;
+            self.items[pos] = item; // audit:allow(panic): pos comes from position() on the parallel names vec
         } else {
             self.names.push(name);
             self.items.push(item);
@@ -86,7 +86,7 @@ impl ItemMemory {
         self.names
             .iter()
             .position(|n| n == name)
-            .map(|pos| &self.items[pos])
+            .map(|pos| &self.items[pos]) // audit:allow(panic): pos comes from position() on the parallel names vec
     }
 
     /// Removes an item by name, returning it if present.

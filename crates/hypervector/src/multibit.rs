@@ -155,7 +155,7 @@ impl IntHypervector {
     /// by index parity to stay deterministic).
     pub fn to_binary(&self) -> BinaryHypervector {
         BinaryHypervector::from_fn(self.dim(), |i| {
-            let v = self.values[i];
+            let v = self.values[i]; // audit:allow(panic): from_fn yields i < dim = values.len()
             if v != 0 {
                 v > 0
             } else {

@@ -86,7 +86,7 @@ impl HypervectorSampler {
         }
         let per_step = (dim / (2 * correlation_length)).max(1);
         for step in 1..levels {
-            let mut next = out[step - 1].clone();
+            let mut next = out[step - 1].clone(); // audit:allow(panic): loop starts at step 1
             for _ in 0..per_step {
                 let pos = self.rng.random_range(0..dim);
                 next.flip(pos);

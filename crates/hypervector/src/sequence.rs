@@ -45,7 +45,7 @@ impl SequenceEncoder {
     pub fn new(symbols: Vec<BinaryHypervector>, ngram: usize) -> Self {
         assert!(!symbols.is_empty(), "codebook must not be empty");
         assert!(ngram > 0, "n-gram size must be positive");
-        let dim = symbols[0].dim();
+        let dim = symbols[0].dim(); // audit:allow(panic): non-emptiness asserted above
         assert!(
             symbols.iter().all(|s| s.dim() == dim),
             "codebook dimensions must agree"
@@ -89,7 +89,7 @@ impl SequenceEncoder {
                 self.symbols.len()
             );
             let rotation = self.ngram - 1 - offset;
-            out.bind_assign(&self.symbols[symbol].permute(rotation));
+            out.bind_assign(&self.symbols[symbol].permute(rotation)); // audit:allow(panic): symbol asserted in range above
         }
         out
     }

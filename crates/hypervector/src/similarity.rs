@@ -49,8 +49,8 @@ impl PackedClasses {
             !classes.is_empty(),
             "PackedClasses needs at least one class"
         );
-        let dim = classes[0].dim();
-        let words_per_class = classes[0].bits().words().len();
+        let dim = classes[0].dim(); // audit:allow(panic): non-emptiness asserted above
+        let words_per_class = classes[0].bits().words().len(); // audit:allow(panic): words() length is uniform across classes
         let mut words = Vec::with_capacity(words_per_class * classes.len());
         for class in classes {
             assert_eq!(class.dim(), dim, "dimension mismatch in PackedClasses");

@@ -99,6 +99,7 @@ fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
 /// (`pop(x0..x7) = pop(s2) + pop(x7) + 2·pop(s3) + 4·pop(c3)`), exact
 /// integer arithmetic throughout.
 #[inline]
+// audit:allow(panic): fixed-size 8-word block: indices are constants
 fn block_popcount(x: &[u64; BLOCK_WORDS]) -> usize {
     let (s0, c0) = csa(x[0], x[1], x[2]);
     let (s1, c1) = csa(x[3], x[4], x[5]);
@@ -128,6 +129,7 @@ const HS_LANES: usize = 4;
 /// Lane-wise carry-save adder over [`HS_LANES`]-lane bundles: applies
 /// [`csa`] independently per lane, returning `(sum, carry)` bundles.
 #[inline]
+// audit:allow(panic): lane ids range over the fixed HS_LANES arrays
 fn csa_lanes(
     a: &[u64; HS_LANES],
     b: &[u64; HS_LANES],
@@ -157,6 +159,7 @@ fn csa_lanes(
 /// CSA compressor; the word tail through the scalar loop. Exact integer
 /// arithmetic throughout — the total is bit-identical to the reference
 /// tier.
+// audit:allow(panic): chunks_exact groups and constant lane ids bound every index
 fn hamming_wide(a: &[u64], b: &[u64]) -> usize {
     const STEP: usize = 16 * HS_LANES;
     // Below one full lane group the carry-save machinery cannot engage
@@ -264,6 +267,7 @@ fn span_mask(bit: usize, span: usize) -> u64 {
 ///
 /// Panics if the slice lengths differ or the range exceeds the slices'
 /// bit capacity (`start > end` ranges are rejected by callers).
+// audit:allow(panic): first/last words derive from the caller-checked bit range
 pub fn hamming_range_words(
     tier: KernelTier,
     a: &[u64],
@@ -336,6 +340,7 @@ pub fn hamming_all_into_words(
 /// # Panics
 ///
 /// Panics if the three slice lengths differ.
+// audit:allow(panic): equal word counts asserted at entry
 pub fn xor_words_into(tier: KernelTier, out: &mut [u64], a: &[u64], b: &[u64]) {
     assert_eq!(out.len(), a.len(), "word count mismatch in xor_words_into");
     assert_eq!(out.len(), b.len(), "word count mismatch in xor_words_into");
@@ -366,6 +371,7 @@ pub fn xor_words_into(tier: KernelTier, out: &mut [u64], a: &[u64], b: &[u64]) {
 /// Scalar ripple-carry increment of the bit-sliced planes at word `w` by
 /// the carry word `carry`.
 #[inline]
+// audit:allow(panic): documented panic: planes must cover word w
 fn ripple_word(planes: &mut [Vec<u64>], w: usize, mut carry: u64) {
     for plane in planes.iter_mut() {
         if carry == 0 {
@@ -384,6 +390,7 @@ fn ripple_word(planes: &mut [Vec<u64>], w: usize, mut carry: u64) {
 /// so the block early-outs only when *every* lane's carry is spent —
 /// bit-identical to rippling each lane independently.
 #[inline]
+// audit:allow(panic): documented panic: planes must cover the block span
 fn ripple_block(planes: &mut [Vec<u64>], base: usize, carry: &mut [u64; BLOCK_WORDS]) {
     for plane in planes.iter_mut() {
         let mut any = 0u64;
@@ -410,6 +417,7 @@ fn ripple_block(planes: &mut [Vec<u64>], base: usize, carry: &mut [u64; BLOCK_WO
 /// packed word image (kernel family 2: the `CarrySaveMajority` add).
 /// Callers guarantee the planes are deep enough for the new counts, as
 /// `CarrySaveMajority::grow_for_add` does.
+// audit:allow(panic): block bases come from chunks_exact over src
 pub fn ripple_add(tier: KernelTier, planes: &mut [Vec<u64>], src: &[u64]) {
     match tier {
         KernelTier::Reference => {
@@ -437,6 +445,7 @@ pub fn ripple_add(tier: KernelTier, planes: &mut [Vec<u64>], src: &[u64]) {
 /// # Panics
 ///
 /// Panics if the slice lengths differ.
+// audit:allow(panic): block bases come from chunks_exact over the xored input
 pub fn ripple_add_xor(tier: KernelTier, planes: &mut [Vec<u64>], a: &[u64], b: &[u64]) {
     assert_eq!(a.len(), b.len(), "word count mismatch in ripple_add_xor");
     match tier {
@@ -478,6 +487,7 @@ pub fn ripple_add_xor(tier: KernelTier, planes: &mut [Vec<u64>], a: &[u64], b: &
 /// # Panics
 ///
 /// Panics if any plane holds fewer words than `counts` spans.
+// audit:allow(panic): spans clamped to counts.len(); documented panic on short planes
 pub fn bipolar_accumulate(tier: KernelTier, planes: &[Vec<u64>], added: i64, counts: &mut [i64]) {
     let dim = counts.len();
     let words = dim.div_ceil(WORD_BITS);
@@ -524,6 +534,7 @@ pub fn bipolar_accumulate(tier: KernelTier, planes: &[Vec<u64>], added: i64, cou
 /// # Panics
 ///
 /// Panics if any plane holds fewer words than `out`.
+// audit:allow(panic): plane spans follow out.len(); documented panic on short planes
 pub fn threshold_words(
     tier: KernelTier,
     planes: &[Vec<u64>],

@@ -21,6 +21,19 @@
 //! reports exhaustion. Accepted-but-unanswered is not a reachable state
 //! (short of the process dying).
 //!
+//! # Poison recovery
+//!
+//! A thread that panics while holding the queue lock poisons it. The
+//! coalescer never propagates that panic: every acquisition recovers the
+//! guard with [`PoisonError::into_inner`] (a `VecDeque` mutation cannot
+//! be observed half-applied under the lock, so the state is structurally
+//! sound) and latches a `poisoned` flag. A poisoned coalescer degrades
+//! like a forced drain with shedding semantics: new submissions are
+//! refused as [`SubmitError::Overloaded`], already-accepted queries are
+//! still flushed and answered, and [`Coalescer::next_batch`] then
+//! reports exhaustion so the drain loop shuts down structurally instead
+//! of the daemon thread dying on an `expect`.
+//!
 //! FIFO order within a batch is load-bearing for determinism: a batch's
 //! composition depends on arrival timing, but each query's *answer* does
 //! not (the engine computes per-query results), so coalescing is invisible
@@ -29,8 +42,9 @@
 use crate::engine::QueryAnswer;
 use robusthd::ServeConfig;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Why a submission was refused.
@@ -70,6 +84,10 @@ pub struct Coalescer {
     state: Mutex<QueueState>,
     arrived: Condvar,
     config: ServeConfig,
+    /// Latched when any acquisition observes the lock poisoned; from
+    /// then on the coalescer sheds new work and flushes the rest (see
+    /// the module docs on poison recovery).
+    poisoned: AtomicBool,
 }
 
 impl Coalescer {
@@ -82,7 +100,27 @@ impl Coalescer {
             }),
             arrived: Condvar::new(),
             config,
+            poisoned: AtomicBool::new(false),
         }
+    }
+
+    /// Recovers a guard from a possibly-poisoned acquisition: latches
+    /// the poison flag and wakes the drain loop (which treats poison as
+    /// a drain trigger) rather than propagating a panic into whichever
+    /// thread touched the queue next.
+    fn recover<G>(&self, result: Result<G, PoisonError<G>>) -> G {
+        match result {
+            Ok(guard) => guard,
+            Err(recovered) => {
+                self.poisoned.store(true, Ordering::Release);
+                self.arrived.notify_all();
+                recovered.into_inner()
+            }
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.recover(self.state.lock())
     }
 
     /// The tuning in effect.
@@ -90,13 +128,15 @@ impl Coalescer {
         &self.config
     }
 
+    /// Whether a poisoned acquisition has been observed (the coalescer
+    /// is in shed-and-flush degradation).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Queries currently waiting.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("coalescer lock poisoned")
-            .queue
-            .len()
+        self.lock_state().queue.len()
     }
 
     /// Whether the queue is empty.
@@ -106,7 +146,7 @@ impl Coalescer {
 
     /// Whether a graceful drain has begun.
     pub fn is_draining(&self) -> bool {
-        self.state.lock().expect("coalescer lock poisoned").draining
+        self.lock_state().draining
     }
 
     /// Submits one query for coalesced serving. On acceptance, returns the
@@ -133,7 +173,10 @@ impl Coalescer {
         model: Option<String>,
         features: Vec<f64>,
     ) -> Result<mpsc::Receiver<QueryAnswer>, SubmitError> {
-        let mut state = self.state.lock().expect("coalescer lock poisoned");
+        let mut state = self.lock_state();
+        if self.is_poisoned() {
+            return Err(SubmitError::Overloaded);
+        }
         if state.draining {
             return Err(SubmitError::Draining);
         }
@@ -159,39 +202,48 @@ impl Coalescer {
     /// (in `max_batch` chunks, ignoring the window) before reporting
     /// exhaustion. Idempotent.
     pub fn begin_drain(&self) {
-        self.state.lock().expect("coalescer lock poisoned").draining = true;
+        self.lock_state().draining = true;
         self.arrived.notify_all();
     }
 
     /// Blocks until a micro-batch is ready and takes it (up to `max_batch`
-    /// queries, FIFO). Returns `None` only when a drain has begun *and*
-    /// the queue is empty — the drain loop's exit condition.
+    /// queries, FIFO). Returns `None` only when a drain has begun (or the
+    /// coalescer is poisoned) *and* the queue is empty — the drain loop's
+    /// exit condition.
     pub fn next_batch(&self) -> Option<Vec<PendingQuery>> {
         let window = Duration::from_micros(self.config.window_us);
-        let mut state = self.state.lock().expect("coalescer lock poisoned");
+        let mut state = self.lock_state();
         loop {
+            // Poison degrades like a forced drain: flush what was
+            // accepted, skip the batching window, then exhaust.
+            let draining = state.draining || self.is_poisoned();
             if state.queue.is_empty() {
-                if state.draining {
+                if draining {
                     return None;
                 }
-                state = self.arrived.wait(state).expect("coalescer lock poisoned");
+                state = self.recover(self.arrived.wait(state));
                 continue;
             }
             // Filling: leave as soon as the batch is full, the window has
             // expired for the oldest query, or a drain flushes everything.
-            if state.queue.len() >= self.config.max_batch || state.draining {
+            if state.queue.len() >= self.config.max_batch || draining {
                 break;
             }
-            let deadline = state.queue.front().expect("non-empty").1 + window;
+            let deadline = match state.queue.front() {
+                Some(&(_, admitted)) => admitted + window,
+                // Unreachable (the queue was non-empty above and only
+                // this thread drains it); re-running the loop re-checks
+                // every exit condition without a panic site.
+                None => continue,
+            };
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
-            state = self
-                .arrived
-                .wait_timeout(state, deadline - now)
-                .expect("coalescer lock poisoned")
-                .0;
+            state = match self.arrived.wait_timeout(state, deadline - now) {
+                Ok((reacquired, _timeout)) => reacquired,
+                Err(recovered) => self.recover(Err(recovered)).0,
+            };
         }
         let take = state.queue.len().min(self.config.max_batch);
         Some(state.queue.drain(..take).map(|(q, _)| q).collect())
@@ -244,6 +296,36 @@ mod tests {
         let _b = c.submit(vec![1.0]).expect("accepted");
         assert_eq!(c.submit(vec![2.0]).unwrap_err(), SubmitError::Overloaded);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn poison_sheds_new_work_flushes_accepted_then_exhausts() {
+        let c = std::sync::Arc::new(Coalescer::new(config(60_000_000, 2, 8)));
+        let accepted = c.submit(vec![1.0]).expect("accepted");
+        // Poison the queue lock: a thread panics while holding it.
+        let poisoner = std::sync::Arc::clone(&c);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().expect("not yet poisoned");
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(result.is_err(), "poisoner must have panicked");
+        // New work is shed with a structured overload, not a panic...
+        assert_eq!(c.submit(vec![2.0]).unwrap_err(), SubmitError::Overloaded);
+        assert!(c.is_poisoned());
+        // ...the accepted query still flushes (ignoring the window)...
+        let batch = c.next_batch().expect("accepted work must flush");
+        assert_eq!(batch.len(), 1);
+        batch[0]
+            .answer_tx
+            .send(QueryAnswer {
+                label: Some(3),
+                confidence: 0.5,
+            })
+            .expect("receiver alive");
+        assert!(accepted.recv().is_ok(), "accepted ⇒ answered held");
+        // ...and the drain loop then exits structurally.
+        assert!(c.next_batch().is_none());
     }
 
     #[test]

@@ -284,17 +284,26 @@ impl DrainEngine for FleetEngine {
             })
             .collect();
         // Admission validated every tenant and feature count, so serving
-        // cannot fail short of a registry bug — same contract as the solo
-        // path's length assertion.
-        self.registry
-            .serve_supervised(&pairs)
-            .expect("admission validated the batch")
-            .into_iter()
-            .map(|answer| QueryAnswer {
-                label: answer.label,
-                confidence: answer.confidence,
-            })
-            .collect()
+        // can only fail on a registry bug. The daemon must not die on
+        // one mid-drain: the whole batch degrades to the quarantine
+        // shape (unreliable, zero confidence) instead — every accepted
+        // query still gets its answer and the drain loop stays alive.
+        match self.registry.serve_supervised(&pairs) {
+            Ok(answers) => answers
+                .into_iter()
+                .map(|answer| QueryAnswer {
+                    label: answer.label,
+                    confidence: answer.confidence,
+                })
+                .collect(),
+            Err(_) => batch
+                .iter()
+                .map(|_| QueryAnswer {
+                    label: None,
+                    confidence: 0.0,
+                })
+                .collect(),
+        }
     }
 
     fn stats_level(&self) -> usize {

@@ -556,6 +556,7 @@ fn run_capacity(tenants: &[FleetTenant], opts: &FleetBenchOptions) -> io::Result
         Some(&mix),
     )?;
     let (engine, wire_stats) = handle.shutdown();
+    let engine = engine.ok_or_else(|| io::Error::other("daemon drain thread panicked"))?;
     let stats = engine.registry().stats();
     let mean_batch = if wire_stats.batches == 0 {
         0.0

@@ -173,7 +173,9 @@ fn write_string(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0c}' => out.push_str("\\f"),
+            // audit:allow(panic): char to u32 is a lossless widening
             c if (c as u32) < 0x20 => {
+                // audit:allow(panic): char to u32 is a lossless widening
                 let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
             }
             c => out.push(c),
@@ -264,6 +266,7 @@ fn parse_literal(
     literal: &str,
     value: Json,
 ) -> Result<Json, JsonError> {
+    // audit:allow(panic): the parser cursor never passes len
     if bytes[*pos..].starts_with(literal.as_bytes()) {
         *pos += literal.len();
         Ok(value)
@@ -287,10 +290,10 @@ fn parse_number(input: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, Json
     if *pos == digits_from {
         return Err(err("malformed number", start));
     }
-    let token = &input[start..*pos];
-    // The token charset excludes the letters of "inf"/"NaN", so from_str
-    // can only produce a non-finite value via overflow (e.g. "1e999") —
-    // rejected below to keep the non-finite ban airtight.
+    let token = &input[start..*pos]; // audit:allow(panic): number tokens are ASCII, so the range is char-aligned
+                                     // The token charset excludes the letters of "inf"/"NaN", so from_str
+                                     // can only produce a non-finite value via overflow (e.g. "1e999") —
+                                     // rejected below to keep the non-finite ban airtight.
     match token.parse::<f64>() {
         Ok(v) if v.is_finite() => Ok(Json::Number(v)),
         Ok(_) => Err(err("number overflows f64", start)),
@@ -338,6 +341,7 @@ fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Js
             Some(_) => {
                 // Multi-byte UTF-8: the input is a &str, so the sequence is
                 // valid — copy the whole scalar.
+                // audit:allow(panic): pos advances only past complete scalars
                 let c = input[*pos..].chars().next().ok_or_else(|| {
                     // Unreachable for &str input; kept as an error (not a
                     // panic) to honour the never-panic contract.

@@ -127,6 +127,16 @@ impl Shared {
     fn close_reader(stream: &TcpStream) {
         let _ = stream.shutdown(Shutdown::Read);
     }
+
+    /// Acquires the connection map, recovering from poison: the map's
+    /// insert/remove mutations cannot be observed half-applied under the
+    /// lock, and abandoning it would leak parked readers past a drain —
+    /// a panicking connection thread must not wedge every other one.
+    fn lock_conns(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+        self.conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// A running daemon: its bound address and the handles to stop it.
@@ -226,8 +236,11 @@ impl<E: DrainEngine> ServerHandle<E> {
     /// Begins a graceful drain and blocks until it completes: new
     /// connections refused, queued queries flushed, every accepted query
     /// answered. Returns the engine (with its post-traffic supervisor
-    /// state) and the final counter snapshot.
-    pub fn shutdown(mut self) -> (E, StatsSnapshot) {
+    /// state) and the final counter snapshot. The engine is `None` only
+    /// if the drain thread itself panicked — the per-batch serve path is
+    /// already panic-contained, so that means a daemon bug, and the
+    /// caller gets the stats and a clean teardown instead of a re-panic.
+    pub fn shutdown(mut self) -> (Option<E>, StatsSnapshot) {
         self.shared.coalescer.begin_drain();
         let engine = self.join();
         let stats = self.shared.stats.snapshot(self.shared.coalescer.len());
@@ -236,23 +249,26 @@ impl<E: DrainEngine> ServerHandle<E> {
 
     /// Blocks until the daemon drains — via a protocol `shutdown` request
     /// or a concurrent [`ServerHandle::shutdown`] — and returns the engine
-    /// plus the final counter snapshot. This is what `robusthd serve`
-    /// blocks on.
-    pub fn wait(mut self) -> (E, StatsSnapshot) {
+    /// (see [`ServerHandle::shutdown`] for when it is `None`) plus the
+    /// final counter snapshot. This is what `robusthd serve` blocks on.
+    pub fn wait(mut self) -> (Option<E>, StatsSnapshot) {
         let engine = self.join();
         let stats = self.shared.stats.snapshot(self.shared.coalescer.len());
         (engine, stats)
     }
 
-    fn join(&mut self) -> E {
+    fn join(&mut self) -> Option<E> {
+        // `join` is called from `shutdown`/`wait` (which consume the
+        // handle) and from `Drop`; the `take()`s make the second call a
+        // no-op rather than a panic.
         let engine = self
             .drain_thread
             .take()
-            .expect("join called once")
-            .join()
-            .expect("drain thread panicked");
+            .and_then(|thread| thread.join().ok());
         if let Some(accept) = self.accept_thread.take() {
-            accept.join().expect("accept thread panicked");
+            // An accept-thread panic is a daemon bug, but the drain has
+            // already completed by now — don't re-panic during teardown.
+            let _ = accept.join();
         }
         engine
     }
@@ -280,11 +296,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             Ok((stream, _peer)) => {
                 let conn_id = shared.stats.connections.fetch_add(1, Ordering::Relaxed);
                 if let Ok(read_half) = stream.try_clone() {
-                    shared
-                        .conns
-                        .lock()
-                        .expect("conns lock poisoned")
-                        .insert(conn_id, read_half);
+                    shared.lock_conns().insert(conn_id, read_half);
                     // The drain sweep may have already run; late arrivals
                     // close their own read half (responses still flush).
                     if shared.swept.load(Ordering::Acquire) {
@@ -297,11 +309,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     .spawn(move || connection_reader(stream, &conn_shared, conn_id));
                 // Out of threads: shed the connection rather than die.
                 if spawned.is_err() {
-                    shared
-                        .conns
-                        .lock()
-                        .expect("conns lock poisoned")
-                        .remove(&conn_id);
+                    shared.lock_conns().remove(&conn_id);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
@@ -318,12 +326,38 @@ fn drain_loop<E: DrainEngine>(shared: &Arc<Shared>, mut engine: E) -> E {
         if batch.is_empty() {
             continue;
         }
-        let answers = engine.serve_pending(&batch);
-        shared.stats.observe_batch(
-            batch.len(),
-            engine.stats_level(),
-            engine.stats_quarantined(),
-        );
+        // An engine panic mid-batch must not kill the drain thread: the
+        // accepted⇒answered guarantee is the daemon's contract, and a
+        // dead drain thread would strand every parked reader. Contain
+        // the panic and degrade the batch to the quarantine shape
+        // (unreliable, zero confidence) — clients see honest "don't
+        // trust this" answers, the loop keeps serving, and the failure
+        // is visible in the `errors` counter.
+        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let answers = engine.serve_pending(&batch);
+            let level = engine.stats_level();
+            let quarantined = engine.stats_quarantined();
+            (answers, level, quarantined)
+        }));
+        let answers = match served {
+            Ok((answers, level, quarantined)) => {
+                shared.stats.observe_batch(batch.len(), level, quarantined);
+                answers
+            }
+            Err(_) => {
+                shared
+                    .stats
+                    .errors
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                batch
+                    .iter()
+                    .map(|_| QueryAnswer {
+                        label: None,
+                        confidence: 0.0,
+                    })
+                    .collect()
+            }
+        };
         shared
             .stats
             .results
@@ -338,7 +372,7 @@ fn drain_loop<E: DrainEngine>(shared: &Arc<Shared>, mut engine: E) -> E {
     // established connections' read halves so parked readers observe EOF
     // and the sockets wind down once their writers finish flushing.
     shared.swept.store(true, Ordering::Release);
-    for stream in shared.conns.lock().expect("conns lock poisoned").values() {
+    for stream in shared.lock_conns().values() {
         Shared::close_reader(stream);
     }
     engine
@@ -356,11 +390,7 @@ enum Outgoing {
 /// responses (in request order) for the writer thread.
 fn connection_reader(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
     let Ok(write_half) = stream.try_clone() else {
-        shared
-            .conns
-            .lock()
-            .expect("conns lock poisoned")
-            .remove(&conn_id);
+        shared.lock_conns().remove(&conn_id);
         return;
     };
     let (out_tx, out_rx) = mpsc::channel::<Outgoing>();
@@ -402,11 +432,7 @@ fn connection_reader(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
     }
     drop(out_tx); // writer flushes the remaining ordered stream, then exits
     let _ = writer.join();
-    shared
-        .conns
-        .lock()
-        .expect("conns lock poisoned")
-        .remove(&conn_id);
+    shared.lock_conns().remove(&conn_id);
 }
 
 /// Turns one decoded request into its ordered-stream entry; every request
@@ -527,7 +553,7 @@ fn read_bounded_line(reader: &mut impl BufRead, bound: usize) -> LineRead {
                     if buf.len() + nl > bound {
                         oversized = true;
                     } else {
-                        buf.extend_from_slice(&chunk[..nl]);
+                        buf.extend_from_slice(&chunk[..nl]); // audit:allow(panic): nl is a position() index inside chunk
                     }
                 }
                 (nl + 1, true)

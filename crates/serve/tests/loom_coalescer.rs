@@ -1,0 +1,291 @@
+//! Exhaustive interleaving exploration of the coalescer state machine.
+//!
+//! Compile with `RUSTFLAGS="--cfg loom"`; under a normal build this file
+//! is empty. The model re-implements `serve::coalescer`'s Mutex+Condvar
+//! protocol verbatim in miniature on the loom stand-in's model-checked
+//! primitives — same admission checks, same predicate loop, same
+//! wait/wait_timeout structure — and proves, over *every* schedule of
+//! producers × the drain thread × a drain trigger:
+//!
+//! * **accepted ⇒ answered**: every query accepted at admission is
+//!   answered exactly once, even when a graceful drain races the
+//!   submission;
+//! * **shed only at admission**: a refused query is never answered, and
+//!   refusal happens only at submit time (never after acceptance);
+//! * **no lost wakeup**: a drain thread parked on the condvar is always
+//!   woken by a submit or a `begin_drain` — a dropped notification
+//!   surfaces as the model's deadlock failure (the negative test below
+//!   proves the detector is live);
+//! * **drain terminates**: once `begin_drain` is called, the drain loop
+//!   flushes the remaining queue in `max_batch` chunks and reports
+//!   exhaustion in every interleaving.
+//!
+//! Sizes are tiny on purpose: two producers and one drain thread already
+//! exercise every protocol transition (admission race, shed, wakeup
+//! handoff, drain flush); more threads multiply schedules without adding
+//! new transitions.
+
+#![cfg(loom)]
+
+use loom::sync::{Arc, Condvar, Mutex, PoisonError};
+use loom::thread;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Mutex as StdMutex;
+use std::time::Duration;
+
+/// Outcome of a model submission (mirror of `SubmitError` + success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Submit {
+    Accepted,
+    Overloaded,
+    Draining,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<usize>,
+    draining: bool,
+}
+
+/// `serve::coalescer::Coalescer` in miniature: the same lock + condvar
+/// protocol over a queue of bare ids instead of `PendingQuery` payloads.
+#[derive(Debug)]
+struct ModelCoalescer {
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+    max_batch: usize,
+    queue_depth: usize,
+}
+
+impl ModelCoalescer {
+    fn new(max_batch: usize, queue_depth: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            arrived: Condvar::new(),
+            max_batch,
+            queue_depth,
+        }
+    }
+
+    /// Mirror of `Coalescer::submit_routed`: admission checks under the
+    /// lock, push, release, notify.
+    fn submit(&self, id: usize) -> Submit {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.draining {
+            return Submit::Draining;
+        }
+        if state.queue.len() >= self.queue_depth {
+            return Submit::Overloaded;
+        }
+        state.queue.push_back(id);
+        drop(state);
+        self.arrived.notify_all();
+        Submit::Accepted
+    }
+
+    /// Mirror of `Coalescer::begin_drain`.
+    fn begin_drain(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .draining = true;
+        self.arrived.notify_all();
+    }
+
+    /// Mirror of `Coalescer::next_batch`: the predicate loop with the
+    /// same exit conditions. The batching window is the stand-in's
+    /// `wait_timeout`, which explores both the notified and the
+    /// window-expired outcome of every wait.
+    fn next_batch(&self) -> Option<Vec<usize>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.queue.is_empty() {
+                if state.draining {
+                    return None;
+                }
+                state = self
+                    .arrived
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            if state.queue.len() >= self.max_batch || state.draining {
+                break;
+            }
+            let (reacquired, timeout) = self
+                .arrived
+                .wait_timeout(state, Duration::from_micros(1))
+                .unwrap_or_else(PoisonError::into_inner);
+            state = reacquired;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = state.queue.len().min(self.max_batch);
+        Some(state.queue.drain(..take).collect())
+    }
+}
+
+/// Runs the drain loop to exhaustion, returning answered ids in order.
+fn drain_to_exhaustion(c: &ModelCoalescer) -> Vec<usize> {
+    let mut answered = Vec::new();
+    while let Some(batch) = c.next_batch() {
+        answered.extend(batch);
+    }
+    answered
+}
+
+/// Two producers race a drain trigger and the drain thread: in every
+/// interleaving, exactly the accepted queries are answered, each exactly
+/// once — acceptance is the point of no return even mid-drain.
+#[test]
+fn accepted_queries_are_answered_exactly_once_across_drain() {
+    loom::model(|| {
+        let c = Arc::new(ModelCoalescer::new(2, 2));
+        let producers: Vec<_> = (0..2)
+            .map(|id| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || (c.submit(id) == Submit::Accepted).then_some(id))
+            })
+            .collect();
+        let drain = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || drain_to_exhaustion(&c))
+        };
+        // Races both the submissions and the drain loop itself.
+        c.begin_drain();
+        let accepted: HashSet<usize> = producers
+            .into_iter()
+            .filter_map(|h| h.join().unwrap())
+            .collect();
+        let answered = drain.join().unwrap();
+        let answered_set: HashSet<usize> = answered.iter().copied().collect();
+        assert_eq!(answered.len(), answered_set.len(), "duplicate answer");
+        assert_eq!(answered_set, accepted, "accepted ⇔ answered");
+    });
+}
+
+/// At `queue_depth = 1` two producers contend for one admission slot
+/// while the drain thread concurrently frees it: sheds happen only at
+/// admission, shed queries are never answered, and across the explored
+/// schedules both outcomes (a shed, and both accepted thanks to an
+/// interleaved drain) are actually reached.
+#[test]
+fn sheds_only_at_admission_and_explores_both_outcomes() {
+    let outcomes: StdMutex<HashSet<usize>> = StdMutex::new(HashSet::new());
+    let outcomes = std::sync::Arc::new(outcomes);
+    let sink = std::sync::Arc::clone(&outcomes);
+    loom::model(move || {
+        let c = Arc::new(ModelCoalescer::new(1, 1));
+        let producers: Vec<_> = (0..2)
+            .map(|id| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || (c.submit(id) == Submit::Accepted).then_some(id))
+            })
+            .collect();
+        let drain = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || drain_to_exhaustion(&c))
+        };
+        let accepted: HashSet<usize> = producers
+            .into_iter()
+            .filter_map(|h| h.join().unwrap())
+            .collect();
+        c.begin_drain();
+        let answered = drain.join().unwrap();
+        let answered_set: HashSet<usize> = answered.iter().copied().collect();
+        assert_eq!(answered.len(), answered_set.len(), "duplicate answer");
+        assert_eq!(answered_set, accepted, "accepted ⇔ answered");
+        sink.lock().unwrap().insert(accepted.len());
+    });
+    let seen = outcomes.lock().unwrap();
+    assert!(seen.contains(&1), "no schedule shed a query");
+    assert!(seen.contains(&2), "no schedule accepted both");
+}
+
+/// The empty-queue wait never loses a wakeup: a consumer parked on the
+/// condvar is woken by the submit, takes the query, then is woken again
+/// by `begin_drain` and observes exhaustion — in every schedule. A
+/// dropped notification would park the consumer forever and surface as
+/// the model's deadlock failure.
+#[test]
+fn parked_drain_thread_is_woken_by_submit_and_by_drain() {
+    loom::model(|| {
+        let c = Arc::new(ModelCoalescer::new(1, 1));
+        let consumer = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                let first = c.next_batch();
+                assert_eq!(first, Some(vec![7]), "accepted query lost");
+                let second = c.next_batch();
+                assert_eq!(second, None, "drain exhaustion lost");
+            })
+        };
+        let producer = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || assert_eq!(c.submit(7), Submit::Accepted))
+        };
+        // Joining the producer first guarantees the query was accepted
+        // before the drain begins, so the consumer must answer it.
+        producer.join().unwrap();
+        c.begin_drain();
+        consumer.join().unwrap();
+    });
+}
+
+/// Graceful drain flushes the backlog in `max_batch` chunks and only
+/// then reports exhaustion, in every interleaving of the drain thread
+/// with the trigger.
+#[test]
+fn drain_flushes_in_chunks_then_terminates() {
+    loom::model(|| {
+        let c = Arc::new(ModelCoalescer::new(2, 8));
+        for id in 0..3 {
+            assert_eq!(c.submit(id), Submit::Accepted);
+        }
+        let drain = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                let mut sizes = Vec::new();
+                let mut answered = Vec::new();
+                while let Some(batch) = c.next_batch() {
+                    sizes.push(batch.len());
+                    answered.extend(batch);
+                }
+                (sizes, answered)
+            })
+        };
+        c.begin_drain();
+        let (sizes, answered) = drain.join().unwrap();
+        assert_eq!(answered, vec![0, 1, 2], "FIFO order broken");
+        assert!(
+            sizes.iter().all(|&s| s <= 2),
+            "batch exceeded max_batch: {sizes:?}"
+        );
+    });
+}
+
+/// Non-vacuity: a coalescer whose submit forgets the notify has a lost
+/// wakeup — the schedule where the consumer parks before the submission
+/// deadlocks, and the model must find it.
+#[test]
+#[should_panic(expected = "loom model failed")]
+fn a_submit_without_notify_is_caught_as_a_lost_wakeup() {
+    loom::model(|| {
+        let c = Arc::new(ModelCoalescer::new(1, 1));
+        let consumer = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.next_batch())
+        };
+        // Broken protocol: push the query without notifying.
+        c.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .push_back(7);
+        consumer.join().unwrap();
+    });
+}

@@ -178,6 +178,7 @@ fn graceful_drain_answers_every_accepted_query_then_refuses() {
     );
     assert_eq!(stats.coalesced, stats.results);
     assert_eq!(stats.errors, 0);
+    let engine = engine.expect("drain thread survived");
     assert_eq!(engine.quarantined(), Vec::<usize>::new());
 
     // The listener is gone: new connections are refused (with a retry

@@ -1,0 +1,465 @@
+//! Function-level call-graph construction over the position-preserving
+//! scan views.
+//!
+//! The parser is deliberately shallow: it finds `fn` items in the
+//! comment/string-blanked code view, matches their parameter parens and
+//! body braces positionally, and records every `ident(`-shaped call site
+//! inside each body. Calls resolve by **simple name** — a call site
+//! reaches every workspace function sharing the name, which
+//! over-approximates both static dispatch (module paths are ignored) and
+//! trait dispatch (every impl of a trait method shares its name). The
+//! audit universe is the dependency closure of the hot-path roots:
+//! `crates/serve`, `crates/core`, and `crates/hypervector` sources.
+
+use crate::scan::SourceFile;
+use crate::Workspace;
+use crate::{brace_span, is_ident_byte, word_occurrences};
+use std::collections::BTreeMap;
+
+/// Workspace-relative path prefixes forming the audit universe: the
+/// crates a hot-path root can reach. Binaries, benches, the CLI, the
+/// adversarial simulator, and all `tests/` trees sit outside it — code
+/// there cannot be called from the serving path.
+pub const UNIVERSE: &[&str] = &[
+    "crates/serve/src/",
+    "crates/core/src/",
+    "crates/hypervector/src/",
+];
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Simple (last-segment) callee name.
+    pub name: String,
+    /// Byte offset of the callee identifier in the file's code view.
+    pub at: usize,
+}
+
+/// One parsed function item.
+#[derive(Debug)]
+pub struct Function {
+    /// The function's simple name.
+    pub name: String,
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// Byte span of the `{ … }` body in the code view; `None` for
+    /// bodiless trait/extern declarations.
+    pub body: Option<(usize, usize)>,
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// What an `audit:allow(...)` annotation suppresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowKind {
+    /// `audit:allow(panic)` — a panic-surface site.
+    Panic,
+    /// `audit:allow(lock)` — a lock-discipline finding.
+    Lock,
+}
+
+impl AllowKind {
+    /// The annotation keyword, as written in source.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AllowKind::Panic => "panic",
+            AllowKind::Lock => "lock",
+        }
+    }
+}
+
+/// One parsed `// audit:allow(<kind>): <reason>` annotation.
+#[derive(Debug)]
+pub struct Allow {
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    /// 1-based line the annotation sits on.
+    pub line: usize,
+    /// Which finding family it suppresses.
+    pub kind: AllowKind,
+    /// `Some(f)` when the annotation heads a whole function (its first
+    /// following code line is `f`'s declaration): every site in `f` is
+    /// covered. `None` for site-level allows.
+    pub function: Option<usize>,
+    /// The 1-based code line a site-level allow covers (the annotation's
+    /// own line for trailing allows, the next code line for standalone
+    /// ones).
+    pub covers_line: usize,
+}
+
+impl Allow {
+    /// Whether this allow covers a site of `kind` at `(file, line)`,
+    /// given the site's enclosing function (if any).
+    pub fn covers(&self, kind: AllowKind, file: usize, line: usize, func: Option<usize>) -> bool {
+        if self.kind != kind || self.file != file {
+            return false;
+        }
+        match self.function {
+            Some(f) => func == Some(f),
+            None => self.covers_line == line,
+        }
+    }
+}
+
+/// The workspace call graph restricted to the audit universe.
+#[derive(Debug)]
+pub struct Graph<'w> {
+    /// Universe source files (subset of the workspace, sorted).
+    pub files: Vec<&'w SourceFile>,
+    /// Every parsed function item.
+    pub functions: Vec<Function>,
+    /// Simple-name resolution: name → indices into [`Graph::functions`].
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "move", "in", "as", "let", "else",
+    "impl", "where", "pub", "ref", "mut", "box", "dyn", "break", "continue", "struct", "enum",
+    "union", "trait", "use", "mod", "const", "static", "type", "Some", "None", "Ok", "Err", "Self",
+    "await", "yield",
+];
+
+impl<'w> Graph<'w> {
+    /// Parses every universe file of `ws` into functions and call sites.
+    pub fn build(ws: &'w Workspace) -> Self {
+        let files: Vec<&SourceFile> = ws
+            .files
+            .iter()
+            .filter(|f| {
+                let rel = f.path.to_string_lossy().replace('\\', "/");
+                UNIVERSE.iter().any(|prefix| rel.starts_with(prefix))
+            })
+            .collect();
+        let mut functions = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            parse_functions(file, file_idx, &mut functions);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, func) in functions.iter().enumerate() {
+            by_name.entry(func.name.clone()).or_default().push(idx);
+        }
+        Self {
+            files,
+            functions,
+            by_name,
+        }
+    }
+
+    /// Resolves `(file suffix, name)` root specs to function indices.
+    /// Specs with no match are skipped (fixtures model a subset).
+    pub fn resolve_roots(&self, specs: &[(&str, &str)]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (suffix, name) in specs {
+            for (idx, func) in self.functions.iter().enumerate() {
+                let rel = self.files[func.file]
+                    .path
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if func.name == *name && rel.ends_with(suffix) {
+                    out.push(idx);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The function whose body span contains code-view offset `at` in
+    /// `file`, if any.
+    pub fn enclosing(&self, file: usize, at: usize) -> Option<usize> {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.file == file && f.body.is_some_and(|(open, close)| at >= open && at < close)
+            })
+            // Innermost wins (nested fn items).
+            .min_by_key(|(_, f)| f.body.map_or(usize::MAX, |(open, close)| close - open))
+            .map(|(idx, _)| idx)
+    }
+
+    /// Parses every well-formed `// audit:allow(<kind>): <reason>`
+    /// annotation in the universe. Malformed annotations (unknown kind,
+    /// or a missing reason) are ignored entirely — the site they meant
+    /// to cover keeps firing, which surfaces the mistake.
+    pub fn collect_allows(&self) -> Vec<Allow> {
+        let mut out = Vec::new();
+        for (file_idx, file) in self.files.iter().enumerate() {
+            for (kind, needle) in [
+                (AllowKind::Panic, "audit:allow(panic)"),
+                (AllowKind::Lock, "audit:allow(lock)"),
+            ] {
+                let mut from = 0;
+                while let Some(pos) = file.raw[from..].find(needle) {
+                    let at = from + pos;
+                    from = at + needle.len();
+                    // Require `: <reason>` after the closing paren.
+                    let rest = file.raw[at + needle.len()..]
+                        .lines()
+                        .next()
+                        .unwrap_or("")
+                        .trim_start();
+                    let Some(reason) = rest.strip_prefix(':') else {
+                        continue;
+                    };
+                    if reason.trim().is_empty() {
+                        continue;
+                    }
+                    let line = file.line_of(at);
+                    out.push(self.classify_allow(file_idx, file, line, kind));
+                }
+            }
+        }
+        out.sort_by_key(|a| (a.file, a.line));
+        out
+    }
+
+    /// Determines what an allow on `line` covers: its own line when
+    /// trailing code, the next code line when standalone — or the whole
+    /// function when that next code line is a `fn` declaration.
+    fn classify_allow(
+        &self,
+        file_idx: usize,
+        file: &SourceFile,
+        line: usize,
+        kind: AllowKind,
+    ) -> Allow {
+        let code_lines: Vec<&str> = file.code.lines().collect();
+        let own = code_lines.get(line - 1).copied().unwrap_or("");
+        if !own.trim().is_empty() {
+            return Allow {
+                file: file_idx,
+                line,
+                kind,
+                function: None,
+                covers_line: line,
+            };
+        }
+        // Standalone comment: walk down past blank/comment/attribute
+        // lines to the first code line.
+        let mut next = line; // 0-based index of the line after `line`
+        while next < code_lines.len() {
+            let text = code_lines[next].trim();
+            if text.is_empty() || text.starts_with("#[") {
+                next += 1;
+            } else {
+                break;
+            }
+        }
+        let covers_line = next + 1;
+        let function = self
+            .functions
+            .iter()
+            .position(|f| f.file == file_idx && f.decl_line == covers_line);
+        Allow {
+            file: file_idx,
+            line,
+            kind,
+            function,
+            covers_line,
+        }
+    }
+}
+
+/// Finds every `fn` item of `file` outside `#[cfg(test)]` regions.
+fn parse_functions(file: &SourceFile, file_idx: usize, out: &mut Vec<Function>) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    for at in word_occurrences(code, "fn") {
+        let decl_line = file.line_of(at);
+        if file.line_in_test(decl_line) {
+            continue;
+        }
+        // Name: the identifier after `fn` (absent for fn-pointer types).
+        let mut i = at + 2;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = code[name_start..i].to_owned();
+        // Skip generic parameters `<...>` (`->` inside bounds must not
+        // close the angle scan).
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'<') {
+            let mut depth = 0i64;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'<' => depth += 1,
+                    b'>' if bytes.get(i.wrapping_sub(1)) != Some(&b'-') => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue; // not a function item after all
+        }
+        // Match the parameter parens.
+        let mut depth = 0i64;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        // Return type / where clause: the body opens at the first `{`;
+        // a `;` outside brackets means a bodiless declaration. Brackets
+        // are tracked so `-> [u64; 4]` does not end the item early.
+        let mut brackets = 0i64;
+        let mut body = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'[' => brackets += 1,
+                b']' => brackets -= 1,
+                b'{' => {
+                    body = brace_span(code, i);
+                    break;
+                }
+                b';' if brackets == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let calls = body.map_or_else(Vec::new, |(open, close)| extract_calls(code, open, close));
+        out.push(Function {
+            name,
+            file: file_idx,
+            decl_line,
+            body,
+            calls,
+        });
+    }
+}
+
+/// Records every `ident(`-shaped call site in `code[open..close]`,
+/// skipping keywords, macro invocations (`ident!`), and numeric-led
+/// tokens. Turbofish (`ident::<T>(`) is tolerated.
+fn extract_calls(code: &str, open: usize, close: usize) -> Vec<CallSite> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = open;
+    while i < close {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') || (i > 0 && is_ident_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < close && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let name = &code[start..i];
+        let mut j = i;
+        while j < close && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        // Turbofish between name and arguments.
+        if bytes.get(j) == Some(&b':')
+            && bytes.get(j + 1) == Some(&b':')
+            && bytes.get(j + 2) == Some(&b'<')
+        {
+            let mut depth = 0i64;
+            let mut k = j + 2;
+            while k < close {
+                match bytes[k] {
+                    b'<' => depth += 1,
+                    b'>' if bytes.get(k.wrapping_sub(1)) != Some(&b'-') => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = k;
+            while j < close && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+        }
+        if bytes.get(j) == Some(&b'(') && !KEYWORDS.contains(&name) {
+            out.push(CallSite {
+                name: name.to_owned(),
+                at: start,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+    use std::path::PathBuf;
+
+    fn graph_of(text: &str) -> (Vec<Function>, Vec<CallSite>) {
+        let file = SourceFile::from_text(PathBuf::from("crates/core/src/x.rs"), text.to_owned());
+        let mut functions = Vec::new();
+        parse_functions(&file, 0, &mut functions);
+        let calls = functions.iter().flat_map(|f| f.calls.clone()).collect();
+        (functions, calls)
+    }
+
+    #[test]
+    fn functions_and_calls_are_extracted() {
+        let (funcs, calls) = graph_of(
+            "pub fn outer(x: usize) -> usize {\n    helper(x) + x.method()\n}\nfn helper(x: usize) -> usize { x }\n",
+        );
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].name, "outer");
+        assert_eq!(funcs[1].name, "helper");
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "method"]);
+    }
+
+    #[test]
+    fn generics_where_clauses_and_array_returns_parse() {
+        let (funcs, _) = graph_of(
+            "fn g<F: Fn() -> usize>(f: F) -> [u64; 4]\nwhere\n    F: Send,\n{\n    let _ = f();\n    [0; 4]\n}\n",
+        );
+        assert_eq!(funcs.len(), 1);
+        assert!(funcs[0].body.is_some());
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body_and_macros_are_not_calls() {
+        let (funcs, calls) = graph_of(
+            "trait T {\n    fn decl(&self) -> usize;\n    fn with_default(&self) { println!(\"x\"); go() }\n}\n",
+        );
+        assert_eq!(funcs.len(), 2);
+        assert!(funcs[0].body.is_none());
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["go"], "println! must not count as a call");
+    }
+
+    #[test]
+    fn test_region_functions_are_skipped() {
+        let (funcs, _) = graph_of(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n",
+        );
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(funcs[0].name, "live");
+    }
+}

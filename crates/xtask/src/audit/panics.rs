@@ -1,0 +1,169 @@
+//! The panic-surface pass: no unannotated panic-capable (or silently
+//! value-truncating) site may be transitively reachable from a hot-path
+//! root.
+//!
+//! Sites detected, all in non-test code:
+//!
+//! * `.unwrap()` / `.expect(` — explicit panics on failure values;
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros;
+//! * indexing and slicing `x[i]` — out-of-bounds panics (detected as a
+//!   `[` directly following an identifier, `)`, or `]`);
+//! * truncating `as` casts (to a ≤32-bit numeric target, or a rounded
+//!   float into a wide integer) — not panics, but silent value
+//!   corruption on the same no-surprises hot path, and exactly what the
+//!   checked `hypervector::cast` API exists for.
+//!
+//! `assert!`-family macros and `/`-by-variable are deliberately out of
+//! scope (documented in DESIGN §18): asserts state intended invariants,
+//! and division appears only with structurally nonzero divisors.
+//!
+//! Suppression is `// audit:allow(panic): <reason>` — trailing on the
+//! site's line, standalone on the line above it, or heading a whole
+//! `fn` (covering every site in that function, for kernels whose whole
+//! body is bounded indexing).
+
+use super::graph::{Allow, AllowKind, Graph};
+use crate::scan::SourceFile;
+use crate::{
+    token_after, word_occurrences, Diagnostic, FLOAT_RESULT_METHODS, NARROW_TARGETS,
+    WIDE_INT_TARGETS,
+};
+use std::collections::VecDeque;
+
+/// One panic-capable site inside a function body.
+#[derive(Debug)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the construct.
+    pub what: String,
+}
+
+/// Detects every panic-surface site in `code[open..close]` of `file`,
+/// skipping `#[cfg(test)]` lines.
+pub fn panic_sites(file: &SourceFile, open: usize, close: usize) -> Vec<PanicSite> {
+    let body = &file.code[open..close];
+    let mut out = Vec::new();
+    let mut push = |at: usize, what: String| {
+        let line = file.line_of(open + at);
+        if !file.line_in_test(line) {
+            out.push(PanicSite { line, what });
+        }
+    };
+
+    for (needle, what) in [(".unwrap()", "`.unwrap()`"), (".expect(", "`.expect(…)`")] {
+        let mut from = 0;
+        while let Some(pos) = body[from..].find(needle) {
+            let at = from + pos;
+            push(at, what.to_owned());
+            from = at + needle.len();
+        }
+    }
+
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for at in word_occurrences(body, mac) {
+            if body.as_bytes().get(at + mac.len()) == Some(&b'!') {
+                push(at, format!("`{mac}!`"));
+            }
+        }
+    }
+
+    let bytes = body.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+            push(i, "indexing `[…]`".to_owned());
+        }
+    }
+
+    let mut line_start = 0;
+    for line in body.lines() {
+        for at in word_occurrences(line, "as") {
+            let target = token_after(line, at + 2);
+            let before = line[..at].trim_end();
+            if NARROW_TARGETS.contains(&target) {
+                push(line_start + at, format!("truncating `as {target}`"));
+            } else if WIDE_INT_TARGETS.contains(&target)
+                && FLOAT_RESULT_METHODS.iter().any(|m| before.ends_with(*m))
+            {
+                push(line_start + at, format!("float→integer `as {target}`"));
+            }
+        }
+        line_start += line.len() + 1;
+    }
+
+    out
+}
+
+/// Runs the panic-surface pass: BFS the call graph from `roots`, then
+/// report every unallowed site in a reachable function. `honored[i]` is
+/// set when `allows[i]` suppressed at least one site (reachable or not —
+/// an allow on an unreachable site is *placed*, not stale).
+pub fn check(
+    graph: &Graph<'_>,
+    roots: &[usize],
+    allows: &[Allow],
+    honored: &mut [bool],
+) -> Vec<Diagnostic> {
+    // Breadth-first reachability with a witness root name per function.
+    let mut witness: Vec<Option<usize>> = vec![None; graph.functions.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &root in roots {
+        if witness[root].is_none() {
+            witness[root] = Some(root);
+            queue.push_back(root);
+        }
+    }
+    while let Some(func) = queue.pop_front() {
+        let from = witness[func];
+        for call in &graph.functions[func].calls {
+            if let Some(callees) = graph.by_name.get(&call.name) {
+                for &callee in callees {
+                    if witness[callee].is_none() {
+                        witness[callee] = from;
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (idx, func) in graph.functions.iter().enumerate() {
+        let Some((open, close)) = func.body else {
+            continue;
+        };
+        let file = graph.files[func.file];
+        let sites = panic_sites(file, open, close);
+        let reachable = witness[idx].is_some();
+        for site in sites {
+            let mut allowed = false;
+            for (i, allow) in allows.iter().enumerate() {
+                if allow.covers(AllowKind::Panic, func.file, site.line, Some(idx)) {
+                    honored[i] = true;
+                    allowed = true;
+                }
+            }
+            if allowed || !reachable {
+                continue;
+            }
+            let root = witness[idx].map_or_else(String::new, |r| graph.functions[r].name.clone());
+            out.push(Diagnostic {
+                lint: "audit-panic",
+                file: file.path.clone(),
+                line: site.line,
+                message: format!(
+                    "{} in `{}`, reachable from hot-path root `{root}` — a panic \
+                     here takes down a serving thread the supervisor cannot \
+                     recover; handle the failure, or annotate the site with \
+                     `// audit:allow(panic): <reason>`",
+                    site.what, func.name
+                ),
+            });
+        }
+    }
+    out
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod scan;
 
 use scan::{collect_rust_files, SourceFile};
@@ -56,6 +57,9 @@ pub const KERNEL_MODULES: &[&str] = &[
     "crates/core/src/train.rs",
     "crates/core/src/fleet.rs",
     "crates/advsim/src/attack.rs",
+    "crates/serve/src/coalescer.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/server.rs",
 ];
 
 /// The one module allowed to read `ROBUSTHD_*` environment variables.
@@ -160,12 +164,12 @@ pub fn run_all(root: &Path) -> Result<Vec<Diagnostic>, String> {
     Ok(diagnostics)
 }
 
-fn is_ident_byte(b: u8) -> bool {
+pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
 /// Byte offsets of whole-word occurrences of `word` in `text`.
-fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
+pub(crate) fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     let mut from = 0;
@@ -266,7 +270,7 @@ fn flag_tokens(text: &str) -> Vec<(String, usize)> {
 
 /// Brace-matched body span (byte range of the code view) starting at the
 /// first `{` at or after `open_from`.
-fn brace_span(code: &str, open_from: usize) -> Option<(usize, usize)> {
+pub(crate) fn brace_span(code: &str, open_from: usize) -> Option<(usize, usize)> {
     let bytes = code.as_bytes();
     let open = code[open_from..].find('{')? + open_from;
     let mut depth = 0i64;
@@ -481,9 +485,9 @@ pub fn lint_duality(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
-const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
-const WIDE_INT_TARGETS: &[&str] = &["usize", "isize", "u64", "i64", "u128", "i128"];
-const FLOAT_RESULT_METHODS: &[&str] = &[".round()", ".ceil()", ".floor()", ".trunc()"];
+pub(crate) const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+pub(crate) const WIDE_INT_TARGETS: &[&str] = &["usize", "isize", "u64", "i64", "u128", "i128"];
+pub(crate) const FLOAT_RESULT_METHODS: &[&str] = &[".round()", ".ceil()", ".floor()", ".trunc()"];
 
 /// Whether a token (stripped of a leading `-`) is a float literal.
 fn is_float_literal(token: &str) -> bool {
@@ -501,7 +505,7 @@ fn is_float_literal(token: &str) -> bool {
 }
 
 /// The last operand-ish token before byte `end` of `line`.
-fn token_before(line: &str, end: usize) -> &str {
+pub(crate) fn token_before(line: &str, end: usize) -> &str {
     let upto = line[..end].trim_end();
     let start = upto
         .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-'))
@@ -510,7 +514,7 @@ fn token_before(line: &str, end: usize) -> &str {
 }
 
 /// The first operand-ish token after byte `start` of `line`.
-fn token_after(line: &str, start: usize) -> &str {
+pub(crate) fn token_after(line: &str, start: usize) -> &str {
     let from = line[start..].trim_start();
     let end = from
         .find(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-'))

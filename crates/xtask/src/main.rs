@@ -1,4 +1,6 @@
-//! `cargo xtask lint` — run the repo-native invariant lints.
+//! `cargo xtask lint` / `cargo xtask audit` — run the repo-native
+//! invariant lints and the hot-path panic-surface & lock-discipline
+//! auditor.
 
 #![forbid(unsafe_code)]
 
@@ -9,14 +11,20 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  lint [--root PATH]   Run the workspace invariant lints (default root:
-                       the workspace this xtask binary was built from).
+  lint [--root PATH]            Run the workspace invariant lints (default
+                                root: the workspace this xtask binary was
+                                built from).
+  audit [--root PATH] [--json]  Run the hot-path panic-surface and
+                                lock-discipline auditor; --json emits the
+                                machine-readable report (roots, findings,
+                                allow count).
 ";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("lint") => lint(&argv[1..]),
+        Some("audit") => audit(&argv[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -32,8 +40,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint(args: &[String]) -> ExitCode {
+/// Parses `--root PATH` (and optionally `--json`) from `args`. Returns
+/// `Err` with an exit code on malformed options.
+fn parse_opts(args: &[String], allow_json: bool) -> Result<(PathBuf, bool), ExitCode> {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -41,12 +52,13 @@ fn lint(args: &[String]) -> ExitCode {
                 Some(path) => root = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--root requires a path\n{USAGE}");
-                    return ExitCode::from(2);
+                    return Err(ExitCode::from(2));
                 }
             },
+            "--json" if allow_json => json = true,
             other => {
                 eprintln!("unknown option `{other}`\n{USAGE}");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         }
     }
@@ -58,6 +70,14 @@ fn lint(args: &[String]) -> ExitCode {
             .canonicalize()
             .unwrap_or_else(|_| PathBuf::from("."))
     });
+    Ok((root, json))
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match parse_opts(args, false) {
+        Ok((root, _)) => root,
+        Err(code) => return code,
+    };
     match xtask::run_all(&root) {
         Ok(diagnostics) if diagnostics.is_empty() => {
             println!("xtask lint: clean ({} invariant families)", 4);
@@ -72,6 +92,39 @@ fn lint(args: &[String]) -> ExitCode {
         }
         Err(message) => {
             eprintln!("xtask lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    let (root, json) = match parse_opts(args, true) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    match xtask::audit::run(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for d in &report.findings {
+                    println!("{d}");
+                }
+                println!(
+                    "xtask audit: {} finding(s), {} hot-path root(s), {} allow(s) honored",
+                    report.findings.len(),
+                    report.roots.len(),
+                    report.allows
+                );
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("xtask audit: {message}");
             ExitCode::from(2)
         }
     }

@@ -1,0 +1,155 @@
+//! Each fixture under `tests/fixtures/audit_*` is a miniature workspace
+//! with exactly one deliberate audit violation (or none, for
+//! `audit_clean`); every audit family must fire exactly once, on the
+//! right file and line, and nowhere else. The final tests run the full
+//! auditor over the real workspace — the merge gate: `cargo xtask
+//! audit` must be green on the actual repo.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use xtask::audit::{run, AuditReport};
+use xtask::Diagnostic;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn audit_fixture(name: &str) -> AuditReport {
+    run(&fixture(name)).expect("fixture workspace must load")
+}
+
+/// Asserts the fixture yields exactly one finding and returns it.
+fn single(name: &str) -> Diagnostic {
+    let mut report = audit_fixture(name);
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "fixture `{name}` must fire exactly one finding, got: {:#?}",
+        report.findings
+    );
+    report.findings.pop().expect("len checked above")
+}
+
+#[test]
+fn clean_fixture_is_silent_and_honors_its_allow() {
+    let report = audit_fixture("audit_clean");
+    assert!(
+        report.findings.is_empty(),
+        "clean fixture must produce no findings, got: {:#?}",
+        report.findings
+    );
+    assert_eq!(report.allows, 1, "the one annotation must be honored");
+    assert!(
+        report.roots.iter().any(|r| r.name == "submit"),
+        "the coalescer submit root must resolve, got: {:#?}",
+        report.roots
+    );
+}
+
+#[test]
+fn reachable_unwrap_fires_audit_panic() {
+    let d = single("audit_reachable_unwrap");
+    assert_eq!(d.lint, "audit-panic");
+    assert_eq!(d.file, Path::new("crates/serve/src/coalescer.rs"));
+    assert_eq!(d.line, 15, "must point at the helper's `.unwrap()`");
+    assert!(
+        d.message.contains("hot-path root `submit`"),
+        "message names the witness root: {}",
+        d.message
+    );
+    assert!(
+        d.message.contains("`pop_now`"),
+        "message names the offending function: {}",
+        d.message
+    );
+}
+
+#[test]
+fn unannotated_indexing_fires_audit_panic() {
+    let d = single("audit_unannotated_index");
+    assert_eq!(d.lint, "audit-panic");
+    assert_eq!(d.file, Path::new("crates/serve/src/coalescer.rs"));
+    assert_eq!(d.line, 10, "must point at the `slots[lane]` indexing");
+    assert!(
+        d.message.contains("indexing"),
+        "message names the construct: {}",
+        d.message
+    );
+}
+
+#[test]
+fn lock_order_cycle_fires_audit_lock_cycle() {
+    let d = single("audit_lock_cycle");
+    assert_eq!(d.lint, "audit-lock-cycle");
+    assert_eq!(d.file, Path::new("crates/serve/src/state.rs"));
+    assert!(
+        d.message.contains("conns") && d.message.contains("stats"),
+        "message names both locks of the cycle: {}",
+        d.message
+    );
+}
+
+#[test]
+fn engine_call_under_lock_fires_audit_lock_engine() {
+    let d = single("audit_lock_engine");
+    assert_eq!(d.lint, "audit-lock-engine");
+    assert_eq!(d.file, Path::new("crates/serve/src/engine.rs"));
+    assert_eq!(d.line, 11, "must point at the engine call, not the lock");
+    assert!(
+        d.message.contains("`serve_scored`") && d.message.contains("`state`"),
+        "message names the call and the held lock: {}",
+        d.message
+    );
+}
+
+#[test]
+fn naked_condvar_wait_fires_audit_condvar_wait() {
+    let d = single("audit_condvar_wait");
+    assert_eq!(d.lint, "audit-condvar-wait");
+    assert_eq!(d.file, Path::new("crates/serve/src/notify.rs"));
+    assert_eq!(d.line, 12, "must point at the `.wait(…)` call");
+}
+
+#[test]
+fn stale_allow_fires_audit_stale_allow() {
+    let d = single("audit_stale_allow");
+    assert_eq!(d.lint, "audit-stale-allow");
+    assert_eq!(d.file, Path::new("crates/core/src/fleet.rs"));
+    assert_eq!(d.line, 4, "must point at the annotation itself");
+}
+
+#[test]
+fn json_report_carries_roots_findings_and_allow_count() {
+    let json = audit_fixture("audit_reachable_unwrap").to_json();
+    assert!(json.contains("\"kind\": \"audit-panic\""), "{json}");
+    assert!(
+        json.contains("\"file\": \"crates/serve/src/coalescer.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"name\": \"submit\""), "{json}");
+    assert!(json.contains("\"allow_count\": 0"), "{json}");
+    assert!(json.contains("\"finding_count\": 1"), "{json}");
+}
+
+/// The merge gate: the auditor must be green on the real repository —
+/// zero unannotated panic sites reachable from the hot-path roots, no
+/// lock-discipline violations, no stale allows.
+#[test]
+fn workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(&root).expect("real workspace must load");
+    assert!(
+        report.findings.is_empty(),
+        "`cargo xtask audit` must be clean on the real workspace, got: {:#?}",
+        report.findings
+    );
+    assert!(
+        report.roots.len() >= 15,
+        "the hot-path roots must resolve in the real tree, got: {:#?}",
+        report.roots
+    );
+    assert!(report.allows > 0, "the triaged tree carries honored allows");
+}

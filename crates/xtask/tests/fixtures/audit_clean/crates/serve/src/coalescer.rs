@@ -1,0 +1,21 @@
+//! Fixture: a clean hot path — the `submit` root reaches exactly one
+//! panic-capable site, and that site carries an honest allow.
+
+pub struct Coalescer {
+    depth: usize,
+}
+
+impl Coalescer {
+    pub fn submit(&mut self, items: &[usize], item: usize) -> bool {
+        if self.depth == 0 {
+            return false;
+        }
+        self.depth -= 1;
+        self.admit(items, item)
+    }
+
+    fn admit(&mut self, items: &[usize], item: usize) -> bool {
+        let first = items[0]; // audit:allow(panic): fixture: submit rejects empty batches
+        first <= item
+    }
+}

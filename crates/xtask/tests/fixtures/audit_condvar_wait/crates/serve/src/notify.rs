@@ -1,0 +1,15 @@
+//! Fixture: a naked `Condvar::wait` — no `loop`/`while` revalidates the
+//! predicate after a (possibly spurious) wakeup.
+
+pub struct Notify {
+    ready: Condvar,
+    inner: Mutex,
+}
+
+impl Notify {
+    pub fn wait_once(&self) -> usize {
+        let guard = self.inner.lock();
+        let woken = self.ready.wait(guard);
+        woken
+    }
+}

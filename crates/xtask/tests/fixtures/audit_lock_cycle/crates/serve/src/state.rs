@@ -1,0 +1,21 @@
+//! Fixture: an ABBA lock-order cycle — `refresh` takes `stats` then
+//! `conns`, `report` takes `conns` then `stats`.
+
+pub struct Shared {
+    stats: Mutex,
+    conns: Mutex,
+}
+
+impl Shared {
+    pub fn refresh(&self) -> usize {
+        let stats = self.stats.lock();
+        let conns = self.conns.lock();
+        stats + conns
+    }
+
+    pub fn report(&self) -> usize {
+        let conns = self.conns.lock();
+        let stats = self.stats.lock();
+        conns + stats
+    }
+}

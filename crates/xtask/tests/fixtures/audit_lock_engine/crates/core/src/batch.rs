@@ -1,0 +1,6 @@
+//! Fixture engine file: a call resolving only here counts as
+//! `BatchEngine`/supervisor work for the lock-discipline pass.
+
+pub fn serve_scored(pending: usize) -> usize {
+    pending
+}

@@ -1,0 +1,13 @@
+//! Fixture: engine work performed while holding a lock — the guard is
+//! live across the `serve_scored` call.
+
+pub struct Engine {
+    state: Mutex,
+}
+
+impl Engine {
+    pub fn drain(&self) -> usize {
+        let held = self.state.lock();
+        serve_scored(held)
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: an unannotated `.unwrap()` transitively reachable from the
+//! `submit` hot-path root through a helper.
+
+pub struct Coalescer {
+    queue: Vec<usize>,
+}
+
+impl Coalescer {
+    pub fn submit(&mut self, item: usize) -> usize {
+        self.queue.push(item);
+        self.pop_now()
+    }
+
+    fn pop_now(&mut self) -> usize {
+        self.queue.pop().unwrap()
+    }
+}

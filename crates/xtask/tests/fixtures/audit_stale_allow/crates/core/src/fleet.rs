@@ -1,0 +1,7 @@
+//! Fixture: a stale `audit:allow` — the site it once justified is gone,
+//! so the annotation itself must fail the audit.
+
+// audit:allow(panic): the unwrap this covered was removed
+pub fn tidy_registry() -> usize {
+    0
+}

@@ -1,0 +1,12 @@
+//! Fixture: unannotated slice indexing directly inside the `submit`
+//! hot-path root.
+
+pub struct Coalescer {
+    slots: Vec<usize>,
+}
+
+impl Coalescer {
+    pub fn submit(&mut self, lane: usize) -> usize {
+        self.slots[lane]
+    }
+}

@@ -1,15 +1,20 @@
 //! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker,
 //! covering the API subset this workspace uses: [`model`],
 //! [`thread::spawn`]/[`thread::JoinHandle::join`],
-//! [`sync::atomic::AtomicUsize`], [`sync::Arc`], and [`cell::UnsafeCell`].
+//! [`sync::atomic::AtomicUsize`], [`sync::Arc`], [`sync::Mutex`],
+//! [`sync::Condvar`], and [`cell::UnsafeCell`].
 //!
 //! # What it actually checks
 //!
 //! [`model`] runs the closure under a cooperative scheduler that holds a
 //! single run token: exactly one model thread executes at a time, and at
 //! every *schedule point* (atomic operation, [`cell::UnsafeCell`] access,
-//! spawn, join, exit, [`thread::yield_now`]) the scheduler decides who
-//! runs next. Decisions are recorded only where ≥ 2 threads are
+//! lock/unlock, condvar wait/notify, spawn, join, exit,
+//! [`thread::yield_now`]) the scheduler decides who runs next. Contended
+//! [`sync::Mutex::lock`] and [`sync::Condvar::wait`] park the thread in
+//! the scheduler, so lock cycles and lost wakeups surface as the
+//! deadlock failure ("live threads but none runnable") rather than a
+//! hang. Decisions are recorded only where ≥ 2 threads are
 //! runnable; after each execution the recorded path is advanced like an
 //! odometer and the closure re-run, until the whole decision tree has
 //! been explored — a depth-first **exhaustive enumeration of thread
@@ -33,7 +38,15 @@
 //!   `with_mut(|&mut T|)` instead of raw pointers, so code under test
 //!   needs no `unsafe` (this workspace forbids it).
 //! - **Any panic fails the whole model** with the panicking thread's
-//!   message; `JoinHandle::join` never returns `Err`.
+//!   message; `JoinHandle::join` never returns `Err`, and locks are
+//!   never observed poisoned ([`sync::Mutex::lock`] always returns
+//!   `Ok`; [`sync::PoisonError`] exists only for API parity).
+//! - **Condvar wakeups are exact.** Spurious wakeups are not simulated
+//!   (`cargo xtask audit` enforces predicate-loop discipline around
+//!   every `wait` statically instead), and [`sync::Condvar::wait_timeout`]
+//!   ignores its duration: because a timeout precludes indefinite
+//!   blocking, it is modelled as release → schedule window → reacquire,
+//!   reporting whether a notification landed inside the window.
 //!
 //! Executions are capped at [`MAX_EXECUTIONS`]; exceeding the cap panics
 //! rather than looping forever on a state-space explosion.

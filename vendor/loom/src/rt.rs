@@ -214,6 +214,53 @@ impl Scheduler {
         merge(into, &self.lock().threads[tid].clock);
     }
 
+    /// Blocks the calling thread until another thread calls
+    /// [`Scheduler::unblock`] on it (mutex handoff, condvar notify).
+    /// The caller must have published its wait registration (waiter
+    /// list entry) *before* calling this; since it holds the run token
+    /// up to the internal reschedule, no unblock can be lost.
+    pub(crate) fn block_current(&self, tid: usize) {
+        let mut s = self.lock();
+        if s.aborted {
+            drop(s);
+            panic::panic_any(Abort);
+        }
+        s.threads[tid].clock[tid] += 1;
+        s.threads[tid].runnable = false;
+        Self::reschedule(&mut s, &self.cv);
+        self.wait_for_token(s, tid);
+    }
+
+    /// Marks `tid` runnable again. Called by the token holder; the
+    /// woken thread actually runs at a later scheduling decision.
+    pub(crate) fn unblock(&self, tid: usize) {
+        let mut s = self.lock();
+        s.threads[tid].runnable = true;
+    }
+
+    /// An explicit nondeterministic choice among `options` branches,
+    /// recorded on the DFS path exactly like a scheduling decision, so
+    /// the odometer explores every branch.
+    pub(crate) fn choose(&self, tid: usize, options: usize) -> usize {
+        let mut s = self.lock();
+        if s.aborted {
+            drop(s);
+            panic::panic_any(Abort);
+        }
+        s.threads[tid].clock[tid] += 1;
+        if options < 2 {
+            return 0;
+        }
+        let idx = if s.cursor < s.path.len() {
+            s.path[s.cursor].chosen.min(options - 1)
+        } else {
+            s.path.push(Choice { options, chosen: 0 });
+            0
+        };
+        s.cursor += 1;
+        idx
+    }
+
     /// Blocks `tid` until `child` finishes, then merges the join edge.
     pub(crate) fn join_wait(&self, tid: usize, child: usize) {
         let mut s = self.lock();

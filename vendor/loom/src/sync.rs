@@ -2,6 +2,274 @@
 
 pub use std::sync::Arc;
 
+use crate::rt::{self, Clock};
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdMutexGuard;
+use std::time::Duration;
+
+/// Mirror of `std::sync::PoisonError`. Model threads that panic abort
+/// the whole execution, so locks are never observed poisoned and every
+/// `lock()` returns `Ok` — the type exists so code written against
+/// `std`'s `LockResult` idioms (`unwrap_or_else(PoisonError::into_inner)`)
+/// compiles unchanged under the model.
+#[derive(Debug)]
+pub struct PoisonError<G> {
+    guard: G,
+}
+
+impl<G> PoisonError<G> {
+    /// Wraps a guard (API parity with `std`).
+    pub fn new(guard: G) -> Self {
+        Self { guard }
+    }
+
+    /// Recovers the guard, ignoring the poison.
+    pub fn into_inner(self) -> G {
+        self.guard
+    }
+}
+
+/// Mirror of `std::sync::LockResult`; always `Ok` in the model.
+pub type LockResult<G> = Result<G, PoisonError<G>>;
+
+/// Mirror of `std::sync::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True iff the wait returned because the timeout elapsed rather
+    /// than because of a notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+#[derive(Debug, Default)]
+struct MutexSync {
+    /// Tid currently holding the model-level lock, if any.
+    held_by: Option<usize>,
+    /// Tids blocked in `lock()` waiting for release.
+    waiters: Vec<usize>,
+    /// Release/acquire vector clock: unlock publishes the holder's
+    /// clock here, the next lock acquires it — the happens-before edge
+    /// the race detector ([`crate::cell::UnsafeCell`]) consumes.
+    clock: Clock,
+}
+
+/// Model-checked mutual exclusion with cooperative blocking.
+///
+/// Contended `lock()` parks the thread in the scheduler (`runnable =
+/// false`), so a hold-forever or a lock cycle shows up as the model's
+/// deadlock failure ("live threads but none runnable") rather than a
+/// hang. Unlock wakes every waiter and lets the scheduler pick who wins
+/// the race (barging is explored, not hidden).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: StdMutex<T>,
+    sync: StdMutex<MutexSync>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            data: StdMutex::new(value),
+            sync: StdMutex::new(MutexSync::default()),
+        }
+    }
+
+    /// Acquires the lock, blocking cooperatively while it is held.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (sched, tid) = rt::ctx();
+        // The acquisition attempt is a schedule point: other threads
+        // may run (and take the lock) before this one commits.
+        sched.yield_point(tid);
+        loop {
+            {
+                let mut sy = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+                if sy.held_by.is_none() {
+                    sy.held_by = Some(tid);
+                    let clock = sy.clock.clone();
+                    drop(sy);
+                    sched.acquire(tid, &clock);
+                    let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+                    return Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                    });
+                }
+                sy.waiters.push(tid);
+            }
+            // Registration above is published while this thread still
+            // holds the run token, so the unlocking thread cannot miss
+            // it — block until a release wakes us, then retry.
+            sched.block_current(tid);
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; dropping it releases the lock,
+/// wakes all waiters, and hands the scheduler a decision point.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std-level data lock before the model-level state
+        // so a woken waiter can enter `data.lock()` without contention.
+        self.inner = None;
+        let (sched, tid) = rt::ctx();
+        let mut sy = self.lock.sync.lock().unwrap_or_else(|e| e.into_inner());
+        sched.release(tid, &mut sy.clock);
+        sy.held_by = None;
+        for waiter in sy.waiters.drain(..) {
+            sched.unblock(waiter);
+        }
+        drop(sy);
+        // Deliberately NOT a schedule point: between the release and the
+        // dropping thread's next primitive operation (which is one) only
+        // local computation runs, so no distinguishable interleaving is
+        // lost — and the state space stays small enough to exhaust.
+        // Woken waiters become schedulable at the next decision anywhere
+        // (every thread's exit reschedules, so wakeups are never lost).
+    }
+}
+
+/// Model-checked condition variable.
+///
+/// `wait` atomically releases the guard and parks the thread (the
+/// waiter registers itself before the release, and the release is not a
+/// schedule point) — so a protocol with a genuine lost-wakeup race
+/// deadlocks the model instead of passing by luck. Spurious wakeups are **not**
+/// simulated; the audit's predicate-loop lint enforces wakeup
+/// revalidation statically instead.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    waiters: StdMutex<Vec<usize>>,
+}
+
+impl Condvar {
+    /// A new condition variable with no waiters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Releases `guard` and blocks until notified, then reacquires.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (sched, tid) = rt::ctx();
+        let lock = guard.lock;
+        self.waiters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(tid);
+        drop(guard);
+        // Release-and-park is atomic here (the guard drop is not a
+        // schedule point), matching the primitive's contract. The check
+        // below is defensive: were a schedule point ever reintroduced in
+        // the drop, a notification landing inside the release window
+        // must skip the park or the model would invent a lost wakeup.
+        let still_waiting = self
+            .waiters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&tid);
+        if still_waiting {
+            sched.block_current(tid);
+        }
+        lock.lock()
+    }
+
+    /// Releases `guard` and waits until notified **or** the (modelled)
+    /// timeout elapses, then reacquires.
+    ///
+    /// The duration is ignored: because a timeout precludes indefinite
+    /// blocking, the wait is modelled as release → schedule window →
+    /// reacquire with the thread left runnable throughout. Every
+    /// interleaving of other threads fits inside the window (each
+    /// schedule point can defer this thread arbitrarily long), and
+    /// `timed_out()` reports whether a notification arrived during it —
+    /// both outcomes are explored, and a never-notified wait can never
+    /// deadlock, exactly like the real primitive.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (sched, tid) = rt::ctx();
+        let lock = guard.lock;
+        self.waiters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(tid);
+        drop(guard);
+        sched.yield_point(tid);
+        let timed_out = {
+            let mut waiters = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+            match waiters.iter().position(|&t| t == tid) {
+                Some(index) => {
+                    waiters.remove(index);
+                    true
+                }
+                None => false,
+            }
+        };
+        let result = WaitTimeoutResult { timed_out };
+        match lock.lock() {
+            Ok(reacquired) => Ok((reacquired, result)),
+            Err(poison) => Err(PoisonError::new((poison.into_inner(), result))),
+        }
+    }
+
+    /// Wakes one waiter, chosen nondeterministically (every choice of
+    /// waiter is explored as its own branch). Like unlock, not itself a
+    /// schedule point: the woken thread becomes an option at the next
+    /// decision.
+    pub fn notify_one(&self) {
+        let (sched, tid) = rt::ctx();
+        let mut waiters = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+        if waiters.is_empty() {
+            return;
+        }
+        let index = sched.choose(tid, waiters.len());
+        let woken = waiters.remove(index);
+        sched.unblock(woken);
+    }
+
+    /// Wakes every waiter. Not itself a schedule point (see
+    /// [`Condvar::notify_one`]).
+    pub fn notify_all(&self) {
+        let (sched, _tid) = rt::ctx();
+        for woken in self
+            .waiters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            sched.unblock(woken);
+        }
+    }
+}
+
 /// Model-checked atomics.
 pub mod atomic {
     pub use std::sync::atomic::Ordering;

@@ -148,3 +148,139 @@ fn compare_exchange_has_one_winner() {
         assert_ne!(owner.load(Ordering::Acquire), 0);
     });
 }
+
+/// Mutex-guarded increments never lose an update: the lock serializes
+/// the read-modify-write in every interleaving (contrast with the
+/// split-atomic test above, which must observe a lost update).
+#[test]
+fn mutex_serializes_increments_in_every_interleaving() {
+    use loom::sync::Mutex;
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let mut guard = counter.lock().unwrap();
+                    *guard += 1;
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+}
+
+/// Mutex release→acquire is a happens-before edge: a cell written under
+/// the lock is race-free when read under the lock on another thread.
+#[test]
+fn mutex_edge_orders_cell_accesses() {
+    use loom::sync::Mutex;
+    loom::model(|| {
+        let lock = Arc::new(Mutex::new(()));
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let (child_lock, child_cell) = (Arc::clone(&lock), Arc::clone(&cell));
+        let child = thread::spawn(move || {
+            let _guard = child_lock.lock().unwrap();
+            child_cell.with_mut(|v| *v += 1);
+        });
+        {
+            let _guard = lock.lock().unwrap();
+            cell.with_mut(|v| *v += 1);
+        }
+        child.join().unwrap();
+        assert_eq!(cell.with(|v| *v), 2);
+    });
+}
+
+/// An ABBA lock cycle must surface as the model's deadlock failure in
+/// the interleaving where each thread holds one lock and wants the other.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn detects_an_abba_lock_cycle() {
+    use loom::sync::Mutex;
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (child_a, child_b) = (Arc::clone(&a), Arc::clone(&b));
+        let child = thread::spawn(move || {
+            let _b = child_b.lock().unwrap();
+            let _a = child_a.lock().unwrap();
+        });
+        {
+            let _a = a.lock().unwrap();
+            let _b = b.lock().unwrap();
+        }
+        child.join().unwrap();
+    });
+}
+
+/// The register-before-release wait protocol never loses a wakeup: in
+/// every interleaving the waiter either sees the flag already set or is
+/// woken by the notify.
+#[test]
+fn condvar_wait_never_loses_a_wakeup() {
+    use loom::sync::{Condvar, Mutex};
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let child_pair = Arc::clone(&pair);
+        let child = thread::spawn(move || {
+            let (flag, cv) = &*child_pair;
+            *flag.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        let (flag, cv) = &*pair;
+        let mut ready = flag.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        child.join().unwrap();
+    });
+}
+
+/// A notify that races ahead of the wait *without* the waiter
+/// re-checking state under the lock is a lost wakeup; the model must
+/// find the interleaving where the waiter parks forever (deadlock).
+#[test]
+#[should_panic(expected = "deadlock")]
+fn detects_a_lost_wakeup() {
+    use loom::sync::{Condvar, Mutex};
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let child_pair = Arc::clone(&pair);
+        // Broken protocol: the notifier publishes no state and the
+        // waiter checks none — if notify runs before wait, the waiter
+        // blocks forever.
+        let child = thread::spawn(move || child_pair.1.notify_all());
+        let guard = pair.0.lock().unwrap();
+        drop(pair.1.wait(guard).unwrap());
+        child.join().unwrap();
+    });
+}
+
+/// wait_timeout explores both outcomes: across the interleavings it
+/// must return timed-out (notify missed the window) *and* notified.
+#[test]
+fn wait_timeout_explores_timeout_and_notify() {
+    use loom::sync::{Condvar, Mutex};
+    use std::time::Duration;
+    let outcomes: Arc<StdMutex<HashSet<bool>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let sink = Arc::clone(&outcomes);
+    loom::model(move || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let child_pair = Arc::clone(&pair);
+        let child = thread::spawn(move || child_pair.1.notify_all());
+        let guard = pair.0.lock().unwrap();
+        let (guard, result) = pair
+            .1
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap();
+        drop(guard);
+        sink.lock().unwrap().insert(result.timed_out());
+        child.join().unwrap();
+    });
+    assert_eq!(*outcomes.lock().unwrap(), HashSet::from([false, true]));
+}
